@@ -1,0 +1,33 @@
+"""E4: the workload statistics the paper quotes for SCOPE (§4.2).
+
+Paper: >60% of jobs recurring; nearly 40% of daily jobs share common
+subexpressions with at least one other job; 70% of daily jobs have
+inter-job dependencies.
+"""
+
+from conftest import note, print_table
+
+from repro.core.peregrine import WorkloadRepository, analyze
+
+PAPER = {
+    "recurring_fraction": ">0.60",
+    "shared_subexpr_fraction": "~0.40",
+    "dependency_fraction": "0.70",
+}
+
+
+def bench_e04_workload_statistics(benchmark, world):
+    repo = WorkloadRepository().ingest(world["workload"])
+    stats = benchmark.pedantic(analyze, args=(repo,), rounds=1, iterations=1)
+    rows = [
+        (name, f"{value:.3f}", PAPER.get(name, "-"))
+        for name, value in stats.summary_rows()
+    ]
+    print_table(
+        "E4 — workload structure statistics",
+        rows,
+        ("metric", "measured", "paper"),
+    )
+    assert stats.recurring_job_fraction > 0.60
+    assert 0.25 <= stats.shared_subexpression_fraction <= 0.60
+    assert 0.60 <= stats.dependency_fraction <= 0.80

@@ -1,0 +1,71 @@
+"""E5: per-template cardinality micromodels beat the default estimator [49].
+
+Includes the keep-only-improving ablation: pruning retains a fraction of
+candidates without giving up the accuracy win.
+"""
+
+import numpy as np
+from conftest import note, print_table
+
+from repro.core.cardinality import LearnedCardinalityModel, MicromodelTrainer
+from repro.core.peregrine import WorkloadFeedback, WorkloadRepository
+from repro.ml import q_error
+
+
+def run_e05(world):
+    repo = WorkloadRepository().ingest(world["workload"])
+    feedback = WorkloadFeedback()
+    representatives = {}
+    for record in repo.records:
+        if record.day < 8:
+            feedback.observe_job(record, world["truth"])
+        for sig, node in record.subexpression_templates.items():
+            representatives.setdefault(sig, node)
+        representatives.setdefault(record.template, record.plan)
+    pruned_report = MicromodelTrainer(world["default"]).train(
+        feedback, representatives
+    )
+    keep_all_report = MicromodelTrainer(world["default"], keep_all=True).train(
+        feedback, representatives
+    )
+    holdout = [r for r in repo.records if r.day >= 8]
+
+    def q_stats(model):
+        errors = []
+        for record in holdout:
+            actual = np.array([world["truth"].estimate(record.plan)])
+            errors.append(
+                q_error(actual, np.array([model.estimate(record.plan)]))[0]
+            )
+        return float(np.median(errors)), float(np.mean(errors))
+
+    pruned = LearnedCardinalityModel.from_report(world["default"], pruned_report)
+    keep_all = LearnedCardinalityModel.from_report(world["default"], keep_all_report)
+    return {
+        "default": q_stats(world["default"]),
+        "micromodels (pruned)": q_stats(pruned),
+        "micromodels (keep-all)": q_stats(keep_all),
+        "n_pruned": len(pruned_report.kept),
+        "n_keep_all": len(keep_all_report.kept),
+        "n_candidates": pruned_report.n_candidates,
+    }
+
+
+def bench_e05_cardinality_micromodels(benchmark, world):
+    out = benchmark.pedantic(run_e05, args=(world,), rounds=1, iterations=1)
+    rows = [
+        (name, f"{out[name][0]:.2f}", f"{out[name][1]:.2f}")
+        for name in ("default", "micromodels (pruned)", "micromodels (keep-all)")
+    ]
+    print_table(
+        "E5 — cardinality q-error on held-out days",
+        rows,
+        ("estimator", "median q", "mean q"),
+    )
+    note(
+        f"models kept: pruned {out['n_pruned']} / keep-all {out['n_keep_all']}"
+        f" (of {out['n_candidates']} candidates)"
+    )
+    assert out["micromodels (pruned)"][0] <= out["default"][0]
+    assert out["micromodels (pruned)"][1] < out["default"][1]
+    assert out["n_pruned"] < out["n_keep_all"]

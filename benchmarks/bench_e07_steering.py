@@ -1,0 +1,69 @@
+"""E7: guarded steering improves plans without regressions [35, 51].
+
+Includes the small-incremental-steps ablation: capping steering at 2
+flips from the default versus allowing unconstrained drift.
+"""
+
+import numpy as np
+from conftest import note, print_table
+
+from repro.core.steering import SteeringService
+
+
+def run_e07(world):
+    # Three epochs over the 10-day stream ~ a month of recurring history:
+    # per-template validation needs several trials before adopting.
+    base = [
+        (j.job_id, j.plan) for j in world["workload"].jobs if j.is_recurring
+    ]
+    jobs = base + [
+        (f"{job_id}-e{epoch}", plan)
+        for epoch in (2, 3)
+        for job_id, plan in base
+    ]
+    true_cost = lambda plan: world["true_cost"].cost(plan).total  # noqa: E731
+
+    def run(max_steps):
+        service = SteeringService(
+            world["optimizer"],
+            true_cost,
+            exploration_rate=1.0,
+            validation_trials=2,
+            max_steps=max_steps,
+            rng=0,
+        )
+        return service.run(jobs)
+
+    return run(max_steps=2), run(max_steps=len(jobs))
+
+
+def bench_e07_steering(benchmark, world):
+    guarded, unconstrained = benchmark.pedantic(
+        run_e07, args=(world,), rounds=1, iterations=1
+    )
+    rows = []
+    for label, report in (
+        ("incremental (<=2 flips)", guarded),
+        ("unconstrained", unconstrained),
+    ):
+        quarters = np.array_split([o.improvement for o in report.outcomes], 4)
+        rows.append(
+            (
+                label,
+                f"{report.improvement:.1%}",
+                f"{report.regression_fraction():.1%}",
+                report.adoptions,
+                report.rollbacks,
+                report.max_steps_from_default(),
+                f"{float(np.mean(quarters[-1])):.1%}",
+            )
+        )
+    print_table(
+        "E7 — rule-hint steering over recurring jobs",
+        rows,
+        ("mode", "total improvement", "regressions", "adoptions",
+         "rollbacks", "max flips", "last-quarter improvement"),
+    )
+    assert guarded.improvement > 0.0
+    assert guarded.regression_fraction() == 0.0
+    assert guarded.max_steps_from_default() <= 2

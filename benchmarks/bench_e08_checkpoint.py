@@ -1,0 +1,72 @@
+"""E8: Phoebe frees >70% of hotspot temp and restarts ~68% faster with
+minimal runtime impact [52].
+"""
+
+import numpy as np
+from conftest import note, print_table
+
+from repro.core.checkpoint import CheckpointOptimizer, StagePredictor
+from repro.engine import ClusterExecutor, compile_stages
+
+WAVES = dict(max_stage_seconds=2.0, max_stage_bytes=128e6)
+
+
+def run_e08(world):
+    executor = ClusterExecutor(n_machines=16, rng=0)
+    observations = []
+    for job in world["workload"].jobs:
+        if job.day >= 6:
+            continue
+        plan = world["optimizer"].optimize(job.plan).plan
+        graph = compile_stages(
+            plan, world["est_cost"], truth=world["true_cost"], **WAVES
+        )
+        report = executor.run(graph)
+        for stage, run in zip(graph.stages, report.runs):
+            observations.append((stage, run.duration, stage.true_bytes()))
+    predictor = StagePredictor().fit(observations)
+    chooser = CheckpointOptimizer(predictor=predictor, budget_fraction=0.8)
+
+    rng = np.random.default_rng(7)
+    restart = {"none": [], "phoebe": []}
+    temp = {"none": [], "phoebe": []}
+    runtime = {"none": [], "phoebe": []}
+    for job in world["workload"].jobs:
+        if job.day < 6 or job.plan.size < 5:
+            continue
+        plan = world["optimizer"].optimize(job.plan).plan
+        graph = compile_stages(
+            plan, world["est_cost"], truth=world["true_cost"], **WAVES
+        )
+        checkpoints = chooser.select(graph).checkpoints
+        base = ClusterExecutor(n_machines=16, rng=1).run(graph)
+        with_ck = ClusterExecutor(n_machines=16, rng=1).run(
+            graph, checkpoints=checkpoints
+        )
+        t = base.runtime * rng.uniform(0.3, 0.95)
+        ex = ClusterExecutor(rng=1)
+        restart["none"].append(ex.restart_work_seconds(graph, base, t))
+        restart["phoebe"].append(ex.restart_work_seconds(graph, with_ck, t))
+        temp["none"].append(base.peak_temp_bytes)
+        temp["phoebe"].append(with_ck.peak_temp_bytes)
+        runtime["none"].append(base.runtime)
+        runtime["phoebe"].append(with_ck.runtime)
+    return restart, temp, runtime
+
+
+def bench_e08_phoebe_checkpointing(benchmark, world):
+    restart, temp, runtime = benchmark.pedantic(
+        run_e08, args=(world,), rounds=1, iterations=1
+    )
+    restart_saving = 1 - np.sum(restart["phoebe"]) / np.sum(restart["none"])
+    temp_saving = 1 - np.sum(temp["phoebe"]) / np.sum(temp["none"])
+    overhead = np.sum(runtime["phoebe"]) / np.sum(runtime["none"]) - 1
+    rows = [
+        ("hotspot temp freed", f"{temp_saving:.1%}", ">70%"),
+        ("restart speedup", f"{restart_saving:.1%}", "68%"),
+        ("runtime overhead", f"{overhead:.1%}", "minimal"),
+    ]
+    print_table("E8 — Phoebe checkpoint optimizer", rows, ("metric", "measured", "paper"))
+    assert temp_saving > 0.5
+    assert restart_saving > 0.35
+    assert overhead < 0.10

@@ -1,0 +1,39 @@
+"""E10: pipeline optimization — pipeline-aware statistics and pushing
+common subexpressions to producers [8, 14].
+"""
+
+import numpy as np
+from conftest import note, print_table
+
+from repro.core.pipeline import PipelineOptimizer
+
+
+def run_e10(world):
+    optimizer = PipelineOptimizer(world["workload"], world["truth"])
+    return [optimizer.optimize_day(day) for day in range(2, 8)]
+
+
+def bench_e10_pipeline_optimizer(benchmark, world):
+    reports = benchmark.pedantic(run_e10, args=(world,), rounds=1, iterations=1)
+    rows = [
+        (
+            f"day {i + 2}",
+            r.n_pipelines,
+            r.n_pushdowns,
+            f"{r.cost_reduction:.2%}",
+            f"{r.stale_scan_q_error:.1f}",
+            f"{r.pipeline_aware_q_error:.2f}",
+        )
+        for i, r in enumerate(reports)
+    ]
+    print_table(
+        "E10 — pipeline optimization (per day)",
+        rows,
+        ("day", "pipelines", "pushdowns", "pipeline cost cut",
+         "scan q (stale)", "scan q (aware)"),
+    )
+    assert all(r.cost_reduction >= -1e-6 for r in reports)
+    assert all(
+        r.pipeline_aware_q_error <= r.stale_scan_q_error for r in reports
+    )
+    assert any(r.n_pushdowns > 0 for r in reports)

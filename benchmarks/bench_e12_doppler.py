@@ -1,0 +1,45 @@
+"""E12: Doppler SKU recommendation accuracy >95% [6].
+
+Includes the Insight-2 ablation: segment-wise right-sizing factors vs a
+single global factor.
+"""
+
+from conftest import note, print_table
+
+from repro.core.doppler import SkuRecommender, recommendation_accuracy
+from repro.workloads import generate_customers
+
+
+def run_e12():
+    historical = generate_customers(500, rng=0)
+    migrating = generate_customers(250, rng=1)
+    segmented = SkuRecommender(n_segments=5, rng=0).fit(historical)
+    global_only = SkuRecommender(n_segments=1, rng=0).fit(historical)
+    return {
+        "segments + price-perf curve": (
+            recommendation_accuracy(segmented, migrating, within_one_tier=False),
+            recommendation_accuracy(segmented, migrating),
+        ),
+        "single global factor": (
+            recommendation_accuracy(global_only, migrating, within_one_tier=False),
+            recommendation_accuracy(global_only, migrating),
+        ),
+    }
+
+
+def bench_e12_doppler(benchmark):
+    accuracies = benchmark.pedantic(run_e12, rounds=1, iterations=1)
+    rows = [
+        (name, f"{exact:.1%}", f"{tier:.1%}")
+        for name, (exact, tier) in accuracies.items()
+    ]
+    rows.append(("paper", "-", ">95%"))
+    print_table(
+        "E12 — SKU recommendation accuracy",
+        rows,
+        ("recommender", "exact", "within one tier"),
+    )
+    seg_exact, seg_tier = accuracies["segments + price-perf curve"]
+    glob_exact, _ = accuracies["single global factor"]
+    assert seg_tier > 0.9
+    assert seg_exact >= glob_exact

@@ -1,0 +1,43 @@
+"""E13: auto-tuning — the global model is a reasonable start, per-app
+fine-tuning converges [45].
+"""
+
+import numpy as np
+from conftest import note, print_table
+
+from repro.core.autotune import ApplicationTuner, benchmark_suite
+
+
+def run_e13():
+    suite = benchmark_suite(80, rng=0)
+    warm = ApplicationTuner(rng=0).fit_global(suite[:50])
+    cold = ApplicationTuner(rng=0)  # no global model: fixed default start
+    rows = {"warm": {"start": [], "tuned": []}, "cold": {"start": [], "tuned": []}}
+    for app in suite[50:]:
+        optimal = app.runtime(app.optimal_executors())
+        for label, tuner in (("warm", warm), ("cold", cold)):
+            trace = tuner.tune(app, n_runs=12)
+            rows[label]["start"].append(trace.runtimes[0] / optimal - 1)
+            rows[label]["tuned"].append(trace.best_runtime / optimal - 1)
+    return {
+        label: (float(np.mean(v["start"])), float(np.mean(v["tuned"])))
+        for label, v in rows.items()
+    }
+
+
+def bench_e13_autotune(benchmark):
+    out = benchmark.pedantic(run_e13, rounds=1, iterations=1)
+    rows = [
+        ("global-model warm start", f"{out['warm'][0]:.1%}", f"{out['warm'][1]:.1%}"),
+        ("fixed default start", f"{out['cold'][0]:.1%}", f"{out['cold'][1]:.1%}"),
+    ]
+    print_table(
+        "E13 — Spark config auto-tuning (mean runtime regret vs optimum)",
+        rows,
+        ("starting point", "first run", "after 12 runs"),
+    )
+    warm_start, warm_tuned = out["warm"]
+    cold_start, _ = out["cold"]
+    assert warm_start < 0.5 * cold_start   # global model is a good start
+    assert warm_tuned <= warm_start + 1e-9  # tuning only improves
+    assert warm_tuned < 0.1                # converges near optimal

@@ -1,0 +1,55 @@
+"""E15: Insight 2 — one size does not fit all.
+
+Sweeps per-entity data volume: with scarce data the segment model is the
+happy middle ground; with ample data individual models win; the global
+model never does.  The automatic selector tracks the winner.
+"""
+
+from conftest import note, print_table
+
+from repro.core.granularity import GranularPredictor, heterogeneous_population
+
+
+def run_e15():
+    out = []
+    for samples in (4, 8, 16, 40):
+        entities = heterogeneous_population(
+            n_entities=30, samples_per_entity=samples, noise=1.0, rng=0
+        )
+        predictor = GranularPredictor(min_individual_samples=8, rng=0).fit(entities)
+        report = predictor.evaluate(entities)
+        out.append((samples, report))
+    return out
+
+
+def bench_e15_granularity(benchmark):
+    sweeps = benchmark.pedantic(run_e15, rounds=1, iterations=1)
+    rows = []
+    for samples, report in sweeps:
+        winner = min(
+            ("global", report.global_mse),
+            ("segment", report.segment_mse),
+            ("individual", report.individual_mse),
+            key=lambda kv: kv[1],
+        )[0]
+        rows.append(
+            (
+                samples,
+                f"{report.global_mse:.2f}",
+                f"{report.segment_mse:.2f}",
+                f"{report.individual_mse:.2f}",
+                f"{report.selected_mse:.2f}",
+                winner,
+            )
+        )
+    print_table(
+        "E15 — granularity vs per-entity data volume (MSE)",
+        rows,
+        ("samples/entity", "global", "segment", "individual", "selector", "winner"),
+    )
+    scarce = sweeps[0][1]
+    ample = sweeps[-1][1]
+    assert scarce.segment_mse < scarce.global_mse       # stratification helps
+    assert ample.individual_mse <= ample.segment_mse    # data flips the winner
+    best_ample = min(ample.global_mse, ample.segment_mse, ample.individual_mse)
+    assert ample.selected_mse <= 1.5 * best_ample       # selector tracks it

@@ -1,0 +1,68 @@
+"""E16: Insight 3 — the feedback loop prevents sustained regression.
+
+A workload drift hits a deployed model; with the loop the serving error
+recovers (retrain + flight + promote), without it the error stays high.
+"""
+
+import numpy as np
+from conftest import note, print_table
+
+from repro.core.feedback import FeedbackLoop
+from repro.ml import LinearRegression, ModelRegistry
+
+
+def _stream(loop_or_model, n_stable, n_drifted, rng, use_loop):
+    errors = []
+    for step in range(n_stable + n_drifted):
+        x = rng.normal(size=1)
+        slope = 2.0 if step < n_stable else -1.0
+        actual = slope * x[0] + rng.normal(scale=0.1)
+        if use_loop:
+            prediction = loop_or_model.observe(x, actual)
+        else:
+            prediction = float(loop_or_model.predict(np.atleast_2d(x))[0])
+        errors.append(abs(prediction - actual))
+    return np.array(errors)
+
+
+def run_e16():
+    def build():
+        registry = ModelRegistry(rng=0)
+        rng = np.random.default_rng(0)
+        x0 = rng.normal(size=(50, 1))
+        y0 = 2 * x0[:, 0] + rng.normal(scale=0.1, size=50)
+        version = registry.register("m", LinearRegression().fit(x0, y0))
+        registry.promote("m", version)
+        return registry, rng
+
+    registry, rng = build()
+    loop = FeedbackLoop(
+        registry, "m", retrain=lambda x, y: LinearRegression().fit(x, y)
+    )
+    with_loop = _stream(loop, 150, 500, rng, use_loop=True)
+
+    registry2, rng2 = build()
+    frozen = registry2.production("m").model
+    without_loop = _stream(frozen, 150, 500, rng2, use_loop=False)
+    return with_loop, without_loop, loop.actions()
+
+
+def bench_e16_feedback_loop(benchmark):
+    with_loop, without_loop, actions = benchmark.pedantic(
+        run_e16, rounds=1, iterations=1
+    )
+    tail = slice(-200, None)  # after the loop had time to react
+    rows = [
+        ("frozen model", f"{np.mean(without_loop[:150]):.3f}",
+         f"{np.mean(without_loop[tail]):.3f}"),
+        ("with feedback loop", f"{np.mean(with_loop[:150]):.3f}",
+         f"{np.mean(with_loop[tail]):.3f}"),
+    ]
+    print_table(
+        "E16 — mean absolute serving error before/after workload drift",
+        rows,
+        ("deployment", "pre-drift", "post-drift steady state"),
+    )
+    note(f"loop actions: {actions}")
+    assert "promote" in actions
+    assert np.mean(with_loop[tail]) < 0.3 * np.mean(without_loop[tail])

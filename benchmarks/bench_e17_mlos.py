@@ -1,0 +1,39 @@
+"""E17: MLOS-style tuning beats the default VM configuration [9]."""
+
+import numpy as np
+from conftest import note, print_table
+
+from repro.core.mlos import (
+    ModelGuidedTuner,
+    RandomSearchTuner,
+    redis_vm_benchmark,
+)
+
+
+def run_e17():
+    space, objective, optimum = redis_vm_benchmark(noise=0.5, rng=0)
+    default_score = float(np.mean([objective(space.default()) for _ in range(10)]))
+    random_result = RandomSearchTuner(space, rng=1).tune(objective, budget=60)
+    guided_result = ModelGuidedTuner(space, rng=1).tune(objective, budget=60)
+    return default_score, random_result, guided_result, optimum
+
+
+def bench_e17_mlos_tuning(benchmark):
+    default, random_result, guided, optimum = benchmark.pedantic(
+        run_e17, rounds=1, iterations=1
+    )
+    rows = [
+        ("default config", f"{default:.1f}", "-"),
+        ("random search (60 evals)", f"{random_result.best_score:.1f}",
+         f"{random_result.best_score / default - 1:.0%}"),
+        ("model-guided (60 evals)", f"{guided.best_score:.1f}",
+         f"{guided.best_score / default - 1:.0%}"),
+        ("noiseless optimum", f"{optimum:.1f}", "-"),
+    ]
+    print_table(
+        "E17 — Redis-VM throughput under configuration tuning",
+        rows,
+        ("configuration", "throughput", "vs default"),
+    )
+    assert guided.best_score > default * 1.3
+    assert guided.best_score >= random_result.best_score

@@ -1,0 +1,54 @@
+"""E19 (extension, Direction 4): RAI guardrails over a live service.
+
+Audits Doppler's autonomous SKU recommendations: per-segment overspend
+parity (no customer class marginalized), the cost guardrail vetoing
+runaway recommendations, and the regression guardrail's audit trail.
+"""
+
+from conftest import note, print_table
+
+from repro.core.doppler import SkuRecommender
+from repro.core.guardrails import CostGuardrail, fairness_report
+from repro.workloads import generate_customers, ground_truth_sku
+
+
+def run_e19():
+    recommender = SkuRecommender(rng=0).fit(generate_customers(500, rng=0))
+    customers = generate_customers(250, rng=1)
+    segments, overspend = [], []
+    vetoes = 0
+    guardrail = CostGuardrail(max_increase_factor=2.0)
+    for customer in customers:
+        truth_price = ground_truth_sku(customer).price
+        recommendation = recommender.recommend(customer)
+        decision = guardrail.review(recommendation.sku.price, truth_price)
+        if not decision.approved:
+            vetoes += 1
+        segments.append(customer.segment)
+        overspend.append(recommendation.sku.price / truth_price)
+    report = fairness_report(
+        segments, overspend, "overspend_ratio", disparity_bound=0.35
+    )
+    return report, vetoes, len(customers)
+
+
+def bench_e19_rai_guardrails(benchmark):
+    report, vetoes, total = benchmark.pedantic(run_e19, rounds=1, iterations=1)
+    rows = [
+        (f"segment {segment}", f"{mean:.3f}", f"{report.disparity(segment):.1%}")
+        for segment, mean in sorted(report.segment_means.items())
+    ]
+    rows.append(("population", f"{report.population_mean:.3f}", "-"))
+    print_table(
+        "E19 — fairness audit of Doppler recommendations (overspend ratio)",
+        rows,
+        ("segment", "mean overspend", "disparity"),
+    )
+    note(
+        f"cost guardrail vetoes: {vetoes}/{total} recommendations "
+        f"(>2x customer's right-sized spend)"
+    )
+    note(f"fairness verdict: {'FAIR' if report.is_fair else 'FLAGGED'} "
+         f"(bound {report.disparity_bound:.0%})")
+    assert report.is_fair
+    assert vetoes < 0.1 * total

@@ -1,0 +1,46 @@
+"""Figure 1: linear models predict machine behaviour (KEA [53]).
+
+Regenerates the two scatter-plus-fit panels of the paper's Figure 1 as
+tables: CPU utilization vs running containers and task execution time vs
+CPU utilization, with fitted slope/intercept/R^2 against the simulator's
+ground truth per SKU.
+"""
+
+from conftest import note, print_table
+
+from repro.core.kea import MachineBehaviorModels
+from repro.telemetry import TelemetryStore
+from repro.workloads import MachineFleetSimulator
+from repro.workloads.machines import DEFAULT_SKUS
+
+
+def run_f1() -> MachineBehaviorModels:
+    store = TelemetryStore()
+    MachineFleetSimulator(n_machines_per_sku=10, noise=2.0, rng=0).collect(
+        store, n_steps=50
+    )
+    return MachineBehaviorModels().fit(store)
+
+
+def bench_f1_machine_behavior_models(benchmark):
+    models = benchmark.pedantic(run_f1, rounds=1, iterations=1)
+    truth = {s.name: s for s in DEFAULT_SKUS}
+    rows = []
+    for sku in models.skus():
+        cpu = models.cpu_models[sku]
+        task = models.task_models[sku]
+        rows.append(
+            (
+                sku,
+                f"{cpu.slope:.2f} (true {truth[sku].cpu_per_container:.2f})",
+                f"{cpu.r2:.3f}",
+                f"{task.slope:.2f} (true {truth[sku].task_seconds_per_cpu:.2f})",
+                f"{task.r2:.3f}",
+            )
+        )
+    print_table(
+        "Figure 1 — machine behaviour models (fit vs ground truth)",
+        rows,
+        ("sku", "cpu/container slope", "R^2", "task-sec/cpu slope", "R^2"),
+    )
+    assert all(m.r2 > 0.9 for m in models.cpu_models.values())

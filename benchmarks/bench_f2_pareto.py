@@ -1,0 +1,70 @@
+"""Figure 2: the QoS-vs-cost Pareto curve, shifted by ML.
+
+Sweeps reactive pause policies (the manual knob family) to trace the
+baseline Pareto curve, then adds Moneyball's forecast policy at several
+conservativeness levels and measures how far the frontier moves toward
+the origin.
+"""
+
+from conftest import note, print_table
+
+from repro.core.moneyball import (
+    ForecastPausePolicy,
+    PredictabilityClassifier,
+    policy_tradeoff,
+)
+from repro.core.pareto import frontier_shift, pareto_frontier
+from repro.infra import ReactiveIdlePolicy, ServerlessSimulator
+from repro.workloads import UsagePopulationConfig, generate_population
+
+
+def run_f2():
+    tenants = generate_population(
+        UsagePopulationConfig(n_tenants=60, n_days=42), rng=0
+    )
+    simulator = ServerlessSimulator()
+    classifier = PredictabilityClassifier()
+    baseline_points = []
+    for idle_hours in (1, 2, 4, 8, 16):
+        reports = [
+            simulator.run(
+                t, ReactiveIdlePolicy(idle_hours, simulator.activity_threshold)
+            )
+            for t in tenants
+        ]
+        baseline_points.append(
+            policy_tradeoff(reports, f"reactive_{idle_hours}")
+        )
+    ml_points = []
+    for margin in (1, 2, 4):
+        reports = []
+        for t in tenants:
+            if classifier.is_predictable(t):
+                policy = ForecastPausePolicy(
+                    activity_threshold=simulator.activity_threshold,
+                    pause_margin=margin,
+                )
+            else:
+                policy = ReactiveIdlePolicy(4, simulator.activity_threshold)
+            reports.append(simulator.run(t, policy))
+        ml_points.append(policy_tradeoff(reports, f"moneyball_m{margin}"))
+    return baseline_points, ml_points
+
+
+def bench_f2_pareto_curve(benchmark):
+    baseline, ml = benchmark.pedantic(run_f2, rounds=1, iterations=1)
+    rows = [
+        (p.label, f"{p.qos_penalty:.4f}", f"{p.cost:.3f}")
+        for p in baseline + ml
+    ]
+    print_table(
+        "Figure 2 — QoS (cold starts/active hour) vs cost (billed/active hour)",
+        rows,
+        ("policy", "qos_penalty", "cost"),
+    )
+    shift = frontier_shift(baseline, baseline + ml)
+    note(f"frontier shift toward origin with ML: {shift:.1%}")
+    frontier = pareto_frontier(baseline + ml)
+    ml_on_frontier = [p.label for p in frontier if p.label.startswith("moneyball")]
+    note(f"ML points on the combined frontier: {ml_on_frontier}")
+    assert ml_on_frontier, "ML policies must reach the frontier"

@@ -1,0 +1,84 @@
+"""Shared fixtures and table printing for the experiment benchmarks.
+
+Every ``bench_*`` module regenerates one of the paper's figures or
+quantitative claims (see DESIGN.md's experiment index) and prints the
+rows the paper reports next to our measured values.  Absolute numbers
+are not expected to match a production testbed; the *shape* — who wins,
+by roughly what factor — is the reproduction target.
+"""
+
+import sys
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    DefaultCardinalityEstimator,
+    DefaultCostModel,
+    Optimizer,
+    TrueCardinalityModel,
+)
+from repro.workloads import ScopeWorkloadGenerator
+
+
+@pytest.fixture(scope="session")
+def world():
+    """The shared SCOPE-like workload world for engine-layer benches."""
+    generator = ScopeWorkloadGenerator(rng=0)
+    workload = generator.generate(n_days=10)
+    truth = TrueCardinalityModel(workload.catalog, seed=5)
+    default = DefaultCardinalityEstimator(workload.catalog)
+    return {
+        "workload": workload,
+        "catalog": workload.catalog,
+        "truth": truth,
+        "default": default,
+        "true_cost": DefaultCostModel(workload.catalog, truth),
+        "est_cost": DefaultCostModel(workload.catalog, default),
+        "optimizer": Optimizer(workload.catalog),
+    }
+
+
+#: Rendered experiment tables, emitted in the terminal summary so they
+#: survive pytest's fd-level output capture and land in bench_output.txt.
+_RENDERED: list[str] = []
+
+
+def print_table(title: str, rows: list[tuple], headers: tuple[str, ...]) -> None:
+    """Fixed-width experiment table, paper value next to measured."""
+    lines = [f"", f"== {title} =="]
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows))
+        for i in range(len(headers))
+    ]
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append(
+            "  ".join(str(c).ljust(w) for c, w in zip(row, widths))
+        )
+    _RENDERED.append("\n".join(lines))
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Emit every experiment table after the run (uncaptured)."""
+    if not _RENDERED:
+        return
+    terminalreporter.section("experiment tables (paper vs measured)")
+    for block in _RENDERED:
+        for line in block.splitlines():
+            terminalreporter.write_line(line)
+
+
+def fmt(value: float, kind: str = "ratio") -> str:
+    if kind == "pct":
+        return f"{value:.1%}"
+    if kind == "x":
+        return f"{value:.2f}x"
+    return f"{value:.3f}"
+
+
+def note(message: str) -> None:
+    """One-line remark below the most recent table."""
+    _RENDERED.append(message)

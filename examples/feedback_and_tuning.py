@@ -1,0 +1,76 @@
+"""Scenario: the feedback loop and infrastructure tuning in action.
+
+Demonstrates Insight 3 (monitor -> retrain -> flight -> promote ->
+rollback) on a drifting workload, then the MLOS-style configuration
+tuner and KEA workload balancing — the paper's infrastructure-layer
+loop closing end to end.
+
+Run:  python examples/feedback_and_tuning.py
+"""
+
+import numpy as np
+
+from repro.core.feedback import FeedbackLoop
+from repro.core.kea import MachineBehaviorModels, WorkloadBalancer
+from repro.core.mlos import ModelGuidedTuner, RandomSearchTuner, redis_vm_benchmark
+from repro.infra import SkuFleetConfig
+from repro.ml import LinearRegression, ModelRegistry
+from repro.telemetry import TelemetryStore
+from repro.workloads import MachineFleetSimulator
+from repro.workloads.machines import DEFAULT_SKUS
+
+
+def main() -> None:
+    print("=== Insight 3: the feedback loop on a drifting workload ===")
+    registry = ModelRegistry(rng=0)
+    rng = np.random.default_rng(0)
+    x0 = rng.normal(size=(50, 1))
+    version = registry.register(
+        "latency-model",
+        LinearRegression().fit(x0, 2 * x0[:, 0] + rng.normal(scale=0.1, size=50)),
+    )
+    registry.promote("latency-model", version)
+    loop = FeedbackLoop(
+        registry,
+        "latency-model",
+        retrain=lambda x, y: LinearRegression().fit(x, y),
+    )
+    for _ in range(150):  # stable regime
+        x = rng.normal(size=1)
+        loop.observe(x, 2 * x[0] + rng.normal(scale=0.1))
+    for _ in range(500):  # the workload drifts
+        x = rng.normal(size=1)
+        loop.observe(x, -1 * x[0] + rng.normal(scale=0.1))
+    print(f"  loop actions: {loop.actions()}")
+    final = registry.production("latency-model").model
+    print(f"  serving model slope: {final.coef_[0]:+.2f} (drifted truth: -1.00)")
+
+    print("\n=== MLOS: tuning the Redis VM configuration ===")
+    space, objective, optimum = redis_vm_benchmark(rng=0)
+    default_score = float(np.mean([objective(space.default()) for _ in range(5)]))
+    random_best = RandomSearchTuner(space, rng=1).tune(objective, 60).best_score
+    guided = ModelGuidedTuner(space, rng=1).tune(objective, 60)
+    print(f"  default config   {default_score:7.1f}")
+    print(f"  random search    {random_best:7.1f}")
+    print(f"  model-guided     {guided.best_score:7.1f}  (noiseless optimum ~{optimum:.0f})")
+    print(f"  best config      {space.as_dict(guided.best_config)}")
+
+    print("\n=== KEA: balancing a heterogeneous Cosmos-like fleet ===")
+    store = TelemetryStore()
+    MachineFleetSimulator(n_machines_per_sku=8, rng=0).collect(store, n_steps=40)
+    models = MachineBehaviorModels().fit(store)
+    balancer = WorkloadBalancer(models)
+    result = balancer.recommend_caps(target_cpu=75)
+    print(f"  recommended caps {result.caps}")
+    skus = {s.name: s for s in DEFAULT_SKUS}
+    tuned = balancer.build_fleet(skus, 8, result)
+    static = [SkuFleetConfig(s, 8, 28) for s in DEFAULT_SKUS]
+    demands = list(np.random.default_rng(1).integers(400, 650, 15))
+    for label, fleet in (("static", static), ("KEA", tuned)):
+        metrics = WorkloadBalancer.evaluate(fleet, demands)
+        print(f"  {label:7s} cpu-imbalance={metrics['mean_imbalance']:5.2f}  "
+              f"overload={metrics['overload_fraction']:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Quickstart: one tour through all three layers of autonomy.
+
+Generates a SCOPE-like workload, analyzes it with Peregrine, trains
+cardinality micromodels from runtime feedback, and closes with an
+infrastructure-layer decision (Moneyball pause/resume) — the same
+end-to-end story Section 4 of the paper tells.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core.cardinality import LearnedCardinalityModel, MicromodelTrainer
+from repro.core.moneyball import PredictabilityClassifier, evaluate_policies, policy_tradeoff
+from repro.core.peregrine import WorkloadFeedback, WorkloadRepository, analyze
+from repro.engine import DefaultCardinalityEstimator, TrueCardinalityModel
+from repro.infra import ServerlessSimulator
+from repro.ml import q_error
+from repro.workloads import (
+    ScopeWorkloadGenerator,
+    UsagePopulationConfig,
+    generate_population,
+)
+
+
+def main() -> None:
+    print("=== 1. Workload analysis (query engine layer) ===")
+    workload = ScopeWorkloadGenerator(rng=0).generate(n_days=10)
+    repo = WorkloadRepository().ingest(workload)
+    stats = analyze(repo)
+    for name, value in stats.summary_rows():
+        print(f"  {name:26s} {value:8.3f}")
+
+    print("\n=== 2. Learned cardinality from workload feedback ===")
+    truth = TrueCardinalityModel(workload.catalog, seed=5)
+    default = DefaultCardinalityEstimator(workload.catalog)
+    feedback = WorkloadFeedback()
+    representatives = {}
+    for record in repo.records:
+        if record.day < 8:
+            feedback.observe_job(record, truth)
+        for sig, node in record.subexpression_templates.items():
+            representatives.setdefault(sig, node)
+        representatives.setdefault(record.template, record.plan)
+    report = MicromodelTrainer(default).train(feedback, representatives)
+    learned = LearnedCardinalityModel.from_report(default, report)
+    holdout = [r for r in repo.records if r.day >= 8]
+    q_def, q_lrn = [], []
+    for record in holdout:
+        actual = np.array([truth.estimate(record.plan)])
+        q_def.append(q_error(actual, np.array([default.estimate(record.plan)]))[0])
+        q_lrn.append(q_error(actual, np.array([learned.estimate(record.plan)]))[0])
+    print(f"  micromodels kept      {len(report.kept)} / {report.n_candidates}")
+    print(f"  median q-error        default={np.median(q_def):.2f}  learned={np.median(q_lrn):.2f}")
+    print(f"  micromodel coverage   {learned.coverage:.0%}")
+
+    print("\n=== 3. Moneyball pause/resume (infrastructure layer) ===")
+    tenants = generate_population(
+        UsagePopulationConfig(n_tenants=60, n_days=42), rng=0
+    )
+    classifier = PredictabilityClassifier()
+    print(f"  predictable tenants   {classifier.predictable_fraction(tenants):.0%}"
+          f"  (paper: 77%)")
+    simulator = ServerlessSimulator()
+    for name, reports in evaluate_policies(tenants, simulator).items():
+        point = policy_tradeoff(reports, name)
+        print(f"  {name:12s} cold-start rate={point.qos_penalty:.3f}"
+              f"  billed-hours/active-hour={point.cost:.2f}")
+
+
+if __name__ == "__main__":
+    main()

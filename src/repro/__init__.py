@@ -1,0 +1,33 @@
+"""repro: a reproduction of "Towards Building Autonomous Data Services on
+Azure" (SIGMOD-Companion 2023).
+
+The package mirrors the paper's structure:
+
+- substrates: :mod:`repro.ml` (from-scratch ML), :mod:`repro.telemetry`,
+  :mod:`repro.workloads` (synthetic trace generators),
+  :mod:`repro.infra` (cluster simulation), :mod:`repro.engine`
+  (SCOPE/Spark-flavoured query engine);
+- the contribution: :mod:`repro.core`, one subpackage per autonomous
+  service across the cloud-infrastructure, query-engine, and service
+  layers.
+
+Quickstart::
+
+    from repro.workloads import ScopeWorkloadGenerator
+    from repro.core.peregrine import WorkloadRepository, analyze
+
+    workload = ScopeWorkloadGenerator(rng=0).generate(n_days=7)
+    stats = analyze(WorkloadRepository().ingest(workload))
+    print(stats.summary_rows())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ml",
+    "telemetry",
+    "workloads",
+    "infra",
+    "engine",
+    "core",
+]

@@ -1,0 +1,169 @@
+"""Command-line interface: quick looks at the autonomous services.
+
+Subcommands::
+
+    repro stats       [--days N --seed S]   workload structure statistics
+    repro moneyball   [--tenants N]         pause/resume policy comparison
+    repro seagull     [--servers N]         backup-window accuracy
+    repro doppler     [--customers N]       SKU recommendation accuracy
+    repro explain     [--seed S]            EXPLAIN a sample optimized plan
+    repro algorithms  QUERY                 search the AlgorithmStore
+
+Every subcommand is deterministic given its seed and prints a compact
+table, so the CLI doubles as a smoke test of the installation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.core.peregrine import WorkloadRepository, analyze
+    from repro.workloads import ScopeWorkloadGenerator
+
+    workload = ScopeWorkloadGenerator(rng=args.seed).generate(n_days=args.days)
+    stats = analyze(WorkloadRepository().ingest(workload))
+    print(f"workload: {args.days} days, seed {args.seed}")
+    for name, value in stats.summary_rows():
+        print(f"  {name:26s} {value:10.3f}")
+    return 0
+
+
+def _cmd_moneyball(args: argparse.Namespace) -> int:
+    from repro.core.moneyball import (
+        PredictabilityClassifier,
+        evaluate_policies,
+        policy_tradeoff,
+    )
+    from repro.infra import ServerlessSimulator
+    from repro.workloads import UsagePopulationConfig, generate_population
+
+    tenants = generate_population(
+        UsagePopulationConfig(n_tenants=args.tenants, n_days=42), rng=args.seed
+    )
+    classifier = PredictabilityClassifier()
+    print(
+        f"predictable tenants: {classifier.predictable_fraction(tenants):.1%}"
+        " (paper: 77%)"
+    )
+    simulator = ServerlessSimulator()
+    for name, reports in evaluate_policies(tenants, simulator).items():
+        point = policy_tradeoff(reports, name)
+        print(
+            f"  {name:12s} cold-starts/active-hr={point.qos_penalty:.4f}"
+            f"  billed/active-hr={point.cost:.3f}"
+        )
+    return 0
+
+
+def _cmd_seagull(args: argparse.Namespace) -> int:
+    from repro.core.seagull import (
+        ForecastWindowPolicy,
+        PreviousDayPolicy,
+        evaluate_policy,
+    )
+    from repro.workloads import UsagePopulationConfig, generate_population
+
+    population = generate_population(
+        UsagePopulationConfig(n_tenants=args.servers, n_days=42), rng=args.seed
+    )
+    servers = [t for t in population if t.is_predictable]
+    days = range(29, 41)
+    heuristic = evaluate_policy(servers, PreviousDayPolicy(), days)
+    ml = evaluate_policy(servers, ForecastWindowPolicy(), days)
+    print(f"previous-day heuristic accuracy: {heuristic:.1%} (paper: 96%)")
+    print(f"ML forecast accuracy:            {ml:.1%} (paper: 99%)")
+    return 0
+
+
+def _cmd_doppler(args: argparse.Namespace) -> int:
+    from repro.core.doppler import SkuRecommender, recommendation_accuracy
+    from repro.workloads import generate_customers
+
+    recommender = SkuRecommender(rng=args.seed).fit(
+        generate_customers(2 * args.customers, rng=args.seed)
+    )
+    migrating = generate_customers(args.customers, rng=args.seed + 1)
+    accuracy = recommendation_accuracy(recommender, migrating)
+    exact = recommendation_accuracy(recommender, migrating, within_one_tier=False)
+    print(f"SKU recommendation accuracy: {accuracy:.1%} within one tier "
+          f"({exact:.1%} exact; paper: >95%)")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.engine import Optimizer
+    from repro.engine.serialize import explain
+    from repro.workloads import ScopeWorkloadGenerator
+
+    workload = ScopeWorkloadGenerator(rng=args.seed).generate(n_days=1)
+    job = next(j for j in workload.jobs if j.plan.size >= 5)
+    optimizer = Optimizer(workload.catalog)
+    print(f"job {job.job_id} (logical):")
+    print(explain(job.plan))
+    print("\noptimized:")
+    print(explain(optimizer.optimize(job.plan).plan))
+    return 0
+
+
+def _cmd_algorithms(args: argparse.Namespace) -> int:
+    from repro.core.algorithmstore import default_store
+
+    store = default_store()
+    results = store.search(" ".join(args.query))
+    if not results:
+        print("no matching algorithms")
+        return 1
+    for entry in results:
+        print(f"{entry.name:26s} [{entry.category}] {entry.description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Autonomous data services reproduction — quick looks.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    stats = sub.add_parser("stats", help="workload structure statistics")
+    stats.add_argument("--days", type=int, default=7)
+    stats.add_argument("--seed", type=int, default=0)
+    stats.set_defaults(func=_cmd_stats)
+
+    moneyball = sub.add_parser("moneyball", help="pause/resume comparison")
+    moneyball.add_argument("--tenants", type=int, default=60)
+    moneyball.add_argument("--seed", type=int, default=0)
+    moneyball.set_defaults(func=_cmd_moneyball)
+
+    seagull = sub.add_parser("seagull", help="backup-window accuracy")
+    seagull.add_argument("--servers", type=int, default=40)
+    seagull.add_argument("--seed", type=int, default=0)
+    seagull.set_defaults(func=_cmd_seagull)
+
+    doppler = sub.add_parser("doppler", help="SKU recommendation accuracy")
+    doppler.add_argument("--customers", type=int, default=150)
+    doppler.add_argument("--seed", type=int, default=0)
+    doppler.set_defaults(func=_cmd_doppler)
+
+    explain = sub.add_parser("explain", help="EXPLAIN a sample plan")
+    explain.add_argument("--seed", type=int, default=0)
+    explain.set_defaults(func=_cmd_explain)
+
+    algorithms = sub.add_parser("algorithms", help="search the AlgorithmStore")
+    algorithms.add_argument("query", nargs="+")
+    algorithms.set_defaults(func=_cmd_algorithms)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""The paper's contribution: autonomous services across all three layers.
+
+Organized exactly as Section 4 is:
+
+Cloud infrastructure layer (4.1)
+    :mod:`~repro.core.kea` (machine-behaviour models + balancing),
+    :mod:`~repro.core.poolserver` (proactive cluster provisioning),
+    :mod:`~repro.core.moneyball` (predictive pause/resume),
+    :mod:`~repro.core.mlos` (configuration tuning).
+
+Query engine layer (4.2)
+    :mod:`~repro.core.peregrine` (workload analysis platform),
+    :mod:`~repro.core.cardinality` (learned cardinality micromodels),
+    :mod:`~repro.core.costmodel` (learned cost models + meta ensemble),
+    :mod:`~repro.core.steering` (rule-hint steering with guardrails),
+    :mod:`~repro.core.checkpoint` (Phoebe checkpoint optimizer),
+    :mod:`~repro.core.cloudviews` (computation reuse),
+    :mod:`~repro.core.pipeline` (pipeline optimization).
+
+Service layer (4.3)
+    :mod:`~repro.core.seagull` (backup window scheduling),
+    :mod:`~repro.core.doppler` (SKU recommendation),
+    :mod:`~repro.core.autotune` (application auto-tuning),
+    :mod:`~repro.core.granularity` (global/segment/individual models).
+
+Cross-cutting (Insights 1-3)
+    :mod:`~repro.core.feedback` (monitoring + rollback loop),
+    :mod:`~repro.core.pareto` (QoS/cost frontier tooling).
+"""

@@ -1,0 +1,15 @@
+"""AlgorithmStore: function-level reuse (Direction 1).
+
+"Our proposal is to create a AlgorithmStore (analogous to a GitHub for
+models), which is a project gallery with predefined algorithm templates.
+The previously developed algorithm can be discovered and adapted to
+address new scenarios quickly."
+"""
+
+from repro.core.algorithmstore.store import (
+    AlgorithmEntry,
+    AlgorithmStore,
+    default_store,
+)
+
+__all__ = ["AlgorithmStore", "AlgorithmEntry", "default_store"]

@@ -1,0 +1,24 @@
+"""Application auto-tuning for Spark-style configs (§4.3, [45]).
+
+"Another example involves auto-tuning configurations for Spark, built on
+top of the resource usage predictor.  We use iterative tuning algorithms
+to replace the manual process for customers.  We start with a global
+model trained using data from multiple benchmark queries.  While the
+global model may not be highly accurate, it serves as a reasonable
+starting point and is fine-tuned for each application as more
+observational data becomes available."
+"""
+
+from repro.core.autotune.tuner import (
+    ApplicationTuner,
+    SparkApplication,
+    TuningTrace,
+    benchmark_suite,
+)
+
+__all__ = [
+    "SparkApplication",
+    "ApplicationTuner",
+    "TuningTrace",
+    "benchmark_suite",
+]

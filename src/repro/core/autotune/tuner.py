@@ -1,0 +1,213 @@
+"""Global-model warm start plus per-application iterative fine-tuning.
+
+Environment: a Spark-like application whose runtime over executor count
+follows the classic U-shaped cost curve — parallel speedup with
+diminishing returns, plus per-executor coordination overhead:
+
+    runtime(e) = serial + work / e^alpha + overhead * e
+
+Each application has its own latent (work, alpha, overhead); the tuning
+objective is the *runtime* of a recurring run (AutoToken predicts the
+peak parallelism a job benefits from).  The tuner:
+
+1. predicts a starting executor count with a *global* model trained on
+   benchmark applications (AutoToken's resource predictor role), then
+2. fine-tunes per application by hill climbing on observed runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml import GradientBoostingRegressor
+
+MAX_EXECUTORS = 128
+
+
+@dataclass
+class SparkApplication:
+    """A recurring application with latent scaling behaviour."""
+
+    app_id: str
+    input_gb: float
+    n_stages: int
+    shuffle_ratio: float
+    work: float                   # latent: parallelizable work
+    serial_seconds: float         # latent: non-parallel fraction
+    overhead_per_executor: float  # latent: coordination cost
+    alpha: float = 0.9            # latent: parallel efficiency
+
+    def runtime(
+        self, executors: int, rng: np.random.Generator | None = None
+    ) -> float:
+        """Observed runtime (seconds) of one run at ``executors``."""
+        if not 1 <= executors <= MAX_EXECUTORS:
+            raise ValueError(f"executors must be in [1, {MAX_EXECUTORS}]")
+        base = (
+            self.serial_seconds
+            + self.work / executors**self.alpha
+            + self.overhead_per_executor * executors
+        )
+        if rng is not None:
+            base *= float(np.exp(rng.normal(scale=0.03)))
+        return base
+
+    def cost(self, executors: int, rng: np.random.Generator | None = None) -> float:
+        """Executor-seconds billed for one run (reporting only)."""
+        return executors * self.runtime(executors, rng)
+
+    def optimal_executors(self) -> int:
+        """Brute-force noiseless runtime optimum (evaluation only).
+
+        AutoToken-style tuning targets performance: pick the executor
+        count minimizing runtime (parallel speedup vs per-executor
+        coordination overhead gives an interior optimum).
+        """
+        runtimes = [self.runtime(e) for e in range(1, MAX_EXECUTORS + 1)]
+        return int(np.argmin(runtimes)) + 1
+
+    def feature_vector(self) -> np.ndarray:
+        """Observable pre-run features (inputs AutoToken-style models see)."""
+        return np.array(
+            [
+                np.log1p(self.input_gb),
+                float(self.n_stages),
+                self.shuffle_ratio,
+            ]
+        )
+
+
+def benchmark_suite(
+    n_apps: int = 60, rng: np.random.Generator | int | None = None
+) -> list[SparkApplication]:
+    """Synthetic benchmark applications with correlated latents.
+
+    Bigger inputs mean more work; shuffle-heavy apps pay higher
+    per-executor overhead — correlations the global model can exploit.
+    """
+    if n_apps < 1:
+        raise ValueError("n_apps must be >= 1")
+    generator = np.random.default_rng(rng)
+    apps = []
+    for i in range(n_apps):
+        input_gb = float(generator.uniform(1, 500))
+        shuffle = float(generator.uniform(0.0, 1.0))
+        n_stages = int(generator.integers(2, 40))
+        work = input_gb * generator.uniform(8, 16) * (1 + shuffle)
+        apps.append(
+            SparkApplication(
+                app_id=f"app-{i:03d}",
+                input_gb=input_gb,
+                n_stages=n_stages,
+                shuffle_ratio=shuffle,
+                work=work,
+                serial_seconds=float(generator.uniform(5, 60)),
+                overhead_per_executor=float(
+                    generator.uniform(0.2, 1.0) * (1 + 2 * shuffle)
+                ),
+                alpha=float(generator.uniform(0.8, 1.0)),
+            )
+        )
+    return apps
+
+
+@dataclass
+class TuningTrace:
+    """Per-run record of one application's tuning session."""
+
+    app_id: str
+    executors: list[int] = field(default_factory=list)
+    runtimes: list[float] = field(default_factory=list)
+
+    @property
+    def best_runtime(self) -> float:
+        return min(self.runtimes)
+
+    def regret_curve(self, optimal_runtime: float) -> np.ndarray:
+        """Relative runtime above the noiseless optimum, per run."""
+        running_best = np.minimum.accumulate(np.array(self.runtimes))
+        return running_best / optimal_runtime - 1.0
+
+
+class ApplicationTuner:
+    """Warm-start from a global model, then hill-climb per application."""
+
+    def __init__(
+        self,
+        step_factor: float = 1.3,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if step_factor <= 1.0:
+            raise ValueError("step_factor must exceed 1.0")
+        self.step_factor = step_factor
+        self._rng = np.random.default_rng(rng)
+        self._global: GradientBoostingRegressor | None = None
+
+    # -- global model --------------------------------------------------------------
+    def fit_global(self, benchmarks: list[SparkApplication]) -> "ApplicationTuner":
+        """Train features -> log(optimal executors) on benchmark apps."""
+        if len(benchmarks) < 8:
+            raise ValueError("need at least 8 benchmark applications")
+        x = np.vstack([a.feature_vector() for a in benchmarks])
+        y = np.log(np.array([a.optimal_executors() for a in benchmarks], float))
+        self._global = GradientBoostingRegressor(
+            n_trees=60, max_depth=3, rng=self._rng
+        ).fit(x, y)
+        return self
+
+    def warm_start(self, app: SparkApplication) -> int:
+        """Global-model executor prediction (default 8 when unfitted)."""
+        if self._global is None:
+            return 8
+        pred = float(
+            np.exp(self._global.predict(app.feature_vector().reshape(1, -1))[0])
+        )
+        return int(np.clip(round(pred), 1, MAX_EXECUTORS))
+
+    # -- per-application fine-tuning ---------------------------------------------------
+    def tune(
+        self, app: SparkApplication, n_runs: int = 12
+    ) -> TuningTrace:
+        """Iterative tuning over the app's recurring runs.
+
+        Hill climbing on the multiplicative grid: each iteration probes a
+        neighbour of the incumbent (alternating directions); moves only
+        on observed improvement.  Simple, explainable, and robust to the
+        ~3% run-to-run noise — exactly the Insight-1 style of tuner that
+        ships.
+        """
+        if n_runs < 2:
+            raise ValueError("n_runs must be >= 2")
+        trace = TuningTrace(app.app_id)
+
+        def run(executors: int) -> float:
+            runtime = app.runtime(executors, self._rng)
+            trace.executors.append(executors)
+            trace.runtimes.append(runtime)
+            return runtime
+
+        incumbent = self.warm_start(app)
+        incumbent_runtime = run(incumbent)
+        direction = 1
+        while len(trace.runtimes) < n_runs:
+            if direction == 1:
+                stepped = max(incumbent + 1, round(incumbent * self.step_factor))
+            else:
+                stepped = min(incumbent - 1, round(incumbent / self.step_factor))
+            candidate = int(np.clip(stepped, 1, MAX_EXECUTORS))
+            if candidate == incumbent:  # pinned at a bound: go the other way
+                direction = -direction
+                stepped = (
+                    incumbent + 1 if direction == 1 else incumbent - 1
+                )
+                candidate = int(np.clip(stepped, 1, MAX_EXECUTORS))
+                if candidate == incumbent:
+                    break  # space exhausted (MAX_EXECUTORS == 1)
+            candidate_runtime = run(candidate)
+            if candidate_runtime < incumbent_runtime:
+                incumbent, incumbent_runtime = candidate, candidate_runtime
+            else:
+                direction = -direction
+        return trace

@@ -1,0 +1,198 @@
+"""Per-template cardinality micromodels with keep-only-improving selection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.peregrine.feedback import WorkloadFeedback, parameter_vector
+from repro.engine import Expression, template_signature
+from repro.engine.estimator import CardinalityModel
+from repro.ml import RidgeRegression, StandardScaler, q_error
+
+
+def _expand(params: np.ndarray) -> np.ndarray:
+    """Feature map per parameter: [p, p^2, log1p(|p|)].
+
+    The ground-truth selectivities are smooth power-law-ish functions of
+    the literals, so a low-order polynomial in (p, log p) linearizes them
+    well while keeping the model inspectable (Insight 1).
+    """
+    arr = np.atleast_2d(np.asarray(params, dtype=float))
+    return np.hstack([arr, arr**2, np.log1p(np.abs(arr))])
+
+
+@dataclass
+class CardinalityMicromodel:
+    """One template's literal-to-cardinality regressor (log-space ridge).
+
+    Features are standardized before the ridge fit: recurring templates
+    often have literals with tiny relative drift around a large value,
+    which is hopeless conditioning without scaling.
+    """
+
+    template: str
+    model: RidgeRegression
+    scaler: StandardScaler
+    n_train: int
+    validation_q_error: float
+
+    @classmethod
+    def fit(
+        cls, template: str, features: np.ndarray, rows: np.ndarray
+    ) -> "CardinalityMicromodel":
+        scaler = StandardScaler()
+        scaled = scaler.fit_transform(_expand(features))
+        model = RidgeRegression(alpha=1e-3)
+        model.fit(scaled, np.log1p(rows))
+        return cls(
+            template=template,
+            model=model,
+            scaler=scaler,
+            n_train=features.shape[0],
+            validation_q_error=float("nan"),
+        )
+
+    def predict(self, params: np.ndarray) -> np.ndarray:
+        scaled = self.scaler.transform(_expand(params))
+        log_rows = self.model.predict(scaled)
+        return np.maximum(1.0, np.expm1(np.clip(log_rows, 0.0, 50.0)))
+
+
+@dataclass
+class TrainingReport:
+    """What the trainer kept, dropped, and why (E5's ablation data)."""
+
+    kept: dict[str, CardinalityMicromodel]
+    dropped: dict[str, str]                 # template -> reason
+    default_q_error: dict[str, float]       # validation q-error of default
+    model_q_error: dict[str, float]         # validation q-error of micromodel
+
+    @property
+    def n_candidates(self) -> int:
+        return len(self.kept) + len(self.dropped)
+
+
+class MicromodelTrainer:
+    """Train candidates from feedback; keep only those beating the default."""
+
+    def __init__(
+        self,
+        default: CardinalityModel,
+        min_observations: int = 6,
+        improvement_factor: float = 0.95,
+        validation_fraction: float = 0.3,
+        keep_all: bool = False,
+    ) -> None:
+        if min_observations < 4:
+            raise ValueError("min_observations must be >= 4")
+        if not 0.0 < improvement_factor <= 1.0:
+            raise ValueError("improvement_factor must be in (0, 1]")
+        if not 0.0 < validation_fraction < 1.0:
+            raise ValueError("validation_fraction must be in (0, 1)")
+        self.default = default
+        self.min_observations = min_observations
+        self.improvement_factor = improvement_factor
+        self.validation_fraction = validation_fraction
+        self.keep_all = keep_all  # ablation: skip the pruning step
+
+    def train(
+        self,
+        feedback: WorkloadFeedback,
+        representatives: dict[str, Expression],
+    ) -> TrainingReport:
+        """Fit one candidate per template with enough history.
+
+        ``representatives`` maps template signature -> one example
+        expression, needed to compute the default estimator's validation
+        error for the keep/drop decision.
+        """
+        kept: dict[str, CardinalityMicromodel] = {}
+        dropped: dict[str, str] = {}
+        default_q: dict[str, float] = {}
+        model_q: dict[str, float] = {}
+        for template in feedback.templates():
+            data = feedback.training_matrix(template)
+            if data is None:
+                continue
+            features, rows = data
+            if rows.shape[0] < self.min_observations:
+                dropped[template] = "too little history"
+                continue
+            # Chronological split: validate on the most recent instances,
+            # which is how drifting parameters stress extrapolation.
+            n_val = max(1, int(round(self.validation_fraction * rows.shape[0])))
+            train_x, val_x = features[:-n_val], features[-n_val:]
+            train_y, val_y = rows[:-n_val], rows[-n_val:]
+            if train_y.shape[0] < 3:
+                dropped[template] = "too little history"
+                continue
+            candidate = CardinalityMicromodel.fit(template, train_x, train_y)
+            candidate_q = float(np.mean(q_error(val_y, candidate.predict(val_x))))
+            candidate.validation_q_error = candidate_q
+            rep = representatives.get(template)
+            if rep is None:
+                dropped[template] = "no representative expression"
+                continue
+            baseline_q = self._default_q(rep, val_y)
+            default_q[template] = baseline_q
+            model_q[template] = candidate_q
+            if (
+                not self.keep_all
+                and candidate_q > self.improvement_factor * baseline_q
+            ):
+                dropped[template] = (
+                    f"not better than default ({candidate_q:.2f} vs {baseline_q:.2f})"
+                )
+                continue
+            kept[template] = candidate
+        return TrainingReport(
+            kept=kept, dropped=dropped,
+            default_q_error=default_q, model_q_error=model_q,
+        )
+
+    def _default_q(self, representative: Expression, actual: np.ndarray) -> float:
+        estimate = self.default.estimate(representative)
+        return float(np.mean(q_error(actual, np.full(actual.shape, estimate))))
+
+
+class LearnedCardinalityModel:
+    """Micromodels where available, default estimator everywhere else.
+
+    Implements the engine's ``CardinalityModel`` protocol, so it plugs
+    straight into the optimizer — the externalization the paper calls for.
+    """
+
+    def __init__(
+        self,
+        default: CardinalityModel,
+        models: dict[str, CardinalityMicromodel],
+    ) -> None:
+        self.default = default
+        self.models = dict(models)
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def from_report(
+        cls, default: CardinalityModel, report: TrainingReport
+    ) -> "LearnedCardinalityModel":
+        return cls(default, report.kept)
+
+    def estimate(self, expr: Expression) -> float:
+        template = template_signature(expr)
+        model = self.models.get(template)
+        if model is None:
+            self.misses += 1
+            return self.default.estimate(expr)
+        self.hits += 1
+        params = parameter_vector(expr)
+        if params.size == 0:
+            params = np.ones(1)
+        return float(model.predict(params.reshape(1, -1))[0])
+
+    @property
+    def coverage(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,332 @@
+"""Stage predictors and checkpoint-cut selection.
+
+The optimizer never sees ground truth: it works from a stage graph sized
+by the engine's *estimated* statistics, corrected by learned per-operator
+models trained on past runs (the Phoebe predictors).  Selection is a
+budgeted greedy maximization of expected restart savings — the classic
+>= (1 - 1/e) approximation for this submodular objective, which is what
+the paper's LP rounds to in practice.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.stages import Stage, StageGraph
+from repro.ml import RidgeRegression
+
+
+def _stage_features(stage: Stage) -> np.ndarray:
+    # The analytical estimate is itself a feature: the models learn a
+    # correction on top of it rather than the duration from scratch,
+    # which keeps them at least as good as the estimate they refine.
+    return np.array(
+        [
+            np.log1p(stage.duration()),
+            np.log1p(stage.work),
+            np.log1p(stage.output_rows),
+            np.log1p(stage.output_bytes),
+            float(stage.n_tasks),
+        ]
+    )
+
+
+class StagePredictor:
+    """Per-operator ridge models: estimated stage -> actual duration/bytes.
+
+    "we trained models to estimate the execution time, output size, and
+    start/end time of each stage" — start/end times follow from per-stage
+    durations plus DAG dependencies, which :class:`CheckpointOptimizer`
+    recomputes by scheduling.
+    """
+
+    def __init__(self, min_observations: int = 5) -> None:
+        if min_observations < 3:
+            raise ValueError("min_observations must be >= 3")
+        self.min_observations = min_observations
+        self._duration_models: dict[str, RidgeRegression] = {}
+        self._bytes_models: dict[str, RidgeRegression] = {}
+        self._trained = False
+
+    def fit(
+        self,
+        observations: list[tuple[Stage, float, float]],
+    ) -> "StagePredictor":
+        """``observations``: (estimated stage, actual seconds, actual bytes)."""
+        if not observations:
+            raise ValueError("no observations")
+        by_operator: dict[str, list[tuple[Stage, float, float]]] = defaultdict(list)
+        for stage, seconds, nbytes in observations:
+            if seconds <= 0 or nbytes < 0:
+                raise ValueError("invalid observation values")
+            by_operator[stage.operator].append((stage, seconds, nbytes))
+        for operator, group in by_operator.items():
+            if len(group) < self.min_observations:
+                continue
+            x = np.vstack([_stage_features(s) for s, _, _ in group])
+            dur = np.log1p(np.array([d for _, d, _ in group]))
+            byt = np.log1p(np.array([b for _, _, b in group]))
+            self._duration_models[operator] = RidgeRegression(alpha=1e-2).fit(x, dur)
+            self._bytes_models[operator] = RidgeRegression(alpha=1e-2).fit(x, byt)
+        self._trained = True
+        return self
+
+    def predict_duration(self, stage: Stage) -> float:
+        model = self._duration_models.get(stage.operator)
+        if model is None:
+            return stage.duration()  # fall back to the analytical estimate
+        x = _stage_features(stage).reshape(1, -1)
+        return float(max(0.01, np.expm1(np.clip(model.predict(x)[0], 0, 30))))
+
+    def predict_bytes(self, stage: Stage) -> float:
+        model = self._bytes_models.get(stage.operator)
+        if model is None:
+            return stage.output_bytes
+        x = _stage_features(stage).reshape(1, -1)
+        return float(max(0.0, np.expm1(np.clip(model.predict(x)[0], 0, 60))))
+
+    @property
+    def operators_covered(self) -> set[str]:
+        return set(self._duration_models)
+
+
+@dataclass
+class CheckpointPlan:
+    """Selected cut plus the predictions it was based on."""
+
+    checkpoints: frozenset[int]
+    predicted_restart_seconds: float
+    predicted_baseline_restart_seconds: float
+    checkpointed_bytes: float
+
+    @property
+    def predicted_restart_saving(self) -> float:
+        base = self.predicted_baseline_restart_seconds
+        if base <= 0:
+            return 0.0
+        return 1.0 - self.predicted_restart_seconds / base
+
+
+class CheckpointOptimizer:
+    """Budgeted greedy selection of checkpoint stages."""
+
+    def __init__(
+        self,
+        predictor: StagePredictor | None = None,
+        budget_bytes: float = float("inf"),
+        budget_fraction: float | None = 0.5,
+        failure_grid: int = 8,
+    ) -> None:
+        if failure_grid < 1:
+            raise ValueError("failure_grid must be >= 1")
+        if budget_fraction is not None and not 0.0 < budget_fraction <= 1.0:
+            raise ValueError("budget_fraction must be in (0, 1]")
+        self.predictor = predictor
+        self.budget_bytes = budget_bytes
+        self.budget_fraction = budget_fraction
+        self.failure_grid = failure_grid
+
+    # -- selection --------------------------------------------------------------
+    def select(self, graph: StageGraph) -> CheckpointPlan:
+        """Choose the cut for ``graph`` (sized by *estimated* statistics).
+
+        Two greedy phases mirror Phoebe's twin objectives:
+
+        1. *Restart protection* — stages maximizing expected restart
+           saving per checkpointed byte.
+        2. *Hotspot relief* — leftover budget goes to the outputs that
+           would otherwise sit longest in local temp storage (big early
+           outputs of long jobs), freeing hotspot machines.
+        """
+        durations = np.array(
+            [self._duration(s) for s in graph.stages]
+        )
+        nbytes = np.array([self._bytes(s) for s in graph.stages])
+        budget = self.budget_bytes
+        if self.budget_fraction is not None:
+            budget = min(budget, self.budget_fraction * float(nbytes[:-1].sum()))
+
+        chosen, current, baseline, spent = self._restart_phase(
+            graph, durations, nbytes, budget
+        )
+        spent = self._temp_relief_phase(
+            graph, durations, nbytes, budget, chosen, spent
+        )
+        return CheckpointPlan(
+            checkpoints=frozenset(chosen),
+            predicted_restart_seconds=current,
+            predicted_baseline_restart_seconds=baseline,
+            checkpointed_bytes=spent,
+        )
+
+    def _restart_phase(
+        self,
+        graph: StageGraph,
+        durations: np.ndarray,
+        nbytes: np.ndarray,
+        budget: float,
+    ) -> tuple[set[int], float, float, float]:
+        """Accelerated (lazy) greedy on restart-saving per byte.
+
+        Expected restart is a monotone non-increasing set function of the
+        checkpoint set, so stale upper bounds from earlier rounds remain
+        valid: re-evaluate only the heap's current best (classic lazy
+        greedy), which cuts evaluations from O(n^2) to nearly O(n).
+        """
+        import heapq
+
+        chosen: set[int] = set()
+        spent = 0.0
+        schedule = self._schedule(graph, durations)
+        baseline = self._expected_restart(
+            graph, durations, frozenset(), schedule
+        )
+        current = baseline
+        heap: list[tuple[float, int, int]] = []  # (-gain/byte, stage, round)
+        restart_cache: dict[int, float] = {}
+        for stage_id in range(len(graph) - 1):  # never checkpoint the sink
+            restart = self._expected_restart(
+                graph, durations, frozenset({stage_id}), schedule
+            )
+            gain = (current - restart) / max(nbytes[stage_id], 1.0)
+            if gain > 0:
+                heapq.heappush(heap, (-gain, stage_id, 0))
+                restart_cache[stage_id] = restart
+        round_no = 0
+        while heap:
+            neg_gain, stage_id, evaluated_round = heapq.heappop(heap)
+            if spent + nbytes[stage_id] > budget:
+                continue
+            if evaluated_round != round_no:
+                restart = self._expected_restart(
+                    graph, durations, frozenset(chosen | {stage_id}), schedule
+                )
+                gain = (current - restart) / max(nbytes[stage_id], 1.0)
+                if gain <= 0:
+                    continue
+                restart_cache[stage_id] = restart
+                heapq.heappush(heap, (-gain, stage_id, round_no))
+                continue
+            if -neg_gain <= 0:
+                break
+            chosen.add(stage_id)
+            spent += nbytes[stage_id]
+            current = restart_cache[stage_id]
+            round_no += 1
+        return chosen, current, baseline, spent
+
+    def _temp_relief_phase(
+        self,
+        graph: StageGraph,
+        durations: np.ndarray,
+        nbytes: np.ndarray,
+        budget: float,
+        chosen: set[int],
+        spent: float,
+    ) -> float:
+        """Spend leftover budget on long-resident outputs (hotspot relief).
+
+        An un-checkpointed output sits in local temp from its stage's end
+        until the job ends; checkpointing releases it after the durable
+        write.  Greedy by predicted byte-seconds freed, respecting the
+        byte budget.
+        """
+        finish = self._schedule(graph, durations)
+        job_end = float(finish[graph.sink.stage_id])
+        from repro.engine.executor import CHECKPOINT_WRITE_RATE
+
+        scored = []
+        for stage in graph.stages[:-1]:
+            sid = stage.stage_id
+            if sid in chosen:
+                continue
+            write_time = nbytes[sid] / (CHECKPOINT_WRITE_RATE * stage.n_tasks)
+            resident_saved = job_end - finish[sid] - write_time
+            if resident_saved <= 0:
+                continue
+            scored.append((nbytes[sid] * resident_saved, sid))
+        for _, sid in sorted(scored, reverse=True):
+            if spent + nbytes[sid] > budget:
+                continue
+            chosen.add(sid)
+            spent += nbytes[sid]
+        return spent
+
+    # -- prediction helpers --------------------------------------------------------------
+    def _duration(self, stage: Stage) -> float:
+        if self.predictor is None:
+            return stage.duration()
+        return self.predictor.predict_duration(stage)
+
+    def _bytes(self, stage: Stage) -> float:
+        if self.predictor is None:
+            return stage.output_bytes
+        return self.predictor.predict_bytes(stage)
+
+    # -- predicted schedule & restart --------------------------------------------------------------
+    def _schedule(
+        self, graph: StageGraph, durations: np.ndarray
+    ) -> np.ndarray:
+        finish = np.zeros(len(graph))
+        for stage in graph.topological_order():
+            ready = max(
+                (finish[d] for d in stage.depends_on), default=0.0
+            )
+            finish[stage.stage_id] = ready + durations[stage.stage_id]
+        return finish
+
+    def _expected_restart(
+        self,
+        graph: StageGraph,
+        durations: np.ndarray,
+        checkpoints: frozenset[int],
+        finish: np.ndarray | None = None,
+    ) -> float:
+        """Mean predicted restart time over a uniform failure-time grid."""
+        if finish is None:
+            finish = self._schedule(graph, durations)
+        total = float(finish[graph.sink.stage_id])
+        grid = np.linspace(
+            total / (self.failure_grid + 1),
+            total * self.failure_grid / (self.failure_grid + 1),
+            self.failure_grid,
+        )
+        restarts = [
+            self._restart_at(graph, durations, finish, checkpoints, t)
+            for t in grid
+        ]
+        return float(np.mean(restarts))
+
+    def _restart_at(
+        self,
+        graph: StageGraph,
+        durations: np.ndarray,
+        finish: np.ndarray,
+        checkpoints: frozenset[int],
+        failure_time: float,
+    ) -> float:
+        finished = {
+            s.stage_id for s in graph.stages if finish[s.stage_id] <= failure_time
+        }
+        available = finished & checkpoints
+        rerun: set[int] = set()
+        stack = [graph.sink.stage_id]
+        while stack:
+            stage_id = stack.pop()
+            if stage_id in available or stage_id in rerun:
+                continue
+            rerun.add(stage_id)
+            stack.extend(graph.stages[stage_id].depends_on)
+        new_finish: dict[int, float] = {}
+        for stage in graph.topological_order():
+            if stage.stage_id not in rerun:
+                new_finish[stage.stage_id] = 0.0
+                continue
+            ready = max(
+                (new_finish[d] for d in stage.depends_on), default=0.0
+            )
+            new_finish[stage.stage_id] = ready + durations[stage.stage_id]
+        return new_finish[graph.sink.stage_id]

@@ -1,0 +1,125 @@
+"""Contained-subexpression reuse: beyond syntactic signatures.
+
+"We have worked on improvements of CloudViews on several fronts,
+including extending the reuse from the syntactically equivalent
+subexpressions detected by the signatures to semantically equivalent and
+contained subexpressions ... as well as enabling a query to partially
+take advantage of a view with the remaining results computed on the base
+tables."  (Section 4.2, Computation Reuse)
+
+Syntactic reuse requires strictly identical subtrees.  Containment
+relaxes that for the dominant recurring pattern — same template, drifted
+``<=`` literals: a view materialized at the *weakest* bound contains
+every stricter instance, which is served by scanning the view through a
+compensating filter.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.engine import Expression, Filter, Predicate, Scan
+from repro.engine.expr import replace_subexpression
+from repro.engine.signatures import (
+    enumerate_signatures,
+    signature,
+    template_signature,
+)
+
+
+@dataclass
+class ContainedGroup:
+    """Instances of one template that a single view can contain."""
+
+    template: str
+    instances: list[tuple[str, Expression]]   # (job_id, subexpression)
+    weakest: Expression                       # the containing instance
+
+    @property
+    def n_jobs(self) -> int:
+        return len({job_id for job_id, _ in self.instances})
+
+    @property
+    def view_table(self) -> str:
+        return f"cview_{template_signature(self.weakest)[:12]}"
+
+
+def _single_upper_bound(expr: Expression) -> Predicate | None:
+    """The sole ``<=`` predicate of a Filter-rooted subtree, if that is
+    the only literal-bearing node (the containable pattern)."""
+    filters = [n for n in expr.walk() if isinstance(n, Filter)]
+    if len(filters) != 1:
+        return None
+    predicates = filters[0].predicates
+    if len(predicates) != 1 or predicates[0].op != "<=":
+        return None
+    return predicates[0]
+
+
+def find_contained_groups(
+    jobs: list[tuple[str, Expression]],
+    min_size: int = 2,
+    min_jobs: int = 2,
+) -> list[ContainedGroup]:
+    """Group containable subexpressions by template signature.
+
+    A group qualifies when at least ``min_jobs`` distinct jobs carry an
+    instance; instances must follow the single-upper-bound pattern so a
+    compensating filter is a complete rewrite.  Groups whose instances
+    are all strictly identical are excluded — those are ordinary
+    syntactic candidates, not containment wins.
+    """
+    by_template: dict[str, list[tuple[str, Expression]]] = defaultdict(list)
+    for job_id, plan in jobs:
+        for sig, node in enumerate_signatures(plan, strict=False).items():
+            if node.size < min_size:
+                continue
+            if _single_upper_bound(node) is None:
+                continue
+            by_template[sig].append((job_id, node))
+    groups = []
+    for template, instances in by_template.items():
+        job_ids = {job_id for job_id, _ in instances}
+        if len(job_ids) < min_jobs:
+            continue
+        strict_signatures = {signature(node) for _, node in instances}
+        if len(strict_signatures) < 2:
+            continue  # purely syntactic; the base selector handles it
+        weakest = max(
+            (node for _, node in instances),
+            key=lambda node: _single_upper_bound(node).value,
+        )
+        groups.append(
+            ContainedGroup(
+                template=template,
+                instances=instances,
+                weakest=weakest,
+            )
+        )
+    return groups
+
+
+def rewrite_with_containment(
+    plan: Expression, group: ContainedGroup
+) -> Expression:
+    """Serve every contained instance in ``plan`` from the group's view.
+
+    An instance identical to the view becomes a bare view scan; a
+    stricter instance becomes a compensating filter over the view scan
+    (the "partial use" rewrite).  Returns the plan unchanged when it
+    carries no instance of the group.
+    """
+    view_bound = _single_upper_bound(group.weakest)
+    out = plan
+    for node in set(plan.walk()):
+        if template_signature(node) != group.template:
+            continue
+        bound = _single_upper_bound(node)
+        if bound is None or bound.value > view_bound.value:
+            continue  # not contained: would need base-table residuals
+        replacement: Expression = Scan(group.view_table)
+        if bound.value < view_bound.value:
+            replacement = Filter(replacement, (Predicate(bound.column, "<=", bound.value),))
+        out = replace_subexpression(out, node, replacement)
+    return out

@@ -1,0 +1,350 @@
+"""View selection, view matching, and the reuse accounting.
+
+The day's flow mirrors production CloudViews:
+
+1. **Detection** — enumerate strict signatures of every non-trivial
+   subexpression across the day's jobs; signatures appearing in more than
+   one job are reuse candidates.
+2. **Selection** — greedy utility-per-byte selection under an optional
+   materialization budget.  Utility is estimated (the selector has no
+   ground truth): cost of the subexpression times the *extra* occurrences
+   it saves, minus the one-time write cost.
+3. **Matching & rewriting** — jobs after the first occurrence have the
+   candidate subtree replaced by a scan of the materialized view; the
+   first occurrence pays the write.
+
+``run_day`` evaluates the whole pipeline against the true cost model and
+reports the accumulated-latency and total-processing improvements the
+paper quotes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine import (
+    Catalog,
+    ColumnStats,
+    DefaultCostModel,
+    Expression,
+    Scan,
+    TableDef,
+)
+from repro.core.cloudviews.containment import (
+    ContainedGroup,
+    find_contained_groups,
+    rewrite_with_containment,
+)
+from repro.engine.expr import replace_subexpression, rewrite_bottom_up
+from repro.engine.signatures import enumerate_signatures, signature as strict_signature
+
+
+class _ViewAwareTruth:
+    """Ground truth that sees through materialized views.
+
+    A view scan produces *exactly* the rows of the subexpression it
+    materialized, so the true cardinality of any rewritten plan must
+    equal the true cardinality of the original plan.  This wrapper
+    restores view scans to their defining expressions before consulting
+    the underlying truth model.
+    """
+
+    def __init__(self, truth, definitions: dict[str, Expression]) -> None:
+        self._truth = truth
+        self._definitions = definitions
+
+    def _restore(self, expr: Expression) -> Expression:
+        def swap(node: Expression) -> Expression:
+            if isinstance(node, Scan) and node.table in self._definitions:
+                return self._definitions[node.table]
+            return node
+
+        return rewrite_bottom_up(expr, swap)
+
+    def estimate(self, expr: Expression) -> float:
+        return self._truth.estimate(self._restore(expr))
+
+#: Cost units charged per byte written when materializing a view.
+WRITE_COST_PER_BYTE = 0.002
+
+
+@dataclass
+class ViewCandidate:
+    """A shared subexpression considered for materialization.
+
+    ``group`` is set for containment candidates: the expression is then
+    the *weakest* instance of a drifted-bound family, and matching uses
+    compensating filters instead of exact subtree equality.
+    """
+
+    signature: str
+    expression: Expression
+    job_ids: list[str]
+    estimated_cost: float
+    estimated_bytes: float
+    group: "ContainedGroup | None" = None
+
+    @property
+    def occurrences(self) -> int:
+        return len(self.job_ids)
+
+    @property
+    def utility(self) -> float:
+        """Estimated net saving: reuse benefit minus materialization cost."""
+        saved = self.estimated_cost * (self.occurrences - 1)
+        return saved - WRITE_COST_PER_BYTE * self.estimated_bytes
+
+    @property
+    def view_table(self) -> str:
+        if self.group is not None:
+            return self.group.view_table
+        return f"view_{self.signature[:12]}"
+
+
+@dataclass
+class ReuseReport:
+    """Day-level accounting, with and without reuse (E9's bench data)."""
+
+    n_jobs: int
+    n_views: int
+    baseline_latency: float       # sum of per-job true costs, no reuse
+    reuse_latency: float          # with reuse (incl. materialization writes)
+    baseline_processing: float    # total work: identical to latency here
+    reuse_processing: float
+    views: list[ViewCandidate] = field(default_factory=list)
+
+    @property
+    def latency_improvement(self) -> float:
+        if self.baseline_latency <= 0:
+            return 0.0
+        return 1.0 - self.reuse_latency / self.baseline_latency
+
+    @property
+    def processing_reduction(self) -> float:
+        if self.baseline_processing <= 0:
+            return 0.0
+        return 1.0 - self.reuse_processing / self.baseline_processing
+
+
+class CloudViews:
+    """One instance per day: select, materialize, rewrite, account."""
+
+    #: Generic statistics for materialized view tables.
+    _VIEW_COLUMNS = (
+        ColumnStats("key", distinct=5_000),
+        ColumnStats("a0", distinct=200, low=0, high=1000),
+        ColumnStats("a1", distinct=50, low=0, high=100),
+    )
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        estimated_cost_model: DefaultCostModel,
+        min_occurrences: int = 2,
+        min_size: int = 2,
+        budget_bytes: float = float("inf"),
+        max_views: int = 50,
+    ) -> None:
+        if min_occurrences < 2:
+            raise ValueError("min_occurrences must be >= 2")
+        if min_size < 2:
+            raise ValueError("min_size must be >= 2 (scans share trivially)")
+        if max_views < 1:
+            raise ValueError("max_views must be >= 1")
+        self.catalog = catalog
+        self.est = estimated_cost_model
+        self.min_occurrences = min_occurrences
+        self.min_size = min_size
+        self.budget_bytes = budget_bytes
+        self.max_views = max_views
+
+    # -- detection & selection -------------------------------------------------
+    def candidates(
+        self, jobs: list[tuple[str, Expression]]
+    ) -> list[ViewCandidate]:
+        """Signatures shared by >= min_occurrences distinct jobs."""
+        owners: dict[str, ViewCandidate] = {}
+        for job_id, plan in jobs:
+            for sig, node in enumerate_signatures(plan, strict=True).items():
+                if node.size < self.min_size:
+                    continue
+                existing = owners.get(sig)
+                if existing is None:
+                    owners[sig] = ViewCandidate(
+                        signature=sig,
+                        expression=node,
+                        job_ids=[job_id],
+                        estimated_cost=self.est.cost(node).total,
+                        estimated_bytes=self.est.output_bytes(node),
+                    )
+                elif job_id not in existing.job_ids:
+                    existing.job_ids.append(job_id)
+        return [
+            c
+            for c in owners.values()
+            if c.occurrences >= self.min_occurrences and c.utility > 0
+        ]
+
+    def select(self, jobs: list[tuple[str, Expression]]) -> list[ViewCandidate]:
+        """Greedy utility-per-byte selection under the byte budget.
+
+        Nested candidates are pruned: once a candidate is selected, any
+        candidate fully contained in it is dropped (its occurrences would
+        disappear after rewriting).
+        """
+        pool = sorted(
+            self.candidates(jobs),
+            key=lambda c: -c.utility / max(c.estimated_bytes, 1.0),
+        )
+        selected: list[ViewCandidate] = []
+        spent = 0.0
+        for candidate in pool:
+            if len(selected) >= self.max_views:
+                break
+            if spent + candidate.estimated_bytes > self.budget_bytes:
+                continue
+            contained = any(
+                self._contains(chosen.expression, candidate.expression)
+                for chosen in selected
+            )
+            if contained:
+                continue
+            selected.append(candidate)
+            spent += candidate.estimated_bytes
+        return selected
+
+    @staticmethod
+    def _contains(outer: Expression, inner: Expression) -> bool:
+        return any(node == inner for node in outer.walk())
+
+    # -- containment extension ---------------------------------------------------
+    def _add_containment_candidates(
+        self,
+        jobs: list[tuple[str, Expression]],
+        selected: list[ViewCandidate],
+    ) -> list[ViewCandidate]:
+        """Widen the selection with drifted-bound (contained) families."""
+        covered = {strict_signature(c.expression) for c in selected}
+        out = list(selected)
+        groups = find_contained_groups(
+            jobs, min_size=self.min_size, min_jobs=self.min_occurrences
+        )
+        for group in groups:
+            if strict_signature(group.weakest) in covered:
+                continue
+            candidate = ViewCandidate(
+                signature=strict_signature(group.weakest),
+                expression=group.weakest,
+                job_ids=sorted({job_id for job_id, _ in group.instances}),
+                estimated_cost=self.est.cost(group.weakest).total,
+                estimated_bytes=self.est.output_bytes(group.weakest),
+                group=group,
+            )
+            if candidate.utility > 0:
+                out.append(candidate)
+        return out
+
+    def _matches(self, plan: Expression, candidate: ViewCandidate) -> bool:
+        """Does ``plan`` carry (an instance of) the candidate?"""
+        if candidate.group is None:
+            return self._contains(plan, candidate.expression)
+        rewritten = rewrite_with_containment(plan, candidate.group)
+        return rewritten != plan
+
+    def _apply(self, plan: Expression, candidate: ViewCandidate) -> Expression:
+        if candidate.group is None:
+            return self.rewrite(plan, [candidate])
+        return rewrite_with_containment(plan, candidate.group)
+
+    # -- rewriting ---------------------------------------------------------------
+    def rewrite(
+        self, plan: Expression, selected: list[ViewCandidate]
+    ) -> Expression:
+        """Replace matched subtrees by view scans, largest views first."""
+        for candidate in sorted(selected, key=lambda c: -c.expression.size):
+            plan = replace_subexpression(
+                plan, candidate.expression, Scan(candidate.view_table)
+            )
+        return plan
+
+    # -- end-to-end day evaluation ---------------------------------------------------
+    def run_day(
+        self,
+        jobs: list[tuple[str, Expression]],
+        true_cardinality,
+        containment: bool = False,
+    ) -> ReuseReport:
+        """Account one day's costs with and without reuse.
+
+        ``true_cardinality`` is the ground-truth model used to (a) size
+        the materialized views realistically and (b) cost every executed
+        plan.  Jobs must be given in submit order: the first job
+        containing a view pays the materialization write.
+
+        With ``containment`` the candidate pool is widened by contained
+        subexpressions (same template, drifted ``<=`` bounds): each group
+        adds a pseudo-candidate whose expression is the weakest instance
+        and whose occurrences count every contained job.  Stricter
+        instances are rewritten to compensating filters over the view by
+        normalizing them to the weakest bound first.
+        """
+        selected = self.select(jobs)
+        if containment:
+            selected = self._add_containment_candidates(jobs, selected)
+        truth = DefaultCostModel(self.catalog, true_cardinality)
+        baseline = sum(truth.cost(plan).total for _, plan in jobs)
+
+        # Register view tables (sized by ground truth) in a day catalog.
+        day_catalog = self.catalog.clone()
+        definitions: dict[str, Expression] = {}
+        for candidate in selected:
+            rows = max(1.0, true_cardinality.estimate(candidate.expression))
+            true_bytes = truth.output_bytes(candidate.expression)
+            day_catalog.add(
+                TableDef(
+                    name=candidate.view_table,
+                    n_rows=int(rows),
+                    columns=self._VIEW_COLUMNS,
+                    row_bytes=max(1, int(true_bytes / rows)),
+                )
+            )
+            definitions[candidate.view_table] = candidate.expression
+        day_truth = _ViewAwareTruth(true_cardinality, definitions)
+        day_cost = DefaultCostModel(day_catalog, day_truth)
+
+        materialized: set[str] = set()
+        reuse_total = 0.0
+        for job_id, plan in jobs:
+            pending = [
+                c
+                for c in selected
+                if c.signature not in materialized
+                and self._matches(plan, c)
+            ]
+            # First occurrence: run as-is, pay the write for each view.
+            ready = [
+                c
+                for c in selected
+                if c.signature in materialized
+            ]
+            rewritten = plan
+            for candidate in sorted(
+                ready, key=lambda c: -c.expression.size
+            ):
+                rewritten = self._apply(rewritten, candidate)
+            cost = day_cost.cost(rewritten).total
+            for candidate in pending:
+                cost += WRITE_COST_PER_BYTE * day_cost.output_bytes(
+                    candidate.expression
+                )
+                materialized.add(candidate.signature)
+            reuse_total += cost
+        return ReuseReport(
+            n_jobs=len(jobs),
+            n_views=len(selected),
+            baseline_latency=baseline,
+            reuse_latency=reuse_total,
+            baseline_processing=baseline,
+            reuse_processing=reuse_total,
+            views=selected,
+        )

@@ -1,0 +1,14 @@
+"""Learned cost models with a meta ensemble [46].
+
+"We adopt the same micromodel approach for learned cost models and
+introduce a meta ensemble model that corrects and combines predictions
+from individual models to increase coverage."
+"""
+
+from repro.core.costmodel.learned import (
+    CostObservation,
+    LearnedCostModel,
+    job_cost_features,
+)
+
+__all__ = ["CostObservation", "LearnedCostModel", "job_cost_features"]

@@ -1,0 +1,16 @@
+"""Doppler: SKU recommendation for cloud migration [6].
+
+"we proposed a profiling model that compares new customers to existing
+segments of Azure customers ... We achieved a recommendation accuracy of
+over 95% by combining the segment-wise knowledge with a per-customer
+price-performance curve that offers a customized rank of all SKU
+options."
+"""
+
+from repro.core.doppler.recommender import (
+    Recommendation,
+    SkuRecommender,
+    recommendation_accuracy,
+)
+
+__all__ = ["SkuRecommender", "Recommendation", "recommendation_accuracy"]

@@ -1,0 +1,174 @@
+"""Segment-aware SKU recommendation with a price-performance ranking.
+
+The pipeline mirrors Doppler:
+
+1. **Segmentation** — k-means over observable customer profiles groups
+   similar workloads (Insight 2's stratification middle ground).
+2. **Segment knowledge** — from labelled historical migrations, each
+   segment learns its typical *right-sizing factor* (how much of the
+   on-prem peak the cloud deployment really needs).
+3. **Price-performance curve** — for a new customer, SKUs are ranked by
+   price among those predicted to cover the right-sized requirements;
+   the cheapest covering SKU is the recommendation, and the full ranked
+   curve is exposed for explainability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml import KMeans, StandardScaler
+from repro.workloads.customers import (
+    AZURE_SKUS,
+    CustomerProfile,
+    Sku,
+    ground_truth_sku,
+)
+
+
+@dataclass
+class Recommendation:
+    """The recommendation plus the explainable ranking behind it."""
+
+    customer_id: str
+    sku: Sku
+    segment: int
+    ranked_options: list[tuple[Sku, bool]]  # (sku, predicted_to_cover), by price
+
+    @property
+    def price(self) -> float:
+        return self.sku.price
+
+
+class SkuRecommender:
+    """Fit on labelled migrations; recommend for unseen customers."""
+
+    def __init__(
+        self,
+        skus: tuple[Sku, ...] = AZURE_SKUS,
+        n_segments: int = 5,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if n_segments < 1:
+            raise ValueError("n_segments must be >= 1")
+        self.skus = skus
+        self.n_segments = n_segments
+        self._rng = np.random.default_rng(rng)
+        self._scaler = StandardScaler()
+        self._kmeans: KMeans | None = None
+        self._segment_factor: dict[int, dict[str, float]] | None = None
+        self._global_factor: dict[str, float] = {
+            "vcores": 1.0, "memory": 1.0, "iops": 1.0,
+        }
+
+    # -- training --------------------------------------------------------------
+    def fit(
+        self,
+        customers: list[CustomerProfile],
+        observed_needs: list[tuple[float, float, float]] | None = None,
+    ) -> "SkuRecommender":
+        """Fit segments and per-segment right-sizing factors.
+
+        ``observed_needs`` are per-customer (vcores, memory, iops) actually
+        consumed after migration — the post-migration telemetry Doppler
+        learns from existing Azure customers.  By default the generator's
+        ground-truth effective requirements play that role.
+        """
+        if len(customers) < self.n_segments:
+            raise ValueError("need at least one customer per segment")
+        if observed_needs is None:
+            observed_needs = [c.effective_requirements() for c in customers]
+        if len(observed_needs) != len(customers):
+            raise ValueError("observed_needs must match customers")
+        features = np.vstack([c.feature_vector() for c in customers])
+        scaled = self._scaler.fit_transform(features)
+        self._kmeans = KMeans(n_clusters=self.n_segments, rng=self._rng)
+        labels = self._kmeans.fit_predict(scaled)
+        # Per-segment, per-dimension right-sizing factors: the share of
+        # the on-prem peak that migrated deployments actually consume.
+        dims = ("vcores", "memory", "iops")
+        factors: dict[int, dict[str, list[float]]] = {
+            s: {d: [] for d in dims} for s in range(self.n_segments)
+        }
+        for customer, need, segment in zip(customers, observed_needs, labels):
+            seg = factors[int(segment)]
+            need_vcores, need_memory, need_iops = need
+            if customer.peak_vcores > 0:
+                seg["vcores"].append(need_vcores / customer.peak_vcores)
+            if customer.peak_memory_gb > 0:
+                seg["memory"].append(need_memory / customer.peak_memory_gb)
+            if customer.peak_iops > 0:
+                seg["iops"].append(need_iops / customer.peak_iops)
+        pooled = {
+            d: [f for s in factors.values() for f in s[d]] for d in dims
+        }
+        self._global_factor = {
+            d: float(np.median(v)) if v else 1.0 for d, v in pooled.items()
+        }
+        self._segment_factor = {}
+        for segment, seg in factors.items():
+            self._segment_factor[segment] = {
+                d: float(np.median(v)) if v else self._global_factor[d]
+                for d, v in seg.items()
+            }
+        return self
+
+    # -- recommendation --------------------------------------------------------------
+    def segment_of(self, customer: CustomerProfile) -> int:
+        if self._kmeans is None:
+            raise RuntimeError("recommender is not fitted")
+        scaled = self._scaler.transform(
+            customer.feature_vector().reshape(1, -1)
+        )
+        return int(self._kmeans.predict(scaled)[0])
+
+    def recommend(self, customer: CustomerProfile) -> Recommendation:
+        """Cheapest SKU predicted to cover the right-sized requirements."""
+        if self._segment_factor is None:
+            raise RuntimeError("recommender is not fitted")
+        segment = self.segment_of(customer)
+        factor = self._segment_factor.get(segment, self._global_factor)
+        need_vcores = customer.peak_vcores * factor["vcores"]
+        need_memory = customer.peak_memory_gb * factor["memory"]
+        need_iops = customer.peak_iops * factor["iops"]
+        ranked = sorted(self.skus, key=lambda s: s.price)
+        options = [
+            (sku, sku.covers(need_vcores, need_memory, need_iops))
+            for sku in ranked
+        ]
+        covering = [sku for sku, covers in options if covers]
+        chosen = covering[0] if covering else ranked[-1]
+        return Recommendation(
+            customer_id=customer.customer_id,
+            sku=chosen,
+            segment=segment,
+            ranked_options=options,
+        )
+
+
+def recommendation_accuracy(
+    recommender: SkuRecommender,
+    customers: list[CustomerProfile],
+    within_one_tier: bool = True,
+) -> float:
+    """Fraction of customers recommended their ground-truth SKU.
+
+    With ``within_one_tier`` (Doppler's evaluation convention), an
+    adjacent SKU on the price ladder also counts: right-sizing within
+    one tier is considered acceptable by migration engineers.
+    """
+    if not customers:
+        raise ValueError("no customers")
+    ladder = sorted(recommender.skus, key=lambda s: s.price)
+    index = {sku.name: i for i, sku in enumerate(ladder)}
+    hits = 0
+    for customer in customers:
+        truth = ground_truth_sku(customer, recommender.skus)
+        chosen = recommender.recommend(customer).sku
+        if chosen.name == truth.name:
+            hits += 1
+        elif within_one_tier and abs(index[chosen.name] - index[truth.name]) == 1:
+            hits += 1
+    return hits / len(customers)

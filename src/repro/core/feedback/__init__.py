@@ -1,0 +1,10 @@
+"""The indispensable feedback loop (Insight 3).
+
+"(1) a thorough monitoring system to spot potential changes in
+real-time, continually assess, and initiate fine-tuning of the model,
+and (2) a rollback mechanism that reacts fast and avoids regression."
+"""
+
+from repro.core.feedback.loop import FeedbackLoop, LoopEvent
+
+__all__ = ["FeedbackLoop", "LoopEvent"]

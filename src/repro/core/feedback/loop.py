@@ -1,0 +1,155 @@
+"""Monitoring + retrain + flight + rollback, wired together.
+
+The loop owns one logical model name in a
+:class:`~repro.ml.registry.ModelRegistry` and consumes a stream of
+(features, actual) production observations:
+
+1. every observation is scored against the serving model and the error
+   feeds a drift detector (the *monitoring system*);
+2. detected drift triggers the retrain callback on a recent window and
+   the candidate enters a *flight*;
+3. the flight is evaluated on live traffic and either promoted or
+   aborted;
+4. a promoted model that regresses is *rolled back* with one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.ml import ModelRegistry, PageHinkley
+from repro.ml.drift import DriftDetector
+
+
+@dataclass
+class LoopEvent:
+    """One notable action taken by the loop (for the audit trail)."""
+
+    step: int
+    action: str      # "drift" | "flight" | "promote" | "abort" | "rollback"
+    version: int | None = None
+
+
+class FeedbackLoop:
+    """Drive one model name through monitor -> retrain -> flight -> rollback."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        name: str,
+        retrain: Callable[[np.ndarray, np.ndarray], object],
+        detector: DriftDetector | None = None,
+        window: int = 50,
+        flight_fraction: float = 0.2,
+        flight_min_samples: int = 20,
+        rollback_patience: int = 40,
+        rollback_tolerance: float = 2.5,
+    ) -> None:
+        if window < 5:
+            raise ValueError("window must be >= 5")
+        self.registry = registry
+        self.name = name
+        self.retrain = retrain
+        self.detector = detector or PageHinkley(delta=0.01, threshold=3.0)
+        self.window = window
+        self.flight_fraction = flight_fraction
+        self.flight_min_samples = flight_min_samples
+        self.rollback_patience = rollback_patience
+        self.rollback_tolerance = rollback_tolerance
+        self.events: list[LoopEvent] = []
+        self._recent_x: list[np.ndarray] = []
+        self._recent_y: list[float] = []
+        self._step = 0
+        self._baseline_error: float | None = None
+        self._post_promotion_errors: list[float] = []
+
+    # -- the single entry point -----------------------------------------------
+    def observe(self, features: np.ndarray, actual: float) -> float:
+        """Process one production observation; returns the served prediction."""
+        self._step += 1
+        record = self.registry.serve(self.name)
+        prediction = float(
+            np.asarray(record.model.predict(np.atleast_2d(features))).ravel()[0]
+        )
+        error = abs(prediction - actual)
+        self.registry.record_metric(self.name, record.version, error)
+        self._recent_x.append(np.asarray(features, dtype=float))
+        self._recent_y.append(float(actual))
+        if len(self._recent_x) > self.window:
+            self._recent_x.pop(0)
+            self._recent_y.pop(0)
+
+        self._monitor_production(error)
+        if self.registry.flighting(self.name) is None:
+            if self.detector.update(error):
+                self._trigger_retrain()
+        else:
+            self._evaluate_flight()
+        return prediction
+
+    # -- internals -------------------------------------------------------------
+    def _trigger_retrain(self) -> None:
+        self.events.append(LoopEvent(self._step, "drift"))
+        self.detector.reset()
+        x = np.vstack(self._recent_x)
+        y = np.array(self._recent_y)
+        model = self.retrain(x, y)
+        version = self.registry.register(
+            self.name, model, metadata={"trigger_step": self._step}
+        )
+        self.registry.flight(self.name, version, self.flight_fraction)
+        # Fresh metric slates so the comparison covers the flight period.
+        self.registry.get(self.name, version).metrics.clear()
+        production = self.registry.production(self.name)
+        if production is not None:
+            production.metrics.clear()
+        self.events.append(LoopEvent(self._step, "flight", version))
+
+    def _evaluate_flight(self) -> None:
+        candidate = self.registry.flighting(self.name)
+        outcome = self.registry.evaluate_flight(
+            self.name, min_samples=self.flight_min_samples
+        )
+        if outcome is True:
+            self.events.append(
+                LoopEvent(self._step, "promote", candidate.version)
+            )
+            self._baseline_error = None
+            self._post_promotion_errors = []
+        elif outcome is False:
+            self.events.append(
+                LoopEvent(self._step, "abort", candidate.version)
+            )
+
+    def _monitor_production(self, error: float) -> None:
+        """Rollback watch: sustained error blow-up after a promotion."""
+        promoted = any(e.action == "promote" for e in self.events)
+        if not promoted:
+            return
+        if self._baseline_error is None:
+            self._post_promotion_errors.append(error)
+            if len(self._post_promotion_errors) >= self.rollback_patience:
+                self._baseline_error = float(
+                    np.median(self._post_promotion_errors)
+                )
+                self._post_promotion_errors = []
+            return
+        self._post_promotion_errors.append(error)
+        if len(self._post_promotion_errors) < self.rollback_patience:
+            return
+        recent = float(np.median(self._post_promotion_errors))
+        self._post_promotion_errors = []
+        if recent > self.rollback_tolerance * max(self._baseline_error, 1e-9):
+            try:
+                version = self.registry.rollback(self.name)
+            except RuntimeError:
+                return
+            self.events.append(LoopEvent(self._step, "rollback", version))
+            self._baseline_error = None
+
+    # -- introspection -------------------------------------------------------------
+    def actions(self) -> list[str]:
+        return [e.action for e in self.events]

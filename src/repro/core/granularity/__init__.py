@@ -1,0 +1,22 @@
+"""Model granularity selection: global vs segment vs individual (§4.3).
+
+"We can develop models with different levels of granularity: 1) a global
+model that is broad but may not be precise, 2) a segment model that
+groups similar customers or applications and shares insights within the
+group, and 3) an individual model for each customer or application that
+requires sufficient data observations."  Insight 2: "A happy middle
+ground can be achieved by identifying natural ways to stratify the
+data."
+"""
+
+from repro.core.granularity.selector import (
+    GranularPredictor,
+    GranularityReport,
+    heterogeneous_population,
+)
+
+__all__ = [
+    "GranularPredictor",
+    "GranularityReport",
+    "heterogeneous_population",
+]

@@ -1,0 +1,24 @@
+"""Responsible AI guardrails (Direction 4).
+
+"We introduce guardrails to protect customers from expensive solutions
+and from performance regressions, and we regularly check that our
+ML-driven decisions serve all customers fairly.  We have a
+responsibility to ensure that customers, big or small, do not get
+marginalized from autonomous decisions."
+"""
+
+from repro.core.guardrails.rai import (
+    CostGuardrail,
+    FairnessReport,
+    GuardedDecision,
+    RegressionGuardrail,
+    fairness_report,
+)
+
+__all__ = [
+    "CostGuardrail",
+    "RegressionGuardrail",
+    "GuardedDecision",
+    "FairnessReport",
+    "fairness_report",
+]

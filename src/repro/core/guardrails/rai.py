@@ -1,0 +1,170 @@
+"""Cost caps, regression gates, and per-segment fairness checks.
+
+Three RAI mechanisms from Direction 4, each wrapping an autonomous
+decision rather than replacing it — the decision still comes from the
+service; the guardrail can veto it, with a recorded reason:
+
+- :class:`CostGuardrail` — "protect customers from expensive solutions":
+  an autonomous recommendation may not increase a customer's spend by
+  more than a bounded factor without explicit consent.
+- :class:`RegressionGuardrail` — "and from performance regressions": an
+  autonomous change ships only when its measured/predicted metric does
+  not regress past tolerance; vetoes are audited.
+- :func:`fairness_report` — "serve all customers fairly": per-segment
+  outcome parity; flags segments whose outcomes deviate from the
+  population beyond a disparity bound (the marginalization check).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Hashable
+
+import numpy as np
+
+
+@dataclass
+class GuardedDecision:
+    """The guardrail's verdict on one autonomous decision."""
+
+    approved: bool
+    value: float
+    baseline: float
+    reason: str = ""
+
+
+@dataclass
+class CostGuardrail:
+    """Veto decisions that raise cost beyond ``max_increase_factor``."""
+
+    max_increase_factor: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.max_increase_factor < 1.0:
+            raise ValueError("max_increase_factor must be >= 1.0")
+
+    def review(self, proposed_cost: float, current_cost: float) -> GuardedDecision:
+        if proposed_cost < 0 or current_cost < 0:
+            raise ValueError("costs must be non-negative")
+        limit = self.max_increase_factor * current_cost
+        if current_cost == 0.0:
+            approved = proposed_cost == 0.0
+            reason = "" if approved else "no spend baseline; cannot justify cost"
+        elif proposed_cost <= limit:
+            approved, reason = True, ""
+        else:
+            approved = False
+            reason = (
+                f"proposed cost {proposed_cost:.2f} exceeds "
+                f"{self.max_increase_factor:.1f}x current {current_cost:.2f}"
+            )
+        return GuardedDecision(
+            approved=approved,
+            value=proposed_cost,
+            baseline=current_cost,
+            reason=reason,
+        )
+
+
+@dataclass
+class RegressionGuardrail:
+    """Veto changes whose metric regresses past tolerance; keep an audit log.
+
+    Metrics are error-style (lower is better).  ``tolerance`` is the
+    allowed relative regression — 0.05 lets a change ship with up to a 5%
+    worse metric (e.g. to buy a large cost saving elsewhere).
+    """
+
+    tolerance: float = 0.05
+    audit_log: list[GuardedDecision] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.tolerance < 0:
+            raise ValueError("tolerance must be non-negative")
+
+    def review(self, candidate_metric: float, baseline_metric: float) -> GuardedDecision:
+        limit = baseline_metric * (1.0 + self.tolerance)
+        approved = candidate_metric <= limit
+        decision = GuardedDecision(
+            approved=approved,
+            value=candidate_metric,
+            baseline=baseline_metric,
+            reason=""
+            if approved
+            else (
+                f"candidate metric {candidate_metric:.4f} regresses past "
+                f"{self.tolerance:.0%} of baseline {baseline_metric:.4f}"
+            ),
+        )
+        self.audit_log.append(decision)
+        return decision
+
+    @property
+    def veto_fraction(self) -> float:
+        if not self.audit_log:
+            return 0.0
+        return sum(not d.approved for d in self.audit_log) / len(self.audit_log)
+
+
+@dataclass
+class FairnessReport:
+    """Per-segment outcome parity for one autonomous decision stream."""
+
+    metric_name: str
+    population_mean: float
+    segment_means: dict[Hashable, float]
+    disparity_bound: float
+    flagged_segments: list[Hashable]
+
+    @property
+    def is_fair(self) -> bool:
+        return not self.flagged_segments
+
+    def disparity(self, segment: Hashable) -> float:
+        """Relative deviation of a segment's mean outcome from population."""
+        if self.population_mean == 0:
+            return 0.0
+        return abs(self.segment_means[segment] / self.population_mean - 1.0)
+
+
+def fairness_report(
+    segments: list[Hashable],
+    outcomes: list[float],
+    metric_name: str = "outcome",
+    disparity_bound: float = 0.25,
+    min_segment_size: int = 5,
+) -> FairnessReport:
+    """Check that no segment's mean outcome deviates beyond the bound.
+
+    ``outcomes`` are per-decision quantities where parity matters (e.g.
+    recommendation overspend ratio, cold-start rate).  Segments smaller
+    than ``min_segment_size`` are not flagged (insufficient evidence),
+    but still reported.
+    """
+    if len(segments) != len(outcomes):
+        raise ValueError("segments and outcomes must align")
+    if not outcomes:
+        raise ValueError("no outcomes to audit")
+    if disparity_bound <= 0:
+        raise ValueError("disparity_bound must be positive")
+    grouped: dict[Hashable, list[float]] = defaultdict(list)
+    for segment, outcome in zip(segments, outcomes):
+        grouped[segment].append(float(outcome))
+    population_mean = float(np.mean(outcomes))
+    segment_means = {s: float(np.mean(v)) for s, v in grouped.items()}
+    flagged = []
+    for segment, mean in segment_means.items():
+        if len(grouped[segment]) < min_segment_size:
+            continue
+        if population_mean == 0:
+            continue
+        if abs(mean / population_mean - 1.0) > disparity_bound:
+            flagged.append(segment)
+    return FairnessReport(
+        metric_name=metric_name,
+        population_mean=population_mean,
+        segment_means=segment_means,
+        disparity_bound=disparity_bound,
+        flagged_segments=sorted(flagged, key=repr),
+    )

@@ -1,0 +1,23 @@
+"""Joint optimization across components (Direction 3).
+
+"sequentially optimizing each individual component is unlikely to yield
+optimal overall performance ... Ongoing efforts continue to jointly
+optimize a selection of components and synchronize the deployment of
+changes."
+"""
+
+from repro.core.joint.coordinate import (
+    JointResult,
+    ParameterGrid,
+    joint_optimize,
+    sequential_optimize,
+)
+from repro.core.joint.scenario import checkpoint_wave_objective
+
+__all__ = [
+    "ParameterGrid",
+    "JointResult",
+    "sequential_optimize",
+    "joint_optimize",
+    "checkpoint_wave_objective",
+]

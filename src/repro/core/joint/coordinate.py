@@ -1,0 +1,140 @@
+"""Sequential vs joint (coordinate-descent) optimization over a grid.
+
+The paper's point is organizational as much as algorithmic: each team
+tunes its own knob against the shared objective, in isolation, exactly
+once (*sequential*).  Coordinate descent models the proposed remedy —
+the same per-component tuning, but iterated with synchronized
+deployments until no component wants to move (*joint*).  Both use the
+same objective and the same grids, so any gap is attributable to
+iteration alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+Config = dict[str, float]
+
+
+@dataclass
+class ParameterGrid:
+    """Candidate values per knob; first value is the team's default."""
+
+    grids: dict[str, tuple[float, ...]]
+
+    def __post_init__(self) -> None:
+        if not self.grids:
+            raise ValueError("need at least one parameter")
+        for name, values in self.grids.items():
+            if len(values) < 2:
+                raise ValueError(f"{name}: need at least 2 candidate values")
+
+    def defaults(self) -> Config:
+        return {name: values[0] for name, values in self.grids.items()}
+
+    @property
+    def names(self) -> list[str]:
+        return list(self.grids)
+
+
+@dataclass
+class JointResult:
+    """Outcome of one optimization schedule."""
+
+    config: Config
+    objective: float
+    evaluations: int
+    rounds: int
+    trajectory: list[tuple[Config, float]] = field(default_factory=list)
+
+
+def _optimize_one(
+    objective: Callable[[Config], float],
+    grid: ParameterGrid,
+    config: Config,
+    name: str,
+    cache: dict,
+) -> tuple[Config, float, int]:
+    """Best value for ``name`` with every other knob frozen."""
+    evaluations = 0
+    best_value = config[name]
+    best_score = None
+    for value in grid.grids[name]:
+        candidate = dict(config)
+        candidate[name] = value
+        key = tuple(sorted(candidate.items()))
+        if key not in cache:
+            cache[key] = float(objective(candidate))
+            evaluations += 1
+        score = cache[key]
+        if best_score is None or score < best_score:
+            best_score = score
+            best_value = value
+    out = dict(config)
+    out[name] = best_value
+    return out, best_score, evaluations
+
+
+def sequential_optimize(
+    objective: Callable[[Config], float],
+    grid: ParameterGrid,
+    order: list[str] | None = None,
+) -> JointResult:
+    """One pass: each component optimized once, in team order."""
+    order = order or grid.names
+    if set(order) != set(grid.names):
+        raise ValueError("order must cover exactly the grid parameters")
+    config = grid.defaults()
+    cache: dict = {}
+    evaluations = 0
+    trajectory = []
+    score = float(objective(config))
+    cache[tuple(sorted(config.items()))] = score
+    evaluations += 1
+    for name in order:
+        config, score, used = _optimize_one(objective, grid, config, name, cache)
+        evaluations += used
+        trajectory.append((dict(config), score))
+    return JointResult(
+        config=config,
+        objective=score,
+        evaluations=evaluations,
+        rounds=1,
+        trajectory=trajectory,
+    )
+
+
+def joint_optimize(
+    objective: Callable[[Config], float],
+    grid: ParameterGrid,
+    max_rounds: int = 10,
+) -> JointResult:
+    """Coordinate descent to a fixpoint (or ``max_rounds``)."""
+    if max_rounds < 1:
+        raise ValueError("max_rounds must be >= 1")
+    config = grid.defaults()
+    cache: dict = {}
+    evaluations = 1
+    score = float(objective(config))
+    cache[tuple(sorted(config.items()))] = score
+    trajectory = []
+    rounds = 0
+    for _ in range(max_rounds):
+        rounds += 1
+        before = dict(config)
+        for name in grid.names:
+            config, score, used = _optimize_one(
+                objective, grid, config, name, cache
+            )
+            evaluations += used
+            trajectory.append((dict(config), score))
+        if config == before:
+            break
+    return JointResult(
+        config=config,
+        objective=score,
+        evaluations=evaluations,
+        rounds=rounds,
+        trajectory=trajectory,
+    )

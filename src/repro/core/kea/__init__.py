@@ -1,0 +1,28 @@
+"""KEA: machine-behaviour models and workload balancing [53].
+
+"we employed multiple linear models to predict machine behavior, such as
+CPU utilization versus task execution time or the number of running
+containers (see Figure 1).  These models were then integrated into an
+optimizer to balance workloads by tuning Cosmos scheduler
+configurations, such as the maximum running containers for each SKU."
+"""
+
+from repro.core.kea.models import BehaviorModel, MachineBehaviorModels
+from repro.core.kea.balancer import BalanceResult, WorkloadBalancer
+from repro.core.kea.power import (
+    DEFAULT_POWER_PROFILES,
+    PowerProfile,
+    RackPowerCapper,
+    observe_power,
+)
+
+__all__ = [
+    "BehaviorModel",
+    "MachineBehaviorModels",
+    "WorkloadBalancer",
+    "BalanceResult",
+    "PowerProfile",
+    "DEFAULT_POWER_PROFILES",
+    "RackPowerCapper",
+    "observe_power",
+]

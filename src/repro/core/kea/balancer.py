@@ -1,0 +1,90 @@
+"""The workload balancer: tune per-SKU container caps to equalize CPU.
+
+Given the fitted behaviour models, choose each SKU's ``max_containers``
+so that a fully loaded fleet lands at a common target CPU utilization.
+The static baseline — one cap for every hardware generation — overloads
+the weak SKUs and strands the strong ones; the model-derived caps remove
+that imbalance (experiment E3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.kea.models import MachineBehaviorModels
+from repro.infra.scheduler import ContainerScheduler, SkuFleetConfig
+from repro.workloads.machines import MachineSku
+
+
+@dataclass
+class BalanceResult:
+    """Recommended caps plus the model's predicted outcome."""
+
+    caps: dict[str, int]
+    target_cpu: float
+    predicted_cpu: dict[str, float]
+
+
+class WorkloadBalancer:
+    """Derive per-SKU caps from behaviour models."""
+
+    def __init__(self, models: MachineBehaviorModels) -> None:
+        self.models = models
+
+    def recommend_caps(self, target_cpu: float = 75.0) -> BalanceResult:
+        """Caps such that a full machine of each SKU sits at ``target_cpu``."""
+        if not 0.0 < target_cpu <= 100.0:
+            raise ValueError("target_cpu must be in (0, 100]")
+        caps: dict[str, int] = {}
+        predicted: dict[str, float] = {}
+        for sku in self.models.skus():
+            cap = int(round(self.models.containers_for_cpu(sku, target_cpu)))
+            cap = max(1, cap)
+            caps[sku] = cap
+            predicted[sku] = self.models.predict_cpu(sku, cap)
+        return BalanceResult(
+            caps=caps, target_cpu=target_cpu, predicted_cpu=predicted
+        )
+
+    def build_fleet(
+        self,
+        skus: dict[str, MachineSku],
+        n_machines_per_sku: int,
+        result: BalanceResult,
+    ) -> list[SkuFleetConfig]:
+        """Fleet configuration applying the recommended caps."""
+        return [
+            SkuFleetConfig(
+                sku=skus[name],
+                n_machines=n_machines_per_sku,
+                max_containers=result.caps[name],
+            )
+            for name in sorted(result.caps)
+            if name in skus
+        ]
+
+    @staticmethod
+    def evaluate(
+        fleet: list[SkuFleetConfig],
+        demands: list[int],
+        rng: int | None = 0,
+    ) -> dict[str, float]:
+        """Run a demand sweep and summarize balance quality."""
+        scheduler = ContainerScheduler(fleet, rng=rng)
+        reports = scheduler.sweep(demands)
+        return {
+            "mean_cpu": float(np.mean([r.mean_cpu for r in reports])),
+            "mean_imbalance": float(
+                np.mean([r.cpu_imbalance for r in reports])
+            ),
+            "overload_fraction": float(
+                np.mean([r.overload_fraction() for r in reports])
+            ),
+            "queued_fraction": float(
+                np.mean(
+                    [r.queued / max(r.placed + r.queued, 1) for r in reports]
+                )
+            ),
+        }

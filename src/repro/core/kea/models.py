@@ -1,0 +1,114 @@
+"""Per-SKU linear machine-behaviour models (the paper's Figure 1).
+
+Each SKU gets two interpretable linear fits from fleet telemetry:
+
+- CPU utilization ~ running containers, and
+- task execution seconds ~ CPU utilization.
+
+Insight 1 in action: these are plain least-squares lines whose slopes an
+on-call engineer can read off, not black boxes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml import LinearRegression, r2_score
+from repro.telemetry import Metric, TelemetryStore
+
+
+@dataclass
+class BehaviorModel:
+    """One fitted line y = slope * x + intercept with its fit quality."""
+
+    x_name: str
+    y_name: str
+    slope: float
+    intercept: float
+    r2: float
+    n_samples: int
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.slope * np.asarray(x, dtype=float) + self.intercept
+
+    @classmethod
+    def fit(
+        cls, x: np.ndarray, y: np.ndarray, x_name: str, y_name: str
+    ) -> "BehaviorModel":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.size != y.size:
+            raise ValueError("x and y must have equal length")
+        if x.size < 3:
+            raise ValueError("need at least 3 samples to fit a line")
+        model = LinearRegression().fit(x, y)
+        return cls(
+            x_name=x_name,
+            y_name=y_name,
+            slope=float(model.coef_[0]),
+            intercept=float(model.intercept_),
+            r2=r2_score(y, model.predict(x)),
+            n_samples=int(x.size),
+        )
+
+
+class MachineBehaviorModels:
+    """Fit and serve the per-SKU behaviour models from a telemetry store."""
+
+    def __init__(self) -> None:
+        self.cpu_models: dict[str, BehaviorModel] = {}
+        self.task_models: dict[str, BehaviorModel] = {}
+
+    def fit(self, store: TelemetryStore) -> "MachineBehaviorModels":
+        """Fit one (containers -> cpu) and one (cpu -> task time) model
+        per SKU dimension value found in the store."""
+        skus = store.dimension_values(Metric.CPU_UTILIZATION, "sku")
+        if not skus:
+            raise ValueError("no machine telemetry with a 'sku' dimension")
+        for sku in sorted(skus):
+            dims = {"sku": sku}
+            _, cpu = store.series(Metric.CPU_UTILIZATION, dimensions=dims)
+            _, containers = store.series(
+                Metric.RUNNING_CONTAINERS, dimensions=dims
+            )
+            _, task = store.series(
+                Metric.TASK_EXECUTION_SECONDS, dimensions=dims
+            )
+            n = min(cpu.size, containers.size, task.size)
+            if n < 3:
+                continue
+            self.cpu_models[sku] = BehaviorModel.fit(
+                containers[:n], cpu[:n], "running_containers", "cpu_utilization"
+            )
+            self.task_models[sku] = BehaviorModel.fit(
+                cpu[:n], task[:n], "cpu_utilization", "task_execution_seconds"
+            )
+        if not self.cpu_models:
+            raise ValueError("not enough telemetry to fit any SKU model")
+        return self
+
+    def skus(self) -> list[str]:
+        return sorted(self.cpu_models)
+
+    def predict_cpu(self, sku: str, containers: float) -> float:
+        model = self.cpu_models.get(sku)
+        if model is None:
+            raise KeyError(f"no CPU model for SKU {sku!r}")
+        return float(np.clip(model.predict(np.array([containers]))[0], 0, 100))
+
+    def predict_task_seconds(self, sku: str, cpu: float) -> float:
+        model = self.task_models.get(sku)
+        if model is None:
+            raise KeyError(f"no task-time model for SKU {sku!r}")
+        return float(max(0.0, model.predict(np.array([cpu]))[0]))
+
+    def containers_for_cpu(self, sku: str, target_cpu: float) -> float:
+        """Invert the CPU model: containers that reach ``target_cpu``."""
+        model = self.cpu_models.get(sku)
+        if model is None:
+            raise KeyError(f"no CPU model for SKU {sku!r}")
+        if model.slope <= 0:
+            raise ValueError(f"non-positive slope for SKU {sku!r}")
+        return max(0.0, (target_cpu - model.intercept) / model.slope)

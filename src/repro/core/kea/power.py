@@ -1,0 +1,129 @@
+"""Rack power capping from behaviour models (§4.1).
+
+"Similar methods were used to determine the hardware/software
+configuration ... and to set power limits on Cosmos racks."
+
+Machine power draw is (noisily) linear in CPU utilization — the same
+interpretable-model recipe as Figure 1.  Given per-SKU power models and
+a rack power limit, the capper derives the per-machine CPU cap (and,
+through the CPU model, the container cap) that keeps a fully loaded rack
+inside its budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.kea.models import BehaviorModel, MachineBehaviorModels
+
+
+@dataclass(frozen=True)
+class PowerProfile:
+    """Ground-truth power behaviour of one SKU (for the simulator)."""
+
+    sku: str
+    idle_watts: float
+    watts_per_cpu: float  # watts per CPU utilization percentage point
+
+    def draw(self, cpu: float) -> float:
+        return self.idle_watts + self.watts_per_cpu * cpu
+
+
+DEFAULT_POWER_PROFILES = (
+    PowerProfile("gen4", idle_watts=120.0, watts_per_cpu=2.6),
+    PowerProfile("gen5", idle_watts=105.0, watts_per_cpu=2.1),
+    PowerProfile("gen6", idle_watts=95.0, watts_per_cpu=1.7),
+)
+
+
+def observe_power(
+    profiles: tuple[PowerProfile, ...],
+    n_samples: int = 60,
+    noise: float = 8.0,
+    rng: np.random.Generator | int | None = None,
+) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+    """Sample (cpu, watts) telemetry per SKU with measurement noise."""
+    if n_samples < 3:
+        raise ValueError("n_samples must be >= 3")
+    generator = np.random.default_rng(rng)
+    out = {}
+    for profile in profiles:
+        cpu = generator.uniform(0.0, 100.0, size=n_samples)
+        watts = profile.draw(cpu) + generator.normal(scale=noise, size=n_samples)
+        out[profile.sku] = (cpu, watts)
+    return out
+
+
+class RackPowerCapper:
+    """Fit power models, then derive caps under a rack budget."""
+
+    def __init__(self) -> None:
+        self.power_models: dict[str, BehaviorModel] = {}
+
+    def fit(
+        self, telemetry: dict[str, tuple[np.ndarray, np.ndarray]]
+    ) -> "RackPowerCapper":
+        if not telemetry:
+            raise ValueError("no power telemetry")
+        for sku, (cpu, watts) in telemetry.items():
+            self.power_models[sku] = BehaviorModel.fit(
+                cpu, watts, "cpu_utilization", "watts"
+            )
+        return self
+
+    def cpu_cap_for_budget(
+        self, sku: str, watts_per_machine: float
+    ) -> float:
+        """Highest CPU utilization keeping one machine under budget."""
+        model = self.power_models.get(sku)
+        if model is None:
+            raise KeyError(f"no power model for SKU {sku!r}")
+        if model.slope <= 0:
+            raise ValueError(f"non-positive power slope for {sku!r}")
+        cap = (watts_per_machine - model.intercept) / model.slope
+        return float(np.clip(cap, 0.0, 100.0))
+
+    def rack_caps(
+        self,
+        rack: dict[str, int],
+        rack_limit_watts: float,
+        behaviour: MachineBehaviorModels | None = None,
+    ) -> dict[str, dict[str, float]]:
+        """Per-SKU caps for a rack of ``{sku: machine count}``.
+
+        The budget splits evenly per machine; each SKU gets the CPU cap
+        its power line supports, and — when behaviour models are supplied
+        — the container cap that CPU level corresponds to.
+        """
+        n_machines = sum(rack.values())
+        if n_machines == 0:
+            raise ValueError("rack has no machines")
+        if rack_limit_watts <= 0:
+            raise ValueError("rack_limit_watts must be positive")
+        per_machine = rack_limit_watts / n_machines
+        out: dict[str, dict[str, float]] = {}
+        for sku in rack:
+            cpu_cap = self.cpu_cap_for_budget(sku, per_machine)
+            entry = {"cpu_cap": cpu_cap, "watts_per_machine": per_machine}
+            if behaviour is not None and sku in behaviour.cpu_models:
+                entry["container_cap"] = float(
+                    int(behaviour.containers_for_cpu(sku, cpu_cap))
+                )
+            out[sku] = entry
+        return out
+
+    def predicted_rack_draw(
+        self, rack: dict[str, int], cpu_by_sku: dict[str, float]
+    ) -> float:
+        """Predicted total watts for a rack at given per-SKU CPU levels."""
+        total = 0.0
+        for sku, count in rack.items():
+            model = self.power_models.get(sku)
+            if model is None:
+                raise KeyError(f"no power model for SKU {sku!r}")
+            total += count * float(
+                model.predict(np.array([cpu_by_sku.get(sku, 0.0)]))[0]
+            )
+        return total

@@ -1,0 +1,24 @@
+"""MLOS-style configuration tuning [9].
+
+"by using ML to predict the throughput and latency of benchmark
+workloads on VMs with various kernel parameters, developed on MLOS, we
+refined the parameters of the Azure VM that runs Redis workloads."
+"""
+
+from repro.core.mlos.tuner import (
+    ConfigParameter,
+    ConfigSpace,
+    ModelGuidedTuner,
+    RandomSearchTuner,
+    TuningResult,
+    redis_vm_benchmark,
+)
+
+__all__ = [
+    "ConfigParameter",
+    "ConfigSpace",
+    "RandomSearchTuner",
+    "ModelGuidedTuner",
+    "TuningResult",
+    "redis_vm_benchmark",
+]

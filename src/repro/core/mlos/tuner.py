@@ -1,0 +1,196 @@
+"""Config-space definition, tuners, and a synthetic Redis-VM benchmark.
+
+The tuners maximize a black-box objective over a numeric configuration
+space under a fixed evaluation budget:
+
+- :class:`RandomSearchTuner` — the standard baseline,
+- :class:`ModelGuidedTuner` — random-forest surrogate with an
+  upper-confidence acquisition (MLOS's model-driven loop, kept to
+  Insight-1-simple components).
+
+``redis_vm_benchmark`` is the stand-in for the paper's proprietary
+Redis-on-Azure-VM workload: a smooth multi-modal response surface over
+kernel-ish parameters with observation noise, whose default
+configuration is deliberately far from optimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.ml import RandomForestRegressor
+
+
+@dataclass(frozen=True)
+class ConfigParameter:
+    """One numeric knob with an inclusive range and a default."""
+
+    name: str
+    low: float
+    high: float
+    default: float
+
+    def __post_init__(self) -> None:
+        if self.high <= self.low:
+            raise ValueError(f"{self.name}: high must exceed low")
+        if not self.low <= self.default <= self.high:
+            raise ValueError(f"{self.name}: default outside range")
+
+
+@dataclass
+class ConfigSpace:
+    """An ordered set of parameters; configs are plain numpy vectors."""
+
+    parameters: tuple[ConfigParameter, ...]
+
+    def __post_init__(self) -> None:
+        if not self.parameters:
+            raise ValueError("config space must have at least one parameter")
+        names = [p.name for p in self.parameters]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate parameter names")
+
+    @property
+    def dimension(self) -> int:
+        return len(self.parameters)
+
+    def default(self) -> np.ndarray:
+        return np.array([p.default for p in self.parameters])
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        lows = np.array([p.low for p in self.parameters])
+        highs = np.array([p.high for p in self.parameters])
+        return rng.uniform(lows, highs, size=(n, self.dimension))
+
+    def clip(self, config: np.ndarray) -> np.ndarray:
+        lows = np.array([p.low for p in self.parameters])
+        highs = np.array([p.high for p in self.parameters])
+        return np.clip(config, lows, highs)
+
+    def as_dict(self, config: np.ndarray) -> dict[str, float]:
+        return {p.name: float(v) for p, v in zip(self.parameters, config)}
+
+
+@dataclass
+class TuningResult:
+    """Best configuration found and the full evaluation history."""
+
+    best_config: np.ndarray
+    best_score: float
+    history: list[tuple[np.ndarray, float]]
+
+    @property
+    def n_evaluations(self) -> int:
+        return len(self.history)
+
+    def incumbent_curve(self) -> np.ndarray:
+        """Best-so-far score after each evaluation."""
+        scores = np.array([s for _, s in self.history])
+        return np.maximum.accumulate(scores)
+
+
+class RandomSearchTuner:
+    """Uniform random sampling; the budget-matched baseline."""
+
+    def __init__(self, space: ConfigSpace, rng: np.random.Generator | int | None = None):
+        self.space = space
+        self._rng = np.random.default_rng(rng)
+
+    def tune(
+        self, objective: Callable[[np.ndarray], float], budget: int = 50
+    ) -> TuningResult:
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        history = []
+        for config in self.space.sample(self._rng, budget):
+            history.append((config, float(objective(config))))
+        best_config, best_score = max(history, key=lambda cs: cs[1])
+        return TuningResult(best_config, best_score, history)
+
+
+class ModelGuidedTuner:
+    """Surrogate-guided search: RF mean + exploration bonus.
+
+    Seeds with random configs, then repeatedly fits a random forest to
+    the history and evaluates the candidate maximizing
+    ``mean + kappa * std`` over a sampled candidate pool.
+    """
+
+    def __init__(
+        self,
+        space: ConfigSpace,
+        n_seed: int = 10,
+        n_candidates: int = 200,
+        kappa: float = 1.0,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if n_seed < 2:
+            raise ValueError("n_seed must be >= 2")
+        self.space = space
+        self.n_seed = n_seed
+        self.n_candidates = n_candidates
+        self.kappa = kappa
+        self._rng = np.random.default_rng(rng)
+
+    def tune(
+        self, objective: Callable[[np.ndarray], float], budget: int = 50
+    ) -> TuningResult:
+        if budget <= self.n_seed:
+            raise ValueError("budget must exceed the seed count")
+        history: list[tuple[np.ndarray, float]] = []
+        for config in self.space.sample(self._rng, self.n_seed):
+            history.append((config, float(objective(config))))
+        while len(history) < budget:
+            x = np.vstack([c for c, _ in history])
+            y = np.array([s for _, s in history])
+            surrogate = RandomForestRegressor(
+                n_trees=25, max_depth=6, rng=self._rng
+            ).fit(x, y)
+            candidates = self.space.sample(self._rng, self.n_candidates)
+            score = surrogate.predict(candidates) + self.kappa * surrogate.predict_std(
+                candidates
+            )
+            chosen = candidates[int(np.argmax(score))]
+            history.append((chosen, float(objective(chosen))))
+        best_config, best_score = max(history, key=lambda cs: cs[1])
+        return TuningResult(best_config, best_score, history)
+
+
+def redis_vm_benchmark(
+    noise: float = 0.5,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[ConfigSpace, Callable[[np.ndarray], float], float]:
+    """Synthetic Redis-on-VM throughput surface.
+
+    Returns (space, objective, noiseless optimum estimate).  The surface
+    rewards a mid-range somaxconn, large-ish hugepage fraction, low
+    swappiness, and an interaction between io depth and scheduler quantum
+    — shapes typical of kernel-parameter studies.
+    """
+    space = ConfigSpace(
+        (
+            ConfigParameter("somaxconn", 128, 4096, 512),
+            ConfigParameter("hugepage_fraction", 0.0, 1.0, 0.0),
+            ConfigParameter("swappiness", 0.0, 100.0, 60.0),
+            ConfigParameter("io_depth", 1.0, 64.0, 8.0),
+            ConfigParameter("sched_quantum_ms", 1.0, 24.0, 12.0),
+        )
+    )
+    generator = np.random.default_rng(rng)
+
+    def throughput(config: np.ndarray) -> float:
+        somaxconn, hugepages, swappiness, io_depth, quantum = config
+        score = 100.0
+        score += 30.0 * np.exp(-(((somaxconn - 2048) / 800.0) ** 2))
+        score += 25.0 * hugepages
+        score -= 0.25 * swappiness
+        score += 12.0 * np.exp(-(((io_depth - 32) / 12.0) ** 2)) * (
+            1.0 - abs(quantum - 6.0) / 24.0
+        )
+        return float(score + generator.normal(scale=noise))
+
+    noiseless_best = 100.0 + 30.0 + 25.0 - 0.0 + 12.0 * (1 - 2 / 24)
+    return space, throughput, noiseless_best

@@ -1,0 +1,21 @@
+"""Moneyball: proactive pause/resume for serverless databases [41].
+
+"In [41], we demonstrated that 77% of Azure SQL Database Serverless
+usage is predictable and used ML forecasts to pause/resume databases
+proactively."  The QoS/cost tension of doing so is the paper's Figure 2
+Pareto curve.
+"""
+
+from repro.core.moneyball.policy import (
+    ForecastPausePolicy,
+    PredictabilityClassifier,
+    evaluate_policies,
+    policy_tradeoff,
+)
+
+__all__ = [
+    "PredictabilityClassifier",
+    "ForecastPausePolicy",
+    "policy_tradeoff",
+    "evaluate_policies",
+]

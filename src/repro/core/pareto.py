@@ -1,0 +1,92 @@
+"""QoS-vs-cost Pareto frontier tooling (the paper's Figure 2).
+
+"Cloud operators face a continuous challenge in managing resources,
+striking a balance between QoS, such as low latency, and operational
+costs ... By utilizing ML, these trade-offs can be measured, and the
+Pareto curve can be globally optimized."
+
+Conventions: both axes are *costs to minimize* (e.g. x = QoS violation
+rate, y = dollars).  A point dominates another if it is <= on both axes
+and < on at least one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One policy evaluated on the (QoS penalty, cost) plane."""
+
+    qos_penalty: float
+    cost: float
+    label: str = ""
+
+    def dominates(self, other: "TradeoffPoint") -> bool:
+        no_worse = (
+            self.qos_penalty <= other.qos_penalty and self.cost <= other.cost
+        )
+        better = (
+            self.qos_penalty < other.qos_penalty or self.cost < other.cost
+        )
+        return no_worse and better
+
+
+def pareto_frontier(points: list[TradeoffPoint]) -> list[TradeoffPoint]:
+    """Non-dominated subset, sorted by ascending QoS penalty."""
+    frontier = [
+        p
+        for p in points
+        if not any(other.dominates(p) for other in points)
+    ]
+    # Deduplicate identical coordinates, keeping the first label.
+    seen: set[tuple[float, float]] = set()
+    unique = []
+    for p in sorted(frontier, key=lambda p: (p.qos_penalty, p.cost)):
+        key = (p.qos_penalty, p.cost)
+        if key not in seen:
+            seen.add(key)
+            unique.append(p)
+    return unique
+
+
+def frontier_shift(
+    baseline: list[TradeoffPoint], improved: list[TradeoffPoint]
+) -> float:
+    """How far ``improved`` pushes the frontier toward the origin.
+
+    Returns the mean relative cost reduction of the improved frontier at
+    the QoS levels of the baseline frontier (linear interpolation); >0
+    means the improved policies dominate.  Frontiers must be non-empty.
+    """
+    base = pareto_frontier(baseline)
+    better = pareto_frontier(improved)
+    if not base or not better:
+        raise ValueError("both frontiers must be non-empty")
+    reductions = []
+    for point in base:
+        cost = _interpolate_cost(better, point.qos_penalty)
+        if cost is None:
+            continue
+        if point.cost > 0:
+            reductions.append((point.cost - cost) / point.cost)
+    if not reductions:
+        return 0.0
+    return sum(reductions) / len(reductions)
+
+
+def _interpolate_cost(
+    frontier: list[TradeoffPoint], qos: float
+) -> float | None:
+    """Cost of ``frontier`` at QoS level ``qos`` (None outside its span)."""
+    pts = sorted(frontier, key=lambda p: p.qos_penalty)
+    if qos < pts[0].qos_penalty or qos > pts[-1].qos_penalty:
+        return None
+    for a, b in zip(pts, pts[1:]):
+        if a.qos_penalty <= qos <= b.qos_penalty:
+            if b.qos_penalty == a.qos_penalty:
+                return min(a.cost, b.cost)
+            w = (qos - a.qos_penalty) / (b.qos_penalty - a.qos_penalty)
+            return a.cost + w * (b.cost - a.cost)
+    return pts[-1].cost if qos == pts[-1].qos_penalty else None

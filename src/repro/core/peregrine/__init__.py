@@ -1,0 +1,41 @@
+"""Peregrine: the workload optimization platform (Section 4.2, [20]).
+
+"Peregrine consists of an engine-agnostic workload representation,
+workload categorization based on patterns, and a workload feedback
+mechanism that enables query engines to respond to workload feedback."
+
+- :mod:`~repro.core.peregrine.repository` — the engine-agnostic
+  representation: every submitted job flattened into signatures,
+  templates, parameters, and dependency edges.
+- :mod:`~repro.core.peregrine.analysis` — recurrence, subexpression
+  overlap, and pipeline statistics (the numbers quoted in the paper).
+- :mod:`~repro.core.peregrine.feedback` — runtime statistics (actual
+  cardinalities, runtimes) flowing back, keyed by signature, to train
+  the learned components.
+- :mod:`~repro.core.peregrine.forecast` — evolving-workload forecasts.
+"""
+
+from repro.core.peregrine.analysis import WorkloadStatistics, analyze
+from repro.core.peregrine.feedback import FeedbackEntry, WorkloadFeedback
+from repro.core.peregrine.forecast import forecast_daily_volume
+from repro.core.peregrine.report import workload_report
+from repro.core.peregrine.similarity import (
+    SimilarityIndex,
+    SimilarityMatch,
+    plan_embedding,
+)
+from repro.core.peregrine.repository import JobRecord, WorkloadRepository
+
+__all__ = [
+    "WorkloadRepository",
+    "JobRecord",
+    "WorkloadStatistics",
+    "analyze",
+    "WorkloadFeedback",
+    "FeedbackEntry",
+    "forecast_daily_volume",
+    "workload_report",
+    "SimilarityIndex",
+    "SimilarityMatch",
+    "plan_embedding",
+]

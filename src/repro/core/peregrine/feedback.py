@@ -1,0 +1,114 @@
+"""The workload feedback mechanism: runtime truth flowing back.
+
+"a workload feedback mechanism that enables query engines to respond to
+workload feedback" [20].  After a job executes, the engine reports the
+*actual* cardinality / runtime of each subexpression; the feedback store
+indexes those observations by template signature so micromodels
+(:mod:`repro.core.cardinality`, :mod:`repro.core.costmodel`) can train on
+them.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine import Expression, Filter, template_signature
+from repro.engine.estimator import CardinalityModel
+from repro.core.peregrine.repository import JobRecord
+
+
+def parameter_vector(expr: Expression) -> np.ndarray:
+    """Post-order vector of predicate literals: the micromodel features.
+
+    Recurring instances of a template differ only in these literals, so
+    this vector is a complete per-instance parameterization.
+    """
+    values = []
+    for node in expr.walk():
+        if isinstance(node, Filter):
+            values.extend(p.value for p in node.predicates)
+    return np.array(values, dtype=float)
+
+
+@dataclass
+class FeedbackEntry:
+    """One observed execution of one subexpression."""
+
+    template: str
+    params: np.ndarray
+    actual_rows: float
+    actual_seconds: float | None = None
+
+
+class WorkloadFeedback:
+    """Template-keyed store of runtime observations."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, list[FeedbackEntry]] = defaultdict(list)
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._entries.values())
+
+    def record(
+        self,
+        expr: Expression,
+        actual_rows: float,
+        actual_seconds: float | None = None,
+    ) -> FeedbackEntry:
+        if actual_rows < 0:
+            raise ValueError("actual_rows must be non-negative")
+        entry = FeedbackEntry(
+            template=template_signature(expr),
+            params=parameter_vector(expr),
+            actual_rows=float(actual_rows),
+            actual_seconds=actual_seconds,
+        )
+        self._entries[entry.template].append(entry)
+        return entry
+
+    def observe_job(
+        self, record: JobRecord, truth: CardinalityModel
+    ) -> int:
+        """Record actual cardinalities for every subexpression of a job.
+
+        In production these come from runtime statistics; here the
+        ground-truth model plays that role.  Returns observations added.
+        """
+        added = 0
+        for node in record.plan.walk():
+            self.record(node, truth.estimate(node))
+            added += 1
+        return added
+
+    def entries(self, template: str) -> list[FeedbackEntry]:
+        return list(self._entries.get(template, []))
+
+    def templates(self) -> list[str]:
+        return list(self._entries)
+
+    def training_matrix(
+        self, template: str
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """(features, actual_rows) arrays for one template, or None.
+
+        Templates whose instances disagree on parameter count (should not
+        happen for well-formed recurrences) are rejected.
+        """
+        entries = self._entries.get(template)
+        if not entries:
+            return None
+        lengths = {e.params.size for e in entries}
+        if len(lengths) != 1:
+            raise ValueError(
+                f"inconsistent parameter counts for template {template}"
+            )
+        (n_params,) = lengths
+        if n_params == 0:
+            features = np.ones((len(entries), 1))
+        else:
+            features = np.vstack([e.params for e in entries])
+        target = np.array([e.actual_rows for e in entries])
+        return features, target

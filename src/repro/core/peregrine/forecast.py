@@ -1,0 +1,75 @@
+"""Workload forecasting: "workloads evolve over time, and as such, we
+also learn the evolving nature of the historical workloads to forecast
+future workloads" (Section 4.2, Workload Analysis).
+
+Two forecasts matter downstream:
+
+- *volume*: how many jobs (per template or overall) to expect tomorrow,
+  used for capacity planning and view-selection budgets, and
+- *parameters*: where a template's predicate literals are heading, used
+  to decide whether a trained micromodel will extrapolate safely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml import LinearRegression
+from repro.core.peregrine.repository import WorkloadRepository
+
+
+def forecast_daily_volume(
+    repo: WorkloadRepository, horizon_days: int = 1
+) -> np.ndarray:
+    """Forecast total jobs/day with a linear trend over observed days.
+
+    Falls back to repeating the last day's count when only one day has
+    been observed.
+    """
+    if horizon_days < 1:
+        raise ValueError("horizon_days must be >= 1")
+    days = repo.days()
+    if not days:
+        raise ValueError("repository is empty")
+    counts = np.array([len(repo.by_day(d)) for d in days], dtype=float)
+    if len(days) == 1:
+        return np.full(horizon_days, counts[-1])
+    model = LinearRegression().fit(np.array(days, dtype=float), counts)
+    future = np.array(
+        [days[-1] + k for k in range(1, horizon_days + 1)], dtype=float
+    )
+    return np.maximum(0.0, model.predict(future))
+
+
+def forecast_template_parameter(
+    repo: WorkloadRepository,
+    template: str,
+    param_key: str = "filter_value",
+    horizon_days: int = 1,
+) -> np.ndarray:
+    """Extrapolate a recurring template's drifting parameter.
+
+    Returns the forecast values for the next ``horizon_days`` instances;
+    raises if the template has no history carrying ``param_key``.
+    """
+    if horizon_days < 1:
+        raise ValueError("horizon_days must be >= 1")
+    instances = repo.instances_of(template)
+    history = [
+        (r.day, r.params[param_key])
+        for r in instances
+        if param_key in r.params
+    ]
+    if not history:
+        raise KeyError(
+            f"template {template!r} has no parameter {param_key!r}"
+        )
+    days = np.array([d for d, _ in history], dtype=float)
+    values = np.array([v for _, v in history], dtype=float)
+    if len(history) == 1:
+        return np.full(horizon_days, values[-1])
+    model = LinearRegression().fit(days, values)
+    future = np.array(
+        [days[-1] + k for k in range(1, horizon_days + 1)]
+    )
+    return model.predict(future)

@@ -1,0 +1,103 @@
+"""Engine-agnostic workload representation.
+
+The repository ingests jobs from any engine (here: the SCOPE-like
+generator) and flattens them into a representation that every learned
+component shares: template signatures for grouping, strict signatures for
+reuse detection, parameter vectors for micromodel features, and
+dependency edges for pipeline analysis.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.engine import Expression, signature, template_signature
+from repro.engine.signatures import enumerate_signatures
+from repro.workloads.scope import Job, Workload
+
+
+@dataclass
+class JobRecord:
+    """One ingested job in the engine-agnostic representation."""
+
+    job_id: str
+    submit_hour: float
+    plan: Expression
+    template: str                     # template signature of the full plan
+    strict: str                       # strict signature of the full plan
+    subexpression_templates: dict[str, Expression]
+    subexpression_strict: dict[str, Expression]
+    params: dict[str, float]
+    depends_on: tuple[str, ...]
+
+    @property
+    def day(self) -> int:
+        return int(self.submit_hour // 24)
+
+
+class WorkloadRepository:
+    """Signature-indexed store of everything the platform has seen."""
+
+    def __init__(self) -> None:
+        self.records: list[JobRecord] = []
+        self._by_template: dict[str, list[JobRecord]] = defaultdict(list)
+        self._by_job_id: dict[str, JobRecord] = {}
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- ingestion --------------------------------------------------------------
+    def ingest_job(self, job: Job) -> JobRecord:
+        record = JobRecord(
+            job_id=job.job_id,
+            submit_hour=job.submit_hour,
+            plan=job.plan,
+            template=template_signature(job.plan),
+            strict=signature(job.plan),
+            subexpression_templates=enumerate_signatures(job.plan, strict=False),
+            subexpression_strict=enumerate_signatures(job.plan, strict=True),
+            params=dict(job.params),
+            depends_on=job.depends_on,
+        )
+        if record.job_id in self._by_job_id:
+            raise ValueError(f"job {record.job_id!r} already ingested")
+        self.records.append(record)
+        self._by_template[record.template].append(record)
+        self._by_job_id[record.job_id] = record
+        return record
+
+    def ingest(self, workload: Workload) -> "WorkloadRepository":
+        for job in workload.jobs:
+            self.ingest_job(job)
+        return self
+
+    # -- access --------------------------------------------------------------
+    def job(self, job_id: str) -> JobRecord:
+        try:
+            return self._by_job_id[job_id]
+        except KeyError:
+            raise KeyError(f"unknown job {job_id!r}") from None
+
+    def templates(self) -> dict[str, list[JobRecord]]:
+        return dict(self._by_template)
+
+    def instances_of(self, template: str) -> list[JobRecord]:
+        return list(self._by_template.get(template, []))
+
+    def by_day(self, day: int) -> list[JobRecord]:
+        return [r for r in self.records if r.day == day]
+
+    def days(self) -> list[int]:
+        return sorted({r.day for r in self.records})
+
+    def dependency_graph(self) -> nx.DiGraph:
+        """Job-level DAG: edge producer -> consumer."""
+        graph = nx.DiGraph()
+        for record in self.records:
+            graph.add_node(record.job_id)
+            for dep in record.depends_on:
+                graph.add_edge(dep, record.job_id)
+        return graph

@@ -1,0 +1,18 @@
+"""Pipeline optimization (Pipemizer) [8, 14].
+
+"Production workloads not only have many recurrent queries, but also
+many recurrent query pipelines, where queries are interconnected by
+their outputs and inputs ... We analyzed the interdependency to
+facilitate job scheduling and developed a pipeline optimizer to optimize
+these recurrent pipelines, including collecting pipeline-aware
+statistics and pushing common subexpressions across consumer jobs to
+their producer job."
+"""
+
+from repro.core.pipeline.optimizer import (
+    PipelineOptimizer,
+    PipelineReport,
+    PipelineStats,
+)
+
+__all__ = ["PipelineOptimizer", "PipelineReport", "PipelineStats"]

@@ -1,0 +1,13 @@
+"""Proactive cluster provisioning for Synapse-Spark-style pools (§4.1).
+
+"proactive cluster provisioning based on expected user cluster creation
+demand to reduce wait time for cluster initialization on Azure Synapse
+Spark, optimizing both COGS and performance."
+"""
+
+from repro.core.poolserver.provisioner import (
+    ForecastPoolPolicy,
+    compare_policies,
+)
+
+__all__ = ["ForecastPoolPolicy", "compare_policies"]

@@ -1,0 +1,73 @@
+"""Demand-forecast warm-pool sizing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pareto import TradeoffPoint
+from repro.infra.pool import (
+    ClusterPoolSimulator,
+    NoPoolPolicy,
+    PoolReport,
+    StaticPoolPolicy,
+)
+from repro.workloads.demand import HOURS_PER_DAY, DemandTrace
+
+
+@dataclass
+class ForecastPoolPolicy:
+    """Warm-pool target = seasonal forecast plus a safety buffer.
+
+    The forecast is the observed request count at the same hour one week
+    (falling back to one day) earlier; ``buffer_sigma`` Poisson standard
+    deviations are added so a typical hour rarely exhausts the pool.
+    """
+
+    buffer_sigma: float = 1.5
+
+    def target(self, hour: int, recent_counts: np.ndarray) -> int:
+        week = 7 * HOURS_PER_DAY
+        if hour >= week:
+            forecast = recent_counts[hour - week]
+        elif hour >= HOURS_PER_DAY:
+            forecast = recent_counts[hour - HOURS_PER_DAY]
+        elif recent_counts.size:
+            forecast = float(recent_counts.mean())
+        else:
+            forecast = 0.0
+        return int(np.ceil(forecast + self.buffer_sigma * np.sqrt(max(forecast, 1.0))))
+
+
+def compare_policies(
+    trace: DemandTrace,
+    simulator: ClusterPoolSimulator | None = None,
+    static_size: int | None = None,
+) -> dict[str, tuple[PoolReport, TradeoffPoint]]:
+    """Run no-pool / static / forecast policies over one demand trace.
+
+    The static baseline defaults to the mean hourly demand (a reasonable
+    manual configuration).  Each policy yields a (p99-latency, idle-cost)
+    trade-off point for the E2 bench.
+    """
+    simulator = simulator or ClusterPoolSimulator()
+    if static_size is None:
+        static_size = max(1, int(round(trace.counts_per_hour().mean())))
+    lineup = {
+        "on_demand": NoPoolPolicy(),
+        f"static_{static_size}": StaticPoolPolicy(static_size),
+        "forecast": ForecastPoolPolicy(),
+    }
+    out = {}
+    for name, policy in lineup.items():
+        report = simulator.run(trace, policy)
+        out[name] = (
+            report,
+            TradeoffPoint(
+                qos_penalty=report.percentile(99),
+                cost=report.warm_idle_hours,
+                label=name,
+            ),
+        )
+    return out

@@ -1,0 +1,24 @@
+"""Seagull: backup scheduling into low-load windows [40].
+
+"To automate the scheduling of backups for PostgreSQL and MySQL servers,
+we used ML models to forecast user load for each specific server.  The
+system identifies low load windows with 99% accuracy" — and per Insight
+1, "a simple heuristic that predicts the load of a server based on that
+of the previous day was already sufficient to generate 96% accuracy".
+"""
+
+from repro.core.seagull.scheduler import (
+    BackupScheduler,
+    ForecastWindowPolicy,
+    PreviousDayPolicy,
+    WindowChoice,
+    evaluate_policy,
+)
+
+__all__ = [
+    "BackupScheduler",
+    "WindowChoice",
+    "ForecastWindowPolicy",
+    "PreviousDayPolicy",
+    "evaluate_policy",
+]

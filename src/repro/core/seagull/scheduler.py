@@ -1,0 +1,142 @@
+"""Low-load backup-window selection with forecast and heuristic policies.
+
+A policy sees a server's load history and picks the start hour of a
+``window_hours``-long backup window for the next day.  Accuracy follows
+the paper's framing: the choice is *correct* when the true load inside
+the chosen window is within ``tolerance`` of the best achievable window
+that day (choosing an equally-quiet window is not an error).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.ml import HoltWinters, SeasonalNaiveForecaster
+from repro.workloads.usage import HOURS_PER_DAY, TenantTrace
+
+
+@dataclass
+class WindowChoice:
+    """A chosen backup window for one server-day."""
+
+    server_id: str
+    day: int
+    start_hour: int          # 0-23, start of the window within the day
+    predicted_load: float
+    actual_load: float
+    optimal_load: float
+
+    def is_correct(self, tolerance: float) -> bool:
+        """Within ``tolerance`` (absolute load units) of the optimum."""
+        return self.actual_load <= self.optimal_load + tolerance
+
+
+class WindowPolicy(Protocol):
+    """Forecast tomorrow's hourly load from history (length = 24)."""
+
+    def forecast_day(self, history: np.ndarray) -> np.ndarray:
+        ...
+
+
+@dataclass
+class PreviousDayPolicy:
+    """Insight 1's heuristic: tomorrow looks exactly like today."""
+
+    def forecast_day(self, history: np.ndarray) -> np.ndarray:
+        if history.size < HOURS_PER_DAY:
+            raise ValueError("need at least one day of history")
+        return history[-HOURS_PER_DAY:]
+
+
+@dataclass
+class PreviousWeekPolicy:
+    """Tomorrow looks like the same weekday last week."""
+
+    def forecast_day(self, history: np.ndarray) -> np.ndarray:
+        week = 7 * HOURS_PER_DAY
+        if history.size < week:
+            return PreviousDayPolicy().forecast_day(history)
+        return history[-week : -week + HOURS_PER_DAY]
+
+
+@dataclass
+class ForecastWindowPolicy:
+    """ML policy: Holt-Winters over the weekly season."""
+
+    period: int = 7 * HOURS_PER_DAY
+
+    def forecast_day(self, history: np.ndarray) -> np.ndarray:
+        if history.size < 2 * self.period:
+            return PreviousWeekPolicy().forecast_day(history)
+        model = HoltWinters(period=self.period).fit(history)
+        return np.maximum(0.0, model.forecast(HOURS_PER_DAY))
+
+
+class BackupScheduler:
+    """Pick the quietest window of tomorrow per server."""
+
+    def __init__(self, window_hours: int = 2) -> None:
+        if not 1 <= window_hours <= HOURS_PER_DAY:
+            raise ValueError("window_hours must be in [1, 24]")
+        self.window_hours = window_hours
+
+    def window_loads(self, day_values: np.ndarray) -> np.ndarray:
+        """Total load of each candidate window start (wrapping midnight)."""
+        if day_values.size != HOURS_PER_DAY:
+            raise ValueError("day_values must have exactly 24 entries")
+        wrapped = np.concatenate([day_values, day_values[: self.window_hours]])
+        return np.array(
+            [
+                wrapped[start : start + self.window_hours].sum()
+                for start in range(HOURS_PER_DAY)
+            ]
+        )
+
+    def choose(
+        self,
+        trace: TenantTrace,
+        day: int,
+        policy: WindowPolicy,
+    ) -> WindowChoice:
+        """Choose tomorrow's window for one server using ``policy``."""
+        start = day * HOURS_PER_DAY
+        end = start + HOURS_PER_DAY
+        if end > trace.values.size:
+            raise ValueError(f"trace too short for day {day}")
+        if start == 0:
+            raise ValueError("day 0 has no history to forecast from")
+        history = trace.values[:start]
+        forecast = policy.forecast_day(history)
+        predicted_windows = self.window_loads(forecast)
+        actual_windows = self.window_loads(trace.values[start:end])
+        chosen = int(np.argmin(predicted_windows))
+        return WindowChoice(
+            server_id=trace.tenant_id,
+            day=day,
+            start_hour=chosen,
+            predicted_load=float(predicted_windows[chosen]),
+            actual_load=float(actual_windows[chosen]),
+            optimal_load=float(actual_windows.min()),
+        )
+
+
+def evaluate_policy(
+    traces: list[TenantTrace],
+    policy: WindowPolicy,
+    days: range,
+    window_hours: int = 2,
+    tolerance: float = 0.1,
+) -> float:
+    """Fraction of server-days where the policy found a low-load window."""
+    scheduler = BackupScheduler(window_hours)
+    choices = [
+        scheduler.choose(trace, day, policy)
+        for trace in traces
+        for day in days
+    ]
+    if not choices:
+        raise ValueError("no (trace, day) pairs to evaluate")
+    return float(np.mean([c.is_correct(tolerance) for c in choices]))

@@ -1,0 +1,18 @@
+"""Rule-hint steering of the query optimizer [25, 35, 51].
+
+"To enhance optimizer plans using rule hints, we have made notable
+progress in applying state-of-the-art research ideas from Bao to
+production settings.  However, we had to make significant adjustments
+for the production system, including limiting steering to small
+incremental steps for better interpretability and debuggability,
+minimizing pre-production experimentation costs using a contextual
+bandit model, and guarding against regression with a validation model."
+"""
+
+from repro.core.steering.service import (
+    SteeringOutcome,
+    SteeringReport,
+    SteeringService,
+)
+
+__all__ = ["SteeringService", "SteeringOutcome", "SteeringReport"]

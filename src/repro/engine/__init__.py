@@ -1,0 +1,67 @@
+"""Query engine substrate: a SCOPE/Spark-flavoured analytical engine model.
+
+The paper's query-engine-layer services (Section 4.2) all assume an
+engine with (a) a rule-configurable cost-based optimizer whose default
+cardinality estimates are *imperfect*, and (b) a staged DAG executor with
+per-machine temp-storage accounting and restartable jobs.  This subpackage
+provides both, along with the subexpression *signatures* (lightweight
+structural hashes) that Peregrine templatization and CloudViews reuse are
+built on.
+
+Nothing here is learned: this is the system being made autonomous, with
+explicit extension points (``CardinalityModel``, ``CostModel`` hooks on
+the optimizer) so the learned components in :mod:`repro.core` can be
+"externalized" exactly as the paper prescribes — supplementing, not
+replacing, the optimizer.
+"""
+
+from repro.engine.catalog import Catalog, ColumnStats, TableDef
+from repro.engine.estimator import DefaultCardinalityEstimator, TrueCardinalityModel
+from repro.engine.cost import DefaultCostModel, PlanCost
+from repro.engine.expr import (
+    Aggregate,
+    Expression,
+    Filter,
+    Join,
+    Predicate,
+    Project,
+    Scan,
+    Union,
+)
+from repro.engine.optimizer import Optimizer, OptimizerResult, RuleConfig
+from repro.engine.rules import ALL_RULES, Rule
+from repro.engine.signatures import semantic_signature, signature, template_signature
+from repro.engine.stages import Stage, StageGraph, compile_stages
+from repro.engine.executor import ClusterExecutor, ExecutionReport, StageRun
+
+__all__ = [
+    "Expression",
+    "Scan",
+    "Filter",
+    "Project",
+    "Join",
+    "Aggregate",
+    "Union",
+    "Predicate",
+    "Catalog",
+    "TableDef",
+    "ColumnStats",
+    "DefaultCardinalityEstimator",
+    "TrueCardinalityModel",
+    "DefaultCostModel",
+    "PlanCost",
+    "Rule",
+    "ALL_RULES",
+    "RuleConfig",
+    "Optimizer",
+    "OptimizerResult",
+    "signature",
+    "semantic_signature",
+    "template_signature",
+    "Stage",
+    "StageGraph",
+    "compile_stages",
+    "ClusterExecutor",
+    "ExecutionReport",
+    "StageRun",
+]

@@ -1,0 +1,250 @@
+"""Simulated cluster execution of stage DAGs.
+
+Executes a :class:`~repro.engine.stages.StageGraph` against a fleet of
+machines, producing the runtime phenomena Section 4.2 cares about:
+
+- *actual* stage durations (true cardinalities + execution noise),
+- per-machine temporary-storage occupancy over time, with hotspots caused
+  by skewed task placement (some machines are systematically preferred),
+- restart cost after a failure, with and without checkpoint cuts, and
+- temp-storage release when a stage's output has been durably
+  checkpointed (the Phoebe effect).
+
+The executor holds *no* learned logic; it is the environment the
+checkpoint optimizer and computation-reuse services are measured in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.stages import Stage, StageGraph
+
+#: Durable-store write throughput, bytes/second (for checkpoint writes).
+CHECKPOINT_WRITE_RATE = 500e6
+
+#: Systematic runtime effects the analytical cost model does not capture
+#: (shuffle network time, hash-table spills, vectorized scan speedups).
+#: Applied only to truth-sized runs: they represent physical reality,
+#: which is exactly what the learned stage predictors recover [52].
+OPERATOR_RUNTIME_FACTORS = {
+    "Scan": 1.0,
+    "Filter": 0.85,
+    "Project": 0.8,
+    "Join": 1.6,
+    "Aggregate": 1.35,
+    "Union": 1.0,
+}
+
+
+@dataclass
+class StageRun:
+    """Observed execution of one stage."""
+
+    stage_id: int
+    start: float
+    end: float
+    machine_bytes: dict[int, float]  # machine -> temp output bytes placed
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class ExecutionReport:
+    """Everything the simulated run produced."""
+
+    runs: list[StageRun]
+    runtime: float                     # job wall-clock (critical path), seconds
+    total_processing: float            # sum of stage durations, seconds
+    peak_temp_per_machine: dict[int, float]
+    checkpointed: frozenset[int]
+
+    @property
+    def peak_temp_bytes(self) -> float:
+        """Temp occupancy of the hottest machine (the hotspot metric)."""
+        if not self.peak_temp_per_machine:
+            return 0.0
+        return max(self.peak_temp_per_machine.values())
+
+    def run_of(self, stage_id: int) -> StageRun:
+        return self.runs[stage_id]
+
+
+class ClusterExecutor:
+    """Deterministic-given-seed simulator of a machine fleet."""
+
+    def __init__(
+        self,
+        n_machines: int = 16,
+        noise: float = 0.1,
+        placement_skew: float = 1.5,
+        checkpoint_overhead_seconds: float = 0.05,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if n_machines < 1:
+            raise ValueError("n_machines must be >= 1")
+        if noise < 0:
+            raise ValueError("noise must be non-negative")
+        if checkpoint_overhead_seconds < 0:
+            raise ValueError("checkpoint_overhead_seconds must be non-negative")
+        self.n_machines = n_machines
+        self.noise = noise
+        self.checkpoint_overhead_seconds = checkpoint_overhead_seconds
+        self._rng = np.random.default_rng(rng)
+        # Skewed placement preferences: a few machines attract more tasks,
+        # which is what creates temp-storage hotspots in production [52].
+        raw = self._rng.exponential(scale=1.0, size=n_machines) ** placement_skew
+        self._placement_weights = raw / raw.sum()
+
+    # -- execution ------------------------------------------------------------
+    def run(
+        self,
+        graph: StageGraph,
+        checkpoints: frozenset[int] | set[int] = frozenset(),
+        start_time: float = 0.0,
+    ) -> ExecutionReport:
+        """Execute the DAG; ``checkpoints`` marks stages written durably."""
+        checkpoints = frozenset(checkpoints)
+        runs: list[StageRun] = []
+        finish: dict[int, float] = {}
+        for stage in graph.topological_order():
+            ready = max(
+                (finish[d] for d in stage.depends_on), default=start_time
+            )
+            duration = self._actual_duration(stage)
+            end = ready + duration
+            finish[stage.stage_id] = end
+            runs.append(
+                StageRun(
+                    stage_id=stage.stage_id,
+                    start=ready,
+                    end=end,
+                    machine_bytes=self._place_output(stage),
+                )
+            )
+        # Checkpoint writes are asynchronous; the residual job-level cost
+        # (coordination, commit records) is a small per-checkpoint overhead.
+        runtime = (
+            max(finish.values())
+            - start_time
+            + self.checkpoint_overhead_seconds * len(checkpoints)
+        )
+        total = sum(r.duration for r in runs)
+        peaks = self._temp_peaks(graph, runs, checkpoints)
+        return ExecutionReport(
+            runs=runs,
+            runtime=runtime,
+            total_processing=total,
+            peak_temp_per_machine=peaks,
+            checkpointed=checkpoints,
+        )
+
+    def _actual_duration(self, stage: Stage) -> float:
+        multiplier = float(
+            np.exp(self._rng.normal(loc=0.0, scale=self.noise))
+        )
+        base = stage.true_duration()
+        if stage.actual_work is not None:
+            base *= OPERATOR_RUNTIME_FACTORS.get(stage.operator, 1.0)
+        return base * multiplier
+
+    def _place_output(self, stage: Stage) -> dict[int, float]:
+        """Distribute the stage's output bytes over skew-chosen machines."""
+        machines = self._rng.choice(
+            self.n_machines,
+            size=stage.n_tasks,
+            p=self._placement_weights,
+        )
+        per_task = stage.true_bytes() / stage.n_tasks
+        placed: dict[int, float] = {}
+        for m in machines:
+            placed[int(m)] = placed.get(int(m), 0.0) + per_task
+        return placed
+
+    # -- temp storage ------------------------------------------------------------
+    def _temp_peaks(
+        self,
+        graph: StageGraph,
+        runs: list[StageRun],
+        checkpoints: frozenset[int],
+    ) -> dict[int, float]:
+        """Per-machine peak temp bytes via an event sweep.
+
+        A stage's output occupies local temp from its end until *job end*:
+        like Cosmos and Spark, intermediate outputs are retained for the
+        whole job so failed downstream stages can be retried without
+        recomputing their inputs.  A checkpointed stage is the exception —
+        once its output is durably written, the local copy is deleted
+        (this early release is exactly how Phoebe frees hotspots [52]).
+        The sink's output is the job result, not temp.
+        """
+        events: list[tuple[float, int, float]] = []  # (time, machine, delta)
+        sink_id = graph.sink.stage_id
+        job_end = max(run.end for run in runs)
+        for run in runs:
+            if run.stage_id == sink_id:
+                continue
+            release = job_end
+            if run.stage_id in checkpoints:
+                stage = graph.stages[run.stage_id]
+                # Tasks write their partitions to the durable store in
+                # parallel, so write bandwidth scales with task count.
+                write_done = run.end + stage.true_bytes() / (
+                    CHECKPOINT_WRITE_RATE * stage.n_tasks
+                )
+                release = min(release, write_done)
+            for machine, nbytes in run.machine_bytes.items():
+                events.append((run.end, machine, nbytes))
+                events.append((release, machine, -nbytes))
+        events.sort(key=lambda e: (e[0], -e[2]))
+        level = {m: 0.0 for m in range(self.n_machines)}
+        peak = {m: 0.0 for m in range(self.n_machines)}
+        for _, machine, delta in events:
+            level[machine] += delta
+            peak[machine] = max(peak[machine], level[machine])
+        return peak
+
+    # -- failure & restart ------------------------------------------------------------
+    def restart_work_seconds(
+        self,
+        graph: StageGraph,
+        report: ExecutionReport,
+        failure_time: float,
+    ) -> float:
+        """Wall-clock seconds to recover after a failure at ``failure_time``.
+
+        A finished stage's output survives the failure only if it was
+        checkpointed (un-checkpointed outputs live in local temp and are
+        assumed lost with the machine).  Recovery re-runs exactly the
+        stages whose outputs are needed but unavailable, respecting DAG
+        dependencies; the returned value is the critical path of that
+        re-run set plus the remaining (not-yet-finished) work.
+        """
+        finished = {
+            r.stage_id for r in report.runs if r.end <= failure_time
+        }
+        available = finished & report.checkpointed
+
+        rerun: set[int] = set()
+        stack = [graph.sink.stage_id]
+        while stack:
+            stage_id = stack.pop()
+            if stage_id in available or stage_id in rerun:
+                continue
+            rerun.add(stage_id)
+            stack.extend(graph.stages[stage_id].depends_on)
+
+        finish: dict[int, float] = {}
+        for stage in graph.topological_order():
+            if stage.stage_id not in rerun:
+                finish[stage.stage_id] = 0.0  # output already available
+                continue
+            ready = max(
+                (finish[d] for d in stage.depends_on), default=0.0
+            )
+            finish[stage.stage_id] = ready + report.runs[stage.stage_id].duration
+        return finish[graph.sink.stage_id]

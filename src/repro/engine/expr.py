@@ -1,0 +1,220 @@
+"""Relational algebra expressions (logical plans).
+
+Expressions are immutable, hashable trees.  Immutability matters: the
+same subexpression object can be shared by many jobs, signatures can be
+cached, and rewrite rules return new trees instead of mutating.
+
+The predicate language is deliberately tiny (column <op> literal,
+conjunctions only).  That is all the recurring-job analysis in the paper
+needs: SCOPE recurring jobs are "periodic runs of scripts with the same
+operations but different predicate values" [51], i.e. the *structure* is
+fixed and only literals move.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+_COMPARISONS = ("<", "<=", ">", ">=", "=", "!=")
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A single comparison: ``column <op> value``."""
+
+    column: str
+    op: str
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARISONS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"{self.column} {self.op} {self.value:g}"
+
+
+@dataclass(frozen=True)
+class Expression:
+    """Base class for all plan nodes."""
+
+    @property
+    def children(self) -> tuple["Expression", ...]:
+        return ()
+
+    def with_children(self, children: tuple["Expression", ...]) -> "Expression":
+        if children:
+            raise ValueError(f"{type(self).__name__} takes no children")
+        return self
+
+    def walk(self) -> Iterator["Expression"]:
+        """Post-order traversal (children before parents)."""
+        for child in self.children:
+            yield from child.walk()
+        yield self
+
+    def subexpressions(self) -> Iterator["Expression"]:
+        """All nodes except the root, post-order."""
+        for node in self.walk():
+            if node is not self:
+                yield node
+
+    @property
+    def size(self) -> int:
+        """Number of nodes in the tree."""
+        return sum(1 for _ in self.walk())
+
+    @property
+    def depth(self) -> int:
+        if not self.children:
+            return 1
+        return 1 + max(child.depth for child in self.children)
+
+    def tables(self) -> set[str]:
+        """Base table names referenced anywhere in the tree."""
+        return {node.table for node in self.walk() if isinstance(node, Scan)}
+
+
+@dataclass(frozen=True)
+class Scan(Expression):
+    """Read a base table (or a materialized view registered as a table)."""
+
+    table: str
+
+    def __str__(self) -> str:
+        return f"Scan({self.table})"
+
+
+@dataclass(frozen=True)
+class Filter(Expression):
+    """Row selection: conjunct of predicates over one input."""
+
+    child: Expression
+    predicates: tuple[Predicate, ...]
+
+    def __post_init__(self) -> None:
+        if not self.predicates:
+            raise ValueError("Filter requires at least one predicate")
+
+    @property
+    def children(self) -> tuple[Expression, ...]:
+        return (self.child,)
+
+    def with_children(self, children: tuple[Expression, ...]) -> "Filter":
+        (child,) = children
+        return replace(self, child=child)
+
+    def __str__(self) -> str:
+        preds = " AND ".join(str(p) for p in self.predicates)
+        return f"Filter[{preds}]({self.child})"
+
+
+@dataclass(frozen=True)
+class Project(Expression):
+    """Column selection (affects row width, not row count)."""
+
+    child: Expression
+    columns: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise ValueError("Project requires at least one column")
+
+    @property
+    def children(self) -> tuple[Expression, ...]:
+        return (self.child,)
+
+    def with_children(self, children: tuple[Expression, ...]) -> "Project":
+        (child,) = children
+        return replace(self, child=child)
+
+    def __str__(self) -> str:
+        return f"Project[{','.join(self.columns)}]({self.child})"
+
+
+@dataclass(frozen=True)
+class Join(Expression):
+    """Equi-join of two inputs on ``left_key = right_key``."""
+
+    left: Expression
+    right: Expression
+    left_key: str
+    right_key: str
+
+    @property
+    def children(self) -> tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: tuple[Expression, ...]) -> "Join":
+        left, right = children
+        return replace(self, left=left, right=right)
+
+    def __str__(self) -> str:
+        return f"Join[{self.left_key}={self.right_key}]({self.left}, {self.right})"
+
+
+@dataclass(frozen=True)
+class Aggregate(Expression):
+    """Group-by aggregation over one input."""
+
+    child: Expression
+    group_by: tuple[str, ...]
+
+    @property
+    def children(self) -> tuple[Expression, ...]:
+        return (self.child,)
+
+    def with_children(self, children: tuple[Expression, ...]) -> "Aggregate":
+        (child,) = children
+        return replace(self, child=child)
+
+    def __str__(self) -> str:
+        return f"Aggregate[{','.join(self.group_by) or '*'}]({self.child})"
+
+
+@dataclass(frozen=True)
+class Union(Expression):
+    """Bag union of two inputs."""
+
+    left: Expression
+    right: Expression
+
+    @property
+    def children(self) -> tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: tuple[Expression, ...]) -> "Union":
+        left, right = children
+        return replace(self, left=left, right=right)
+
+    def __str__(self) -> str:
+        return f"Union({self.left}, {self.right})"
+
+
+def rewrite_bottom_up(expr: Expression, fn) -> Expression:
+    """Rebuild ``expr`` applying ``fn`` to every node bottom-up.
+
+    ``fn`` receives a node whose children are already rewritten and
+    returns a (possibly identical) replacement node.
+    """
+    new_children = tuple(rewrite_bottom_up(child, fn) for child in expr.children)
+    if new_children != expr.children:
+        expr = expr.with_children(new_children)
+    return fn(expr)
+
+
+def replace_subexpression(
+    expr: Expression, target: Expression, replacement: Expression
+) -> Expression:
+    """Return ``expr`` with every occurrence of ``target`` swapped out.
+
+    Equality is structural (dataclass equality), which matches the
+    signature-based view matching used by CloudViews: syntactically
+    identical subtrees are interchangeable.
+    """
+
+    def swap(node: Expression) -> Expression:
+        return replacement if node == target else node
+
+    return rewrite_bottom_up(expr, swap)

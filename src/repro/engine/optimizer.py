@@ -1,0 +1,118 @@
+"""The rule-driven optimizer with externalized estimation hooks.
+
+Design follows the paper's guiding principle: "minimize changes to the
+existing optimizer and supplement it with learned components".  The
+optimizer itself is a dumb fixpoint rule engine; accuracy comes entirely
+from the :class:`~repro.engine.estimator.CardinalityModel` and cost model
+plugged into it.  Learned cardinalities, learned costs, and rule-hint
+steering all enter through these two seams plus the
+:class:`RuleConfig` bitmask.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.catalog import Catalog
+from repro.engine.cost import DefaultCostModel, PlanCost
+from repro.engine.estimator import (
+    CardinalityModel,
+    DefaultCardinalityEstimator,
+)
+from repro.engine.expr import Expression, rewrite_bottom_up
+from repro.engine.rules import ALL_RULES, Rule, RuleContext
+
+
+@dataclass(frozen=True)
+class RuleConfig:
+    """An immutable on/off assignment for every rule (the Bao search space)."""
+
+    bits: tuple[bool, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.bits) != len(ALL_RULES):
+            raise ValueError(
+                f"expected {len(ALL_RULES)} bits, got {len(self.bits)}"
+            )
+
+    @classmethod
+    def all_on(cls) -> "RuleConfig":
+        return cls(tuple(True for _ in ALL_RULES))
+
+    @classmethod
+    def all_off(cls) -> "RuleConfig":
+        return cls(tuple(False for _ in ALL_RULES))
+
+    @classmethod
+    def from_disabled(cls, disabled: set[int]) -> "RuleConfig":
+        return cls(tuple(r.rule_id not in disabled for r in ALL_RULES))
+
+    def enabled(self, rule_id: int) -> bool:
+        return self.bits[rule_id]
+
+    def flip(self, rule_id: int) -> "RuleConfig":
+        """Return a config with exactly one bit toggled (one steering step)."""
+        bits = list(self.bits)
+        bits[rule_id] = not bits[rule_id]
+        return RuleConfig(tuple(bits))
+
+    def hamming(self, other: "RuleConfig") -> int:
+        return sum(a != b for a, b in zip(self.bits, other.bits))
+
+    def disabled_ids(self) -> tuple[int, ...]:
+        return tuple(i for i, on in enumerate(self.bits) if not on)
+
+
+@dataclass
+class OptimizerResult:
+    """Optimized plan plus the estimates the optimizer believed."""
+
+    plan: Expression
+    estimated_cost: PlanCost
+    estimated_rows: float
+    config: RuleConfig
+    passes: int
+
+
+class Optimizer:
+    """Fixpoint rule application, costed with pluggable estimators."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        cardinality: CardinalityModel | None = None,
+        cost_model: DefaultCostModel | None = None,
+        max_passes: int = 5,
+    ) -> None:
+        self.catalog = catalog
+        self.cardinality = cardinality or DefaultCardinalityEstimator(catalog)
+        self.cost_model = cost_model or DefaultCostModel(catalog, self.cardinality)
+        if max_passes < 1:
+            raise ValueError("max_passes must be >= 1")
+        self.max_passes = max_passes
+
+    def optimize(
+        self, expr: Expression, config: RuleConfig | None = None
+    ) -> OptimizerResult:
+        """Apply enabled rules to fixpoint, then cost the final plan."""
+        config = config or RuleConfig.all_on()
+        ctx = RuleContext(self.catalog, self.cardinality)
+        active = [rule for rule in ALL_RULES if config.enabled(rule.rule_id)]
+        plan = expr
+        passes = 0
+        for _ in range(self.max_passes):
+            passes += 1
+            before = plan
+            for rule in active:
+                plan = rewrite_bottom_up(
+                    plan, lambda node, r=rule: r.apply(node, ctx)
+                )
+            if plan == before:
+                break
+        return OptimizerResult(
+            plan=plan,
+            estimated_cost=self.cost_model.cost(plan),
+            estimated_rows=self.cardinality.estimate(plan),
+            config=config,
+            passes=passes,
+        )

@@ -1,0 +1,190 @@
+"""Cross-engine plan serialization (Direction 2: standardization).
+
+"We are now exploring the use of cross-language query plan
+specification, such as Substrait, as a standard plan representation
+across our engines."
+
+Plans serialize to a versioned, engine-agnostic dict (JSON-safe) and
+back.  Round-tripping is exact: ``deserialize(serialize(p)) == p`` for
+every expression the engine can build, which the property tests verify.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.engine.expr import (
+    Aggregate,
+    Expression,
+    Filter,
+    Join,
+    Predicate,
+    Project,
+    Scan,
+    Union,
+)
+
+#: Format version embedded in every serialized plan.
+FORMAT_VERSION = 1
+
+
+class PlanFormatError(ValueError):
+    """Raised when a serialized plan is malformed or unsupported."""
+
+
+def serialize(expr: Expression) -> dict[str, Any]:
+    """Expression -> engine-agnostic dict (JSON-safe)."""
+    return {"version": FORMAT_VERSION, "root": _node_to_dict(expr)}
+
+
+def deserialize(payload: dict[str, Any]) -> Expression:
+    """Engine-agnostic dict -> Expression (strict validation)."""
+    if not isinstance(payload, dict):
+        raise PlanFormatError("plan payload must be a dict")
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise PlanFormatError(f"unsupported plan format version: {version!r}")
+    if "root" not in payload:
+        raise PlanFormatError("plan payload missing 'root'")
+    return _node_from_dict(payload["root"])
+
+
+def to_json(expr: Expression) -> str:
+    return json.dumps(serialize(expr), sort_keys=True)
+
+
+def from_json(text: str) -> Expression:
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PlanFormatError(f"invalid JSON: {exc}") from exc
+    return deserialize(payload)
+
+
+def _node_to_dict(node: Expression) -> dict[str, Any]:
+    if isinstance(node, Scan):
+        return {"op": "scan", "table": node.table}
+    if isinstance(node, Filter):
+        return {
+            "op": "filter",
+            "input": _node_to_dict(node.child),
+            "predicates": [
+                {"column": p.column, "cmp": p.op, "value": p.value}
+                for p in node.predicates
+            ],
+        }
+    if isinstance(node, Project):
+        return {
+            "op": "project",
+            "input": _node_to_dict(node.child),
+            "columns": list(node.columns),
+        }
+    if isinstance(node, Join):
+        return {
+            "op": "join",
+            "left": _node_to_dict(node.left),
+            "right": _node_to_dict(node.right),
+            "left_key": node.left_key,
+            "right_key": node.right_key,
+        }
+    if isinstance(node, Aggregate):
+        return {
+            "op": "aggregate",
+            "input": _node_to_dict(node.child),
+            "group_by": list(node.group_by),
+        }
+    if isinstance(node, Union):
+        return {
+            "op": "union",
+            "left": _node_to_dict(node.left),
+            "right": _node_to_dict(node.right),
+        }
+    raise PlanFormatError(f"unknown node type: {type(node).__name__}")
+
+
+def _require(payload: dict, key: str) -> Any:
+    if key not in payload:
+        raise PlanFormatError(f"node missing required field {key!r}")
+    return payload[key]
+
+
+def _node_from_dict(payload: Any) -> Expression:
+    if not isinstance(payload, dict):
+        raise PlanFormatError("plan node must be a dict")
+    op = _require(payload, "op")
+    if op == "scan":
+        table = _require(payload, "table")
+        if not isinstance(table, str) or not table:
+            raise PlanFormatError("scan.table must be a non-empty string")
+        return Scan(table)
+    if op == "filter":
+        predicates = _require(payload, "predicates")
+        if not isinstance(predicates, list) or not predicates:
+            raise PlanFormatError("filter.predicates must be a non-empty list")
+        return Filter(
+            _node_from_dict(_require(payload, "input")),
+            tuple(
+                Predicate(
+                    _require(p, "column"),
+                    _require(p, "cmp"),
+                    float(_require(p, "value")),
+                )
+                for p in predicates
+            ),
+        )
+    if op == "project":
+        columns = _require(payload, "columns")
+        if not isinstance(columns, list) or not columns:
+            raise PlanFormatError("project.columns must be a non-empty list")
+        return Project(
+            _node_from_dict(_require(payload, "input")), tuple(columns)
+        )
+    if op == "join":
+        return Join(
+            _node_from_dict(_require(payload, "left")),
+            _node_from_dict(_require(payload, "right")),
+            _require(payload, "left_key"),
+            _require(payload, "right_key"),
+        )
+    if op == "aggregate":
+        group_by = _require(payload, "group_by")
+        if not isinstance(group_by, list):
+            raise PlanFormatError("aggregate.group_by must be a list")
+        return Aggregate(
+            _node_from_dict(_require(payload, "input")), tuple(group_by)
+        )
+    if op == "union":
+        return Union(
+            _node_from_dict(_require(payload, "left")),
+            _node_from_dict(_require(payload, "right")),
+        )
+    raise PlanFormatError(f"unknown operator: {op!r}")
+
+
+def explain(expr: Expression, indent: str = "  ") -> str:
+    """Human-readable plan tree (the engine's EXPLAIN output)."""
+    lines: list[str] = []
+
+    def walk(node: Expression, depth: int) -> None:
+        prefix = indent * depth
+        if isinstance(node, Scan):
+            lines.append(f"{prefix}Scan [{node.table}]")
+        elif isinstance(node, Filter):
+            preds = " AND ".join(str(p) for p in node.predicates)
+            lines.append(f"{prefix}Filter [{preds}]")
+        elif isinstance(node, Project):
+            lines.append(f"{prefix}Project [{', '.join(node.columns)}]")
+        elif isinstance(node, Join):
+            lines.append(f"{prefix}Join [{node.left_key} = {node.right_key}]")
+        elif isinstance(node, Aggregate):
+            lines.append(
+                f"{prefix}Aggregate [group by {', '.join(node.group_by) or '<all>'}]"
+            )
+        elif isinstance(node, Union):
+            lines.append(f"{prefix}Union")
+        for child in node.children:
+            walk(child, depth + 1)
+
+    walk(expr, 0)
+    return "\n".join(lines)

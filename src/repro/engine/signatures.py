@@ -1,0 +1,123 @@
+"""Subexpression signatures: the lightweight hashes behind reuse.
+
+CloudViews [21, 22] relies on "a lightweight subexpression hash, called a
+signature, for scalable materialized view selection and efficient view
+matching"; Peregrine [20] categorizes queries into templates "based on
+their recurrence and similarity".
+
+Two hash flavours are provided:
+
+- :func:`signature` — the *strict* signature: includes predicate literal
+  values, so two subexpressions match only if they compute identical
+  results.  This is the CloudViews view-matching key.
+- :func:`template_signature` — the *template* signature: predicate
+  literals are masked, so periodic runs of the same script with different
+  predicate values (the SCOPE recurring-job pattern) collapse to one
+  template.  This is the Peregrine templatization key and the micromodel
+  routing key for learned cardinality/cost.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.engine.expr import (
+    Aggregate,
+    Expression,
+    Filter,
+    Join,
+    Project,
+    Scan,
+    Union,
+)
+
+
+def _describe(node: Expression, mask_literals: bool) -> str:
+    if isinstance(node, Scan):
+        return f"Scan:{node.table}"
+    if isinstance(node, Filter):
+        parts = []
+        for p in node.predicates:
+            value = "?" if mask_literals else f"{p.value!r}"
+            parts.append(f"{p.column}{p.op}{value}")
+        return f"Filter:{'&'.join(parts)}"
+    if isinstance(node, Project):
+        return f"Project:{','.join(node.columns)}"
+    if isinstance(node, Join):
+        return f"Join:{node.left_key}={node.right_key}"
+    if isinstance(node, Aggregate):
+        return f"Aggregate:{','.join(node.group_by)}"
+    if isinstance(node, Union):
+        return "Union"
+    raise TypeError(f"unknown expression node: {type(node).__name__}")
+
+
+def _hash_tree(node: Expression, mask_literals: bool) -> str:
+    child_hashes = "|".join(
+        _hash_tree(child, mask_literals) for child in node.children
+    )
+    payload = f"{_describe(node, mask_literals)}({child_hashes})"
+    return hashlib.sha1(payload.encode()).hexdigest()[:16]
+
+
+def signature(expr: Expression) -> str:
+    """Strict structural hash; equal results <=> equal signatures."""
+    return _hash_tree(expr, mask_literals=False)
+
+
+def template_signature(expr: Expression) -> str:
+    """Literal-masked hash; groups recurring instances into one template."""
+    return _hash_tree(expr, mask_literals=True)
+
+
+def semantic_signature(expr: Expression) -> str:
+    """Signature modulo semantics-preserving syntax differences.
+
+    Two subexpressions that compute identical results but were written
+    differently still match: predicate order within a conjunct is
+    irrelevant, and an equi-join is symmetric, so joins canonicalize by
+    ordering their children.  This extends CloudViews matching "from the
+    syntactically equivalent subexpressions detected by the signatures to
+    semantically equivalent ... subexpressions" (Section 4.2).
+    """
+    return _hash_tree(_canonicalize(expr), mask_literals=False)
+
+
+def _canonicalize(node: Expression) -> Expression:
+    """Rewrite to the canonical representative of the semantic class."""
+    from dataclasses import replace
+
+    children = tuple(_canonicalize(child) for child in node.children)
+    if children != node.children:
+        node = node.with_children(children)
+    if isinstance(node, Filter):
+        ordered = tuple(
+            sorted(node.predicates, key=lambda p: (p.column, p.op, p.value))
+        )
+        if ordered != node.predicates:
+            node = replace(node, predicates=ordered)
+    elif isinstance(node, Join):
+        left_hash = _hash_tree(node.left, mask_literals=False)
+        right_hash = _hash_tree(node.right, mask_literals=False)
+        if (right_hash, node.right_key) < (left_hash, node.left_key):
+            node = Join(node.right, node.left, node.right_key, node.left_key)
+    elif isinstance(node, Union):
+        left_hash = _hash_tree(node.left, mask_literals=False)
+        right_hash = _hash_tree(node.right, mask_literals=False)
+        if right_hash < left_hash:
+            node = Union(node.right, node.left)
+    return node
+
+
+def enumerate_signatures(expr: Expression, strict: bool = True) -> dict[str, Expression]:
+    """Signature -> subexpression map for every node in ``expr``.
+
+    When several nodes share a signature (identical subtrees appearing
+    twice in one plan), the first in post-order wins; they are
+    interchangeable by construction.
+    """
+    fn = signature if strict else template_signature
+    out: dict[str, Expression] = {}
+    for node in expr.walk():
+        out.setdefault(fn(node), node)
+    return out

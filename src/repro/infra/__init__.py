@@ -1,0 +1,64 @@
+"""Cloud infrastructure substrate: discrete-event cluster simulation.
+
+The infrastructure layer (Section 4.1) "manages all hardware and software
+resources for the life cycle of data services".  This subpackage provides
+the simulated environments the infrastructure-layer autonomous services
+are trained and evaluated in:
+
+- :mod:`repro.infra.des` — a minimal discrete-event simulation core,
+- :mod:`repro.infra.scheduler` — a container scheduler over a
+  heterogeneous machine fleet with per-SKU container caps (KEA's knobs),
+- :mod:`repro.infra.pool` — a cluster pool with cold/warm starts serving
+  a cluster-creation demand stream (Synapse Spark provisioning),
+- :mod:`repro.infra.serverless` — a pause/resume billing simulator for
+  serverless databases (Moneyball's environment).
+"""
+
+from repro.infra.autoscale import (
+    AutoscaleReport,
+    AutoscaleSimulator,
+    PredictiveScalingPolicy,
+    ReactiveScalingPolicy,
+)
+from repro.infra.des import Event, EventQueue
+from repro.infra.pool import (
+    ClusterPoolSimulator,
+    NoPoolPolicy,
+    PoolPolicy,
+    PoolReport,
+    StaticPoolPolicy,
+)
+from repro.infra.scheduler import (
+    ClusterLoadReport,
+    ContainerScheduler,
+    SkuFleetConfig,
+)
+from repro.infra.serverless import (
+    AlwaysOnPolicy,
+    BillingReport,
+    PausePolicy,
+    ReactiveIdlePolicy,
+    ServerlessSimulator,
+)
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "AutoscaleSimulator",
+    "AutoscaleReport",
+    "ReactiveScalingPolicy",
+    "PredictiveScalingPolicy",
+    "ContainerScheduler",
+    "SkuFleetConfig",
+    "ClusterLoadReport",
+    "ClusterPoolSimulator",
+    "PoolPolicy",
+    "PoolReport",
+    "StaticPoolPolicy",
+    "NoPoolPolicy",
+    "ServerlessSimulator",
+    "PausePolicy",
+    "BillingReport",
+    "AlwaysOnPolicy",
+    "ReactiveIdlePolicy",
+]

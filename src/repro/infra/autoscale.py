@@ -1,0 +1,146 @@
+"""Service autoscaling: reactive thresholds vs demand forecasts (§4.1).
+
+"Significant technical and research efforts have been made to enhance
+[the cloud infrastructure], including resource provisioning, job
+scheduling, container imaging, and autoscaling.  However, these
+components heavily depend on the manual adjustments by experts."
+
+The simulator serves an hourly request stream with a replica fleet;
+each replica handles ``capacity`` requests/hour.  Excess requests are
+SLO violations (dropped/queued past deadline).  Scaling decisions take
+one hour to materialize (VM boot), which is what makes *reactive*
+scaling chase demand and *predictive* scaling lead it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+HOURS_PER_WEEK = 168
+HOURS_PER_DAY = 24
+
+
+class ScalingPolicy(Protocol):
+    """Decide the replica target from history only."""
+
+    def target(
+        self, hour: int, demand_history: np.ndarray, current_replicas: int
+    ) -> int:
+        ...
+
+
+@dataclass
+class ReactiveScalingPolicy:
+    """Classic threshold rules on the last observed utilization.
+
+    Scale out when utilization exceeded ``high``; scale in below ``low``.
+    The expert-tuned defaults every service starts with.
+    """
+
+    capacity: float
+    high: float = 0.8
+    low: float = 0.3
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.low < self.high <= 1.0:
+            raise ValueError("need 0 < low < high <= 1")
+        if self.step < 1:
+            raise ValueError("step must be >= 1")
+
+    def target(
+        self, hour: int, demand_history: np.ndarray, current_replicas: int
+    ) -> int:
+        if demand_history.size == 0:
+            return current_replicas
+        utilization = demand_history[-1] / max(
+            current_replicas * self.capacity, 1e-9
+        )
+        if utilization > self.high:
+            return current_replicas + self.step
+        if utilization < self.low:
+            return max(1, current_replicas - self.step)
+        return current_replicas
+
+
+@dataclass
+class PredictiveScalingPolicy:
+    """Seasonal forecast of next hour's demand plus headroom."""
+
+    capacity: float
+    headroom: float = 1.4
+
+    def __post_init__(self) -> None:
+        if self.headroom < 1.0:
+            raise ValueError("headroom must be >= 1.0")
+
+    def target(
+        self, hour: int, demand_history: np.ndarray, current_replicas: int
+    ) -> int:
+        forecast = None
+        for period in (HOURS_PER_WEEK, HOURS_PER_DAY):
+            if demand_history.size >= period:
+                forecast = demand_history[-period]
+                break
+        if forecast is None:
+            forecast = (
+                float(demand_history[-1]) if demand_history.size else 0.0
+            )
+        return max(1, int(np.ceil(self.headroom * forecast / self.capacity)))
+
+
+@dataclass
+class AutoscaleReport:
+    """Outcome of one policy over one demand trace."""
+
+    replicas: np.ndarray        # replicas serving each hour
+    demand: np.ndarray
+    capacity: float
+
+    @property
+    def violation_fraction(self) -> float:
+        """Share of requests arriving beyond the hour's serving capacity."""
+        served_capacity = self.replicas * self.capacity
+        dropped = np.maximum(0.0, self.demand - served_capacity)
+        total = self.demand.sum()
+        return float(dropped.sum() / total) if total > 0 else 0.0
+
+    @property
+    def replica_hours(self) -> float:
+        return float(self.replicas.sum())
+
+    @property
+    def mean_utilization(self) -> float:
+        cap = self.replicas * self.capacity
+        return float(np.mean(np.minimum(1.0, self.demand / np.maximum(cap, 1e-9))))
+
+
+class AutoscaleSimulator:
+    """Hour-stepped fleet simulation with one-hour scaling latency."""
+
+    def __init__(self, capacity: float = 100.0, initial_replicas: int = 2) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if initial_replicas < 1:
+            raise ValueError("initial_replicas must be >= 1")
+        self.capacity = capacity
+        self.initial_replicas = initial_replicas
+
+    def run(self, demand: np.ndarray, policy: ScalingPolicy) -> AutoscaleReport:
+        demand = np.asarray(demand, dtype=float)
+        if demand.size == 0:
+            raise ValueError("demand trace is empty")
+        serving = np.zeros(demand.size)
+        replicas = self.initial_replicas
+        pending = replicas  # target decided last hour, live this hour
+        for hour in range(demand.size):
+            replicas = pending  # last hour's decision materializes
+            serving[hour] = replicas
+            decision = policy.target(hour, demand[:hour + 1], replicas)
+            pending = max(1, int(decision))
+        return AutoscaleReport(
+            replicas=serving, demand=demand, capacity=self.capacity
+        )

@@ -1,0 +1,60 @@
+"""A minimal discrete-event simulation core (priority-queue driven)."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback; ties break by insertion order."""
+
+    time: float
+    sequence: int
+    action: Callable[[], Any] = field(compare=False)
+    label: str = field(compare=False, default="")
+
+
+class EventQueue:
+    """Run callbacks in time order; actions may schedule further events."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._sequence = itertools.count()
+        self.now = 0.0
+        self.processed = 0
+
+    def schedule(self, time: float, action: Callable[[], Any], label: str = "") -> Event:
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule in the past (now={self.now}, time={time})"
+            )
+        event = Event(time, next(self._sequence), action, label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_after(
+        self, delay: float, action: Callable[[], Any], label: str = ""
+    ) -> Event:
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule(self.now + delay, action, label)
+
+    def run(self, until: float | None = None) -> None:
+        """Process events until the queue drains or ``until`` is reached."""
+        while self._heap:
+            if until is not None and self._heap[0].time > until:
+                self.now = until
+                return
+            event = heapq.heappop(self._heap)
+            self.now = event.time
+            event.action()
+            self.processed += 1
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def __len__(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,123 @@
+"""Container scheduler over a heterogeneous fleet (KEA's environment).
+
+KEA [53] tunes "Cosmos scheduler configurations, such as the maximum
+running containers for each SKU" to balance workloads.  This scheduler
+places a container demand onto a fleet whose machines differ in hardware
+generation; the per-SKU container caps are the knobs, and the resulting
+per-machine CPU utilization (via the fleet's linear ground truth) is the
+outcome the balancing optimizer cares about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.machines import MachineFleetSimulator, MachineSku
+
+
+@dataclass(frozen=True)
+class SkuFleetConfig:
+    """How many machines of a SKU exist and its container cap knob."""
+
+    sku: MachineSku
+    n_machines: int
+    max_containers: int
+
+    def __post_init__(self) -> None:
+        if self.n_machines < 1:
+            raise ValueError("n_machines must be >= 1")
+        if self.max_containers < 0:
+            raise ValueError("max_containers must be non-negative")
+
+
+@dataclass
+class ClusterLoadReport:
+    """Outcome of placing one demand snapshot."""
+
+    cpu_by_machine: dict[str, float]
+    containers_by_machine: dict[str, int]
+    placed: int
+    queued: int
+
+    @property
+    def mean_cpu(self) -> float:
+        return float(np.mean(list(self.cpu_by_machine.values())))
+
+    @property
+    def cpu_imbalance(self) -> float:
+        """Standard deviation of CPU utilization across machines."""
+        return float(np.std(list(self.cpu_by_machine.values())))
+
+    def overload_fraction(self, threshold: float = 90.0) -> float:
+        cpus = np.array(list(self.cpu_by_machine.values()))
+        return float(np.mean(cpus > threshold))
+
+
+class ContainerScheduler:
+    """Water-filling placement respecting per-SKU container caps."""
+
+    def __init__(
+        self,
+        fleet: list[SkuFleetConfig],
+        noise: float = 1.5,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if not fleet:
+            raise ValueError("fleet must not be empty")
+        self.fleet = fleet
+        self.noise = noise
+        self._rng = np.random.default_rng(rng)
+        self._machines: list[tuple[str, MachineSku, int]] = []
+        for config in fleet:
+            for i in range(config.n_machines):
+                self._machines.append(
+                    (
+                        f"{config.sku.name}-m{i:03d}",
+                        config.sku,
+                        config.max_containers,
+                    )
+                )
+
+    @property
+    def capacity(self) -> int:
+        return sum(cap for _, _, cap in self._machines)
+
+    def place(self, demand: int) -> ClusterLoadReport:
+        """Distribute ``demand`` containers, least-loaded machine first."""
+        if demand < 0:
+            raise ValueError("demand must be non-negative")
+        load = {machine_id: 0 for machine_id, _, _ in self._machines}
+        caps = {machine_id: cap for machine_id, _, cap in self._machines}
+        placed = 0
+        # Water-filling: repeatedly give one container to the machine with
+        # the most remaining headroom (ties broken by id for determinism).
+        remaining = demand
+        order = sorted(load)
+        while remaining > 0:
+            candidates = [m for m in order if load[m] < caps[m]]
+            if not candidates:
+                break
+            target = min(candidates, key=lambda m: (load[m] / max(caps[m], 1), m))
+            load[target] += 1
+            placed += 1
+            remaining -= 1
+        cpu = {}
+        for machine_id, sku, _ in self._machines:
+            ideal = MachineFleetSimulator.cpu_for_containers(
+                sku, load[machine_id]
+            )
+            cpu[machine_id] = float(
+                np.clip(ideal + self._rng.normal(scale=self.noise), 0.0, 100.0)
+            )
+        return ClusterLoadReport(
+            cpu_by_machine=cpu,
+            containers_by_machine=load,
+            placed=placed,
+            queued=remaining,
+        )
+
+    def sweep(self, demands: list[int]) -> list[ClusterLoadReport]:
+        """Place a sequence of demand snapshots (e.g. hourly)."""
+        return [self.place(d) for d in demands]

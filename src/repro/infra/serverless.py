@@ -1,0 +1,145 @@
+"""Serverless database pause/resume billing simulator (Moneyball's world).
+
+Moneyball [41] pauses and resumes Azure SQL serverless databases
+proactively from ML forecasts.  The tension (Figure 2's Pareto curve):
+pausing aggressively saves billed compute hours but risks *cold starts* —
+a customer request arriving while paused waits out the resume.  The
+simulator replays a tenant's hourly activity trace against a
+:class:`PausePolicy` and reports both sides of the trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.workloads.usage import TenantTrace
+
+
+class PausePolicy(Protocol):
+    """Hourly pause/resume decisions from history only (no peeking)."""
+
+    def should_pause(self, hour: int, history: np.ndarray) -> bool:
+        """Called while running and idle: pause now?"""
+        ...
+
+    def should_resume(self, hour: int, history: np.ndarray) -> bool:
+        """Called while paused: resume proactively before any request?"""
+        ...
+
+
+@dataclass
+class BillingReport:
+    """Cost/QoS outcome of one tenant under one policy."""
+
+    billed_hours: float
+    cold_starts: int
+    active_hours: int
+    cold_start_seconds: float
+
+    @property
+    def cold_start_rate(self) -> float:
+        """Fraction of active hours that began with a resume stall."""
+        if self.active_hours == 0:
+            return 0.0
+        return self.cold_starts / self.active_hours
+
+    @property
+    def total_delay_seconds(self) -> float:
+        return self.cold_starts * self.cold_start_seconds
+
+    def cost(self, dollars_per_hour: float = 1.0) -> float:
+        return self.billed_hours * dollars_per_hour
+
+
+class ServerlessSimulator:
+    """Hour-stepped replay of a tenant trace under a pause policy."""
+
+    def __init__(
+        self,
+        activity_threshold: float = 0.05,
+        cold_start_seconds: float = 60.0,
+    ) -> None:
+        if cold_start_seconds < 0:
+            raise ValueError("cold_start_seconds must be non-negative")
+        self.activity_threshold = activity_threshold
+        self.cold_start_seconds = cold_start_seconds
+
+    def run(self, trace: TenantTrace, policy: PausePolicy) -> BillingReport:
+        values = trace.values
+        active = values >= self.activity_threshold
+        running = True
+        billed = 0.0
+        cold_starts = 0
+        for hour in range(values.size):
+            history = values[:hour]
+            if running:
+                if active[hour]:
+                    billed += 1.0
+                else:
+                    if policy.should_pause(hour, history):
+                        running = False
+                    else:
+                        billed += 1.0  # idle but kept warm: still billed
+            else:
+                # Proactive resume happens at the top of the hour, before
+                # any request arrives; the policy still sees history only.
+                if policy.should_resume(hour, history):
+                    running = True
+                    billed += 1.0  # resumed early (warm whether used or not)
+                elif active[hour]:
+                    # Demand arrived while paused: forced resume, stall.
+                    cold_starts += 1
+                    running = True
+                    billed += 1.0
+        return BillingReport(
+            billed_hours=billed,
+            cold_starts=cold_starts,
+            active_hours=int(active.sum()),
+            cold_start_seconds=self.cold_start_seconds,
+        )
+
+    def run_population(
+        self, traces: list[TenantTrace], policy_for: "PolicyFactory"
+    ) -> list[BillingReport]:
+        """Run every tenant with a per-tenant policy."""
+        return [self.run(t, policy_for(t)) for t in traces]
+
+
+class PolicyFactory(Protocol):
+    def __call__(self, trace: TenantTrace) -> PausePolicy:
+        ...
+
+
+@dataclass
+class AlwaysOnPolicy:
+    """Never pause: zero cold starts, maximum cost."""
+
+    def should_pause(self, hour: int, history: np.ndarray) -> bool:
+        return False
+
+    def should_resume(self, hour: int, history: np.ndarray) -> bool:
+        return True
+
+
+@dataclass
+class ReactiveIdlePolicy:
+    """Pause after ``idle_hours`` consecutive idle hours; resume on demand.
+
+    The production default Moneyball improves on: the only knob is the
+    idle timeout, and every resume is a cold start.
+    """
+
+    idle_hours: int = 1
+    activity_threshold: float = 0.05
+
+    def should_pause(self, hour: int, history: np.ndarray) -> bool:
+        if history.size < self.idle_hours:
+            return False
+        recent = history[-self.idle_hours :]
+        return bool(np.all(recent < self.activity_threshold))
+
+    def should_resume(self, hour: int, history: np.ndarray) -> bool:
+        return False

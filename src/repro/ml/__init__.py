@@ -1,0 +1,106 @@
+"""From-scratch ML substrate for the autonomous data services reproduction.
+
+The paper's Insight 1 ("Simplicity rules") observes that production
+ML-for-Systems work at Azure overwhelmingly uses simple model families:
+linear models, tree ensembles, k-means segmentation, bandits, and classical
+time-series forecasting.  This subpackage implements exactly those families
+on top of numpy, plus the MLOps scaffolding (model registry, drift
+detection, rollback) that Insight 3 ("Feedback loop is indispensable")
+calls for.
+"""
+
+from repro.ml.base import FittedError, Model, NotFittedError, check_2d, check_fitted
+from repro.ml.bandits import (
+    EpsilonGreedyBandit,
+    LinUCB,
+    ThompsonSamplingBandit,
+    UCB1Bandit,
+)
+from repro.ml.cluster import KMeans, silhouette_score
+from repro.ml.drift import DriftDetector, PageHinkley, WindowedKSDetector
+from repro.ml.ensemble import GradientBoostingRegressor, RandomForestRegressor
+from repro.ml.forecast import (
+    HoltWinters,
+    MovingAverageForecaster,
+    SeasonalNaiveForecaster,
+    predictability_score,
+    seasonal_decompose,
+)
+from repro.ml.lineage import Artifact, LineageTracker
+from repro.ml.linear import (
+    LinearRegression,
+    LogisticRegression,
+    QuantileRegression,
+    RidgeRegression,
+)
+from repro.ml.metrics import (
+    accuracy,
+    confusion_matrix,
+    f1_score,
+    mae,
+    mape,
+    mse,
+    precision,
+    q_error,
+    r2_score,
+    recall,
+    rmse,
+)
+from repro.ml.preprocessing import (
+    OneHotEncoder,
+    StandardScaler,
+    polynomial_features,
+    train_test_split,
+)
+from repro.ml.registry import ModelRecord, ModelRegistry, ModelStage
+from repro.ml.trees import DecisionTreeClassifier, DecisionTreeRegressor
+
+__all__ = [
+    "Model",
+    "NotFittedError",
+    "FittedError",
+    "check_2d",
+    "check_fitted",
+    "LinearRegression",
+    "RidgeRegression",
+    "LogisticRegression",
+    "QuantileRegression",
+    "DecisionTreeRegressor",
+    "DecisionTreeClassifier",
+    "RandomForestRegressor",
+    "GradientBoostingRegressor",
+    "KMeans",
+    "silhouette_score",
+    "EpsilonGreedyBandit",
+    "UCB1Bandit",
+    "ThompsonSamplingBandit",
+    "LinUCB",
+    "SeasonalNaiveForecaster",
+    "MovingAverageForecaster",
+    "HoltWinters",
+    "seasonal_decompose",
+    "predictability_score",
+    "StandardScaler",
+    "OneHotEncoder",
+    "train_test_split",
+    "polynomial_features",
+    "ModelRegistry",
+    "LineageTracker",
+    "Artifact",
+    "ModelRecord",
+    "ModelStage",
+    "DriftDetector",
+    "PageHinkley",
+    "WindowedKSDetector",
+    "mse",
+    "rmse",
+    "mae",
+    "mape",
+    "r2_score",
+    "q_error",
+    "accuracy",
+    "precision",
+    "recall",
+    "f1_score",
+    "confusion_matrix",
+]

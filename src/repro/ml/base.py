@@ -1,0 +1,68 @@
+"""Shared estimator protocol and validation helpers."""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+
+class NotFittedError(RuntimeError):
+    """Raised when ``predict`` is called before ``fit``."""
+
+
+class FittedError(RuntimeError):
+    """Raised when an operation is invalid on an already-fitted estimator."""
+
+
+@runtime_checkable
+class Model(Protocol):
+    """Minimal estimator protocol shared by every model in ``repro.ml``."""
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "Model":
+        """Fit the model and return ``self``."""
+        ...
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predict targets for ``x``."""
+        ...
+
+
+def check_2d(x: np.ndarray, name: str = "x") -> np.ndarray:
+    """Coerce ``x`` to a 2-D float array, raising on bad shapes.
+
+    A 1-D input is treated as a single feature column, which matches how
+    the paper's micromodels are typically trained (one driving feature,
+    e.g. input cardinality).
+    """
+    arr = np.asarray(x, dtype=float)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 1-D or 2-D, got ndim={arr.ndim}")
+    if arr.shape[0] == 0:
+        raise ValueError(f"{name} must contain at least one row")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite values")
+    return arr
+
+
+def check_xy(x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a feature matrix / target vector pair."""
+    xarr = check_2d(x)
+    yarr = np.asarray(y, dtype=float).ravel()
+    if yarr.shape[0] != xarr.shape[0]:
+        raise ValueError(
+            f"x and y disagree on sample count: {xarr.shape[0]} vs {yarr.shape[0]}"
+        )
+    if not np.all(np.isfinite(yarr)):
+        raise ValueError("y contains non-finite values")
+    return xarr, yarr
+
+
+def check_fitted(model: object, attribute: str) -> None:
+    """Raise :class:`NotFittedError` unless ``model`` has ``attribute`` set."""
+    if getattr(model, attribute, None) is None:
+        raise NotFittedError(
+            f"{type(model).__name__} is not fitted; call fit() first"
+        )

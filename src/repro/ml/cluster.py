@@ -1,0 +1,124 @@
+"""K-means clustering (k-means++ init) and silhouette scoring.
+
+Doppler-style SKU recommendation (Section 4.3) stratifies customers into
+segments before applying per-segment knowledge; k-means is the natural
+stratifier given Insight 2 ("one size does not fit all").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import check_2d, check_fitted
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ seeding and empty-cluster repair."""
+
+    def __init__(
+        self,
+        n_clusters: int = 4,
+        n_iter: int = 100,
+        tol: float = 1e-6,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        self.n_clusters = n_clusters
+        self.n_iter = n_iter
+        self.tol = tol
+        self._rng = np.random.default_rng(rng)
+        self.centers_: np.ndarray | None = None
+        self.labels_: np.ndarray | None = None
+        self.inertia_: float | None = None
+
+    def fit(self, x: np.ndarray) -> "KMeans":
+        arr = check_2d(x)
+        if arr.shape[0] < self.n_clusters:
+            raise ValueError(
+                f"need at least {self.n_clusters} samples, got {arr.shape[0]}"
+            )
+        centers = self._init_centers(arr)
+        labels = np.zeros(arr.shape[0], dtype=int)
+        for _ in range(self.n_iter):
+            distances = self._pairwise_sq(arr, centers)
+            labels = np.argmin(distances, axis=1)
+            new_centers = centers.copy()
+            for k in range(self.n_clusters):
+                members = arr[labels == k]
+                if members.shape[0] == 0:
+                    # Re-seed an empty cluster at the farthest point.
+                    farthest = np.argmax(distances.min(axis=1))
+                    new_centers[k] = arr[farthest]
+                else:
+                    new_centers[k] = members.mean(axis=0)
+            shift = float(np.max(np.linalg.norm(new_centers - centers, axis=1)))
+            centers = new_centers
+            if shift < self.tol:
+                break
+        self.centers_ = centers
+        self.labels_ = labels
+        self.inertia_ = float(
+            np.sum(self._pairwise_sq(arr, centers)[np.arange(arr.shape[0]), labels])
+        )
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        check_fitted(self, "centers_")
+        arr = check_2d(x)
+        return np.argmin(self._pairwise_sq(arr, self.centers_), axis=1)
+
+    def fit_predict(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).labels_
+
+    def _init_centers(self, arr: np.ndarray) -> np.ndarray:
+        n = arr.shape[0]
+        centers = [arr[self._rng.integers(0, n)]]
+        while len(centers) < self.n_clusters:
+            distances = self._pairwise_sq(arr, np.array(centers)).min(axis=1)
+            total = distances.sum()
+            if total == 0.0:
+                # All remaining points coincide with existing centers.
+                centers.append(arr[self._rng.integers(0, n)])
+                continue
+            probabilities = distances / total
+            centers.append(arr[self._rng.choice(n, p=probabilities)])
+        return np.array(centers)
+
+    @staticmethod
+    def _pairwise_sq(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+        diff = points[:, None, :] - centers[None, :, :]
+        return np.sum(diff**2, axis=2)
+
+
+def silhouette_score(x: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient over all samples.
+
+    Returns 0.0 when there is a single cluster (undefined otherwise).
+    """
+    arr = check_2d(x)
+    labels = np.asarray(labels, dtype=int).ravel()
+    if labels.shape[0] != arr.shape[0]:
+        raise ValueError("labels must match sample count")
+    unique = np.unique(labels)
+    if unique.shape[0] < 2:
+        return 0.0
+    diff = arr[:, None, :] - arr[None, :, :]
+    distances = np.sqrt(np.sum(diff**2, axis=2))
+    scores = np.zeros(arr.shape[0])
+    for i in range(arr.shape[0]):
+        own = labels[i]
+        own_mask = labels == own
+        n_own = own_mask.sum()
+        if n_own <= 1:
+            scores[i] = 0.0
+            continue
+        a = distances[i, own_mask].sum() / (n_own - 1)
+        b = min(
+            distances[i, labels == other].mean()
+            for other in unique
+            if other != own
+        )
+        denom = max(a, b)
+        scores[i] = 0.0 if denom == 0 else (b - a) / denom
+    return float(np.mean(scores))

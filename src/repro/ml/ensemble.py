@@ -1,0 +1,124 @@
+"""Tree ensembles: random forest and gradient boosting for regression."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import check_2d, check_fitted, check_xy
+from repro.ml.trees import DecisionTreeRegressor
+
+
+class RandomForestRegressor:
+    """Bagged regression trees with per-split feature subsampling."""
+
+    def __init__(
+        self,
+        n_trees: int = 20,
+        max_depth: int = 6,
+        min_samples_leaf: int = 1,
+        max_features: int | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if n_trees < 1:
+            raise ValueError("n_trees must be >= 1")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self._rng = np.random.default_rng(rng)
+        self.trees_: list[DecisionTreeRegressor] | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        xarr, yarr = check_xy(x, y)
+        n = xarr.shape[0]
+        max_features = self.max_features
+        if max_features is None:
+            max_features = max(1, xarr.shape[1] // 2)
+        trees = []
+        for _ in range(self.n_trees):
+            sample = self._rng.integers(0, n, size=n)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                rng=self._rng,
+            )
+            tree.fit(xarr[sample], yarr[sample])
+            trees.append(tree)
+        self.trees_ = trees
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        check_fitted(self, "trees_")
+        xarr = check_2d(x)
+        stacked = np.stack([tree.predict(xarr) for tree in self.trees_])
+        return stacked.mean(axis=0)
+
+    def predict_std(self, x: np.ndarray) -> np.ndarray:
+        """Per-sample standard deviation across trees (epistemic proxy).
+
+        Used by MLOS-style tuners as a cheap uncertainty estimate when
+        trading off exploration against exploitation.
+        """
+        check_fitted(self, "trees_")
+        xarr = check_2d(x)
+        stacked = np.stack([tree.predict(xarr) for tree in self.trees_])
+        return stacked.std(axis=0)
+
+
+class GradientBoostingRegressor:
+    """Least-squares gradient boosting over shallow regression trees."""
+
+    def __init__(
+        self,
+        n_trees: int = 50,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        min_samples_leaf: int = 1,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if n_trees < 1:
+            raise ValueError("n_trees must be >= 1")
+        if not 0.0 < learning_rate <= 1.0:
+            raise ValueError("learning_rate must be in (0, 1]")
+        self.n_trees = n_trees
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self._rng = np.random.default_rng(rng)
+        self.base_prediction_: float | None = None
+        self.trees_: list[DecisionTreeRegressor] = []
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GradientBoostingRegressor":
+        xarr, yarr = check_xy(x, y)
+        self.base_prediction_ = float(np.mean(yarr))
+        self.trees_ = []
+        current = np.full(yarr.shape, self.base_prediction_)
+        for _ in range(self.n_trees):
+            residual = yarr - current
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                rng=self._rng,
+            )
+            tree.fit(xarr, residual)
+            current = current + self.learning_rate * tree.predict(xarr)
+            self.trees_.append(tree)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        check_fitted(self, "base_prediction_")
+        xarr = check_2d(x)
+        out = np.full(xarr.shape[0], self.base_prediction_)
+        for tree in self.trees_:
+            out = out + self.learning_rate * tree.predict(xarr)
+        return out
+
+    def staged_predict(self, x: np.ndarray):
+        """Yield predictions after each boosting round (for early stopping)."""
+        check_fitted(self, "base_prediction_")
+        xarr = check_2d(x)
+        out = np.full(xarr.shape[0], self.base_prediction_)
+        for tree in self.trees_:
+            out = out + self.learning_rate * tree.predict(xarr)
+            yield out.copy()

@@ -1,0 +1,123 @@
+"""Regression, classification, and estimation-quality metrics.
+
+``q_error`` is the standard metric for cardinality estimation quality
+(max of over/under-estimation ratio); the remaining metrics are the usual
+suspects used throughout the paper's micromodel evaluations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _pair(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    t = np.asarray(y_true, dtype=float).ravel()
+    p = np.asarray(y_pred, dtype=float).ravel()
+    if t.shape != p.shape:
+        raise ValueError(f"shape mismatch: {t.shape} vs {p.shape}")
+    if t.size == 0:
+        raise ValueError("empty inputs")
+    return t, p
+
+
+def mse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean squared error."""
+    t, p = _pair(y_true, y_pred)
+    return float(np.mean((t - p) ** 2))
+
+
+def rmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(mse(y_true, y_pred)))
+
+
+def mae(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute error."""
+    t, p = _pair(y_true, y_pred)
+    return float(np.mean(np.abs(t - p)))
+
+
+def mape(y_true: np.ndarray, y_pred: np.ndarray, eps: float = 1e-9) -> float:
+    """Mean absolute percentage error (with an epsilon guard on zeros)."""
+    t, p = _pair(y_true, y_pred)
+    return float(np.mean(np.abs(t - p) / np.maximum(np.abs(t), eps)))
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination.
+
+    Returns 0.0 for a constant target perfectly predicted and a negative
+    value when the model is worse than predicting the mean.
+    """
+    t, p = _pair(y_true, y_pred)
+    ss_res = float(np.sum((t - p) ** 2))
+    ss_tot = float(np.sum((t - np.mean(t)) ** 2))
+    if ss_tot == 0.0:
+        return 0.0 if ss_res > 0 else 1.0
+    return 1.0 - ss_res / ss_tot
+
+
+def q_error(y_true: np.ndarray, y_pred: np.ndarray, eps: float = 1.0) -> np.ndarray:
+    """Per-sample q-error: ``max(true/pred, pred/true)`` with floors at eps.
+
+    The canonical cardinality-estimation quality metric; 1.0 is perfect.
+    """
+    t, p = _pair(y_true, y_pred)
+    t = np.maximum(np.abs(t), eps)
+    p = np.maximum(np.abs(p), eps)
+    return np.maximum(t / p, p / t)
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact label matches."""
+    t = np.asarray(y_true).ravel()
+    p = np.asarray(y_pred).ravel()
+    if t.shape != p.shape:
+        raise ValueError(f"shape mismatch: {t.shape} vs {p.shape}")
+    if t.size == 0:
+        raise ValueError("empty inputs")
+    return float(np.mean(t == p))
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, labels: list | None = None
+) -> np.ndarray:
+    """Confusion matrix with rows = true labels, columns = predicted."""
+    t = np.asarray(y_true).ravel()
+    p = np.asarray(y_pred).ravel()
+    if labels is None:
+        labels = sorted(set(t.tolist()) | set(p.tolist()))
+    index = {label: i for i, label in enumerate(labels)}
+    out = np.zeros((len(labels), len(labels)), dtype=int)
+    for ti, pi in zip(t, p):
+        out[index[ti], index[pi]] += 1
+    return out
+
+
+def precision(y_true: np.ndarray, y_pred: np.ndarray, positive=1) -> float:
+    """Precision for the ``positive`` class (0.0 when nothing predicted positive)."""
+    t = np.asarray(y_true).ravel()
+    p = np.asarray(y_pred).ravel()
+    predicted = p == positive
+    if not predicted.any():
+        return 0.0
+    return float(np.mean(t[predicted] == positive))
+
+
+def recall(y_true: np.ndarray, y_pred: np.ndarray, positive=1) -> float:
+    """Recall for the ``positive`` class (0.0 when no positives exist)."""
+    t = np.asarray(y_true).ravel()
+    p = np.asarray(y_pred).ravel()
+    actual = t == positive
+    if not actual.any():
+        return 0.0
+    return float(np.mean(p[actual] == positive))
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray, positive=1) -> float:
+    """Harmonic mean of precision and recall."""
+    pr = precision(y_true, y_pred, positive)
+    rc = recall(y_true, y_pred, positive)
+    if pr + rc == 0.0:
+        return 0.0
+    return 2.0 * pr * rc / (pr + rc)

@@ -1,0 +1,109 @@
+"""Feature preprocessing utilities shared by the autonomous services."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.ml.base import check_2d, check_fitted
+
+
+class StandardScaler:
+    """Zero-mean / unit-variance scaling with degenerate-column protection."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        arr = check_2d(x)
+        self.mean_ = arr.mean(axis=0)
+        scale = arr.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        check_fitted(self, "mean_")
+        arr = check_2d(x)
+        if arr.shape[1] != self.mean_.shape[0]:
+            raise ValueError(
+                f"expected {self.mean_.shape[0]} features, got {arr.shape[1]}"
+            )
+        return (arr - self.mean_) / self.scale_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        check_fitted(self, "mean_")
+        arr = check_2d(x)
+        return arr * self.scale_ + self.mean_
+
+
+class OneHotEncoder:
+    """One-hot encoding for a single categorical column of hashables."""
+
+    def __init__(self, handle_unknown: str = "ignore") -> None:
+        if handle_unknown not in ("ignore", "error"):
+            raise ValueError("handle_unknown must be 'ignore' or 'error'")
+        self.handle_unknown = handle_unknown
+        self.categories_: list | None = None
+        self._index: dict | None = None
+
+    def fit(self, values: Sequence) -> "OneHotEncoder":
+        self.categories_ = sorted(set(values), key=repr)
+        self._index = {c: i for i, c in enumerate(self.categories_)}
+        return self
+
+    def transform(self, values: Sequence) -> np.ndarray:
+        check_fitted(self, "categories_")
+        out = np.zeros((len(values), len(self.categories_)), dtype=float)
+        for row, value in enumerate(values):
+            col = self._index.get(value)
+            if col is None:
+                if self.handle_unknown == "error":
+                    raise ValueError(f"unknown category: {value!r}")
+                continue
+            out[row, col] = 1.0
+        return out
+
+    def fit_transform(self, values: Sequence) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+
+def train_test_split(
+    x: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.25,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split ``(x, y)`` into train/test partitions."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    xarr = np.asarray(x)
+    yarr = np.asarray(y)
+    if xarr.shape[0] != yarr.shape[0]:
+        raise ValueError("x and y disagree on sample count")
+    generator = np.random.default_rng(rng)
+    order = generator.permutation(xarr.shape[0])
+    n_test = max(1, int(round(test_fraction * xarr.shape[0])))
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    if train_idx.size == 0:
+        raise ValueError("test_fraction leaves no training samples")
+    return xarr[train_idx], xarr[test_idx], yarr[train_idx], yarr[test_idx]
+
+
+def polynomial_features(x: np.ndarray, degree: int = 2) -> np.ndarray:
+    """Expand features with powers up to ``degree`` (no cross terms).
+
+    Cross terms are deliberately omitted: the paper's KEA models use
+    single-variable linear/polynomial fits per behaviour (Figure 1), and
+    omitting interactions keeps the expansion interpretable.
+    """
+    if degree < 1:
+        raise ValueError("degree must be >= 1")
+    arr = check_2d(x)
+    columns = [arr**power for power in range(1, degree + 1)]
+    return np.hstack(columns)

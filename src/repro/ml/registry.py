@@ -1,0 +1,171 @@
+"""Model registry with staged rollout, monitoring hooks, and rollback.
+
+Implements the MLOps requirements of Insight 3: every deployed model must
+be (1) monitored so regressions are spotted, and (2) quickly revertible.
+The registry versions models per logical *name*, tracks which version is
+serving, supports flighting (a candidate serving a fraction of traffic),
+and keeps an audit log of every transition.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+
+class ModelStage(enum.Enum):
+    """Lifecycle stage of a registered model version."""
+
+    REGISTERED = "registered"
+    FLIGHTING = "flighting"
+    PRODUCTION = "production"
+    RETIRED = "retired"
+
+
+@dataclass
+class ModelRecord:
+    """A single registered model version."""
+
+    name: str
+    version: int
+    model: Any
+    stage: ModelStage = ModelStage.REGISTERED
+    metadata: dict = field(default_factory=dict)
+    metrics: list[float] = field(default_factory=list)
+
+
+class ModelRegistry:
+    """Versioned model store with flighting and one-call rollback."""
+
+    def __init__(self, rng: np.random.Generator | int | None = None) -> None:
+        self._records: dict[str, dict[int, ModelRecord]] = {}
+        self._versions = itertools.count(1)
+        self._flight_fraction: dict[str, float] = {}
+        self._promotion_history: dict[str, list[int]] = {}
+        self._rng = np.random.default_rng(rng)
+        self.audit_log: list[tuple[str, str, int]] = []
+
+    # -- registration --------------------------------------------------------
+    def register(self, name: str, model: Any, metadata: dict | None = None) -> int:
+        """Register a new version of ``name``; returns the version number."""
+        version = next(self._versions)
+        record = ModelRecord(name, version, model, metadata=metadata or {})
+        self._records.setdefault(name, {})[version] = record
+        self.audit_log.append(("register", name, version))
+        return version
+
+    def get(self, name: str, version: int) -> ModelRecord:
+        try:
+            return self._records[name][version]
+        except KeyError:
+            raise KeyError(f"no model {name!r} version {version}") from None
+
+    def versions(self, name: str) -> list[int]:
+        return sorted(self._records.get(name, {}))
+
+    # -- lifecycle -------------------------------------------------------------
+    def promote(self, name: str, version: int) -> None:
+        """Make ``version`` the production model, retiring the previous one."""
+        record = self.get(name, version)
+        current = self.production(name)
+        if current is not None and current.version != version:
+            current.stage = ModelStage.RETIRED
+        record.stage = ModelStage.PRODUCTION
+        self._promotion_history.setdefault(name, []).append(version)
+        self._flight_fraction.pop(name, None)
+        self.audit_log.append(("promote", name, version))
+
+    def flight(self, name: str, version: int, fraction: float = 0.1) -> None:
+        """Start flighting ``version`` on ``fraction`` of traffic."""
+        if not 0.0 < fraction < 1.0:
+            raise ValueError("flight fraction must be in (0, 1)")
+        record = self.get(name, version)
+        if self.production(name) is None:
+            raise RuntimeError(f"cannot flight {name!r}: no production model")
+        record.stage = ModelStage.FLIGHTING
+        self._flight_fraction[name] = fraction
+        self.audit_log.append(("flight", name, version))
+
+    def rollback(self, name: str) -> int:
+        """Revert production to the previously promoted version.
+
+        Returns the version now serving.  Each rollback walks one step
+        further back through the promotion history, so repeated rollbacks
+        never ping-pong between the last two versions.
+        """
+        history = self._promotion_history.get(name, [])
+        if len(history) < 2:
+            raise RuntimeError(f"no previous version of {name!r} to roll back to")
+        current_version = history.pop()
+        previous = self.get(name, history[-1])
+        self.get(name, current_version).stage = ModelStage.RETIRED
+        previous.stage = ModelStage.PRODUCTION
+        self._flight_fraction.pop(name, None)
+        self.audit_log.append(("rollback", name, previous.version))
+        return previous.version
+
+    # -- serving ---------------------------------------------------------------
+    def production(self, name: str) -> ModelRecord | None:
+        for record in self._records.get(name, {}).values():
+            if record.stage is ModelStage.PRODUCTION:
+                return record
+        return None
+
+    def flighting(self, name: str) -> ModelRecord | None:
+        for record in self._records.get(name, {}).values():
+            if record.stage is ModelStage.FLIGHTING:
+                return record
+        return None
+
+    def serve(self, name: str) -> ModelRecord:
+        """Pick the record that should answer the next request.
+
+        During a flight, the candidate answers its configured fraction of
+        traffic; otherwise the production model answers.
+        """
+        candidate = self.flighting(name)
+        if candidate is not None:
+            if self._rng.random() < self._flight_fraction.get(name, 0.0):
+                return candidate
+        record = self.production(name)
+        if record is None:
+            raise RuntimeError(f"no production model for {name!r}")
+        return record
+
+    # -- monitoring ---------------------------------------------------------------
+    def record_metric(self, name: str, version: int, value: float) -> None:
+        self.get(name, version).metrics.append(float(value))
+
+    def evaluate_flight(
+        self,
+        name: str,
+        better: Callable[[float, float], bool] | None = None,
+        min_samples: int = 10,
+    ) -> bool | None:
+        """Compare flight vs production metrics; promote or abort.
+
+        Returns True if the candidate was promoted, False if aborted, or
+        None if there is not enough data yet.  ``better(candidate, prod)``
+        defaults to "lower mean metric wins" (error-style metrics).
+        """
+        candidate = self.flighting(name)
+        production = self.production(name)
+        if candidate is None or production is None:
+            raise RuntimeError(f"no active flight for {name!r}")
+        if len(candidate.metrics) < min_samples or len(production.metrics) < min_samples:
+            return None
+        if better is None:
+            better = lambda cand, prod: cand < prod  # noqa: E731
+        cand_mean = float(np.mean(candidate.metrics))
+        prod_mean = float(np.mean(production.metrics))
+        if better(cand_mean, prod_mean):
+            self.promote(name, candidate.version)
+            return True
+        candidate.stage = ModelStage.RETIRED
+        self._flight_fraction.pop(name, None)
+        self.audit_log.append(("abort_flight", name, candidate.version))
+        return False

@@ -1,0 +1,216 @@
+"""Portable model exchange and generic model containers (Direction 2).
+
+"To simplify the reuse of models for deployment within a common
+infrastructure, we also adopt standard representations for ML models,
+such as ONNX.  Furthermore, we package an ML model (along with any
+additional required code and libraries) into a standard generic
+container that can be efficiently reused across systems [44]."
+
+This module provides the miniature equivalents:
+
+- :func:`export_model` / :func:`import_model` — an ONNX-like portable
+  dict format for the model families in :mod:`repro.ml` (linear family
+  and CART trees, the Insight-1 production diet), and
+- :class:`ModelContainer` — a generic serving wrapper with a uniform
+  ``predict`` interface, metadata, and input validation, portable across
+  every service in the repo.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.ml.linear import LinearRegression, LogisticRegression, RidgeRegression
+from repro.ml.trees import DecisionTreeClassifier, DecisionTreeRegressor, _Node
+
+FORMAT_VERSION = 1
+
+
+class ModelFormatError(ValueError):
+    """Raised for malformed or unsupported model payloads."""
+
+
+# -- linear family ---------------------------------------------------------
+
+
+def _export_linear(model) -> dict[str, Any]:
+    if model.coef_ is None:
+        raise ModelFormatError("model is not fitted")
+    return {
+        "coef": [float(c) for c in model.coef_],
+        "intercept": float(model.intercept_),
+    }
+
+
+def _import_linear(cls, payload: dict[str, Any]):
+    model = cls()
+    model.coef_ = np.asarray(payload["coef"], dtype=float)
+    model.intercept_ = float(payload["intercept"])
+    return model
+
+
+# -- trees -------------------------------------------------------------------
+
+
+def _export_tree_node(node: _Node) -> dict[str, Any]:
+    out: dict[str, Any] = {
+        "prediction": node.prediction,
+        "n_samples": node.n_samples,
+    }
+    if not node.is_leaf:
+        out.update(
+            feature=node.feature,
+            threshold=node.threshold,
+            left=_export_tree_node(node.left),
+            right=_export_tree_node(node.right),
+        )
+    return out
+
+
+def _import_tree_node(payload: dict[str, Any]) -> _Node:
+    node = _Node(
+        prediction=float(payload["prediction"]),
+        n_samples=int(payload.get("n_samples", 0)),
+    )
+    if "left" in payload:
+        node.feature = int(payload["feature"])
+        node.threshold = float(payload["threshold"])
+        node.left = _import_tree_node(payload["left"])
+        node.right = _import_tree_node(payload["right"])
+    return node
+
+
+def _export_tree(model) -> dict[str, Any]:
+    if model.root_ is None:
+        raise ModelFormatError("model is not fitted")
+    return {
+        "n_features": model.n_features_,
+        "root": _export_tree_node(model.root_),
+    }
+
+
+def _import_tree(cls, payload: dict[str, Any]):
+    model = cls()
+    model.n_features_ = int(payload["n_features"])
+    model.root_ = _import_tree_node(payload["root"])
+    return model
+
+
+_EXPORTERS = {
+    LinearRegression: ("linear_regression", _export_linear),
+    RidgeRegression: ("ridge_regression", _export_linear),
+    LogisticRegression: ("logistic_regression", _export_linear),
+    DecisionTreeRegressor: ("decision_tree_regressor", _export_tree),
+    DecisionTreeClassifier: ("decision_tree_classifier", _export_tree),
+}
+
+_IMPORTERS = {
+    "linear_regression": lambda p: _import_linear(LinearRegression, p),
+    "ridge_regression": lambda p: _import_linear(RidgeRegression, p),
+    "logistic_regression": lambda p: _import_linear(LogisticRegression, p),
+    "decision_tree_regressor": lambda p: _import_tree(DecisionTreeRegressor, p),
+    "decision_tree_classifier": lambda p: _import_tree(DecisionTreeClassifier, p),
+}
+
+
+def export_model(model: Any) -> dict[str, Any]:
+    """Model -> portable dict.  Exact round trip with :func:`import_model`."""
+    for cls, (kind, exporter) in _EXPORTERS.items():
+        if type(model) is cls:
+            return {
+                "version": FORMAT_VERSION,
+                "kind": kind,
+                "payload": exporter(model),
+            }
+    raise ModelFormatError(
+        f"no portable format for {type(model).__name__}"
+    )
+
+
+def import_model(payload: dict[str, Any]) -> Any:
+    if not isinstance(payload, dict):
+        raise ModelFormatError("model payload must be a dict")
+    if payload.get("version") != FORMAT_VERSION:
+        raise ModelFormatError(
+            f"unsupported model format version: {payload.get('version')!r}"
+        )
+    kind = payload.get("kind")
+    importer = _IMPORTERS.get(kind)
+    if importer is None:
+        raise ModelFormatError(f"unknown model kind: {kind!r}")
+    return importer(payload["payload"])
+
+
+def to_json(model: Any) -> str:
+    return json.dumps(export_model(model), sort_keys=True)
+
+
+def from_json(text: str) -> Any:
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ModelFormatError(f"invalid JSON: {exc}") from exc
+    return import_model(payload)
+
+
+# -- the generic container ---------------------------------------------------------
+
+
+@dataclass
+class ModelContainer:
+    """A standard serving wrapper: model + schema + metadata [44].
+
+    The container validates inputs against the declared feature count,
+    exposes one ``predict`` call regardless of the wrapped family, and
+    serializes as a single JSON document (model + metadata together), so
+    any serving system in the repo can host any model.
+    """
+
+    model: Any
+    n_features: int
+    name: str = "model"
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_features < 1:
+            raise ValueError("n_features must be >= 1")
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        arr = np.atleast_2d(np.asarray(x, dtype=float))
+        if arr.shape[1] != self.n_features:
+            raise ValueError(
+                f"container {self.name!r} expects {self.n_features} features, "
+                f"got {arr.shape[1]}"
+            )
+        return np.asarray(self.model.predict(arr))
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "version": FORMAT_VERSION,
+                "name": self.name,
+                "n_features": self.n_features,
+                "metadata": self.metadata,
+                "model": export_model(self.model),
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ModelContainer":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ModelFormatError(f"invalid JSON: {exc}") from exc
+        if payload.get("version") != FORMAT_VERSION:
+            raise ModelFormatError("unsupported container version")
+        return cls(
+            model=import_model(payload["model"]),
+            n_features=int(payload["n_features"]),
+            name=payload.get("name", "model"),
+            metadata=payload.get("metadata", {}),
+        )

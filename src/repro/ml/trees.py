@@ -1,0 +1,201 @@
+"""CART decision trees (regression and classification), pure numpy.
+
+Tree models are the second pillar of the paper's Insight 1 model diet:
+interpretable, cheap to train, and robust to the skewed telemetry
+distributions common in cloud workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.base import check_2d, check_fitted, check_xy
+
+
+@dataclass
+class _Node:
+    """A single tree node; leaves carry a prediction, splits carry a rule."""
+
+    prediction: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    n_samples: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+@dataclass
+class _SplitCandidate:
+    feature: int
+    threshold: float
+    score: float
+
+
+class _BaseTree:
+    """Shared recursive CART builder; subclasses define impurity/prediction."""
+
+    def __init__(
+        self,
+        max_depth: int = 6,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self._rng = np.random.default_rng(rng)
+        self.root_: _Node | None = None
+        self.n_features_: int = 0
+
+    # -- subclass hooks ----------------------------------------------------
+    def _leaf_value(self, y: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def _impurity(self, y: np.ndarray) -> float:
+        raise NotImplementedError
+
+    # -- fitting -----------------------------------------------------------
+    def fit(self, x: np.ndarray, y: np.ndarray):
+        xarr, yarr = check_xy(x, y)
+        self.n_features_ = xarr.shape[1]
+        self.root_ = self._build(xarr, yarr, depth=0)
+        return self
+
+    def _build(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(prediction=self._leaf_value(y), n_samples=y.shape[0])
+        if (
+            depth >= self.max_depth
+            or y.shape[0] < self.min_samples_split
+            or np.all(y == y[0])
+        ):
+            return node
+        split = self._best_split(x, y)
+        if split is None:
+            return node
+        mask = x[:, split.feature] <= split.threshold
+        node.feature = split.feature
+        node.threshold = split.threshold
+        node.left = self._build(x[mask], y[mask], depth + 1)
+        node.right = self._build(x[~mask], y[~mask], depth + 1)
+        return node
+
+    def _candidate_features(self) -> np.ndarray:
+        if self.max_features is None or self.max_features >= self.n_features_:
+            return np.arange(self.n_features_)
+        return self._rng.choice(
+            self.n_features_, size=self.max_features, replace=False
+        )
+
+    def _best_split(self, x: np.ndarray, y: np.ndarray) -> _SplitCandidate | None:
+        parent_impurity = self._impurity(y)
+        best: _SplitCandidate | None = None
+        n = y.shape[0]
+        for feature in self._candidate_features():
+            values = x[:, feature]
+            order = np.argsort(values, kind="stable")
+            sorted_values = values[order]
+            sorted_y = y[order]
+            # candidate thresholds: midpoints between distinct consecutive values
+            distinct = np.nonzero(np.diff(sorted_values))[0]
+            for idx in distinct:
+                n_left = idx + 1
+                n_right = n - n_left
+                if n_left < self.min_samples_leaf or n_right < self.min_samples_leaf:
+                    continue
+                left_y, right_y = sorted_y[:n_left], sorted_y[n_left:]
+                weighted = (
+                    n_left * self._impurity(left_y)
+                    + n_right * self._impurity(right_y)
+                ) / n
+                gain = parent_impurity - weighted
+                if gain <= 1e-12:
+                    continue
+                if best is None or gain > best.score:
+                    threshold = 0.5 * (
+                        sorted_values[idx] + sorted_values[idx + 1]
+                    )
+                    best = _SplitCandidate(feature, float(threshold), gain)
+        return best
+
+    # -- prediction ----------------------------------------------------------
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        check_fitted(self, "root_")
+        xarr = check_2d(x)
+        if xarr.shape[1] != self.n_features_:
+            raise ValueError(
+                f"expected {self.n_features_} features, got {xarr.shape[1]}"
+            )
+        return np.array([self._predict_row(row) for row in xarr])
+
+    def _predict_row(self, row: np.ndarray) -> float:
+        node = self.root_
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.prediction
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree (0 for a single leaf)."""
+        check_fitted(self, "root_")
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self.root_)
+
+    def n_leaves(self) -> int:
+        """Number of leaf nodes in the fitted tree."""
+        check_fitted(self, "root_")
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            return walk(node.left) + walk(node.right)
+
+        return walk(self.root_)
+
+
+class DecisionTreeRegressor(_BaseTree):
+    """CART regression tree minimizing within-node variance."""
+
+    def _leaf_value(self, y: np.ndarray) -> float:
+        return float(np.mean(y))
+
+    def _impurity(self, y: np.ndarray) -> float:
+        return float(np.var(y))
+
+
+class DecisionTreeClassifier(_BaseTree):
+    """CART classification tree minimizing Gini impurity.
+
+    Labels may be arbitrary integers; predictions return the majority
+    label of the reached leaf.
+    """
+
+    def _leaf_value(self, y: np.ndarray) -> float:
+        values, counts = np.unique(y, return_counts=True)
+        return float(values[np.argmax(counts)])
+
+    def _impurity(self, y: np.ndarray) -> float:
+        _, counts = np.unique(y, return_counts=True)
+        proportions = counts / y.shape[0]
+        return float(1.0 - np.sum(proportions**2))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return super().predict(x).astype(int)

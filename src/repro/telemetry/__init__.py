@@ -1,0 +1,37 @@
+"""Telemetry substrate: standardized metric schema plus an in-memory store.
+
+The paper's Direction 2 calls for telemetry standardization across
+platforms and services (OpenTelemetry-style), including *semantic*
+normalization — "CPU utilization metrics on Windows and Linux VMs possess
+the same meaning even though they may have different names".  This
+subpackage provides:
+
+- :mod:`repro.telemetry.schema`: semantic metric names with per-platform
+  alias resolution,
+- :mod:`repro.telemetry.store`: an append-only in-memory metric store with
+  dimensional filtering and time-bin aggregation (a miniature Kusto),
+- :mod:`repro.telemetry.query`: a small fluent query layer over the store.
+"""
+
+from repro.telemetry.counters import (
+    CounterSummary,
+    correlate_counters,
+    counter_summary,
+    detect_saturation,
+)
+from repro.telemetry.query import Query
+from repro.telemetry.schema import Metric, MetricAliasRegistry, STANDARD_ALIASES
+from repro.telemetry.store import MetricPoint, TelemetryStore
+
+__all__ = [
+    "Metric",
+    "MetricAliasRegistry",
+    "STANDARD_ALIASES",
+    "MetricPoint",
+    "TelemetryStore",
+    "Query",
+    "CounterSummary",
+    "counter_summary",
+    "detect_saturation",
+    "correlate_counters",
+]

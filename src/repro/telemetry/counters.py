@@ -1,0 +1,127 @@
+"""OS performance counter analysis helpers.
+
+The AlgorithmStore's flagship example of function-level reuse is "time
+series analysis of OS performance counter data" (Direction 1).  These
+are those functions: summaries, saturation detection, and cross-counter
+correlation over a :class:`~repro.telemetry.store.TelemetryStore`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.telemetry.schema import Metric
+from repro.telemetry.store import TelemetryStore
+
+
+@dataclass
+class CounterSummary:
+    """Distributional summary of one counter series."""
+
+    metric: Metric
+    n_samples: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    def headroom(self, limit: float) -> float:
+        """Remaining fraction of ``limit`` at the p99 level."""
+        if limit <= 0:
+            raise ValueError("limit must be positive")
+        return max(0.0, 1.0 - self.p99 / limit)
+
+
+def counter_summary(
+    store: TelemetryStore,
+    metric: Metric,
+    dimensions: dict[str, str] | None = None,
+) -> CounterSummary:
+    """Summarize a counter (raises on an empty series)."""
+    _, values = store.series(metric, dimensions=dimensions)
+    if values.size == 0:
+        raise ValueError(f"no samples for {metric}")
+    return CounterSummary(
+        metric=metric,
+        n_samples=int(values.size),
+        mean=float(values.mean()),
+        p50=float(np.percentile(values, 50)),
+        p95=float(np.percentile(values, 95)),
+        p99=float(np.percentile(values, 99)),
+        maximum=float(values.max()),
+    )
+
+
+def detect_saturation(
+    store: TelemetryStore,
+    metric: Metric,
+    limit: float,
+    threshold: float = 0.9,
+    min_consecutive: int = 3,
+    dimensions: dict[str, str] | None = None,
+) -> list[tuple[float, float]]:
+    """Find intervals where the counter sat above ``threshold * limit``.
+
+    Returns (start_time, end_time) pairs for runs of at least
+    ``min_consecutive`` consecutive saturated samples — the hotspot
+    episodes capacity reviews care about.
+    """
+    if limit <= 0:
+        raise ValueError("limit must be positive")
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("threshold must be in (0, 1]")
+    if min_consecutive < 1:
+        raise ValueError("min_consecutive must be >= 1")
+    times, values = store.series(metric, dimensions=dimensions)
+    if times.size == 0:
+        return []
+    saturated = values >= threshold * limit
+    episodes: list[tuple[float, float]] = []
+    start = None
+    count = 0
+    for t, flag in zip(times, saturated):
+        if flag:
+            if start is None:
+                start = t
+            count += 1
+            end = t
+        else:
+            if start is not None and count >= min_consecutive:
+                episodes.append((float(start), float(end)))
+            start, count = None, 0
+    if start is not None and count >= min_consecutive:
+        episodes.append((float(start), float(end)))
+    return episodes
+
+
+def correlate_counters(
+    store: TelemetryStore,
+    metric_a: Metric,
+    metric_b: Metric,
+    bin_width: float,
+    dimensions: dict[str, str] | None = None,
+) -> float:
+    """Pearson correlation of two counters on a shared time grid.
+
+    Series are bin-averaged onto aligned bins first; only bins present in
+    both series contribute.  This is the causal-screening step behind
+    KEA-style behaviour modelling ("domain knowledge is crucial to
+    comprehend the causal links among different components").
+    """
+    ta, va = store.aggregate(metric_a, bin_width, "mean", dimensions=dimensions)
+    tb, vb = store.aggregate(metric_b, bin_width, "mean", dimensions=dimensions)
+    if ta.size == 0 or tb.size == 0:
+        raise ValueError("one of the counters has no samples")
+    common = sorted(set(ta.tolist()) & set(tb.tolist()))
+    if len(common) < 3:
+        raise ValueError("fewer than 3 aligned bins; widen the range")
+    index_a = {t: i for i, t in enumerate(ta)}
+    index_b = {t: i for i, t in enumerate(tb)}
+    a = np.array([va[index_a[t]] for t in common])
+    b = np.array([vb[index_b[t]] for t in common])
+    if a.std() == 0 or b.std() == 0:
+        return 0.0
+    return float(np.corrcoef(a, b)[0, 1])

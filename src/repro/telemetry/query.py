@@ -1,0 +1,72 @@
+"""A small fluent query layer over :class:`~repro.telemetry.store.TelemetryStore`.
+
+Reads like a Kusto pipeline::
+
+    Query(store).metric(Metric.CPU_UTILIZATION)
+        .where(machine="m-03")
+        .between(0, 3600)
+        .summarize("mean", bin_width=300)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.telemetry.schema import Metric
+from repro.telemetry.store import MetricPoint, TelemetryStore
+
+
+class Query:
+    """Immutable-ish builder: each call returns self after recording a clause."""
+
+    def __init__(self, store: TelemetryStore) -> None:
+        self._store = store
+        self._metric: Metric | None = None
+        self._dimensions: dict[str, str] = {}
+        self._start: float | None = None
+        self._end: float | None = None
+
+    def metric(self, metric: Metric | str) -> "Query":
+        if isinstance(metric, str):
+            metric = self._store.aliases.resolve(metric)
+        self._metric = metric
+        return self
+
+    def where(self, **dimensions: str) -> "Query":
+        self._dimensions.update(dimensions)
+        return self
+
+    def between(self, start: float, end: float) -> "Query":
+        if end < start:
+            raise ValueError("end must be >= start")
+        self._start, self._end = start, end
+        return self
+
+    def _require_metric(self) -> Metric:
+        if self._metric is None:
+            raise ValueError("call .metric(...) before executing the query")
+        return self._metric
+
+    # -- terminals --------------------------------------------------------------
+    def points(self) -> list[MetricPoint]:
+        return self._store.points(
+            self._require_metric(), self._start, self._end, self._dimensions
+        )
+
+    def series(self) -> tuple[np.ndarray, np.ndarray]:
+        return self._store.series(
+            self._require_metric(), self._start, self._end, self._dimensions
+        )
+
+    def summarize(self, agg: str, bin_width: float) -> tuple[np.ndarray, np.ndarray]:
+        return self._store.aggregate(
+            self._require_metric(),
+            bin_width,
+            agg,
+            self._start,
+            self._end,
+            self._dimensions,
+        )
+
+    def count(self) -> int:
+        return len(self.points())

@@ -1,0 +1,74 @@
+"""Standardized semantic metric names with platform alias resolution."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Metric(enum.Enum):
+    """Semantic metric names shared across every service in the repo."""
+
+    CPU_UTILIZATION = "cpu.utilization"
+    MEMORY_UTILIZATION = "memory.utilization"
+    DISK_UTILIZATION = "disk.utilization"
+    TEMP_STORAGE_BYTES = "storage.temp.bytes"
+    RUNNING_CONTAINERS = "containers.running"
+    TASK_EXECUTION_SECONDS = "task.execution.seconds"
+    QUEUE_LENGTH = "queue.length"
+    REQUEST_LATENCY_SECONDS = "request.latency.seconds"
+    THROUGHPUT_OPS = "throughput.ops"
+    ACTIVE_SESSIONS = "sessions.active"
+    JOB_LATENCY_SECONDS = "job.latency.seconds"
+    STAGE_OUTPUT_BYTES = "stage.output.bytes"
+    COST_DOLLARS = "cost.dollars"
+
+
+#: Default platform-specific aliases (Direction 2: a Windows performance
+#: counter and a Linux cgroup metric that mean the same thing resolve to
+#: the same semantic :class:`Metric`).
+STANDARD_ALIASES: dict[str, Metric] = {
+    r"\Processor(_Total)\% Processor Time": Metric.CPU_UTILIZATION,
+    "node_cpu_seconds_total": Metric.CPU_UTILIZATION,
+    "cpu.percent": Metric.CPU_UTILIZATION,
+    r"\Memory\% Committed Bytes In Use": Metric.MEMORY_UTILIZATION,
+    "node_memory_utilization": Metric.MEMORY_UTILIZATION,
+    "mem.percent": Metric.MEMORY_UTILIZATION,
+    r"\LogicalDisk(_Total)\% Disk Time": Metric.DISK_UTILIZATION,
+    "node_disk_utilization": Metric.DISK_UTILIZATION,
+    "container.count": Metric.RUNNING_CONTAINERS,
+    "yarn.containers.running": Metric.RUNNING_CONTAINERS,
+}
+
+
+@dataclass
+class MetricAliasRegistry:
+    """Resolves raw, platform-specific metric names to semantic names.
+
+    Services ingest telemetry under whatever name the emitting platform
+    uses; the registry is how the shared analysis code stays
+    platform-agnostic.
+    """
+
+    aliases: dict[str, Metric]
+
+    @classmethod
+    def standard(cls) -> "MetricAliasRegistry":
+        return cls(aliases=dict(STANDARD_ALIASES))
+
+    def resolve(self, raw_name: str) -> Metric:
+        """Resolve a raw name; exact semantic values also resolve to themselves."""
+        if raw_name in self.aliases:
+            return self.aliases[raw_name]
+        for metric in Metric:
+            if metric.value == raw_name:
+                return metric
+        raise KeyError(f"unknown metric name: {raw_name!r}")
+
+    def add_alias(self, raw_name: str, metric: Metric) -> None:
+        existing = self.aliases.get(raw_name)
+        if existing is not None and existing is not metric:
+            raise ValueError(
+                f"alias {raw_name!r} already maps to {existing}, not {metric}"
+            )
+        self.aliases[raw_name] = metric

@@ -1,0 +1,177 @@
+"""Append-only in-memory telemetry store with dimensional queries."""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.telemetry.schema import Metric, MetricAliasRegistry
+
+
+@dataclass(frozen=True)
+class MetricPoint:
+    """A single telemetry observation."""
+
+    metric: Metric
+    timestamp: float
+    value: float
+    dimensions: tuple[tuple[str, str], ...] = ()
+
+    def dimension(self, key: str) -> str | None:
+        for k, v in self.dimensions:
+            if k == key:
+                return v
+        return None
+
+
+def _freeze_dimensions(dimensions: dict[str, str] | None) -> tuple:
+    if not dimensions:
+        return ()
+    return tuple(sorted(dimensions.items()))
+
+
+class TelemetryStore:
+    """Miniature Kusto: per-metric time-ordered point lists.
+
+    Points are kept sorted by timestamp per metric so range scans are
+    binary-search bounded.  Dimensions are arbitrary string key/values
+    (machine id, SKU, region, ...).
+    """
+
+    def __init__(self, aliases: MetricAliasRegistry | None = None) -> None:
+        self._points: dict[Metric, list[MetricPoint]] = defaultdict(list)
+        self._timestamps: dict[Metric, list[float]] = defaultdict(list)
+        self.aliases = aliases or MetricAliasRegistry.standard()
+
+    def __len__(self) -> int:
+        return sum(len(points) for points in self._points.values())
+
+    # -- ingestion ------------------------------------------------------------
+    def record(
+        self,
+        metric: Metric | str,
+        timestamp: float,
+        value: float,
+        dimensions: dict[str, str] | None = None,
+    ) -> MetricPoint:
+        """Append one observation; raw string names resolve through aliases."""
+        if isinstance(metric, str):
+            metric = self.aliases.resolve(metric)
+        if not np.isfinite(value):
+            raise ValueError(f"non-finite telemetry value for {metric}")
+        point = MetricPoint(
+            metric=metric,
+            timestamp=float(timestamp),
+            value=float(value),
+            dimensions=_freeze_dimensions(dimensions),
+        )
+        stamps = self._timestamps[metric]
+        idx = bisect.bisect_right(stamps, point.timestamp)
+        stamps.insert(idx, point.timestamp)
+        self._points[metric].insert(idx, point)
+        return point
+
+    def record_series(
+        self,
+        metric: Metric | str,
+        timestamps: np.ndarray,
+        values: np.ndarray,
+        dimensions: dict[str, str] | None = None,
+    ) -> None:
+        """Bulk-append a whole series (timestamps must be sorted)."""
+        ts = np.asarray(timestamps, dtype=float)
+        vs = np.asarray(values, dtype=float)
+        if ts.shape != vs.shape:
+            raise ValueError("timestamps and values must have the same shape")
+        if ts.size and np.any(np.diff(ts) < 0):
+            raise ValueError("timestamps must be non-decreasing")
+        for t, v in zip(ts, vs):
+            self.record(metric, t, v, dimensions)
+
+    # -- querying ---------------------------------------------------------------
+    def points(
+        self,
+        metric: Metric,
+        start: float | None = None,
+        end: float | None = None,
+        dimensions: dict[str, str] | None = None,
+    ) -> list[MetricPoint]:
+        """Time-range scan with optional exact-match dimension filters."""
+        stamps = self._timestamps.get(metric, [])
+        all_points = self._points.get(metric, [])
+        lo = 0 if start is None else bisect.bisect_left(stamps, start)
+        hi = len(stamps) if end is None else bisect.bisect_right(stamps, end)
+        selected = all_points[lo:hi]
+        if dimensions:
+            wanted = dimensions.items()
+            selected = [
+                p
+                for p in selected
+                if all(p.dimension(k) == v for k, v in wanted)
+            ]
+        return selected
+
+    def series(
+        self,
+        metric: Metric,
+        start: float | None = None,
+        end: float | None = None,
+        dimensions: dict[str, str] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Like :meth:`points` but returns (timestamps, values) arrays."""
+        pts = self.points(metric, start, end, dimensions)
+        if not pts:
+            return np.array([]), np.array([])
+        return (
+            np.array([p.timestamp for p in pts]),
+            np.array([p.value for p in pts]),
+        )
+
+    def aggregate(
+        self,
+        metric: Metric,
+        bin_width: float,
+        agg: str = "mean",
+        start: float | None = None,
+        end: float | None = None,
+        dimensions: dict[str, str] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Kusto ``summarize ... by bin(timestamp, width)`` equivalent.
+
+        Returns (bin_start_times, aggregated_values); empty bins are
+        dropped.  ``agg`` is one of mean/sum/max/min/count/p95.
+        """
+        if bin_width <= 0:
+            raise ValueError("bin_width must be positive")
+        aggregators = {
+            "mean": np.mean,
+            "sum": np.sum,
+            "max": np.max,
+            "min": np.min,
+            "count": len,
+            "p95": lambda v: float(np.percentile(v, 95)),
+        }
+        if agg not in aggregators:
+            raise ValueError(f"unknown aggregation {agg!r}")
+        ts, vs = self.series(metric, start, end, dimensions)
+        if ts.size == 0:
+            return np.array([]), np.array([])
+        bins = np.floor(ts / bin_width) * bin_width
+        out_t, out_v = [], []
+        fn = aggregators[agg]
+        for b in np.unique(bins):
+            mask = bins == b
+            out_t.append(b)
+            out_v.append(float(fn(vs[mask])))
+        return np.array(out_t), np.array(out_v)
+
+    def dimension_values(self, metric: Metric, key: str) -> set[str]:
+        """Distinct values observed for a dimension key of a metric."""
+        return {
+            value
+            for p in self._points.get(metric, [])
+            if (value := p.dimension(key)) is not None
+        }

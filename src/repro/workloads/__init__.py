@@ -1,0 +1,52 @@
+"""Synthetic workload generators standing in for proprietary Azure traces.
+
+Each generator is calibrated to the workload statistics the paper
+publishes, so the autonomous services in :mod:`repro.core` face the same
+learning problem they faced in production:
+
+- :mod:`repro.workloads.scope` — recurring SCOPE-like jobs and pipelines
+  (>60% recurring, ~40% sharing subexpressions, 70% in pipelines),
+- :mod:`repro.workloads.usage` — per-tenant seasonal activity traces
+  (Moneyball's 77% predictable population, Seagull's server load),
+- :mod:`repro.workloads.demand` — diurnal cluster-creation demand,
+- :mod:`repro.workloads.customers` — customer resource profiles and the
+  Azure-like SKU catalog for Doppler,
+- :mod:`repro.workloads.machines` — machine telemetry with linear
+  ground-truth dynamics for KEA-style behaviour models.
+"""
+
+from repro.workloads.customers import (
+    AZURE_SKUS,
+    CustomerProfile,
+    Sku,
+    generate_customers,
+    ground_truth_sku,
+)
+from repro.workloads.demand import DemandTrace, generate_demand
+from repro.workloads.machines import MachineFleetSimulator, MachineObservation
+from repro.workloads.scope import (
+    Job,
+    ScopeWorkloadConfig,
+    ScopeWorkloadGenerator,
+    Workload,
+)
+from repro.workloads.usage import TenantTrace, UsagePopulationConfig, generate_population
+
+__all__ = [
+    "Job",
+    "Workload",
+    "ScopeWorkloadConfig",
+    "ScopeWorkloadGenerator",
+    "TenantTrace",
+    "UsagePopulationConfig",
+    "generate_population",
+    "DemandTrace",
+    "generate_demand",
+    "CustomerProfile",
+    "Sku",
+    "AZURE_SKUS",
+    "generate_customers",
+    "ground_truth_sku",
+    "MachineFleetSimulator",
+    "MachineObservation",
+]

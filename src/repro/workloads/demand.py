@@ -1,0 +1,87 @@
+"""Cluster-creation demand traces for proactive pool provisioning.
+
+Section 4.1 describes proactive cluster provisioning on Azure Synapse
+Spark "based on expected user cluster creation demand to reduce wait time
+for cluster initialization".  We generate the corresponding arrival
+process: a non-homogeneous Poisson stream whose rate follows a diurnal
+business curve plus a weekly dip, with optional demand spikes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+HOURS_PER_DAY = 24
+
+
+@dataclass
+class DemandTrace:
+    """Cluster-creation requests: sorted arrival times (hours) plus rates."""
+
+    arrival_hours: np.ndarray  # event times, fractional hours since start
+    hourly_rate: np.ndarray    # ground-truth rate per hour (for evaluation)
+
+    @property
+    def n_requests(self) -> int:
+        return int(self.arrival_hours.size)
+
+    def counts_per_hour(self) -> np.ndarray:
+        """Observed request count for each whole hour of the trace."""
+        n_hours = self.hourly_rate.size
+        counts, _ = np.histogram(
+            self.arrival_hours, bins=n_hours, range=(0, n_hours)
+        )
+        return counts.astype(float)
+
+
+def diurnal_rate(
+    n_days: int,
+    base_rate: float = 6.0,
+    peak_rate: float = 30.0,
+    weekend_factor: float = 0.3,
+) -> np.ndarray:
+    """Ground-truth hourly arrival rate: business-hours peak, weekend dip."""
+    t = np.arange(n_days * HOURS_PER_DAY)
+    hour = t % HOURS_PER_DAY
+    day = (t // HOURS_PER_DAY) % 7
+    # Smooth peak centred at 14:00.
+    shape = np.exp(-0.5 * ((hour - 14) / 4.0) ** 2)
+    rate = base_rate + (peak_rate - base_rate) * shape
+    rate = np.where(day >= 5, rate * weekend_factor, rate)
+    return rate
+
+
+def generate_demand(
+    n_days: int = 14,
+    base_rate: float = 6.0,
+    peak_rate: float = 30.0,
+    weekend_factor: float = 0.3,
+    spike_probability: float = 0.0,
+    rng: np.random.Generator | int | None = None,
+) -> DemandTrace:
+    """Sample arrivals from the diurnal rate (thinning-free per-hour Poisson).
+
+    ``spike_probability`` injects rare 3x demand surges (one hour long) to
+    exercise the provisioning policy's reactive fallback.
+    """
+    if n_days < 1:
+        raise ValueError("n_days must be >= 1")
+    if base_rate < 0 or peak_rate < base_rate:
+        raise ValueError("need 0 <= base_rate <= peak_rate")
+    if not 0.0 <= spike_probability <= 1.0:
+        raise ValueError("spike_probability must be in [0, 1]")
+    generator = np.random.default_rng(rng)
+    rate = diurnal_rate(n_days, base_rate, peak_rate, weekend_factor)
+    if spike_probability > 0.0:
+        spikes = generator.random(rate.size) < spike_probability
+        rate = np.where(spikes, rate * 3.0, rate)
+    arrivals = []
+    for hour_index, lam in enumerate(rate):
+        count = generator.poisson(lam)
+        arrivals.extend(hour_index + generator.random(count))
+    return DemandTrace(
+        arrival_hours=np.sort(np.array(arrivals)),
+        hourly_rate=rate,
+    )

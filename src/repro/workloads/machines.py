@@ -1,0 +1,151 @@
+"""Machine telemetry with linear ground-truth dynamics (KEA's Figure 1).
+
+KEA [53] fits "multiple linear models to predict machine behavior, such
+as CPU utilization versus task execution time or the number of running
+containers" and feeds them into a workload-balancing optimizer.  The
+fleet simulator below emits exactly that telemetry: for each machine SKU,
+CPU utilization is (noisily) linear in the number of running containers,
+and task execution time is (noisily) linear in CPU utilization — with
+per-SKU slopes that the models must recover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.telemetry import Metric, TelemetryStore
+
+
+@dataclass(frozen=True)
+class MachineSku:
+    """Hardware generation of a Cosmos-like machine."""
+
+    name: str
+    cpu_per_container: float     # CPU percentage points per running container
+    cpu_idle: float              # baseline CPU percentage
+    task_seconds_base: float     # task time at idle CPU
+    task_seconds_per_cpu: float  # extra seconds per CPU percentage point
+    max_containers: int
+
+
+DEFAULT_SKUS: tuple[MachineSku, ...] = (
+    MachineSku("gen4", cpu_per_container=3.2, cpu_idle=6.0,
+               task_seconds_base=24.0, task_seconds_per_cpu=0.9,
+               max_containers=28),
+    MachineSku("gen5", cpu_per_container=2.3, cpu_idle=5.0,
+               task_seconds_base=18.0, task_seconds_per_cpu=0.6,
+               max_containers=40),
+    MachineSku("gen6", cpu_per_container=1.6, cpu_idle=4.0,
+               task_seconds_base=14.0, task_seconds_per_cpu=0.45,
+               max_containers=56),
+)
+
+
+@dataclass
+class MachineObservation:
+    """One telemetry sample from one machine."""
+
+    machine_id: str
+    sku: str
+    timestamp: float
+    running_containers: int
+    cpu_utilization: float
+    task_execution_seconds: float
+
+
+class MachineFleetSimulator:
+    """Emit machine telemetry with known linear ground truth.
+
+    ``observe`` produces one sample per machine per step given a container
+    placement; ``cpu_for_containers`` / ``task_time_for_cpu`` expose the
+    noiseless ground truth so model quality is directly measurable.
+    """
+
+    def __init__(
+        self,
+        n_machines_per_sku: int = 10,
+        skus: tuple[MachineSku, ...] = DEFAULT_SKUS,
+        noise: float = 2.0,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if n_machines_per_sku < 1:
+            raise ValueError("n_machines_per_sku must be >= 1")
+        if noise < 0:
+            raise ValueError("noise must be non-negative")
+        self.skus = {sku.name: sku for sku in skus}
+        self.noise = noise
+        self._rng = np.random.default_rng(rng)
+        self.machines: list[tuple[str, MachineSku]] = []
+        for sku in skus:
+            for i in range(n_machines_per_sku):
+                self.machines.append((f"{sku.name}-m{i:03d}", sku))
+
+    # -- ground truth --------------------------------------------------------
+    @staticmethod
+    def cpu_for_containers(sku: MachineSku, containers: float) -> float:
+        return min(100.0, sku.cpu_idle + sku.cpu_per_container * containers)
+
+    @staticmethod
+    def task_time_for_cpu(sku: MachineSku, cpu: float) -> float:
+        return sku.task_seconds_base + sku.task_seconds_per_cpu * cpu
+
+    # -- observation ------------------------------------------------------------
+    def observe(
+        self, timestamp: float, containers: dict[str, int] | None = None
+    ) -> list[MachineObservation]:
+        """Sample the fleet once.
+
+        ``containers`` maps machine_id -> running containers; machines not
+        listed get a random load below their SKU limit.
+        """
+        containers = containers or {}
+        observations = []
+        for machine_id, sku in self.machines:
+            n = containers.get(
+                machine_id, int(self._rng.integers(0, sku.max_containers + 1))
+            )
+            n = int(np.clip(n, 0, sku.max_containers))
+            cpu = self.cpu_for_containers(sku, n) + self._rng.normal(
+                scale=self.noise
+            )
+            cpu = float(np.clip(cpu, 0.0, 100.0))
+            task = self.task_time_for_cpu(sku, cpu) + self._rng.normal(
+                scale=self.noise
+            )
+            observations.append(
+                MachineObservation(
+                    machine_id=machine_id,
+                    sku=sku.name,
+                    timestamp=timestamp,
+                    running_containers=n,
+                    cpu_utilization=cpu,
+                    task_execution_seconds=max(0.1, float(task)),
+                )
+            )
+        return observations
+
+    def collect(
+        self, store: TelemetryStore, n_steps: int, step_seconds: float = 300.0
+    ) -> list[MachineObservation]:
+        """Run ``n_steps`` observation rounds and record them into ``store``."""
+        if n_steps < 1:
+            raise ValueError("n_steps must be >= 1")
+        all_observations = []
+        for step in range(n_steps):
+            t = step * step_seconds
+            for obs in self.observe(t):
+                dims = {"machine": obs.machine_id, "sku": obs.sku}
+                store.record(Metric.CPU_UTILIZATION, t, obs.cpu_utilization, dims)
+                store.record(
+                    Metric.RUNNING_CONTAINERS, t, obs.running_containers, dims
+                )
+                store.record(
+                    Metric.TASK_EXECUTION_SECONDS,
+                    t,
+                    obs.task_execution_seconds,
+                    dims,
+                )
+                all_observations.append(obs)
+        return all_observations

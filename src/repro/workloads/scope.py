@@ -1,0 +1,480 @@
+"""SCOPE-like recurring job and pipeline trace generator.
+
+Section 4.2's learning opportunities all come from workload structure:
+"over 60% of jobs are recurring (involving periodic runs of scripts with
+the same operations but different predicate values), and nearly 40% of
+daily jobs share common subexpressions with at least one other job", and
+"70% of daily SCOPE jobs have inter-job dependencies".
+
+The generator is calibrated to those statistics:
+
+- *recurring templates* re-run daily with drifting predicate literals
+  (same template signature, new strict signature),
+- a pool of *shared fragments* — day-parameterized subplans whose
+  literals depend only on (fragment, day) — appears inside several
+  templates, so jobs within a day share strictly-equal subexpressions,
+- templates are chained into *pipelines*: a consumer scans the derived
+  output table of its producer and depends on the producer's job,
+- the remainder are *ad-hoc* one-off jobs with random structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine import (
+    Aggregate,
+    Catalog,
+    ColumnStats,
+    DefaultCardinalityEstimator,
+    Expression,
+    Filter,
+    Join,
+    Predicate,
+    Project,
+    Scan,
+    TableDef,
+)
+
+HOURS_PER_DAY = 24.0
+
+
+@dataclass
+class Job:
+    """A single submitted job (one plan, one submit time)."""
+
+    job_id: str
+    plan: Expression
+    submit_hour: float
+    template_id: int | None = None   # None marks an ad-hoc job
+    pipeline_id: int | None = None
+    params: dict[str, float] = field(default_factory=dict)
+    depends_on: tuple[str, ...] = ()
+
+    @property
+    def is_recurring(self) -> bool:
+        return self.template_id is not None
+
+    @property
+    def day(self) -> int:
+        return int(self.submit_hour // HOURS_PER_DAY)
+
+
+@dataclass
+class Workload:
+    """A multi-day trace of jobs plus the catalog they run against."""
+
+    jobs: list[Job]
+    catalog: Catalog
+    n_days: int
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def by_day(self, day: int) -> list[Job]:
+        return [j for j in self.jobs if j.day == day]
+
+    def by_template(self, template_id: int) -> list[Job]:
+        return [j for j in self.jobs if j.template_id == template_id]
+
+    def recurring_fraction(self) -> float:
+        if not self.jobs:
+            return 0.0
+        return sum(j.is_recurring for j in self.jobs) / len(self.jobs)
+
+    def pipeline_fraction(self) -> float:
+        if not self.jobs:
+            return 0.0
+        return sum(j.pipeline_id is not None for j in self.jobs) / len(self.jobs)
+
+    def dependency_fraction(self) -> float:
+        """Fraction of jobs participating in an inter-job dependency."""
+        if not self.jobs:
+            return 0.0
+        involved: set[str] = set()
+        for job in self.jobs:
+            if job.depends_on:
+                involved.add(job.job_id)
+                involved.update(job.depends_on)
+        return len(involved) / len(self.jobs)
+
+    def job(self, job_id: str) -> Job:
+        for j in self.jobs:
+            if j.job_id == job_id:
+                return j
+        raise KeyError(f"unknown job {job_id!r}")
+
+
+@dataclass
+class ScopeWorkloadConfig:
+    """Calibration knobs (defaults match the paper's published fractions)."""
+
+    n_recurring_templates: int = 30
+    recurring_fraction: float = 0.65
+    n_shared_fragments: int = 6
+    shared_fragment_templates: float = 0.65  # templates embedding a fragment
+    pipeline_fraction: float = 0.8          # templates that sit in pipelines
+    pipeline_length: tuple[int, int] = (2, 4)
+    adhoc_dependency_fraction: float = 0.5  # ad-hoc jobs reading pipeline output
+    drift_per_day: float = 0.01             # predicate literal drift rate
+
+    def __post_init__(self) -> None:
+        if self.n_recurring_templates < 1:
+            raise ValueError("n_recurring_templates must be >= 1")
+        for name in ("recurring_fraction", "shared_fragment_templates",
+                     "pipeline_fraction", "adhoc_dependency_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        lo, hi = self.pipeline_length
+        if lo < 2 or hi < lo:
+            raise ValueError("pipeline_length must satisfy 2 <= lo <= hi")
+
+
+@dataclass
+class _Fragment:
+    """A shared subplan: literals depend only on (fragment, day)."""
+
+    fragment_id: int
+    table: str
+    column: str
+    base_value: float
+
+    def instantiate(self, day: int, drift: float) -> Expression:
+        value = self.base_value * (1.0 + drift * day)
+        return Filter(Scan(self.table), (Predicate(self.column, "<=", value),))
+
+
+@dataclass
+class _Template:
+    """A recurring script: fixed structure, day-parameterized literals."""
+
+    template_id: int
+    fragment: _Fragment | None
+    base_table: str            # scanned when there is no fragment
+    join_table: str | None
+    filter_column: str
+    filter_base_value: float
+    group_column: str | None
+    submit_hour_offset: float  # within-day submit time
+    pipeline_id: int | None = None
+    upstream_template: int | None = None  # producer in the pipeline
+    output_table: str | None = None       # derived table this job writes
+
+    def instantiate(self, day: int, drift: float) -> tuple[Expression, dict]:
+        value = self.filter_base_value * (1.0 + drift * day)
+        if self.upstream_template is not None:
+            # Consumers read their producer's derived output table,
+            # enriching it with the shared fragment when they have one.
+            core: Expression = Scan(f"out_t{self.upstream_template}")
+            if self.fragment is not None:
+                core = Join(
+                    core, self.fragment.instantiate(day, drift), "key", "key"
+                )
+        elif self.fragment is not None:
+            core = self.fragment.instantiate(day, drift)
+        else:
+            core = Scan(self.base_table)
+        if self.join_table is not None:
+            core = Join(core, Scan(self.join_table), "key", "key")
+        core = Filter(core, (Predicate(self.filter_column, "<=", value),))
+        if self.group_column is not None:
+            core = Aggregate(core, (self.group_column,))
+        params = {"filter_value": value}
+        if self.fragment is not None:
+            params["fragment_value"] = self.fragment.base_value * (
+                1.0 + drift * day
+            )
+        return core, params
+
+
+class ScopeWorkloadGenerator:
+    """Builds templates once, then stamps out daily jobs."""
+
+    #: Row-count bounds for derived (pipeline output) tables.  Real
+    #: pipeline stages filter/aggregate, so outputs stay bounded instead
+    #: of compounding down the chain.
+    _DERIVED_MIN_ROWS = 1_000
+    _DERIVED_MAX_ROWS = 20_000_000
+
+    @classmethod
+    def _derived_columns(cls, n_rows: int) -> tuple[ColumnStats, ...]:
+        """Columns every derived table exposes, key distincts scaled to size."""
+        return (
+            ColumnStats("key", distinct=max(1_000, n_rows // 2)),
+            ColumnStats("a0", distinct=200, low=0, high=1000, skew=0.5),
+            ColumnStats("a1", distinct=50, low=0, high=100),
+        )
+
+    def __init__(
+        self,
+        catalog: Catalog | None = None,
+        config: ScopeWorkloadConfig | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self.config = config or ScopeWorkloadConfig()
+        self._rng = np.random.default_rng(rng)
+        self.catalog = catalog or Catalog.synthetic(n_tables=8, rng=self._rng)
+        self._base_tables = self.catalog.tables()
+        self._fragments = self._build_fragments()
+        self.templates = self._build_templates()
+        self._register_derived_tables()
+
+    # -- construction --------------------------------------------------------
+    def _random_table(self) -> TableDef:
+        # Only base tables: derived pipeline outputs are never scanned by
+        # templates other than their pipeline consumer.
+        return self._base_tables[
+            int(self._rng.integers(0, len(self._base_tables)))
+        ]
+
+    def _random_fact_table(self) -> TableDef:
+        """One of the largest base tables (the shared-log-scan pattern).
+
+        Shared fragments model the expensive common computation of real
+        SCOPE workloads — scans/filters over massive shared logs — so
+        they draw from the top quartile of tables by row count.
+        """
+        ranked = sorted(self._base_tables, key=lambda t: -t.n_rows)
+        top = ranked[: max(1, len(ranked) // 4)]
+        return top[int(self._rng.integers(0, len(top)))]
+
+    def _random_dim_table(self) -> TableDef:
+        """One of the smaller base tables (typical join partners)."""
+        ranked = sorted(self._base_tables, key=lambda t: t.n_rows)
+        bottom = ranked[: max(1, 3 * len(ranked) // 4)]
+        return bottom[int(self._rng.integers(0, len(bottom)))]
+
+    def _random_filter_column(self, table: TableDef) -> ColumnStats:
+        candidates = [c for c in table.columns if c.name != "key"]
+        if not candidates:
+            return table.columns[0]
+        return candidates[int(self._rng.integers(0, len(candidates)))]
+
+    def _build_fragments(self) -> list[_Fragment]:
+        fragments = []
+        for i in range(self.config.n_shared_fragments):
+            table = self._random_fact_table()
+            column = self._random_filter_column(table)
+            fragments.append(
+                _Fragment(
+                    fragment_id=i,
+                    table=table.name,
+                    column=column.name,
+                    base_value=float(
+                        self._rng.uniform(column.low + 1, column.high)
+                    ),
+                )
+            )
+        return fragments
+
+    def _build_templates(self) -> list[_Template]:
+        cfg = self.config
+        templates: list[_Template] = []
+        for tid in range(cfg.n_recurring_templates):
+            use_fragment = (
+                self._fragments
+                and self._rng.random() < cfg.shared_fragment_templates
+            )
+            fragment = (
+                self._fragments[int(self._rng.integers(0, len(self._fragments)))]
+                if use_fragment
+                else None
+            )
+            base_table = self._random_table()
+            anchor = (
+                self.catalog.get(fragment.table) if fragment else base_table
+            )
+            filter_col = self._random_filter_column(anchor)
+            join_table = (
+                self._random_dim_table().name
+                if self._rng.random() < 0.6
+                else None
+            )
+            group_col = filter_col.name if self._rng.random() < 0.5 else None
+            templates.append(
+                _Template(
+                    template_id=tid,
+                    fragment=fragment,
+                    base_table=base_table.name,
+                    join_table=join_table,
+                    filter_column=filter_col.name,
+                    filter_base_value=float(
+                        self._rng.uniform(filter_col.low + 1, filter_col.high)
+                    ),
+                    group_column=group_col,
+                    submit_hour_offset=float(self._rng.uniform(0, 20)),
+                )
+            )
+        self._wire_pipelines(templates)
+        return templates
+
+    def _wire_pipelines(self, templates: list[_Template]) -> None:
+        """Chain a ``pipeline_fraction`` share of templates into pipelines."""
+        cfg = self.config
+        n_in_pipelines = int(round(cfg.pipeline_fraction * len(templates)))
+        order = self._rng.permutation(len(templates))[:n_in_pipelines]
+        cursor = 0
+        pipeline_id = 0
+        lo, hi = cfg.pipeline_length
+        while cursor < len(order):
+            length = int(self._rng.integers(lo, hi + 1))
+            chain = [templates[i] for i in order[cursor : cursor + length]]
+            if len(chain) < 2:
+                break
+            for position, template in enumerate(chain):
+                template.pipeline_id = pipeline_id
+                template.output_table = f"out_t{template.template_id}"
+                if position > 0:
+                    producer = chain[position - 1]
+                    template.upstream_template = producer.template_id
+                    # Consumers run after their producer within the day and
+                    # filter on a column the derived table actually has.
+                    template.submit_hour_offset = min(
+                        23.0, producer.submit_hour_offset + 1.0
+                    )
+                    template.filter_column = "a0"
+                    template.group_column = (
+                        "a1" if template.group_column else None
+                    )
+                    template.join_table = None
+            cursor += length
+            pipeline_id += 1
+
+    def _register_derived_tables(self) -> None:
+        """Register pipeline output tables with plausible statistics."""
+        estimator = DefaultCardinalityEstimator(self.catalog)
+        # Producers first (template order is not topological, so iterate
+        # until all derived tables resolve).
+        pending = [t for t in self.templates if t.output_table is not None]
+        for _ in range(len(pending) + 1):
+            still_pending = []
+            for template in pending:
+                upstream = template.upstream_template
+                if (
+                    upstream is not None
+                    and f"out_t{upstream}" not in self.catalog
+                ):
+                    still_pending.append(template)
+                    continue
+                plan, _ = template.instantiate(day=0, drift=0.0)
+                rows = int(
+                    np.clip(
+                        estimator.estimate(plan),
+                        self._DERIVED_MIN_ROWS,
+                        self._DERIVED_MAX_ROWS,
+                    )
+                )
+                self.catalog.add(
+                    TableDef(
+                        name=template.output_table,
+                        n_rows=rows,
+                        columns=self._derived_columns(rows),
+                        row_bytes=120,
+                    )
+                )
+            pending = still_pending
+            if not pending:
+                break
+
+    # -- generation ----------------------------------------------------------
+    def generate(self, n_days: int = 7) -> Workload:
+        """Stamp out ``n_days`` of jobs (recurring daily + ad-hoc filler)."""
+        if n_days < 1:
+            raise ValueError("n_days must be >= 1")
+        cfg = self.config
+        jobs: list[Job] = []
+        recurring_per_day = len(self.templates)
+        adhoc_per_day = int(
+            round(
+                recurring_per_day * (1.0 - cfg.recurring_fraction)
+                / max(cfg.recurring_fraction, 1e-9)
+            )
+        )
+        for day in range(n_days):
+            template_job_ids: dict[int, str] = {}
+            for template in sorted(
+                self.templates, key=lambda t: t.submit_hour_offset
+            ):
+                plan, params = template.instantiate(day, cfg.drift_per_day)
+                job_id = f"d{day:03d}-t{template.template_id:03d}"
+                depends = ()
+                if template.upstream_template is not None:
+                    upstream_job = template_job_ids.get(
+                        template.upstream_template
+                    )
+                    if upstream_job is not None:
+                        depends = (upstream_job,)
+                jobs.append(
+                    Job(
+                        job_id=job_id,
+                        plan=plan,
+                        submit_hour=day * HOURS_PER_DAY
+                        + template.submit_hour_offset,
+                        template_id=template.template_id,
+                        pipeline_id=template.pipeline_id,
+                        params=params,
+                        depends_on=depends,
+                    )
+                )
+                template_job_ids[template.template_id] = job_id
+            producers = [
+                (
+                    t.output_table,
+                    template_job_ids[t.template_id],
+                    t.submit_hour_offset,
+                )
+                for t in self.templates
+                if t.output_table is not None
+                and t.template_id in template_job_ids
+            ]
+            for k in range(adhoc_per_day):
+                jobs.append(self._adhoc_job(day, k, producers))
+        jobs.sort(key=lambda j: j.submit_hour)
+        return Workload(jobs=jobs, catalog=self.catalog, n_days=n_days)
+
+    def _adhoc_job(
+        self,
+        day: int,
+        index: int,
+        producers: list[tuple[str, str, float]],
+    ) -> Job:
+        """A one-off job with randomized structure and literals.
+
+        With probability ``adhoc_dependency_fraction`` the job consumes a
+        pipeline's derived output table (ad-hoc analysis over production
+        data), giving it an inter-job dependency.
+        """
+        depends: tuple[str, ...] = ()
+        submit_hour = day * HOURS_PER_DAY + float(self._rng.uniform(0, 24))
+        if producers and self._rng.random() < self.config.adhoc_dependency_fraction:
+            table_name, producer_job, producer_hour = producers[
+                int(self._rng.integers(0, len(producers)))
+            ]
+            table = self.catalog.get(table_name)
+            depends = (producer_job,)
+            # A consumer cannot start before its producer ran.
+            submit_hour = day * HOURS_PER_DAY + min(
+                23.9, producer_hour + float(self._rng.uniform(0.5, 4.0))
+            )
+        else:
+            table = self._random_table()
+        column = self._random_filter_column(table)
+        value = float(self._rng.uniform(column.low, column.high))
+        plan: Expression = Filter(
+            Scan(table.name), (Predicate(column.name, "<=", value),)
+        )
+        if self._rng.random() < 0.5:
+            plan = Join(plan, Scan(self._random_table().name), "key", "key")
+        if self._rng.random() < 0.5:
+            plan = Aggregate(plan, (column.name,))
+        else:
+            plan = Project(plan, (column.name, "key"))
+        return Job(
+            job_id=f"d{day:03d}-adhoc{index:03d}",
+            plan=plan,
+            submit_hour=submit_hour,
+            depends_on=depends,
+        )

@@ -1,0 +1,29 @@
+"""Shared fixtures for core-service tests: one small workload world."""
+
+import pytest
+
+from repro.engine import (
+    DefaultCardinalityEstimator,
+    DefaultCostModel,
+    Optimizer,
+    TrueCardinalityModel,
+)
+from repro.workloads import ScopeWorkloadGenerator
+
+
+@pytest.fixture(scope="session")
+def world():
+    """A deterministic 8-day SCOPE-like workload plus its models."""
+    generator = ScopeWorkloadGenerator(rng=0)
+    workload = generator.generate(n_days=8)
+    truth = TrueCardinalityModel(workload.catalog, seed=5)
+    default = DefaultCardinalityEstimator(workload.catalog)
+    return {
+        "workload": workload,
+        "catalog": workload.catalog,
+        "truth": truth,
+        "default": default,
+        "true_cost": DefaultCostModel(workload.catalog, truth),
+        "est_cost": DefaultCostModel(workload.catalog, default),
+        "optimizer": Optimizer(workload.catalog),
+    }

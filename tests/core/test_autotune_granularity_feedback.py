@@ -1,0 +1,182 @@
+"""Tests for autotune, granularity selection, and the feedback loop."""
+
+import numpy as np
+import pytest
+
+from repro.core.autotune import ApplicationTuner, SparkApplication, benchmark_suite
+from repro.core.feedback import FeedbackLoop
+from repro.core.granularity import GranularPredictor, heterogeneous_population
+from repro.ml import LinearRegression, ModelRegistry
+
+
+class TestSparkApplication:
+    @pytest.fixture(scope="class")
+    def app(self):
+        return benchmark_suite(5, rng=0)[0]
+
+    def test_runtime_u_shaped(self, app):
+        runtimes = [app.runtime(e) for e in (1, app.optimal_executors(), 128)]
+        assert runtimes[1] < runtimes[0]
+        assert runtimes[1] < runtimes[2]
+
+    def test_runtime_decreases_then_overhead_dominates(self, app):
+        optimum = app.optimal_executors()
+        assert 1 < optimum < 128
+
+    def test_invalid_executors(self, app):
+        with pytest.raises(ValueError):
+            app.runtime(0)
+        with pytest.raises(ValueError):
+            app.runtime(999)
+
+    def test_noise_is_multiplicative_and_small(self, app):
+        rng = np.random.default_rng(0)
+        noiseless = app.runtime(8)
+        noisy = [app.runtime(8, rng) for _ in range(200)]
+        assert np.mean(noisy) == pytest.approx(noiseless, rel=0.02)
+
+
+class TestApplicationTuner:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return benchmark_suite(60, rng=0)
+
+    @pytest.fixture(scope="class")
+    def tuner(self, suite):
+        return ApplicationTuner(rng=0).fit_global(suite[:40])
+
+    def test_warm_start_near_optimal(self, tuner, suite):
+        regrets = []
+        for app in suite[40:]:
+            optimal = app.runtime(app.optimal_executors())
+            start = tuner.warm_start(app)
+            regrets.append(app.runtime(start) / optimal - 1)
+        assert float(np.mean(regrets)) < 0.1
+
+    def test_cold_start_much_worse(self, suite):
+        cold = ApplicationTuner(rng=0)  # no global model
+        regrets = []
+        for app in suite[40:]:
+            optimal = app.runtime(app.optimal_executors())
+            regrets.append(app.runtime(cold.warm_start(app)) / optimal - 1)
+        assert float(np.mean(regrets)) > 0.2
+
+    def test_fine_tuning_reduces_regret(self, tuner, suite):
+        app = suite[45]
+        trace = tuner.tune(app, n_runs=15)
+        curve = trace.regret_curve(app.runtime(app.optimal_executors()))
+        assert curve[-1] <= curve[0] + 1e-9
+        assert curve[-1] < 0.15
+
+    def test_trace_records_every_run(self, tuner, suite):
+        trace = tuner.tune(suite[41], n_runs=10)
+        assert len(trace.runtimes) == 10
+        assert len(trace.executors) == 10
+
+    def test_invalid_params(self, suite):
+        with pytest.raises(ValueError):
+            ApplicationTuner(step_factor=1.0)
+        with pytest.raises(ValueError):
+            ApplicationTuner(rng=0).fit_global(suite[:3])
+        with pytest.raises(ValueError):
+            ApplicationTuner(rng=0).tune(suite[0], n_runs=1)
+
+
+class TestGranularity:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        entities = heterogeneous_population(
+            n_entities=30, samples_per_entity=20, rng=0
+        )
+        predictor = GranularPredictor(rng=0).fit(entities)
+        return predictor, entities
+
+    def test_granularity_ordering(self, fitted):
+        predictor, entities = fitted
+        report = predictor.evaluate(entities)
+        # With ample per-entity data: individual < segment << global.
+        assert report.individual_mse < report.segment_mse
+        assert report.segment_mse < 0.2 * report.global_mse
+
+    def test_selector_close_to_best(self, fitted):
+        predictor, entities = fitted
+        report = predictor.evaluate(entities)
+        best = min(report.global_mse, report.segment_mse, report.individual_mse)
+        assert report.selected_mse <= 1.5 * best
+
+    def test_segment_wins_with_scarce_data(self):
+        entities = heterogeneous_population(
+            n_entities=30, samples_per_entity=5, noise=1.0, rng=1
+        )
+        predictor = GranularPredictor(min_individual_samples=8, rng=1).fit(entities)
+        report = predictor.evaluate(entities)
+        # No entity qualifies for an individual model; segment must carry.
+        assert report.selection_counts["individual"] == 0
+        assert report.segment_mse < report.global_mse
+
+    def test_predict_unknown_granularity_rejected(self, fitted):
+        predictor, entities = fitted
+        with pytest.raises(ValueError):
+            predictor.predict(entities[0].entity_id, entities[0].x, "cosmic")
+
+    def test_population_validation(self):
+        with pytest.raises(ValueError):
+            heterogeneous_population(n_entities=2, n_segments=3)
+
+
+class TestFeedbackLoop:
+    def _fresh_loop(self, **kwargs):
+        registry = ModelRegistry(rng=0)
+        rng = np.random.default_rng(0)
+        x0 = rng.normal(size=(50, 1))
+        y0 = 2 * x0[:, 0] + rng.normal(scale=0.1, size=50)
+        version = registry.register("m", LinearRegression().fit(x0, y0))
+        registry.promote("m", version)
+        loop = FeedbackLoop(
+            registry,
+            "m",
+            retrain=lambda x, y: LinearRegression().fit(x, y),
+            **kwargs,
+        )
+        return registry, loop, rng
+
+    def test_stable_stream_takes_no_action(self):
+        registry, loop, rng = self._fresh_loop()
+        for _ in range(300):
+            x = rng.normal(size=1)
+            loop.observe(x, 2 * x[0] + rng.normal(scale=0.1))
+        assert loop.actions() == []
+        assert registry.production("m").version == 1
+
+    def test_drift_triggers_retrain_and_promotion(self):
+        registry, loop, rng = self._fresh_loop()
+        for _ in range(100):
+            x = rng.normal(size=1)
+            loop.observe(x, 2 * x[0] + rng.normal(scale=0.1))
+        for _ in range(500):
+            x = rng.normal(size=1)
+            loop.observe(x, -1 * x[0] + rng.normal(scale=0.1))
+        actions = loop.actions()
+        assert "drift" in actions
+        assert "promote" in actions
+        final = registry.production("m").model
+        assert final.coef_[0] == pytest.approx(-1.0, abs=0.1)
+
+    def test_observe_returns_prediction(self):
+        _, loop, rng = self._fresh_loop()
+        x = np.array([1.0])
+        assert loop.observe(x, 2.0) == pytest.approx(2.0, abs=0.3)
+
+    def test_events_carry_steps(self):
+        registry, loop, rng = self._fresh_loop()
+        for _ in range(100):
+            x = rng.normal(size=1)
+            loop.observe(x, 5 * x[0])  # immediate drift vs slope-2 model
+        if loop.events:
+            steps = [e.step for e in loop.events]
+            assert steps == sorted(steps)
+
+    def test_invalid_window(self):
+        registry = ModelRegistry()
+        with pytest.raises(ValueError):
+            FeedbackLoop(registry, "m", retrain=lambda x, y: None, window=2)

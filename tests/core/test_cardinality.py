@@ -1,0 +1,129 @@
+"""Tests for learned cardinality micromodels."""
+
+import numpy as np
+import pytest
+
+from repro.core.cardinality import (
+    CardinalityMicromodel,
+    LearnedCardinalityModel,
+    MicromodelTrainer,
+)
+from repro.core.peregrine import WorkloadFeedback, WorkloadRepository
+from repro.ml import q_error
+
+
+@pytest.fixture(scope="module")
+def trained(world):
+    """Train on days 0-5, keeping days 6-7 for evaluation."""
+    repo = WorkloadRepository().ingest(world["workload"])
+    feedback = WorkloadFeedback()
+    representatives = {}
+    for record in repo.records:
+        if record.day < 6:
+            feedback.observe_job(record, world["truth"])
+        for sig, node in record.subexpression_templates.items():
+            representatives.setdefault(sig, node)
+        representatives.setdefault(record.template, record.plan)
+    trainer = MicromodelTrainer(world["default"])
+    report = trainer.train(feedback, representatives)
+    model = LearnedCardinalityModel.from_report(world["default"], report)
+    return repo, report, model
+
+
+class TestMicromodel:
+    def test_fits_smooth_function(self):
+        rng = np.random.default_rng(0)
+        params = np.linspace(10, 100, 30).reshape(-1, 1)
+        rows = 1000 * np.sqrt(params[:, 0])
+        model = CardinalityMicromodel.fit("t", params, rows)
+        pred = model.predict(np.array([[50.0]]))[0]
+        assert pred == pytest.approx(1000 * np.sqrt(50), rel=0.1)
+
+    def test_predictions_at_least_one(self):
+        params = np.linspace(1, 10, 10).reshape(-1, 1)
+        rows = np.full(10, 1.0)
+        model = CardinalityMicromodel.fit("t", params, rows)
+        assert np.all(model.predict(params) >= 1.0)
+
+
+class TestTrainer:
+    def test_pruning_keeps_fewer_than_candidates(self, trained):
+        _, report, _ = trained
+        assert 0 < len(report.kept) < report.n_candidates
+
+    def test_kept_models_beat_default_on_validation(self, trained):
+        _, report, _ = trained
+        for template, model in report.kept.items():
+            if template in report.default_q_error:
+                assert (
+                    model.validation_q_error
+                    <= 0.95 * report.default_q_error[template] + 1e-9
+                )
+
+    def test_dropped_have_reasons(self, trained):
+        _, report, _ = trained
+        assert all(isinstance(v, str) and v for v in report.dropped.values())
+
+    def test_keep_all_ablation_keeps_more(self, world, trained):
+        repo, report, _ = trained
+        feedback = WorkloadFeedback()
+        representatives = {}
+        for record in repo.records:
+            if record.day < 6:
+                feedback.observe_job(record, world["truth"])
+            for sig, node in record.subexpression_templates.items():
+                representatives.setdefault(sig, node)
+        keep_all = MicromodelTrainer(world["default"], keep_all=True).train(
+            feedback, representatives
+        )
+        assert len(keep_all.kept) >= len(report.kept)
+
+    def test_invalid_hyperparams(self, world):
+        with pytest.raises(ValueError):
+            MicromodelTrainer(world["default"], min_observations=2)
+        with pytest.raises(ValueError):
+            MicromodelTrainer(world["default"], improvement_factor=1.5)
+        with pytest.raises(ValueError):
+            MicromodelTrainer(world["default"], validation_fraction=1.0)
+
+
+class TestLearnedModel:
+    def test_improves_q_error_on_holdout(self, trained, world):
+        repo, _, model = trained
+        holdout = [r for r in repo.records if r.day >= 6]
+        q_default, q_learned = [], []
+        for record in holdout:
+            actual = np.array([world["truth"].estimate(record.plan)])
+            q_default.append(
+                q_error(actual, np.array([world["default"].estimate(record.plan)]))[0]
+            )
+            q_learned.append(
+                q_error(actual, np.array([model.estimate(record.plan)]))[0]
+            )
+        assert np.median(q_learned) < np.median(q_default)
+        assert np.mean(q_learned) < np.mean(q_default)
+
+    def test_falls_back_for_unknown_templates(self, trained, world):
+        _, _, model = trained
+        from repro.engine import Scan
+
+        novel = Scan("t0")
+        assert model.estimate(novel) == world["default"].estimate(novel)
+
+    def test_coverage_tracked(self, trained):
+        repo, _, model = trained
+        before = model.hits + model.misses
+        model.estimate(repo.records[0].plan)
+        assert model.hits + model.misses == before + 1
+        assert 0.0 <= model.coverage <= 1.0
+
+    def test_plugs_into_optimizer(self, trained, world):
+        # The externalization seam: the learned model must be accepted by
+        # the optimizer as a drop-in cardinality model.
+        from repro.engine import Optimizer
+
+        _, _, model = trained
+        optimizer = Optimizer(world["catalog"], cardinality=model)
+        plan = world["workload"].jobs[0].plan
+        result = optimizer.optimize(plan)
+        assert result.estimated_rows > 0

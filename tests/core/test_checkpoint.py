@@ -1,0 +1,149 @@
+"""Tests for the Phoebe checkpoint optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import CheckpointOptimizer, StagePredictor
+from repro.engine import ClusterExecutor, compile_stages
+
+WAVES = dict(max_stage_seconds=2.0, max_stage_bytes=128e6)
+
+
+@pytest.fixture(scope="module")
+def graphs(world):
+    """Estimate-sized stage graphs with true sizing attached, days 6-7."""
+    out = []
+    for job in world["workload"].jobs:
+        if job.day < 6 or job.plan.size < 5:
+            continue
+        plan = world["optimizer"].optimize(job.plan).plan
+        out.append(
+            compile_stages(
+                plan, world["est_cost"], truth=world["true_cost"], **WAVES
+            )
+        )
+    return out
+
+
+@pytest.fixture(scope="module")
+def predictor(world):
+    executor = ClusterExecutor(n_machines=16, rng=0)
+    observations = []
+    for job in world["workload"].jobs:
+        if job.day >= 4:
+            continue
+        plan = world["optimizer"].optimize(job.plan).plan
+        graph = compile_stages(
+            plan, world["est_cost"], truth=world["true_cost"], **WAVES
+        )
+        report = executor.run(graph)
+        for stage, run in zip(graph.stages, report.runs):
+            observations.append((stage, run.duration, stage.true_bytes()))
+    return StagePredictor().fit(observations)
+
+
+class TestStagePredictor:
+    def test_covers_all_operators(self, predictor):
+        assert {"Scan", "Filter", "Join", "Aggregate", "Project"} <= (
+            predictor.operators_covered
+        )
+
+    def test_learned_durations_beat_estimates(self, predictor, world, graphs):
+        # Compare duration prediction error on fresh runs.
+        executor = ClusterExecutor(n_machines=16, noise=0.0, rng=3)
+        est_err, learned_err = [], []
+        for graph in graphs[:10]:
+            report = executor.run(graph)
+            for stage, run in zip(graph.stages, report.runs):
+                est_err.append(abs(stage.duration() - run.duration))
+                learned_err.append(
+                    abs(predictor.predict_duration(stage) - run.duration)
+                )
+        assert np.mean(learned_err) < np.mean(est_err)
+
+    def test_fallback_for_unknown_operator(self, predictor, graphs):
+        from dataclasses import replace
+
+        stage = replace(graphs[0].stages[0], operator="Exotic")
+        assert predictor.predict_duration(stage) == stage.duration()
+        assert predictor.predict_bytes(stage) == stage.output_bytes
+
+    def test_rejects_bad_observations(self):
+        with pytest.raises(ValueError):
+            StagePredictor().fit([])
+        with pytest.raises(ValueError):
+            StagePredictor(min_observations=1)
+
+
+class TestCheckpointOptimizer:
+    def test_never_checkpoints_sink(self, predictor, graphs):
+        optimizer = CheckpointOptimizer(predictor=predictor)
+        for graph in graphs[:8]:
+            plan = optimizer.select(graph)
+            assert graph.sink.stage_id not in plan.checkpoints
+
+    def test_respects_byte_budget(self, predictor, graphs):
+        optimizer = CheckpointOptimizer(
+            predictor=predictor, budget_fraction=0.3
+        )
+        for graph in graphs[:8]:
+            plan = optimizer.select(graph)
+            budget = 0.3 * sum(
+                optimizer._bytes(s) for s in graph.stages[:-1]
+            )
+            assert plan.checkpointed_bytes <= budget + 1e-6
+
+    def test_predicted_restart_improves(self, predictor, graphs):
+        optimizer = CheckpointOptimizer(predictor=predictor, budget_fraction=0.8)
+        plan = optimizer.select(graphs[0])
+        assert (
+            plan.predicted_restart_seconds
+            <= plan.predicted_baseline_restart_seconds
+        )
+        assert 0.0 <= plan.predicted_restart_saving <= 1.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            CheckpointOptimizer(failure_grid=0)
+        with pytest.raises(ValueError):
+            CheckpointOptimizer(budget_fraction=0.0)
+
+
+class TestEndToEnd:
+    """The paper's three claims, directionally, on held-out days."""
+
+    @pytest.fixture(scope="class")
+    def measured(self, predictor, graphs):
+        optimizer = CheckpointOptimizer(predictor=predictor, budget_fraction=0.8)
+        rng = np.random.default_rng(7)
+        restart_none, restart_ck = [], []
+        temp_none, temp_ck = [], []
+        runtime_none, runtime_ck = [], []
+        for graph in graphs:
+            checkpoints = optimizer.select(graph).checkpoints
+            base = ClusterExecutor(n_machines=16, rng=1).run(graph)
+            with_ck = ClusterExecutor(n_machines=16, rng=1).run(
+                graph, checkpoints=checkpoints
+            )
+            t = base.runtime * rng.uniform(0.3, 0.95)
+            executor = ClusterExecutor(rng=1)
+            restart_none.append(executor.restart_work_seconds(graph, base, t))
+            restart_ck.append(executor.restart_work_seconds(graph, with_ck, t))
+            temp_none.append(base.peak_temp_bytes)
+            temp_ck.append(with_ck.peak_temp_bytes)
+            runtime_none.append(base.runtime)
+            runtime_ck.append(with_ck.runtime)
+        return {
+            "restart_saving": 1 - np.sum(restart_ck) / np.sum(restart_none),
+            "temp_saving": 1 - np.sum(temp_ck) / np.sum(temp_none),
+            "runtime_overhead": np.sum(runtime_ck) / np.sum(runtime_none) - 1,
+        }
+
+    def test_restart_substantially_faster(self, measured):
+        assert measured["restart_saving"] > 0.35
+
+    def test_hotspot_temp_substantially_freed(self, measured):
+        assert measured["temp_saving"] > 0.5
+
+    def test_runtime_impact_minimal(self, measured):
+        assert measured["runtime_overhead"] < 0.10

@@ -1,0 +1,121 @@
+"""Tests for contained-subexpression reuse (the CloudViews extension)."""
+
+import pytest
+
+from repro.core.cloudviews import (
+    find_contained_groups,
+    rewrite_with_containment,
+)
+from repro.engine import Filter, Join, Predicate, Scan, signature
+
+
+def bounded(value, table="fact", column="a0"):
+    return Filter(Scan(table), (Predicate(column, "<=", value),))
+
+
+@pytest.fixture
+def jobs():
+    """Three jobs with the same fragment template at drifting bounds."""
+    return [
+        ("j1", Join(bounded(100.0), Scan("dim"), "key", "key")),
+        ("j2", Join(bounded(150.0), Scan("dim"), "key", "key")),
+        ("j3", Join(bounded(120.0), Scan("dim"), "key", "key")),
+    ]
+
+
+class TestGrouping:
+    def test_finds_drifting_bound_group(self, jobs):
+        groups = find_contained_groups(jobs)
+        fragment_groups = [g for g in groups if g.weakest.size == 2]
+        assert fragment_groups
+        group = fragment_groups[0]
+        assert group.n_jobs == 3
+
+    def test_weakest_instance_chosen(self, jobs):
+        groups = find_contained_groups(jobs)
+        group = next(g for g in groups if g.weakest.size == 2)
+        assert group.weakest == bounded(150.0)
+
+    def test_identical_instances_excluded(self):
+        # Strictly identical subexpressions are syntactic candidates,
+        # not containment wins.
+        jobs = [("a", bounded(100.0)), ("b", bounded(100.0))]
+        assert find_contained_groups(jobs) == []
+
+    def test_multi_predicate_filters_excluded(self):
+        plan = Filter(
+            Scan("fact"),
+            (Predicate("a0", "<=", 5.0), Predicate("a1", "<=", 2.0)),
+        )
+        assert find_contained_groups([("a", plan), ("b", plan)]) == []
+
+    def test_lower_bounds_excluded(self):
+        plan = Filter(Scan("fact"), (Predicate("a0", ">", 5.0),))
+        looser = Filter(Scan("fact"), (Predicate("a0", ">", 3.0),))
+        assert find_contained_groups([("a", plan), ("b", looser)]) == []
+
+    def test_single_job_not_grouped(self):
+        jobs = [("only", bounded(100.0)), ("only", bounded(150.0))]
+        assert find_contained_groups(jobs, min_jobs=2) == []
+
+
+class TestRewrite:
+    def test_strict_instance_gets_compensating_filter(self, jobs):
+        group = next(
+            g for g in find_contained_groups(jobs) if g.weakest.size == 2
+        )
+        rewritten = rewrite_with_containment(jobs[0][1], group)
+        compensating = [
+            n
+            for n in rewritten.walk()
+            if isinstance(n, Filter)
+            and isinstance(n.child, Scan)
+            and n.child.table == group.view_table
+        ]
+        assert compensating
+        assert compensating[0].predicates[0].value == 100.0
+
+    def test_weakest_instance_becomes_bare_view_scan(self, jobs):
+        group = next(
+            g for g in find_contained_groups(jobs) if g.weakest.size == 2
+        )
+        rewritten = rewrite_with_containment(jobs[1][1], group)
+        assert Scan(group.view_table) in set(rewritten.walk())
+        assert group.weakest not in set(rewritten.walk())
+
+    def test_uncontained_plan_unchanged(self, jobs):
+        group = next(
+            g for g in find_contained_groups(jobs) if g.weakest.size == 2
+        )
+        foreign = Join(bounded(999.0), Scan("dim"), "key", "key")
+        # 999 exceeds the view bound of 150: not contained, untouched.
+        assert rewrite_with_containment(foreign, group) == foreign
+
+    def test_rewrite_covers_more_jobs_than_syntactic_matching(self, jobs):
+        # The whole point: strict signatures all differ, yet one view
+        # serves every job after compensation.
+        strict = {signature(plan) for _, plan in jobs}
+        assert len(strict) == 3
+        group = next(
+            g for g in find_contained_groups(jobs) if g.weakest.size == 2
+        )
+        rewritten = [rewrite_with_containment(p, group) for _, p in jobs]
+        assert all(
+            any(
+                isinstance(n, Scan) and n.table == group.view_table
+                for n in plan.walk()
+            )
+            for plan in rewritten
+        )
+
+    def test_real_workload_has_containment_opportunities(self, world):
+        # Across days, recurring fragments drift: one weakest-bound view
+        # contains multiple days' instances.
+        jobs = [
+            (j.job_id, j.plan)
+            for j in world["workload"].jobs
+            if j.day in (2, 3) and j.is_recurring
+        ]
+        groups = find_contained_groups(jobs)
+        assert groups
+        assert max(g.n_jobs for g in groups) >= 2

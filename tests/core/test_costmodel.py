@@ -1,0 +1,85 @@
+"""Tests for learned cost models and the meta ensemble."""
+
+import numpy as np
+import pytest
+
+from repro.core.costmodel import CostObservation, LearnedCostModel, job_cost_features
+from repro.engine import ClusterExecutor, compile_stages, template_signature
+
+
+@pytest.fixture(scope="module")
+def observations(world):
+    executor = ClusterExecutor(n_machines=16, rng=0)
+    out = []
+    for job in world["workload"].jobs:
+        plan = world["optimizer"].optimize(job.plan).plan
+        graph = compile_stages(plan, world["est_cost"], truth=world["true_cost"])
+        report = executor.run(graph)
+        out.append(
+            CostObservation(
+                template=template_signature(plan),
+                features=job_cost_features(plan, world["est_cost"]),
+                actual_seconds=report.runtime,
+            )
+        )
+    return out
+
+
+@pytest.fixture(scope="module")
+def model(observations):
+    split = int(0.75 * len(observations))
+    return LearnedCostModel(min_template_observations=5, rng=0).train(
+        observations[:split]
+    )
+
+
+class TestFeatures:
+    def test_feature_vector_shape_and_finite(self, world):
+        plan = world["workload"].jobs[0].plan
+        features = job_cost_features(plan, world["est_cost"])
+        assert features.shape == (5,)
+        assert np.all(np.isfinite(features))
+
+    def test_invalid_observation(self):
+        with pytest.raises(ValueError):
+            CostObservation("t", np.ones(5), actual_seconds=0.0)
+
+
+class TestLearnedCostModel:
+    def test_micromodels_trained_for_recurring_templates(self, model):
+        assert model.n_micromodels > 0
+
+    def test_ensemble_beats_analytical(self, model, observations):
+        split = int(0.75 * len(observations))
+        metrics = model.evaluate(observations[split:])
+        assert metrics["ensemble_mape"] < metrics["analytical_mape"]
+
+    def test_ensemble_reasonably_accurate(self, model, observations):
+        split = int(0.75 * len(observations))
+        metrics = model.evaluate(observations[split:])
+        assert metrics["ensemble_mape"] < 0.5
+
+    def test_full_coverage_via_fallback(self, model):
+        # Unknown template still gets a prediction (global fallback).
+        pred = model.predict("never-seen", np.array([10.0, 5.0, 8.0, 4.0, 3.0]))
+        assert pred > 0
+
+    def test_predictions_positive(self, model, observations):
+        for obs in observations[-20:]:
+            assert model.predict(obs.template, obs.features) >= 0.1
+
+    def test_predict_plan_convenience(self, model, world):
+        plan = world["workload"].jobs[0].plan
+        assert model.predict_plan(plan, world["est_cost"]) > 0
+
+    def test_too_few_observations_rejected(self, observations):
+        with pytest.raises(ValueError, match="at least 8"):
+            LearnedCostModel().train(observations[:5])
+
+    def test_invalid_min_observations(self):
+        with pytest.raises(ValueError):
+            LearnedCostModel(min_template_observations=1)
+
+    def test_covers(self, model, observations):
+        covered = [o.template for o in observations if model.covers(o.template)]
+        assert covered

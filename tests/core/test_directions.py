@@ -1,0 +1,263 @@
+"""Tests for the Direction 1/3/4 extensions: AlgorithmStore, joint
+optimization, and RAI guardrails."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithmstore import AlgorithmEntry, AlgorithmStore, default_store
+from repro.core.guardrails import (
+    CostGuardrail,
+    RegressionGuardrail,
+    fairness_report,
+)
+from repro.core.joint import (
+    ParameterGrid,
+    joint_optimize,
+    sequential_optimize,
+)
+
+
+class TestAlgorithmStore:
+    @pytest.fixture(scope="class")
+    def store(self):
+        return default_store()
+
+    def test_catalog_covers_common_use_cases(self, store):
+        assert len(store) >= 12
+        assert {"regression", "forecasting", "decision", "monitoring",
+                "clustering"} <= set(store.categories())
+
+    def test_search_finds_by_tag(self, store):
+        results = store.search("steering bandit")
+        assert results
+        assert results[0].name == "linucb"
+
+    def test_search_finds_by_description(self, store):
+        results = store.search("seasonal")
+        names = {e.name for e in results}
+        assert "holt-winters" in names
+
+    def test_search_ranking_prefers_name_matches(self, store):
+        results = store.search("linucb")
+        assert results[0].name == "linucb"
+
+    def test_search_empty_query_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.search("   ")
+
+    def test_instantiate_with_overrides(self, store):
+        forecaster = store.get("holt-winters").instantiate(period=24, alpha=0.5)
+        assert forecaster.period == 24
+        assert forecaster.alpha == 0.5
+
+    def test_instantiate_rejects_unknown_parameters(self, store):
+        with pytest.raises(TypeError, match="unknown parameters"):
+            store.get("linear-regression").instantiate(bogus=1)
+
+    def test_instantiated_algorithm_works(self, store):
+        model = store.get("linear-regression").instantiate()
+        x = np.arange(10.0)
+        model.fit(x, 2 * x)
+        assert model.coef_[0] == pytest.approx(2.0)
+
+    def test_duplicate_registration_rejected(self, store):
+        entry = store.get("linucb")
+        with pytest.raises(ValueError, match="already"):
+            store.register(entry)
+
+    def test_describe_includes_docs(self, store):
+        text = store.describe("page-hinkley")
+        assert "monitoring" in text
+        assert "example:" in text
+
+    def test_unknown_algorithm_raises(self, store):
+        with pytest.raises(KeyError):
+            store.get("flux-capacitor")
+
+
+class TestJointOptimization:
+    @staticmethod
+    def coupled_objective(config):
+        """A non-separable bowl: optimum at (3, 4) with interaction."""
+        a, b = config["a"], config["b"]
+        return (a - 3) ** 2 + (b - 4) ** 2 + 0.8 * (a - 3) * (b - 4)
+
+    @pytest.fixture
+    def grid(self):
+        return ParameterGrid(
+            {"a": (0.0, 1.0, 2.0, 3.0, 4.0), "b": (0.0, 1.0, 2.0, 3.0, 4.0)}
+        )
+
+    def test_joint_at_least_as_good_as_sequential(self, grid):
+        sequential = sequential_optimize(self.coupled_objective, grid)
+        joint = joint_optimize(self.coupled_objective, grid)
+        assert joint.objective <= sequential.objective + 1e-12
+
+    def test_joint_reaches_grid_optimum(self, grid):
+        joint = joint_optimize(self.coupled_objective, grid)
+        assert joint.config == {"a": 3.0, "b": 4.0}
+
+    def test_sequential_stuck_in_zigzag_valley(self):
+        # A diagonal valley: one ordered pass lands part-way down it,
+        # while coordinate descent keeps zig-zagging to a better point.
+        def valley(config):
+            a, b = config["a"], config["b"]
+            return 0.1 * (a - b) ** 2 + (a + b - 8) ** 2
+
+        values = tuple(float(v) for v in range(9))
+        grid = ParameterGrid({"a": values, "b": values})
+        sequential = sequential_optimize(valley, grid, order=["a", "b"])
+        joint = joint_optimize(valley, grid)
+        assert joint.objective < sequential.objective
+        assert joint.rounds > 1
+
+    def test_coordinate_descent_terminates_at_fixpoint(self, grid):
+        joint = joint_optimize(self.coupled_objective, grid, max_rounds=10)
+        assert joint.rounds < 10
+
+    def test_objective_cache_avoids_reevaluation(self, grid):
+        calls = {"n": 0}
+
+        def counting(config):
+            calls["n"] += 1
+            return self.coupled_objective(config)
+
+        result = joint_optimize(counting, grid)
+        assert calls["n"] == result.evaluations
+        # 5x5 grid: caching must keep us below exhaustive enumeration
+        # times rounds.
+        assert result.evaluations <= 25
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            ParameterGrid({})
+        with pytest.raises(ValueError):
+            ParameterGrid({"a": (1.0,)})
+        grid = ParameterGrid({"a": (0.0, 1.0)})
+        with pytest.raises(ValueError, match="order"):
+            sequential_optimize(lambda c: 0.0, grid, order=["z"])
+
+
+class TestJointScenario:
+    def test_checkpoint_wave_objective_is_usable(self, world):
+        from repro.core.joint import checkpoint_wave_objective
+
+        objective = checkpoint_wave_objective(world, n_jobs=3)
+        coarse = objective({"max_stage_seconds": 4.0, "budget_fraction": 0.2})
+        fine = objective({"max_stage_seconds": 1.0, "budget_fraction": 0.8})
+        assert np.isfinite(coarse) and np.isfinite(fine)
+        assert coarse != fine  # the knobs actually matter
+
+    def test_objective_deterministic(self, world):
+        from repro.core.joint import checkpoint_wave_objective
+
+        objective = checkpoint_wave_objective(world, n_jobs=2)
+        config = {"max_stage_seconds": 2.0, "budget_fraction": 0.5}
+        assert objective(config) == objective(config)
+
+
+class TestCostGuardrail:
+    def test_within_bound_approved(self):
+        decision = CostGuardrail(1.5).review(120.0, 100.0)
+        assert decision.approved
+
+    def test_beyond_bound_vetoed_with_reason(self):
+        decision = CostGuardrail(1.5).review(200.0, 100.0)
+        assert not decision.approved
+        assert "exceeds" in decision.reason
+
+    def test_zero_baseline(self):
+        assert CostGuardrail().review(0.0, 0.0).approved
+        assert not CostGuardrail().review(10.0, 0.0).approved
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            CostGuardrail(0.5)
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            CostGuardrail().review(-1.0, 1.0)
+
+
+class TestRegressionGuardrail:
+    def test_small_regression_tolerated(self):
+        guard = RegressionGuardrail(tolerance=0.05)
+        assert guard.review(1.04, 1.0).approved
+
+    def test_large_regression_vetoed(self):
+        guard = RegressionGuardrail(tolerance=0.05)
+        decision = guard.review(1.2, 1.0)
+        assert not decision.approved
+        assert "regresses" in decision.reason
+
+    def test_audit_log_and_veto_fraction(self):
+        guard = RegressionGuardrail(tolerance=0.0)
+        guard.review(1.0, 1.0)
+        guard.review(2.0, 1.0)
+        assert len(guard.audit_log) == 2
+        assert guard.veto_fraction == 0.5
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            RegressionGuardrail(tolerance=-0.1)
+
+
+class TestFairness:
+    def test_balanced_outcomes_are_fair(self):
+        segments = ["small"] * 10 + ["big"] * 10
+        outcomes = [1.0] * 10 + [1.1] * 10
+        report = fairness_report(segments, outcomes, disparity_bound=0.25)
+        assert report.is_fair
+
+    def test_marginalized_segment_flagged(self):
+        # Small customers pay double: both segments deviate from the
+        # population mean, and both deviations are surfaced.
+        segments = ["small"] * 10 + ["big"] * 10
+        outcomes = [2.0] * 10 + [1.0] * 10
+        report = fairness_report(segments, outcomes, disparity_bound=0.25)
+        assert "small" in report.flagged_segments
+        assert report.disparity("small") > 0.25
+        assert not report.is_fair
+
+    def test_majority_population_isolates_the_marginalized_segment(self):
+        # With a dominant majority, only the mistreated minority deviates.
+        segments = ["small"] * 10 + ["big"] * 90
+        outcomes = [2.0] * 10 + [1.0] * 90
+        report = fairness_report(segments, outcomes, disparity_bound=0.25)
+        assert report.flagged_segments == ["small"]
+
+    def test_tiny_segments_not_flagged(self):
+        segments = ["small"] * 2 + ["big"] * 20
+        outcomes = [5.0] * 2 + [1.0] * 20
+        report = fairness_report(
+            segments, outcomes, disparity_bound=0.25, min_segment_size=5
+        )
+        assert "small" not in report.flagged_segments
+        assert "small" in report.segment_means
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fairness_report(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            fairness_report([], [])
+        with pytest.raises(ValueError):
+            fairness_report(["a"], [1.0], disparity_bound=0.0)
+
+    def test_doppler_recommendations_serve_segments_fairly(self):
+        # End-to-end RAI check on a real service: per-segment overspend
+        # ratio of Doppler recommendations vs ground-truth right-sizing.
+        from repro.core.doppler import SkuRecommender
+        from repro.workloads import generate_customers, ground_truth_sku
+
+        recommender = SkuRecommender(rng=0).fit(generate_customers(400, rng=0))
+        customers = generate_customers(200, rng=1)
+        segments, overspend = [], []
+        for customer in customers:
+            truth_price = ground_truth_sku(customer).price
+            recommended = recommender.recommend(customer).sku.price
+            segments.append(customer.segment)
+            overspend.append(recommended / truth_price)
+        report = fairness_report(
+            segments, overspend, "overspend_ratio", disparity_bound=0.35
+        )
+        assert report.is_fair, report.segment_means

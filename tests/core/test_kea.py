@@ -1,0 +1,99 @@
+"""Tests for KEA machine-behaviour models and balancing."""
+
+import numpy as np
+import pytest
+
+from repro.core.kea import BehaviorModel, MachineBehaviorModels, WorkloadBalancer
+from repro.infra import SkuFleetConfig
+from repro.telemetry import TelemetryStore
+from repro.workloads import MachineFleetSimulator
+from repro.workloads.machines import DEFAULT_SKUS
+
+
+@pytest.fixture(scope="module")
+def models():
+    store = TelemetryStore()
+    MachineFleetSimulator(n_machines_per_sku=8, noise=2.0, rng=0).collect(
+        store, n_steps=40
+    )
+    return MachineBehaviorModels().fit(store)
+
+
+class TestBehaviorModel:
+    def test_fit_recovers_line(self):
+        x = np.arange(20.0)
+        y = 3.0 * x + 5.0
+        model = BehaviorModel.fit(x, y, "x", "y")
+        assert model.slope == pytest.approx(3.0)
+        assert model.intercept == pytest.approx(5.0)
+        assert model.r2 == pytest.approx(1.0)
+
+    def test_rejects_tiny_samples(self):
+        with pytest.raises(ValueError):
+            BehaviorModel.fit(np.ones(2), np.ones(2), "x", "y")
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            BehaviorModel.fit(np.ones(5), np.ones(4), "x", "y")
+
+
+class TestMachineBehaviorModels:
+    def test_one_model_per_sku(self, models):
+        assert models.skus() == [s.name for s in DEFAULT_SKUS]
+
+    def test_recovers_ground_truth_slopes(self, models):
+        for sku in DEFAULT_SKUS:
+            fitted = models.cpu_models[sku.name]
+            assert fitted.slope == pytest.approx(sku.cpu_per_container, rel=0.1)
+            assert fitted.r2 > 0.9
+
+    def test_task_models_recover_slopes(self, models):
+        for sku in DEFAULT_SKUS:
+            fitted = models.task_models[sku.name]
+            assert fitted.slope == pytest.approx(
+                sku.task_seconds_per_cpu, rel=0.25
+            )
+
+    def test_predict_cpu_clipped(self, models):
+        assert models.predict_cpu("gen4", 10_000) == 100.0
+        assert models.predict_cpu("gen4", 0) >= 0.0
+
+    def test_inversion_roundtrip(self, models):
+        containers = models.containers_for_cpu("gen5", 60.0)
+        assert models.predict_cpu("gen5", containers) == pytest.approx(60.0, abs=1.0)
+
+    def test_unknown_sku_raises(self, models):
+        with pytest.raises(KeyError):
+            models.predict_cpu("gen99", 5)
+
+    def test_empty_store_rejected(self):
+        with pytest.raises(ValueError):
+            MachineBehaviorModels().fit(TelemetryStore())
+
+
+class TestBalancer:
+    def test_caps_scale_with_sku_capability(self, models):
+        result = WorkloadBalancer(models).recommend_caps(target_cpu=75)
+        # Stronger generations (smaller cpu-per-container) get bigger caps.
+        assert result.caps["gen6"] > result.caps["gen5"] > result.caps["gen4"]
+
+    def test_predicted_cpu_near_target(self, models):
+        result = WorkloadBalancer(models).recommend_caps(target_cpu=75)
+        for cpu in result.predicted_cpu.values():
+            assert cpu == pytest.approx(75.0, abs=5.0)
+
+    def test_invalid_target(self, models):
+        with pytest.raises(ValueError):
+            WorkloadBalancer(models).recommend_caps(target_cpu=0.0)
+
+    def test_balanced_fleet_reduces_imbalance_and_overload(self, models):
+        balancer = WorkloadBalancer(models)
+        result = balancer.recommend_caps(target_cpu=75)
+        skus = {s.name: s for s in DEFAULT_SKUS}
+        tuned = balancer.build_fleet(skus, 8, result)
+        static = [SkuFleetConfig(s, 8, 28) for s in DEFAULT_SKUS]
+        demands = list(np.random.default_rng(1).integers(400, 650, 15))
+        static_metrics = WorkloadBalancer.evaluate(static, demands)
+        tuned_metrics = WorkloadBalancer.evaluate(tuned, demands)
+        assert tuned_metrics["mean_imbalance"] < 0.5 * static_metrics["mean_imbalance"]
+        assert tuned_metrics["overload_fraction"] <= static_metrics["overload_fraction"]

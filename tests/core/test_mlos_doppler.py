@@ -1,0 +1,138 @@
+"""Tests for the MLOS tuner and Doppler SKU recommendation."""
+
+import numpy as np
+import pytest
+
+from repro.core.doppler import SkuRecommender, recommendation_accuracy
+from repro.core.mlos import (
+    ConfigParameter,
+    ConfigSpace,
+    ModelGuidedTuner,
+    RandomSearchTuner,
+    redis_vm_benchmark,
+)
+from repro.workloads import AZURE_SKUS, generate_customers, ground_truth_sku
+
+
+class TestConfigSpace:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ConfigParameter("p", 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            ConfigParameter("p", 0.0, 1.0, 2.0)
+
+    def test_space_validation(self):
+        with pytest.raises(ValueError):
+            ConfigSpace(())
+        p = ConfigParameter("p", 0, 1, 0)
+        with pytest.raises(ValueError, match="duplicate"):
+            ConfigSpace((p, p))
+
+    def test_sample_within_bounds(self):
+        space, _, _ = redis_vm_benchmark(rng=0)
+        samples = space.sample(np.random.default_rng(0), 50)
+        clipped = np.vstack([space.clip(s) for s in samples])
+        np.testing.assert_allclose(samples, clipped)
+
+    def test_as_dict(self):
+        space, _, _ = redis_vm_benchmark(rng=0)
+        named = space.as_dict(space.default())
+        assert named["swappiness"] == 60.0
+
+
+class TestTuners:
+    @pytest.fixture(scope="class")
+    def redis_bench(self):
+        return redis_vm_benchmark(noise=0.5, rng=0)
+
+    def test_both_tuners_beat_default(self, redis_bench):
+        space, objective, _ = redis_bench
+        default_score = np.mean([objective(space.default()) for _ in range(5)])
+        random_result = RandomSearchTuner(space, rng=1).tune(objective, 50)
+        model_result = ModelGuidedTuner(space, rng=1).tune(objective, 50)
+        assert random_result.best_score > default_score + 20
+        assert model_result.best_score > default_score + 20
+
+    def test_model_guided_beats_random_at_budget(self, redis_bench):
+        space, objective, _ = redis_bench
+        random_result = RandomSearchTuner(space, rng=2).tune(objective, 60)
+        model_result = ModelGuidedTuner(space, rng=2).tune(objective, 60)
+        assert model_result.best_score >= random_result.best_score
+
+    def test_model_guided_approaches_optimum(self, redis_bench):
+        space, objective, optimum = redis_bench
+        result = ModelGuidedTuner(space, rng=3).tune(objective, 70)
+        assert result.best_score > optimum - 10
+
+    def test_incumbent_curve_monotone(self, redis_bench):
+        space, objective, _ = redis_bench
+        result = RandomSearchTuner(space, rng=0).tune(objective, 30)
+        curve = result.incumbent_curve()
+        assert np.all(np.diff(curve) >= 0)
+        assert result.n_evaluations == 30
+
+    def test_budget_validation(self, redis_bench):
+        space, objective, _ = redis_bench
+        with pytest.raises(ValueError):
+            RandomSearchTuner(space).tune(objective, 0)
+        with pytest.raises(ValueError):
+            ModelGuidedTuner(space, n_seed=10).tune(objective, 10)
+
+
+class TestDoppler:
+    @pytest.fixture(scope="class")
+    def recommender(self):
+        return SkuRecommender(rng=0).fit(generate_customers(400, rng=0))
+
+    @pytest.fixture(scope="class")
+    def test_customers(self):
+        return generate_customers(200, rng=1)
+
+    def test_accuracy_matches_paper(self, recommender, test_customers):
+        accuracy = recommendation_accuracy(recommender, test_customers)
+        assert accuracy > 0.9  # paper: >95% on production data
+
+    def test_exact_accuracy_high(self, recommender, test_customers):
+        exact = recommendation_accuracy(
+            recommender, test_customers, within_one_tier=False
+        )
+        assert exact > 0.8
+
+    def test_recommendation_is_explainable(self, recommender, test_customers):
+        rec = recommender.recommend(test_customers[0])
+        # The ranked price-performance curve covers all SKUs by price.
+        prices = [sku.price for sku, _ in rec.ranked_options]
+        assert prices == sorted(prices)
+        assert len(rec.ranked_options) == len(AZURE_SKUS)
+
+    def test_recommendation_covers_or_is_largest(self, recommender, test_customers):
+        biggest = max(AZURE_SKUS, key=lambda s: s.price)
+        for customer in test_customers[:30]:
+            rec = recommender.recommend(customer)
+            covering = [s for s, covers in rec.ranked_options if covers]
+            if covering:
+                assert rec.sku == covering[0]
+            else:
+                assert rec.sku == biggest
+
+    def test_segments_align_with_latents(self, recommender):
+        train = generate_customers(400, rng=0)
+        # Majority latent segment per cluster should be dominant (>70%).
+        from collections import Counter
+
+        clusters: dict[int, Counter] = {}
+        for customer in train:
+            cluster = recommender.segment_of(customer)
+            clusters.setdefault(cluster, Counter())[customer.segment] += 1
+        for counts in clusters.values():
+            total = sum(counts.values())
+            assert counts.most_common(1)[0][1] / total > 0.7
+
+    def test_unfitted_raises(self):
+        fresh = SkuRecommender()
+        with pytest.raises(RuntimeError):
+            fresh.recommend(generate_customers(1, rng=0)[0])
+
+    def test_accuracy_empty_rejected(self, recommender):
+        with pytest.raises(ValueError):
+            recommendation_accuracy(recommender, [])

@@ -1,0 +1,120 @@
+"""Tests for Moneyball and the Pareto tooling (Figure 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.moneyball import (
+    ForecastPausePolicy,
+    PredictabilityClassifier,
+    evaluate_policies,
+    policy_tradeoff,
+)
+from repro.core.pareto import TradeoffPoint, frontier_shift, pareto_frontier
+from repro.infra import ServerlessSimulator
+from repro.workloads import UsagePopulationConfig, generate_population
+
+
+@pytest.fixture(scope="module")
+def population():
+    return generate_population(
+        UsagePopulationConfig(n_tenants=60, n_days=42), rng=0
+    )
+
+
+class TestPareto:
+    def test_domination(self):
+        a = TradeoffPoint(1.0, 1.0)
+        b = TradeoffPoint(2.0, 2.0)
+        assert a.dominates(b) and not b.dominates(a)
+        assert not a.dominates(TradeoffPoint(1.0, 1.0))
+
+    def test_frontier_excludes_dominated(self):
+        points = [
+            TradeoffPoint(1, 3, "a"),
+            TradeoffPoint(2, 2, "b"),
+            TradeoffPoint(3, 1, "c"),
+            TradeoffPoint(3, 3, "dominated"),
+        ]
+        frontier = pareto_frontier(points)
+        assert [p.label for p in frontier] == ["a", "b", "c"]
+
+    def test_frontier_sorted_by_qos(self):
+        points = [TradeoffPoint(3, 1), TradeoffPoint(1, 3), TradeoffPoint(2, 2)]
+        qos = [p.qos_penalty for p in pareto_frontier(points)]
+        assert qos == sorted(qos)
+
+    def test_frontier_shift_positive_when_dominating(self):
+        base = [TradeoffPoint(1, 4), TradeoffPoint(3, 2)]
+        better = [TradeoffPoint(1, 2), TradeoffPoint(3, 1)]
+        assert frontier_shift(base, better) > 0
+
+    def test_frontier_shift_empty_rejected(self):
+        with pytest.raises(ValueError):
+            frontier_shift([], [TradeoffPoint(1, 1)])
+
+
+class TestClassifier:
+    def test_reproduces_77_percent(self, population):
+        classifier = PredictabilityClassifier()
+        fraction = classifier.predictable_fraction(population)
+        assert fraction == pytest.approx(0.77, abs=0.06)
+
+    def test_high_agreement_with_ground_truth(self, population):
+        assert PredictabilityClassifier().accuracy(population) > 0.9
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            PredictabilityClassifier().predictable_fraction([])
+
+    def test_short_history_scores_zero(self, population):
+        from repro.workloads.usage import TenantTrace
+
+        short = TenantTrace("x", np.ones(48), True)
+        assert PredictabilityClassifier().score(short) == 0.0
+
+
+class TestForecastPolicy:
+    def test_pauses_on_forecast_idle(self):
+        policy = ForecastPausePolicy(period=24, activity_threshold=0.5)
+        history = np.zeros(30)
+        assert policy.should_pause(30, history)
+
+    def test_stays_up_without_history(self):
+        policy = ForecastPausePolicy(period=24, activity_threshold=0.5)
+        assert not policy.should_pause(0, np.array([]))
+
+    def test_resumes_before_forecast_activity(self):
+        policy = ForecastPausePolicy(period=24, activity_threshold=0.5)
+        history = np.zeros(48)
+        history[10] = 1.0  # active at hour 10 yesterday
+        assert policy.should_resume(34, history)  # 34 - 24 = 10
+        assert not policy.should_resume(40, history)
+
+
+class TestPolicyComparison:
+    @pytest.fixture(scope="class")
+    def tradeoffs(self, population):
+        simulator = ServerlessSimulator()
+        results = evaluate_policies(population, simulator)
+        return {
+            name: policy_tradeoff(reports, name)
+            for name, reports in results.items()
+        }
+
+    def test_always_on_has_zero_cold_starts(self, tradeoffs):
+        assert tradeoffs["always_on"].qos_penalty == 0.0
+
+    def test_moneyball_dominates_reactive(self, tradeoffs):
+        ml = tradeoffs["moneyball"]
+        assert ml.qos_penalty < tradeoffs["reactive_4"].qos_penalty
+        assert ml.cost < tradeoffs["reactive_4"].cost
+
+    def test_moneyball_much_cheaper_than_always_on(self, tradeoffs):
+        assert tradeoffs["moneyball"].cost < 0.75 * tradeoffs["always_on"].cost
+
+    def test_figure2_shape(self, tradeoffs):
+        # The frontier must show the QoS/cost tension: ordering policies
+        # by cost must (weakly) order them by QoS penalty the other way.
+        frontier = pareto_frontier(list(tradeoffs.values()))
+        costs = [p.cost for p in frontier]
+        assert costs == sorted(costs, reverse=True)

@@ -1,0 +1,145 @@
+"""Tests for the Peregrine workload analysis platform."""
+
+import numpy as np
+import pytest
+
+from repro.core.peregrine import (
+    WorkloadFeedback,
+    WorkloadRepository,
+    analyze,
+    forecast_daily_volume,
+)
+from repro.core.peregrine.analysis import shared_jobs_on_day
+from repro.core.peregrine.feedback import parameter_vector
+from repro.core.peregrine.forecast import forecast_template_parameter
+from repro.engine import Filter, Predicate, Scan
+
+
+@pytest.fixture(scope="module")
+def repo(world):
+    return WorkloadRepository().ingest(world["workload"])
+
+
+class TestRepository:
+    def test_ingests_every_job(self, repo, world):
+        assert len(repo) == len(world["workload"])
+
+    def test_duplicate_ingest_rejected(self, repo, world):
+        with pytest.raises(ValueError, match="already"):
+            repo.ingest_job(world["workload"].jobs[0])
+
+    def test_job_lookup(self, repo, world):
+        job = world["workload"].jobs[0]
+        assert repo.job(job.job_id).job_id == job.job_id
+        with pytest.raises(KeyError):
+            repo.job("ghost")
+
+    def test_recurring_jobs_grouped_into_one_template(self, repo, world):
+        instances = world["workload"].by_template(0)
+        record = repo.job(instances[0].job_id)
+        grouped = repo.instances_of(record.template)
+        assert {r.job_id for r in grouped} >= {j.job_id for j in instances}
+
+    def test_days(self, repo):
+        assert repo.days() == list(range(8))
+
+    def test_dependency_graph_is_dag(self, repo):
+        import networkx as nx
+
+        graph = repo.dependency_graph()
+        assert nx.is_directed_acyclic_graph(graph)
+        assert graph.number_of_edges() > 0
+
+
+class TestAnalysis:
+    def test_reproduces_paper_statistics(self, repo):
+        stats = analyze(repo)
+        assert stats.recurring_job_fraction > 0.60
+        assert 0.25 <= stats.shared_subexpression_fraction <= 0.60
+        assert 0.60 <= stats.dependency_fraction <= 0.80
+
+    def test_summary_rows_complete(self, repo):
+        rows = dict(analyze(repo).summary_rows())
+        assert set(rows) == {
+            "jobs",
+            "templates",
+            "recurring_fraction",
+            "shared_subexpr_fraction",
+            "dependency_fraction",
+        }
+
+    def test_shared_jobs_exclude_trivial_scans(self, repo):
+        sharing, shared_sigs = shared_jobs_on_day(repo, 1, min_size=2)
+        for sig, jobs in shared_sigs.items():
+            assert len(jobs) > 1
+
+    def test_empty_repository_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            analyze(WorkloadRepository())
+
+    def test_top_shared_signatures_sorted(self, repo):
+        stats = analyze(repo)
+        counts = [c for _, c in stats.top_shared_signatures]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestFeedback:
+    def test_parameter_vector_postorder(self):
+        plan = Filter(Scan("t"), (Predicate("a", "<=", 3.0), Predicate("b", ">", 7.0)))
+        np.testing.assert_array_equal(parameter_vector(plan), [3.0, 7.0])
+
+    def test_observe_job_records_all_nodes(self, repo, world):
+        feedback = WorkloadFeedback()
+        record = repo.records[0]
+        added = feedback.observe_job(record, world["truth"])
+        assert added == record.plan.size
+        assert len(feedback) == added
+
+    def test_training_matrix_shapes(self, repo, world):
+        feedback = WorkloadFeedback()
+        for r in repo.records[:80]:
+            feedback.observe_job(r, world["truth"])
+        template = feedback.templates()[0]
+        data = feedback.training_matrix(template)
+        assert data is not None
+        features, target = data
+        assert features.shape[0] == target.shape[0]
+
+    def test_unknown_template_returns_none(self):
+        assert WorkloadFeedback().training_matrix("nope") is None
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadFeedback().record(Scan("t"), -1.0)
+
+
+class TestForecast:
+    def test_daily_volume_positive(self, repo):
+        forecast = forecast_daily_volume(repo, horizon_days=3)
+        assert forecast.shape == (3,)
+        assert np.all(forecast >= 0)
+
+    def test_volume_close_to_observed(self, repo):
+        observed = len(repo.by_day(7))
+        forecast = forecast_daily_volume(repo)[0]
+        assert abs(forecast - observed) < 0.3 * observed
+
+    def test_template_parameter_extrapolates_drift(self, repo, world):
+        instances = world["workload"].by_template(0)
+        record = repo.job(instances[0].job_id)
+        forecast = forecast_template_parameter(repo, record.template)
+        last = instances[-1].params["filter_value"]
+        assert forecast[0] > last  # values drift upward
+
+    def test_unknown_parameter_raises(self, repo, world):
+        record = repo.records[0]
+        with pytest.raises(KeyError):
+            forecast_template_parameter(repo, record.template, "bogus")
+
+    def test_invalid_horizon(self, repo):
+        with pytest.raises(ValueError):
+            forecast_daily_volume(repo, horizon_days=0)
+
+    def test_empty_repo_rejected(self):
+        with pytest.raises(ValueError):
+            forecast_daily_volume(WorkloadRepository())

@@ -1,0 +1,96 @@
+"""Tests for the pipeline optimizer (Pipemizer)."""
+
+import pytest
+
+from repro.core.pipeline import PipelineOptimizer, PipelineStats
+from repro.engine import Predicate
+
+
+@pytest.fixture(scope="module")
+def optimizer(world):
+    return PipelineOptimizer(world["workload"], world["truth"])
+
+
+class TestStructure:
+    def test_pipelines_found(self, optimizer):
+        pipelines = optimizer.pipelines_on_day(2)
+        assert pipelines
+        for producer_id, consumers in pipelines.items():
+            for consumer in consumers:
+                assert producer_id in consumer.depends_on
+
+    def test_output_table_detection(self, optimizer):
+        pipelines = optimizer.pipelines_on_day(2)
+        some_consumer = next(iter(pipelines.values()))[0]
+        table = optimizer.output_table_of(some_consumer)
+        assert table is None or table.startswith("out_t")
+
+
+class TestStats:
+    def test_collect_stats_covers_producers(self, optimizer):
+        stats = optimizer.collect_stats(2)
+        assert stats.observed_rows
+        assert all(v >= 0 for v in stats.observed_rows.values())
+
+    def test_patch_catalog_updates_rows(self, optimizer, world):
+        stats = PipelineStats()
+        table = next(
+            t.name for t in world["catalog"].tables() if t.name.startswith("out_t")
+        )
+        stats.record(table, 12345.0)
+        patched = stats.patch_catalog(world["catalog"])
+        assert patched.get(table).n_rows == 12345
+        # other tables untouched
+        assert patched.get("t0").n_rows == world["catalog"].get("t0").n_rows
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineStats().record("t", -1.0)
+
+    def test_pipeline_aware_stats_reduce_q_error(self, optimizer):
+        report = optimizer.optimize_day(2)
+        assert report.pipeline_aware_q_error < report.stale_scan_q_error
+        assert report.pipeline_aware_q_error < 1.5
+
+
+class TestPushdown:
+    def test_common_pushdown_finds_weakest_bound(self, optimizer, world):
+        pipelines = optimizer.pipelines_on_day(2)
+        found_any = False
+        for producer_id, consumers in pipelines.items():
+            producer = world["workload"].job(producer_id)
+            table = f"out_t{producer.template_id}"
+            predicate = optimizer.common_pushdown(table, consumers)
+            if predicate is None:
+                continue
+            found_any = True
+            assert predicate.op == "<="
+            # Weakest: no consumer's own bound on that column exceeds it.
+            for consumer in consumers:
+                for node in consumer.plan.walk():
+                    from repro.engine import Filter
+
+                    if isinstance(node, Filter) and table in node.tables():
+                        for p in node.predicates:
+                            if p.column == predicate.column and p.op == "<=":
+                                assert p.value <= predicate.value + 1e-9
+        assert found_any
+
+    def test_pushdown_none_for_no_consumers(self, optimizer):
+        assert optimizer.common_pushdown("out_t0", []) is None
+
+    def test_pushdown_none_for_unknown_table(self, optimizer, world):
+        consumers = world["workload"].by_day(2)[:2]
+        assert optimizer.common_pushdown("ghost", consumers) is None
+
+
+class TestOptimizeDay:
+    def test_cost_never_increases(self, optimizer):
+        for day in (1, 2, 3):
+            report = optimizer.optimize_day(day)
+            assert report.optimized_cost <= report.baseline_cost * 1.0001
+
+    def test_report_counts(self, optimizer):
+        report = optimizer.optimize_day(2)
+        assert report.n_pipelines > 0
+        assert 0 <= report.n_pushdowns <= report.n_pipelines

@@ -1,0 +1,104 @@
+"""Tests for the workload report and rack power capping."""
+
+import numpy as np
+import pytest
+
+from repro.core.kea import (
+    DEFAULT_POWER_PROFILES,
+    MachineBehaviorModels,
+    RackPowerCapper,
+    observe_power,
+)
+from repro.core.peregrine import WorkloadRepository, workload_report
+from repro.telemetry import TelemetryStore
+from repro.workloads import MachineFleetSimulator
+
+
+class TestWorkloadReport:
+    @pytest.fixture(scope="class")
+    def report(self, world):
+        repo = WorkloadRepository().ingest(world["workload"])
+        return workload_report(repo)
+
+    def test_contains_every_section(self, report):
+        for heading in (
+            "# Workload analysis report",
+            "## Headline statistics",
+            "## Top recurring templates",
+            "## Subexpression sharing by day",
+            "## Pipelines",
+        ):
+            assert heading in report
+
+    def test_headline_metrics_present(self, report):
+        assert "recurring_fraction" in report
+        assert "dependency_fraction" in report
+
+    def test_sharing_table_covers_all_days(self, report, world):
+        for day in range(world["workload"].n_days):
+            assert f"\n| {day} | " in report
+
+    def test_pipeline_facts(self, report):
+        assert "dependency components:" in report
+        assert "longest producer chain:" in report
+
+    def test_empty_repository_rejected(self):
+        with pytest.raises(ValueError):
+            workload_report(WorkloadRepository())
+
+
+class TestRackPowerCapper:
+    @pytest.fixture(scope="class")
+    def capper(self):
+        telemetry = observe_power(DEFAULT_POWER_PROFILES, rng=0)
+        return RackPowerCapper().fit(telemetry)
+
+    def test_power_models_recover_slopes(self, capper):
+        for profile in DEFAULT_POWER_PROFILES:
+            model = capper.power_models[profile.sku]
+            assert model.slope == pytest.approx(profile.watts_per_cpu, rel=0.1)
+            assert model.intercept == pytest.approx(profile.idle_watts, rel=0.15)
+
+    def test_cpu_cap_respects_budget(self, capper):
+        for profile in DEFAULT_POWER_PROFILES:
+            cap = capper.cpu_cap_for_budget(profile.sku, 250.0)
+            assert 0.0 <= cap <= 100.0
+            # Running at the cap must sit at (or under) the budget.
+            assert profile.draw(cap) <= 260.0
+
+    def test_generous_budget_caps_at_100(self, capper):
+        assert capper.cpu_cap_for_budget("gen6", 10_000.0) == 100.0
+
+    def test_starvation_budget_caps_at_0(self, capper):
+        assert capper.cpu_cap_for_budget("gen4", 1.0) == 0.0
+
+    def test_rack_caps_fit_rack_budget(self, capper):
+        rack = {"gen4": 10, "gen5": 10, "gen6": 10}
+        limit = 9_000.0
+        caps = capper.rack_caps(rack, limit)
+        cpu_by_sku = {sku: entry["cpu_cap"] for sku, entry in caps.items()}
+        assert capper.predicted_rack_draw(rack, cpu_by_sku) <= limit * 1.02
+
+    def test_rack_caps_include_container_caps(self, capper):
+        store = TelemetryStore()
+        MachineFleetSimulator(n_machines_per_sku=6, rng=0).collect(store, 30)
+        behaviour = MachineBehaviorModels().fit(store)
+        caps = capper.rack_caps({"gen5": 8}, 3_000.0, behaviour=behaviour)
+        assert caps["gen5"]["container_cap"] >= 1.0
+
+    def test_weak_sku_gets_lower_cpu_cap(self, capper):
+        rack = {"gen4": 1, "gen6": 1}
+        caps = capper.rack_caps(rack, 500.0)
+        assert caps["gen4"]["cpu_cap"] < caps["gen6"]["cpu_cap"]
+
+    def test_validation(self, capper):
+        with pytest.raises(ValueError):
+            capper.rack_caps({}, 100.0)
+        with pytest.raises(ValueError):
+            capper.rack_caps({"gen4": 1}, 0.0)
+        with pytest.raises(KeyError):
+            capper.cpu_cap_for_budget("gen99", 100.0)
+        with pytest.raises(ValueError):
+            RackPowerCapper().fit({})
+        with pytest.raises(ValueError):
+            observe_power(DEFAULT_POWER_PROFILES, n_samples=2)

@@ -1,0 +1,116 @@
+"""Tests for Seagull backup scheduling and proactive pool provisioning."""
+
+import numpy as np
+import pytest
+
+from repro.core.poolserver import ForecastPoolPolicy, compare_policies
+from repro.core.seagull import (
+    BackupScheduler,
+    ForecastWindowPolicy,
+    PreviousDayPolicy,
+    evaluate_policy,
+)
+from repro.core.seagull.scheduler import PreviousWeekPolicy
+from repro.infra import ClusterPoolSimulator
+from repro.workloads import (
+    UsagePopulationConfig,
+    generate_demand,
+    generate_population,
+)
+
+
+@pytest.fixture(scope="module")
+def servers():
+    population = generate_population(
+        UsagePopulationConfig(n_tenants=40, n_days=42), rng=0
+    )
+    return [t for t in population if t.is_predictable]
+
+
+class TestBackupScheduler:
+    def test_window_loads_wraps_midnight(self):
+        scheduler = BackupScheduler(window_hours=3)
+        day = np.zeros(24)
+        day[23] = 5.0
+        loads = scheduler.window_loads(day)
+        assert loads[22] == 5.0  # hours 22,23,0
+        assert loads[23] == 5.0  # hours 23,0,1
+        assert loads[0] == 0.0
+
+    def test_choice_fields_consistent(self, servers):
+        scheduler = BackupScheduler()
+        choice = scheduler.choose(servers[0], day=30, policy=PreviousDayPolicy())
+        assert 0 <= choice.start_hour < 24
+        assert choice.actual_load >= choice.optimal_load
+
+    def test_day_zero_rejected(self, servers):
+        with pytest.raises(ValueError, match="history"):
+            BackupScheduler().choose(servers[0], 0, PreviousDayPolicy())
+
+    def test_day_beyond_trace_rejected(self, servers):
+        with pytest.raises(ValueError, match="too short"):
+            BackupScheduler().choose(servers[0], 999, PreviousDayPolicy())
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            BackupScheduler(window_hours=0)
+
+
+class TestPolicies:
+    def test_forecast_beats_previous_day(self, servers):
+        days = range(29, 41)
+        heuristic = evaluate_policy(servers, PreviousDayPolicy(), days)
+        ml = evaluate_policy(servers, ForecastWindowPolicy(), days)
+        assert ml >= heuristic
+
+    def test_accuracies_in_paper_range(self, servers):
+        days = range(29, 41)
+        heuristic = evaluate_policy(servers, PreviousDayPolicy(), days)
+        ml = evaluate_policy(servers, ForecastWindowPolicy(), days)
+        assert heuristic > 0.90   # paper: 96%
+        assert ml > 0.97          # paper: 99%
+
+    def test_previous_week_falls_back_early(self, servers):
+        policy = PreviousWeekPolicy()
+        short_history = servers[0].values[:48]
+        forecast = policy.forecast_day(short_history)
+        np.testing.assert_array_equal(forecast, short_history[-24:])
+
+    def test_empty_evaluation_rejected(self, servers):
+        with pytest.raises(ValueError):
+            evaluate_policy([], PreviousDayPolicy(), range(1, 2))
+
+
+class TestPoolProvisioning:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        trace = generate_demand(n_days=21, rng=0)
+        return compare_policies(trace)
+
+    def test_forecast_policy_highest_hit_rate(self, comparison):
+        hit_rates = {
+            name: report.hit_rate for name, (report, _) in comparison.items()
+        }
+        assert hit_rates["forecast"] == max(hit_rates.values())
+        assert hit_rates["forecast"] > 0.9
+
+    def test_forecast_reduces_mean_latency(self, comparison):
+        means = {
+            name: report.mean_latency for name, (report, _) in comparison.items()
+        }
+        assert means["forecast"] < means["on_demand"] / 5
+
+    def test_on_demand_has_no_idle_cost(self, comparison):
+        report, point = comparison["on_demand"]
+        assert report.warm_idle_hours == 0.0
+        assert point.cost == 0.0
+
+    def test_forecast_policy_uses_weekly_history(self):
+        policy = ForecastPoolPolicy(buffer_sigma=0.0)
+        counts = np.arange(200.0)
+        hour = 170
+        assert policy.target(hour, counts[:hour]) == hour - 168
+
+    def test_forecast_cold_start_fallback(self):
+        policy = ForecastPoolPolicy()
+        assert policy.target(0, np.array([])) >= 0

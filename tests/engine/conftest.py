@@ -1,0 +1,34 @@
+"""Shared fixtures for engine tests: a small deterministic catalog."""
+
+import pytest
+
+from repro.engine import Catalog, ColumnStats, TableDef
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    cat.add(
+        TableDef(
+            "fact",
+            n_rows=1_000_000,
+            columns=(
+                ColumnStats("key", distinct=10_000),
+                ColumnStats("a0", distinct=100, low=0, high=1000, skew=1.0),
+                ColumnStats("a1", distinct=50, low=0, high=100, skew=0.0),
+            ),
+            row_bytes=200,
+        )
+    )
+    cat.add(
+        TableDef(
+            "dim",
+            n_rows=10_000,
+            columns=(
+                ColumnStats("key", distinct=10_000),
+                ColumnStats("d0", distinct=20, low=0, high=100),
+            ),
+            row_bytes=80,
+        )
+    )
+    return cat

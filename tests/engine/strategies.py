@@ -1,0 +1,68 @@
+"""Hypothesis strategies for random-but-valid engine structures."""
+
+from hypothesis import strategies as st
+
+from repro.engine import (
+    Aggregate,
+    Filter,
+    Join,
+    Predicate,
+    Project,
+    Scan,
+    Union,
+)
+
+#: Tables/columns matching the engine-test catalog (tests/engine/conftest).
+TABLES = ("fact", "dim")
+COLUMNS = ("a0", "a1", "d0", "key")
+OPS = ("<", "<=", ">", ">=", "=", "!=")
+
+
+@st.composite
+def predicates(draw):
+    return Predicate(
+        column=draw(st.sampled_from(COLUMNS)),
+        op=draw(st.sampled_from(OPS)),
+        value=draw(st.floats(0, 1000, allow_nan=False)),
+    )
+
+
+@st.composite
+def expressions(draw, max_depth: int = 4):
+    """A random well-formed expression over the test catalog."""
+    if max_depth <= 1:
+        return Scan(draw(st.sampled_from(TABLES)))
+    kind = draw(
+        st.sampled_from(
+            ("scan", "filter", "project", "join", "aggregate", "union")
+        )
+    )
+    if kind == "scan":
+        return Scan(draw(st.sampled_from(TABLES)))
+    if kind == "filter":
+        child = draw(expressions(max_depth=max_depth - 1))
+        preds = draw(st.lists(predicates(), min_size=1, max_size=3))
+        return Filter(child, tuple(preds))
+    if kind == "project":
+        child = draw(expressions(max_depth=max_depth - 1))
+        columns = draw(
+            st.lists(
+                st.sampled_from(COLUMNS), min_size=1, max_size=3, unique=True
+            )
+        )
+        return Project(child, tuple(columns))
+    if kind == "join":
+        left = draw(expressions(max_depth=max_depth - 1))
+        right = draw(expressions(max_depth=max_depth - 1))
+        return Join(left, right, "key", "key")
+    if kind == "aggregate":
+        child = draw(expressions(max_depth=max_depth - 1))
+        group = draw(
+            st.lists(
+                st.sampled_from(COLUMNS), min_size=0, max_size=2, unique=True
+            )
+        )
+        return Aggregate(child, tuple(group))
+    left = draw(expressions(max_depth=max_depth - 1))
+    right = draw(expressions(max_depth=max_depth - 1))
+    return Union(left, right)

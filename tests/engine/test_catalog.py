@@ -1,0 +1,72 @@
+"""Tests for the catalog and synthetic table generation."""
+
+import pytest
+
+from repro.engine import Catalog, ColumnStats, TableDef
+
+
+class TestColumnStats:
+    def test_invalid_distinct(self):
+        with pytest.raises(ValueError):
+            ColumnStats("c", distinct=0)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            ColumnStats("c", distinct=1, low=5, high=5)
+
+    def test_negative_skew(self):
+        with pytest.raises(ValueError):
+            ColumnStats("c", distinct=1, skew=-1)
+
+
+class TestTableDef:
+    def test_column_lookup(self):
+        t = TableDef("t", 10, (ColumnStats("a", 5),))
+        assert t.column("a").distinct == 5
+        assert t.has_column("a") and not t.has_column("b")
+
+    def test_missing_column_raises(self):
+        t = TableDef("t", 10, (ColumnStats("a", 5),))
+        with pytest.raises(KeyError):
+            t.column("z")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            TableDef("t", 10, (ColumnStats("a", 5), ColumnStats("a", 6)))
+
+    def test_needs_columns(self):
+        with pytest.raises(ValueError):
+            TableDef("t", 10, ())
+
+
+class TestCatalog:
+    def test_add_and_get(self, catalog):
+        assert catalog.get("fact").n_rows == 1_000_000
+        assert "fact" in catalog and "nope" not in catalog
+
+    def test_duplicate_table_rejected(self, catalog):
+        with pytest.raises(ValueError, match="already"):
+            catalog.add(TableDef("fact", 1, (ColumnStats("x", 1),)))
+
+    def test_unknown_table_raises(self, catalog):
+        with pytest.raises(KeyError):
+            catalog.get("ghost")
+
+    def test_owner_of_column(self, catalog):
+        assert catalog.owner_of_column("d0", {"fact", "dim"}) == "dim"
+        assert catalog.owner_of_column("zz", {"fact", "dim"}) is None
+
+    def test_synthetic_is_deterministic(self):
+        a = Catalog.synthetic(n_tables=5, rng=3)
+        b = Catalog.synthetic(n_tables=5, rng=3)
+        assert [t.name for t in a.tables()] == [t.name for t in b.tables()]
+        assert [t.n_rows for t in a.tables()] == [t.n_rows for t in b.tables()]
+
+    def test_synthetic_has_shared_join_key(self):
+        cat = Catalog.synthetic(n_tables=4, rng=0)
+        assert all(t.has_column("key") for t in cat.tables())
+
+    def test_synthetic_has_facts_and_dims(self):
+        cat = Catalog.synthetic(n_tables=8, rng=1)
+        sizes = sorted(t.n_rows for t in cat.tables())
+        assert sizes[-1] > 100 * sizes[0]

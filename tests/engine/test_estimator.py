@@ -1,0 +1,157 @@
+"""Tests for default and ground-truth cardinality models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import (
+    Aggregate,
+    DefaultCardinalityEstimator,
+    Filter,
+    Join,
+    Predicate,
+    Project,
+    Scan,
+    TrueCardinalityModel,
+    Union,
+)
+
+
+@pytest.fixture
+def default(catalog):
+    return DefaultCardinalityEstimator(catalog)
+
+
+@pytest.fixture
+def truth(catalog):
+    return TrueCardinalityModel(catalog, seed=7)
+
+
+class TestDefaultEstimator:
+    def test_scan_returns_table_rows(self, default):
+        assert default.estimate(Scan("fact")) == 1_000_000
+
+    def test_project_is_passthrough(self, default):
+        assert default.estimate(Project(Scan("fact"), ("a0",))) == 1_000_000
+
+    def test_range_filter_uniform(self, default):
+        # a1 in [0, 100]; a1 <= 25 keeps 25%.
+        expr = Filter(Scan("fact"), (Predicate("a1", "<=", 25.0),))
+        assert default.estimate(expr) == pytest.approx(250_000)
+
+    def test_equality_filter_one_over_distinct(self, default):
+        expr = Filter(Scan("fact"), (Predicate("a1", "=", 10.0),))
+        assert default.estimate(expr) == pytest.approx(1_000_000 / 50)
+
+    def test_conjunction_multiplies(self, default):
+        expr = Filter(
+            Scan("fact"),
+            (Predicate("a1", "<=", 50.0), Predicate("a1", ">", 25.0)),
+        )
+        assert default.estimate(expr) == pytest.approx(1_000_000 * 0.5 * 0.75)
+
+    def test_join_formula(self, default):
+        join = Join(Scan("fact"), Scan("dim"), "key", "key")
+        expected = 1_000_000 * 10_000 / 10_000
+        assert default.estimate(join) == pytest.approx(expected)
+
+    def test_union_sums(self, default):
+        assert default.estimate(Union(Scan("fact"), Scan("dim"))) == 1_010_000
+
+    def test_aggregate_bounded_by_distincts(self, default):
+        agg = Aggregate(Scan("fact"), ("a1",))
+        assert default.estimate(agg) == 50.0
+
+    def test_global_aggregate_returns_one(self, default):
+        assert default.estimate(Aggregate(Scan("fact"), ())) == 1.0
+
+    def test_estimate_never_below_one(self, default):
+        expr = Filter(
+            Scan("dim"),
+            tuple(Predicate("d0", "=", float(v)) for v in range(5)),
+        )
+        assert default.estimate(expr) >= 1.0
+
+    def test_out_of_range_value_clipped(self, default):
+        low = Filter(Scan("fact"), (Predicate("a1", "<=", -100.0),))
+        high = Filter(Scan("fact"), (Predicate("a1", "<=", 1e9),))
+        assert default.estimate(low) == 1.0  # floored at one row
+        assert default.estimate(high) == 1_000_000
+
+
+class TestTrueModel:
+    def test_deterministic_across_instances(self, catalog):
+        expr = Filter(Scan("fact"), (Predicate("a0", "<=", 100.0),))
+        a = TrueCardinalityModel(catalog, seed=1).estimate(expr)
+        b = TrueCardinalityModel(catalog, seed=1).estimate(expr)
+        assert a == b
+
+    def test_seed_changes_correlations(self, catalog):
+        expr = Join(Scan("fact"), Scan("dim"), "key", "key")
+        a = TrueCardinalityModel(catalog, seed=1).estimate(expr)
+        b = TrueCardinalityModel(catalog, seed=2).estimate(expr)
+        assert a != b
+
+    def test_skew_inflates_low_range_selectivity(self, catalog, default, truth):
+        # a0 has skew=1.0 and range [0, 1000]: mass near 0 means
+        # a0 <= 100 captures more than the uniform 10%.
+        expr = Filter(Scan("fact"), (Predicate("a0", "<=", 100.0),))
+        assert truth.estimate(expr) > default.estimate(expr)
+
+    def test_no_skew_matches_default_on_single_range(self, catalog, default, truth):
+        expr = Filter(Scan("fact"), (Predicate("a1", "<=", 25.0),))
+        assert truth.estimate(expr) == pytest.approx(default.estimate(expr))
+
+    def test_correlation_raises_conjunction_above_independence(
+        self, catalog, default, truth
+    ):
+        expr = Filter(
+            Scan("fact"),
+            (Predicate("a1", "<=", 30.0), Predicate("a1", ">", 10.0)),
+        )
+        assert truth.estimate(expr) >= default.estimate(expr)
+
+    def test_smooth_in_predicate_value(self, truth):
+        # Learned micromodels need the target to vary smoothly with the
+        # parameter; check monotonicity of <= selectivity.
+        values = np.linspace(10, 900, 15)
+        cards = [
+            truth.estimate(Filter(Scan("fact"), (Predicate("a0", "<=", v),)))
+            for v in values
+        ]
+        assert all(b >= a for a, b in zip(cards, cards[1:]))
+
+    def test_aggregate_below_default_bound(self, catalog, default, truth):
+        agg = Aggregate(Scan("fact"), ("a1",))
+        assert truth.estimate(agg) <= default.estimate(agg)
+
+    @settings(max_examples=20, deadline=None)
+    @given(value=st.floats(0, 1000), seed=st.integers(0, 50))
+    def test_property_true_cardinality_positive_and_bounded(self, value, seed):
+        from repro.engine import Catalog, ColumnStats, TableDef
+
+        catalog = Catalog()
+        catalog.add(
+            TableDef(
+                "fact",
+                n_rows=1_000_000,
+                columns=(
+                    ColumnStats("key", distinct=10_000),
+                    ColumnStats("a0", distinct=100, low=0, high=1000, skew=1.0),
+                ),
+            )
+        )
+        truth = TrueCardinalityModel(catalog, seed=seed)
+        expr = Filter(Scan("fact"), (Predicate("a0", "<=", value),))
+        est = truth.estimate(expr)
+        assert 1.0 <= est <= 1_000_000
+
+
+class TestSelectivity:
+    def test_leaf_selectivity_is_one(self, default):
+        assert default.selectivity(Scan("fact")) == 1.0
+
+    def test_filter_selectivity_matches_ratio(self, default):
+        expr = Filter(Scan("fact"), (Predicate("a1", "<=", 25.0),))
+        assert default.selectivity(expr) == pytest.approx(0.25)

@@ -1,0 +1,92 @@
+"""Tests for expression trees and rewriting helpers."""
+
+import pytest
+
+from repro.engine import Aggregate, Filter, Join, Predicate, Project, Scan, Union
+from repro.engine.expr import replace_subexpression, rewrite_bottom_up
+
+
+@pytest.fixture
+def plan():
+    scan = Scan("fact")
+    filtered = Filter(scan, (Predicate("a0", "<=", 10.0),))
+    joined = Join(filtered, Scan("dim"), "key", "key")
+    return Aggregate(Project(joined, ("a0",)), ("a0",))
+
+
+class TestPredicates:
+    def test_invalid_operator_rejected(self):
+        with pytest.raises(ValueError, match="operator"):
+            Predicate("c", "~", 1.0)
+
+    def test_str_roundtrip(self):
+        assert str(Predicate("a0", "<=", 5.0)) == "a0 <= 5"
+
+
+class TestStructure:
+    def test_walk_is_postorder(self, plan):
+        names = [type(n).__name__ for n in plan.walk()]
+        assert names == ["Scan", "Filter", "Scan", "Join", "Project", "Aggregate"]
+
+    def test_size_and_depth(self, plan):
+        assert plan.size == 6
+        assert plan.depth == 5
+
+    def test_tables(self, plan):
+        assert plan.tables() == {"fact", "dim"}
+
+    def test_subexpressions_excludes_root(self, plan):
+        subs = list(plan.subexpressions())
+        assert plan not in subs
+        assert len(subs) == 5
+
+    def test_equality_is_structural(self):
+        a = Filter(Scan("t"), (Predicate("c", "=", 1.0),))
+        b = Filter(Scan("t"), (Predicate("c", "=", 1.0),))
+        assert a == b and a is not b
+        assert hash(a) == hash(b)
+
+    def test_filter_requires_predicates(self):
+        with pytest.raises(ValueError):
+            Filter(Scan("t"), ())
+
+    def test_project_requires_columns(self):
+        with pytest.raises(ValueError):
+            Project(Scan("t"), ())
+
+    def test_with_children_replaces(self):
+        join = Join(Scan("a"), Scan("b"), "k", "k")
+        swapped = join.with_children((Scan("c"), Scan("d")))
+        assert swapped.left == Scan("c") and swapped.right == Scan("d")
+        assert swapped.left_key == "k"
+
+    def test_scan_with_children_rejects_any(self):
+        with pytest.raises(ValueError):
+            Scan("t").with_children((Scan("u"),))
+
+
+class TestRewriting:
+    def test_identity_rewrite_preserves_plan(self, plan):
+        assert rewrite_bottom_up(plan, lambda n: n) == plan
+
+    def test_bottom_up_sees_rewritten_children(self):
+        # Replace Scan("a") with Scan("b"); the union above must see it.
+        plan = Union(Scan("a"), Scan("c"))
+
+        def swap(node):
+            if node == Scan("a"):
+                return Scan("b")
+            return node
+
+        out = rewrite_bottom_up(plan, swap)
+        assert out == Union(Scan("b"), Scan("c"))
+
+    def test_replace_subexpression_all_occurrences(self):
+        shared = Filter(Scan("t"), (Predicate("c", "=", 1.0),))
+        plan = Union(shared, Project(shared, ("c",)))
+        out = replace_subexpression(plan, shared, Scan("view1"))
+        assert out == Union(Scan("view1"), Project(Scan("view1"), ("c",)))
+
+    def test_replace_missing_target_is_noop(self, plan):
+        out = replace_subexpression(plan, Scan("nope"), Scan("view"))
+        assert out == plan

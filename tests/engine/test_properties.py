@@ -1,0 +1,112 @@
+"""Property-based invariants over random plans."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.engine import (
+    Catalog,
+    ColumnStats,
+    DefaultCardinalityEstimator,
+    DefaultCostModel,
+    Optimizer,
+    RuleConfig,
+    TableDef,
+    TrueCardinalityModel,
+    compile_stages,
+    semantic_signature,
+    signature,
+    template_signature,
+)
+from repro.engine.serialize import from_json, to_json
+
+from tests.engine.strategies import expressions
+
+
+def _catalog():
+    cat = Catalog()
+    cat.add(
+        TableDef(
+            "fact",
+            n_rows=1_000_000,
+            columns=(
+                ColumnStats("key", distinct=500_000),
+                ColumnStats("a0", distinct=100, low=0, high=1000, skew=1.0),
+                ColumnStats("a1", distinct=50, low=0, high=100),
+            ),
+        )
+    )
+    cat.add(
+        TableDef(
+            "dim",
+            n_rows=10_000,
+            columns=(
+                ColumnStats("key", distinct=5_000),
+                ColumnStats("d0", distinct=20, low=0, high=100),
+            ),
+        )
+    )
+    return cat
+
+
+CATALOG = _catalog()
+SLOW = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestPlanProperties:
+    @SLOW
+    @given(plan=expressions())
+    def test_serialization_round_trips_any_plan(self, plan):
+        assert from_json(to_json(plan)) == plan
+
+    @SLOW
+    @given(plan=expressions())
+    def test_signatures_are_stable_and_distinguishing(self, plan):
+        assert signature(plan) == signature(plan)
+        assert template_signature(plan) == template_signature(plan)
+        assert semantic_signature(plan) == semantic_signature(plan)
+
+    @SLOW
+    @given(plan=expressions())
+    def test_estimates_positive_and_finite(self, plan):
+        for model in (
+            DefaultCardinalityEstimator(CATALOG),
+            TrueCardinalityModel(CATALOG, seed=3),
+        ):
+            estimate = model.estimate(plan)
+            assert np.isfinite(estimate)
+            assert estimate >= 1.0 or isinstance(estimate, float)
+
+    @SLOW
+    @given(plan=expressions())
+    def test_costs_non_negative(self, plan):
+        model = DefaultCostModel(CATALOG, DefaultCardinalityEstimator(CATALOG))
+        cost = model.cost(plan)
+        assert cost.cpu >= 0.0 and cost.io >= 0.0
+
+    @SLOW
+    @given(plan=expressions())
+    def test_optimizer_reaches_fixpoint_on_any_plan(self, plan):
+        optimizer = Optimizer(CATALOG)
+        once = optimizer.optimize(plan).plan
+        twice = optimizer.optimize(once).plan
+        assert once == twice
+
+    @SLOW
+    @given(plan=expressions())
+    def test_all_off_config_is_identity(self, plan):
+        optimizer = Optimizer(CATALOG)
+        assert optimizer.optimize(plan, RuleConfig.all_off()).plan == plan
+
+    @SLOW
+    @given(plan=expressions(max_depth=3))
+    def test_stage_compilation_is_topological(self, plan):
+        model = DefaultCostModel(CATALOG, DefaultCardinalityEstimator(CATALOG))
+        graph = compile_stages(plan, model)
+        for stage in graph.stages:
+            assert all(dep < stage.stage_id for dep in stage.depends_on)
+        assert graph.critical_path_seconds() <= graph.total_work_seconds() + 1e-9

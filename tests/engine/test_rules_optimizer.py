@@ -1,0 +1,195 @@
+"""Tests for rewrite rules, rule configs, and the optimizer."""
+
+import pytest
+
+from repro.engine import (
+    ALL_RULES,
+    Aggregate,
+    DefaultCardinalityEstimator,
+    Filter,
+    Join,
+    Optimizer,
+    Predicate,
+    Project,
+    RuleConfig,
+    Scan,
+    Union,
+)
+from repro.engine.rules import RuleContext
+
+
+@pytest.fixture
+def ctx(catalog):
+    return RuleContext(catalog, DefaultCardinalityEstimator(catalog))
+
+
+def rule(name):
+    for r in ALL_RULES:
+        if r.name == name:
+            return r
+    raise KeyError(name)
+
+
+class TestIndividualRules:
+    def test_filter_merge(self, ctx):
+        inner = Filter(Scan("fact"), (Predicate("a0", "<", 1.0),))
+        outer = Filter(inner, (Predicate("a1", ">", 2.0),))
+        merged = rule("FilterMerge").apply(outer, ctx)
+        assert isinstance(merged, Filter)
+        assert not isinstance(merged.child, Filter)
+        assert len(merged.predicates) == 2
+
+    def test_dedupe_predicates(self, ctx):
+        p = Predicate("a0", "=", 1.0)
+        expr = Filter(Scan("fact"), (p, p))
+        out = rule("DedupePredicates").apply(expr, ctx)
+        assert out.predicates == (p,)
+
+    def test_push_filter_below_join_routes_by_ownership(self, ctx):
+        join = Join(Scan("fact"), Scan("dim"), "key", "key")
+        expr = Filter(
+            join, (Predicate("a0", "<", 1.0), Predicate("d0", ">", 2.0))
+        )
+        out = rule("PushFilterBelowJoin").apply(expr, ctx)
+        assert isinstance(out, Join)
+        assert isinstance(out.left, Filter) and out.left.predicates[0].column == "a0"
+        assert isinstance(out.right, Filter) and out.right.predicates[0].column == "d0"
+
+    def test_push_filter_below_join_keeps_unowned_predicates(self, ctx):
+        join = Join(Scan("fact"), Scan("dim"), "key", "key")
+        expr = Filter(join, (Predicate("mystery", "<", 1.0), Predicate("a0", "=", 2.0)))
+        out = rule("PushFilterBelowJoin").apply(expr, ctx)
+        assert isinstance(out, Filter)  # unowned predicate stays above
+        assert out.predicates[0].column == "mystery"
+
+    def test_push_filter_below_union(self, ctx):
+        expr = Filter(
+            Union(Scan("fact"), Scan("dim")), (Predicate("a0", "<", 1.0),)
+        )
+        out = rule("PushFilterBelowUnion").apply(expr, ctx)
+        assert isinstance(out, Union)
+        assert isinstance(out.left, Filter) and isinstance(out.right, Filter)
+
+    def test_push_filter_below_aggregate_only_groupby_columns(self, ctx):
+        agg = Aggregate(Scan("fact"), ("a0",))
+        expr = Filter(agg, (Predicate("a0", "=", 1.0), Predicate("a1", "=", 2.0)))
+        out = rule("PushFilterBelowAggregate").apply(expr, ctx)
+        # a0 (group key) moves below; a1 (aggregated away) stays above.
+        assert isinstance(out, Filter) and out.predicates[0].column == "a1"
+        assert isinstance(out.child, Aggregate)
+        assert isinstance(out.child.child, Filter)
+        assert out.child.child.predicates[0].column == "a0"
+
+    def test_project_merge(self, ctx):
+        expr = Project(Project(Scan("fact"), ("a0", "a1")), ("a0",))
+        out = rule("ProjectMerge").apply(expr, ctx)
+        assert out == Project(Scan("fact"), ("a0",))
+
+    def test_projection_pushdown_keeps_join_keys(self, ctx):
+        expr = Project(Join(Scan("fact"), Scan("dim"), "key", "key"), ("a0", "d0"))
+        out = rule("ProjectionPushdown").apply(expr, ctx)
+        assert isinstance(out, Project)
+        join = out.child
+        assert isinstance(join.left, Project) and "key" in join.left.columns
+        assert isinstance(join.right, Project) and "key" in join.right.columns
+
+    def test_join_commute_moves_small_side_left(self, ctx):
+        join = Join(Scan("fact"), Scan("dim"), "key", "key")
+        out = rule("JoinCommute").apply(join, ctx)
+        assert out.left == Scan("dim")  # dim (10k) < fact (1M)
+
+    def test_join_commute_noop_when_already_ordered(self, ctx):
+        join = Join(Scan("dim"), Scan("fact"), "key", "key")
+        assert rule("JoinCommute").apply(join, ctx) == join
+
+    def test_early_aggregation_applies_when_reducing(self, ctx):
+        join = Join(Scan("fact"), Scan("dim"), "key", "key")
+        expr = Aggregate(join, ("a1",))
+        out = rule("EarlyAggregation").apply(expr, ctx)
+        assert isinstance(out.child.left, Aggregate)
+        # Partial aggregate groups by original keys plus the join key.
+        assert set(out.child.left.group_by) == {"a1", "key"}
+
+    def test_aggregate_below_union(self, ctx):
+        expr = Aggregate(Union(Scan("fact"), Scan("dim")), ("a0",))
+        out = rule("AggregateBelowUnion").apply(expr, ctx)
+        assert isinstance(out.child.left, Aggregate)
+        assert isinstance(out.child.right, Aggregate)
+
+    def test_rules_are_idempotent_on_their_output(self, ctx):
+        # Applying the same rule to its own output must not grow the plan.
+        join = Join(Scan("fact"), Scan("dim"), "key", "key")
+        expr = Aggregate(join, ("a1",))
+        r = rule("EarlyAggregation")
+        once = r.apply(expr, ctx)
+        twice = r.apply(once, ctx)
+        assert once == twice
+
+
+class TestRuleConfig:
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            RuleConfig((True,))
+
+    def test_flip_changes_one_bit(self):
+        cfg = RuleConfig.all_on().flip(3)
+        assert not cfg.enabled(3)
+        assert cfg.hamming(RuleConfig.all_on()) == 1
+
+    def test_from_disabled(self):
+        cfg = RuleConfig.from_disabled({2, 5})
+        assert cfg.disabled_ids() == (2, 5)
+
+    def test_all_off_disables_everything(self):
+        assert len(RuleConfig.all_off().disabled_ids()) == len(ALL_RULES)
+
+
+class TestOptimizer:
+    def _plan(self):
+        join = Join(Scan("fact"), Scan("dim"), "key", "key")
+        return Filter(join, (Predicate("a0", "<", 100.0), Predicate("d0", ">", 1.0)))
+
+    def test_all_off_returns_input_unchanged(self, catalog):
+        opt = Optimizer(catalog)
+        result = opt.optimize(self._plan(), RuleConfig.all_off())
+        assert result.plan == self._plan()
+
+    def test_all_on_improves_estimated_cost(self, catalog):
+        opt = Optimizer(catalog)
+        baseline = opt.optimize(self._plan(), RuleConfig.all_off())
+        optimized = opt.optimize(self._plan(), RuleConfig.all_on())
+        assert optimized.estimated_cost.total < baseline.estimated_cost.total
+
+    def test_optimization_reaches_fixpoint(self, catalog):
+        opt = Optimizer(catalog)
+        result = opt.optimize(self._plan())
+        again = opt.optimize(result.plan)
+        assert again.plan == result.plan
+
+    def test_default_config_is_all_on(self, catalog):
+        opt = Optimizer(catalog)
+        assert opt.optimize(self._plan()).config == RuleConfig.all_on()
+
+    def test_learned_cardinality_changes_plan_choice(self, catalog):
+        # Swapping the cardinality model must be possible without touching
+        # the optimizer (the externalization seam).
+        class ConstantModel:
+            def estimate(self, expr):
+                return 42.0
+
+        opt = Optimizer(catalog, cardinality=ConstantModel())
+        result = opt.optimize(self._plan())
+        assert result.estimated_rows == 42.0
+
+    def test_invalid_max_passes(self, catalog):
+        with pytest.raises(ValueError):
+            Optimizer(catalog, max_passes=0)
+
+    def test_filters_end_up_below_join(self, catalog):
+        opt = Optimizer(catalog)
+        plan = opt.optimize(self._plan()).plan
+
+        def top_is_filter_over_join(p):
+            return isinstance(p, Filter) and isinstance(p.child, Join)
+
+        assert not top_is_filter_over_join(plan)

@@ -1,0 +1,111 @@
+"""Tests for cross-engine plan serialization (Direction 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import (
+    Aggregate,
+    Filter,
+    Join,
+    Predicate,
+    Project,
+    Scan,
+    Union,
+)
+from repro.engine.serialize import (
+    PlanFormatError,
+    deserialize,
+    explain,
+    from_json,
+    serialize,
+    to_json,
+)
+
+
+def sample_plan():
+    join = Join(
+        Filter(Scan("fact"), (Predicate("a0", "<=", 5.5),)),
+        Scan("dim"),
+        "key",
+        "key",
+    )
+    return Aggregate(Project(join, ("a0", "key")), ("a0",))
+
+
+class TestRoundTrip:
+    def test_exact_round_trip(self):
+        plan = sample_plan()
+        assert deserialize(serialize(plan)) == plan
+
+    def test_json_round_trip(self):
+        plan = sample_plan()
+        assert from_json(to_json(plan)) == plan
+
+    def test_union_round_trip(self):
+        plan = Union(Scan("a"), Scan("b"))
+        assert deserialize(serialize(plan)) == plan
+
+    def test_json_is_deterministic(self):
+        assert to_json(sample_plan()) == to_json(sample_plan())
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        value=st.floats(-1e6, 1e6, allow_nan=False),
+        op=st.sampled_from(["<", "<=", ">", ">=", "=", "!="]),
+        table=st.text(
+            alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=12
+        ),
+    )
+    def test_property_filter_round_trip(self, value, op, table):
+        plan = Filter(Scan(table), (Predicate("c", op, value),))
+        assert from_json(to_json(plan)) == plan
+
+
+class TestValidation:
+    def test_wrong_version_rejected(self):
+        payload = serialize(sample_plan())
+        payload["version"] = 99
+        with pytest.raises(PlanFormatError, match="version"):
+            deserialize(payload)
+
+    def test_missing_root_rejected(self):
+        with pytest.raises(PlanFormatError, match="root"):
+            deserialize({"version": 1})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(PlanFormatError, match="operator"):
+            deserialize({"version": 1, "root": {"op": "teleport"}})
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(PlanFormatError, match="missing required"):
+            deserialize({"version": 1, "root": {"op": "scan"}})
+
+    def test_empty_predicates_rejected(self):
+        root = {
+            "op": "filter",
+            "input": {"op": "scan", "table": "t"},
+            "predicates": [],
+        }
+        with pytest.raises(PlanFormatError, match="non-empty"):
+            deserialize({"version": 1, "root": root})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(PlanFormatError, match="JSON"):
+            from_json("{not json")
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(PlanFormatError):
+            deserialize([1, 2, 3])
+
+
+class TestExplain:
+    def test_explain_lists_every_operator(self):
+        text = explain(sample_plan())
+        for op in ("Aggregate", "Project", "Join", "Filter", "Scan"):
+            assert op in text
+
+    def test_explain_indents_children(self):
+        lines = explain(sample_plan()).splitlines()
+        assert lines[0].startswith("Aggregate")
+        assert lines[1].startswith("  Project")

@@ -1,0 +1,120 @@
+"""Tests for strict and template signatures."""
+
+from repro.engine import (
+    Filter,
+    Join,
+    Predicate,
+    Scan,
+    signature,
+    template_signature,
+)
+from repro.engine.signatures import enumerate_signatures
+
+
+def filtered(value):
+    return Filter(Scan("t"), (Predicate("a", "<=", value),))
+
+
+class TestStrictSignature:
+    def test_identical_plans_match(self):
+        assert signature(filtered(5.0)) == signature(filtered(5.0))
+
+    def test_different_literals_differ(self):
+        assert signature(filtered(5.0)) != signature(filtered(6.0))
+
+    def test_different_tables_differ(self):
+        a = Filter(Scan("t"), (Predicate("a", "=", 1.0),))
+        b = Filter(Scan("u"), (Predicate("a", "=", 1.0),))
+        assert signature(a) != signature(b)
+
+    def test_child_order_matters_for_join(self):
+        j1 = Join(Scan("a"), Scan("b"), "k", "k")
+        j2 = Join(Scan("b"), Scan("a"), "k", "k")
+        assert signature(j1) != signature(j2)
+
+    def test_operator_type_matters(self):
+        from repro.engine import Aggregate, Project
+
+        p = Project(Scan("t"), ("a",))
+        a = Aggregate(Scan("t"), ("a",))
+        assert signature(p) != signature(a)
+
+
+class TestTemplateSignature:
+    def test_literal_changes_collapse(self):
+        # The SCOPE recurring-job pattern: same script, new predicate value.
+        assert template_signature(filtered(5.0)) == template_signature(filtered(99.0))
+
+    def test_different_columns_do_not_collapse(self):
+        a = Filter(Scan("t"), (Predicate("a", "=", 1.0),))
+        b = Filter(Scan("t"), (Predicate("b", "=", 1.0),))
+        assert template_signature(a) != template_signature(b)
+
+    def test_different_ops_do_not_collapse(self):
+        a = Filter(Scan("t"), (Predicate("a", "<", 1.0),))
+        b = Filter(Scan("t"), (Predicate("a", ">", 1.0),))
+        assert template_signature(a) != template_signature(b)
+
+    def test_template_groups_are_coarser_than_strict(self):
+        instances = [filtered(float(v)) for v in range(10)]
+        strict = {signature(p) for p in instances}
+        templates = {template_signature(p) for p in instances}
+        assert len(strict) == 10
+        assert len(templates) == 1
+
+
+class TestEnumerate:
+    def test_every_node_has_a_signature(self):
+        plan = Join(filtered(1.0), Scan("u"), "k", "k")
+        sigs = enumerate_signatures(plan)
+        assert len(sigs) == plan.size  # all distinct here
+
+    def test_shared_subtrees_collapse(self):
+        from repro.engine import Union
+
+        shared = filtered(1.0)
+        plan = Union(shared, shared)
+        sigs = enumerate_signatures(plan)
+        # Scan, Filter, Union — the duplicate branch collapses.
+        assert len(sigs) == 3
+
+
+class TestSemanticSignature:
+    def test_predicate_order_is_irrelevant(self):
+        from repro.engine import semantic_signature
+
+        a = Filter(Scan("t"), (Predicate("a", "=", 1.0), Predicate("b", "<", 2.0)))
+        b = Filter(Scan("t"), (Predicate("b", "<", 2.0), Predicate("a", "=", 1.0)))
+        assert signature(a) != signature(b)
+        assert semantic_signature(a) == semantic_signature(b)
+
+    def test_join_is_symmetric(self):
+        from repro.engine import semantic_signature
+
+        j1 = Join(Scan("a"), Scan("b"), "k1", "k2")
+        j2 = Join(Scan("b"), Scan("a"), "k2", "k1")
+        assert signature(j1) != signature(j2)
+        assert semantic_signature(j1) == semantic_signature(j2)
+
+    def test_union_is_symmetric(self):
+        from repro.engine import Union, semantic_signature
+
+        u1 = Union(Scan("a"), Scan("b"))
+        u2 = Union(Scan("b"), Scan("a"))
+        assert semantic_signature(u1) == semantic_signature(u2)
+
+    def test_different_semantics_still_differ(self):
+        from repro.engine import semantic_signature
+
+        a = Filter(Scan("t"), (Predicate("a", "<", 1.0),))
+        b = Filter(Scan("t"), (Predicate("a", "<", 2.0),))
+        assert semantic_signature(a) != semantic_signature(b)
+
+    def test_canonicalization_recurses(self):
+        from repro.engine import semantic_signature
+
+        inner1 = Filter(Scan("t"), (Predicate("a", "=", 1.0), Predicate("b", "=", 2.0)))
+        inner2 = Filter(Scan("t"), (Predicate("b", "=", 2.0), Predicate("a", "=", 1.0)))
+        p1 = Join(inner1, Scan("u"), "k", "k")
+        p2 = Join(Scan("u"), inner2, "k", "k")
+        assert semantic_signature(p1) == semantic_signature(p2)

@@ -1,0 +1,175 @@
+"""Tests for stage compilation and the cluster executor."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    Aggregate,
+    ClusterExecutor,
+    DefaultCardinalityEstimator,
+    DefaultCostModel,
+    Filter,
+    Join,
+    Predicate,
+    Scan,
+    Stage,
+    StageGraph,
+    compile_stages,
+)
+
+
+@pytest.fixture
+def cost_model(catalog):
+    return DefaultCostModel(catalog, DefaultCardinalityEstimator(catalog))
+
+
+@pytest.fixture
+def plan():
+    join = Join(Scan("fact"), Scan("dim"), "key", "key")
+    return Aggregate(
+        Filter(join, (Predicate("a0", "<", 100.0),)), ("a1",)
+    )
+
+
+@pytest.fixture
+def graph(plan, cost_model):
+    return compile_stages(plan, cost_model)
+
+
+class TestCompileStages:
+    def test_one_stage_per_node(self, plan, graph):
+        assert len(graph) == plan.size
+
+    def test_dependencies_follow_plan_edges(self, graph):
+        # Scans have no deps; the sink depends on exactly one stage.
+        scans = [s for s in graph.stages if s.operator == "Scan"]
+        assert all(not s.depends_on for s in scans)
+        assert len(graph.sink.depends_on) == 1
+
+    def test_sink_is_root_operator(self, graph):
+        assert graph.sink.operator == "Aggregate"
+
+    def test_task_count_scales_with_rows(self, graph):
+        big = max(graph.stages, key=lambda s: s.output_rows)
+        small = min(graph.stages, key=lambda s: s.output_rows)
+        assert big.n_tasks >= small.n_tasks
+        assert all(1 <= s.n_tasks <= 64 for s in graph.stages)
+
+    def test_durations_positive(self, graph):
+        assert all(s.duration() > 0 for s in graph.stages)
+
+    def test_critical_path_at_most_total_work(self, graph):
+        assert graph.critical_path_seconds() <= graph.total_work_seconds() + 1e-9
+
+    def test_networkx_export(self, graph):
+        g = graph.to_networkx()
+        assert g.number_of_nodes() == len(graph)
+        import networkx as nx
+
+        assert nx.is_directed_acyclic_graph(g)
+
+    def test_ancestors(self, graph):
+        assert graph.ancestors(graph.sink.stage_id) == set(
+            range(len(graph) - 1)
+        )
+
+
+class TestStageGraphValidation:
+    def test_non_dense_ids_rejected(self):
+        with pytest.raises(ValueError, match="dense"):
+            StageGraph(
+                [Stage(1, "Scan", (), 1.0, 1.0, 1.0, 1)]
+            )
+
+    def test_forward_dependency_rejected(self):
+        with pytest.raises(ValueError, match="earlier"):
+            StageGraph(
+                [
+                    Stage(0, "Scan", (1,), 1.0, 1.0, 1.0, 1),
+                    Stage(1, "Filter", (), 1.0, 1.0, 1.0, 1),
+                ]
+            )
+
+
+class TestExecutor:
+    def test_deterministic_given_seed(self, graph):
+        a = ClusterExecutor(n_machines=8, rng=3).run(graph)
+        b = ClusterExecutor(n_machines=8, rng=3).run(graph)
+        assert a.runtime == b.runtime
+        assert a.peak_temp_per_machine == b.peak_temp_per_machine
+
+    def test_runtime_close_to_critical_path(self, graph):
+        report = ClusterExecutor(n_machines=8, noise=0.0, rng=0).run(graph)
+        assert report.runtime == pytest.approx(graph.critical_path_seconds())
+
+    def test_stage_runs_respect_dependencies(self, graph):
+        report = ClusterExecutor(rng=0).run(graph)
+        for stage in graph.stages:
+            run = report.run_of(stage.stage_id)
+            for dep in stage.depends_on:
+                assert report.run_of(dep).end <= run.start + 1e-9
+
+    def test_sink_output_not_counted_as_temp(self, cost_model):
+        single = compile_stages(Scan("fact"), cost_model)
+        report = ClusterExecutor(rng=0).run(single)
+        assert report.peak_temp_bytes == 0.0
+
+    def test_placement_skew_creates_hotspots(self, graph):
+        report = ClusterExecutor(n_machines=16, placement_skew=2.0, rng=1).run(graph)
+        peaks = np.array(list(report.peak_temp_per_machine.values()))
+        # The hottest machine should hold far more than the mean.
+        assert peaks.max() > 2.0 * peaks.mean()
+
+    def test_checkpointing_reduces_peak_temp(self, graph):
+        ex = ClusterExecutor(n_machines=8, rng=2)
+        no_ckpt = ex2 = ClusterExecutor(n_machines=8, rng=2).run(graph)
+        all_ckpt = ClusterExecutor(n_machines=8, rng=2).run(
+            graph, checkpoints={s.stage_id for s in graph.stages[:-1]}
+        )
+        assert all_ckpt.peak_temp_bytes <= no_ckpt.peak_temp_bytes
+
+    def test_invalid_constructor_args(self):
+        with pytest.raises(ValueError):
+            ClusterExecutor(n_machines=0)
+        with pytest.raises(ValueError):
+            ClusterExecutor(noise=-1)
+
+
+class TestRestart:
+    def test_no_checkpoints_restarts_from_scratch(self, graph):
+        ex = ClusterExecutor(rng=0)
+        report = ex.run(graph)
+        restart = ex.restart_work_seconds(graph, report, report.runtime * 0.9)
+        assert restart == pytest.approx(report.runtime)
+
+    def test_full_checkpointing_resumes_quickly(self, graph):
+        ex = ClusterExecutor(rng=0)
+        ckpts = {s.stage_id for s in graph.stages[:-1]}
+        report = ex.run(graph, checkpoints=ckpts)
+        late = report.runtime * 0.99
+        restart = ex.restart_work_seconds(graph, report, late)
+        assert restart < report.runtime
+
+    def test_failure_before_start_replays_everything(self, graph):
+        ex = ClusterExecutor(rng=0)
+        report = ex.run(graph, checkpoints={0})
+        restart = ex.restart_work_seconds(graph, report, failure_time=0.0)
+        # Restart replays the full critical path; the one-off checkpoint
+        # coordination overhead in `runtime` is not part of the replay.
+        assert restart == pytest.approx(
+            report.runtime - ex.checkpoint_overhead_seconds
+        )
+
+    def test_checkpoint_monotonicity(self, graph):
+        # More checkpoints can never make restart slower.
+        ex = ClusterExecutor(rng=0)
+        all_ids = [s.stage_id for s in graph.stages[:-1]]
+        report_full = ex.run(graph, checkpoints=set(all_ids))
+        t = report_full.runtime * 0.8
+        restarts = []
+        for k in range(len(all_ids) + 1):
+            report = ClusterExecutor(rng=0).run(
+                graph, checkpoints=set(all_ids[:k])
+            )
+            restarts.append(ex.restart_work_seconds(graph, report, t))
+        assert all(b <= a + 1e-9 for a, b in zip(restarts, restarts[1:]))

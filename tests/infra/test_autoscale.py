@@ -1,0 +1,106 @@
+"""Tests for the autoscaling simulator and policies."""
+
+import numpy as np
+import pytest
+
+from repro.infra import (
+    AutoscaleSimulator,
+    PredictiveScalingPolicy,
+    ReactiveScalingPolicy,
+)
+from repro.workloads import generate_demand
+
+
+def weekly_demand(n_days=21, scale=400.0):
+    trace = generate_demand(n_days=n_days, rng=0)
+    return trace.counts_per_hour() * scale / max(trace.counts_per_hour().max(), 1)
+
+
+@pytest.fixture(scope="module")
+def demand():
+    return weekly_demand()
+
+
+@pytest.fixture
+def simulator():
+    return AutoscaleSimulator(capacity=50.0, initial_replicas=2)
+
+
+class TestValidation:
+    def test_invalid_simulator(self):
+        with pytest.raises(ValueError):
+            AutoscaleSimulator(capacity=0)
+        with pytest.raises(ValueError):
+            AutoscaleSimulator(initial_replicas=0)
+
+    def test_invalid_reactive_policy(self):
+        with pytest.raises(ValueError):
+            ReactiveScalingPolicy(capacity=50, high=0.2, low=0.5)
+        with pytest.raises(ValueError):
+            ReactiveScalingPolicy(capacity=50, step=0)
+
+    def test_invalid_predictive_policy(self):
+        with pytest.raises(ValueError):
+            PredictiveScalingPolicy(capacity=50, headroom=0.5)
+
+    def test_empty_demand_rejected(self, simulator):
+        with pytest.raises(ValueError):
+            simulator.run(np.array([]), ReactiveScalingPolicy(capacity=50))
+
+
+class TestReactive:
+    def test_scales_out_under_load(self, simulator):
+        demand = np.full(24, 500.0)  # needs 10 replicas at capacity 50
+        report = simulator.run(demand, ReactiveScalingPolicy(capacity=50, step=2))
+        assert report.replicas[-1] > report.replicas[0]
+
+    def test_scales_in_when_idle(self, simulator):
+        demand = np.concatenate([np.full(10, 500.0), np.full(30, 10.0)])
+        report = simulator.run(demand, ReactiveScalingPolicy(capacity=50, step=2))
+        assert report.replicas[-1] < report.replicas[10]
+        assert report.replicas.min() >= 1
+
+    def test_chases_demand_with_lag(self, simulator):
+        # A step increase causes violations while replicas catch up.
+        demand = np.concatenate([np.full(5, 50.0), np.full(10, 600.0)])
+        report = simulator.run(demand, ReactiveScalingPolicy(capacity=50))
+        assert report.violation_fraction > 0.1
+
+
+class TestPredictive:
+    def test_dominates_reactive_on_seasonal_demand(self, simulator, demand):
+        reactive = simulator.run(demand, ReactiveScalingPolicy(capacity=50, step=2))
+        predictive = simulator.run(demand, PredictiveScalingPolicy(capacity=50))
+        # Fewer violations *and* fewer replica-hours: strict dominance.
+        assert predictive.violation_fraction < reactive.violation_fraction
+        assert predictive.replica_hours < reactive.replica_hours
+
+    def test_violations_near_zero_on_seasonal_load(self, simulator, demand):
+        report = simulator.run(demand, PredictiveScalingPolicy(capacity=50))
+        # Ignore the first unseeded day.
+        assert report.violation_fraction < 0.05
+
+    def test_headroom_trades_cost_for_qos(self, simulator, demand):
+        tight = simulator.run(
+            demand, PredictiveScalingPolicy(capacity=50, headroom=1.0)
+        )
+        roomy = simulator.run(
+            demand, PredictiveScalingPolicy(capacity=50, headroom=1.5)
+        )
+        assert roomy.replica_hours > tight.replica_hours
+        assert roomy.violation_fraction <= tight.violation_fraction
+
+
+class TestReport:
+    def test_metrics_ranges(self, simulator, demand):
+        report = simulator.run(demand, PredictiveScalingPolicy(capacity=50))
+        assert 0.0 <= report.violation_fraction <= 1.0
+        assert 0.0 <= report.mean_utilization <= 1.0
+        assert report.replica_hours >= demand.size  # at least 1 replica/hour
+
+    def test_scaling_latency_is_one_hour(self, simulator):
+        # The decision at hour h serves at hour h+1, never the same hour.
+        demand = np.array([50.0, 5000.0, 5000.0])
+        policy = PredictiveScalingPolicy(capacity=50, headroom=1.0)
+        report = simulator.run(demand, policy)
+        assert report.replicas[0] == simulator.initial_replicas

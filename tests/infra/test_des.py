@@ -1,0 +1,65 @@
+"""Tests for the discrete-event core."""
+
+import pytest
+
+from repro.infra import EventQueue
+
+
+class TestEventQueue:
+    def test_events_run_in_time_order(self):
+        q = EventQueue()
+        order = []
+        q.schedule(5.0, lambda: order.append("b"))
+        q.schedule(1.0, lambda: order.append("a"))
+        q.schedule(9.0, lambda: order.append("c"))
+        q.run()
+        assert order == ["a", "b", "c"]
+        assert q.now == 9.0
+        assert q.processed == 3
+
+    def test_ties_break_by_insertion_order(self):
+        q = EventQueue()
+        order = []
+        q.schedule(1.0, lambda: order.append(1))
+        q.schedule(1.0, lambda: order.append(2))
+        q.run()
+        assert order == [1, 2]
+
+    def test_actions_can_schedule_more_events(self):
+        q = EventQueue()
+        fired = []
+
+        def chain():
+            fired.append(q.now)
+            if len(fired) < 3:
+                q.schedule_after(1.0, chain)
+
+        q.schedule(0.0, chain)
+        q.run()
+        assert fired == [0.0, 1.0, 2.0]
+
+    def test_run_until_stops_clock(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(1.0, lambda: fired.append(1))
+        q.schedule(10.0, lambda: fired.append(2))
+        q.run(until=5.0)
+        assert fired == [1]
+        assert q.now == 5.0
+        assert len(q) == 1
+
+    def test_cannot_schedule_in_the_past(self):
+        q = EventQueue()
+        q.schedule(2.0, lambda: None)
+        q.run()
+        with pytest.raises(ValueError, match="past"):
+            q.schedule(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule_after(-1.0, lambda: None)
+
+    def test_run_until_with_empty_queue_advances_clock(self):
+        q = EventQueue()
+        q.run(until=7.0)
+        assert q.now == 7.0

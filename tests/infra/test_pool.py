@@ -1,0 +1,67 @@
+"""Tests for the cluster pool simulator."""
+
+import numpy as np
+import pytest
+
+from repro.infra import ClusterPoolSimulator, NoPoolPolicy, StaticPoolPolicy
+from repro.workloads import generate_demand
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_demand(n_days=7, rng=0)
+
+
+class TestPoolSimulator:
+    def test_no_pool_means_all_cold(self, trace):
+        sim = ClusterPoolSimulator()
+        report = sim.run(trace, NoPoolPolicy())
+        assert report.warm_hits == 0
+        assert report.cold_starts == trace.n_requests
+        assert report.mean_latency == pytest.approx(sim.cold_start_seconds)
+
+    def test_huge_static_pool_means_all_warm(self, trace):
+        sim = ClusterPoolSimulator()
+        report = sim.run(trace, StaticPoolPolicy(size=10_000))
+        assert report.cold_starts == 0
+        assert report.hit_rate == 1.0
+        assert report.mean_latency == pytest.approx(sim.warm_latency_seconds)
+
+    def test_latency_count_matches_requests(self, trace):
+        report = ClusterPoolSimulator().run(trace, StaticPoolPolicy(size=5))
+        assert report.n_requests == trace.n_requests
+
+    def test_bigger_pool_lowers_latency_raises_cost(self, trace):
+        sim = ClusterPoolSimulator()
+        small = sim.run(trace, StaticPoolPolicy(size=2))
+        large = sim.run(trace, StaticPoolPolicy(size=30))
+        assert large.mean_latency < small.mean_latency
+        assert large.warm_idle_hours > small.warm_idle_hours
+
+    def test_p99_dominated_by_cold_starts_for_small_pool(self, trace):
+        sim = ClusterPoolSimulator()
+        report = sim.run(trace, StaticPoolPolicy(size=1))
+        assert report.percentile(99) == pytest.approx(sim.cold_start_seconds)
+
+    def test_policy_sees_only_history(self, trace):
+        seen = []
+
+        class SpyPolicy:
+            def target(self, hour, recent_counts):
+                seen.append((hour, recent_counts.size))
+                return 0
+
+        ClusterPoolSimulator().run(trace, SpyPolicy())
+        assert all(size == hour for hour, size in seen)
+
+    def test_invalid_latency_config(self):
+        with pytest.raises(ValueError):
+            ClusterPoolSimulator(cold_start_seconds=1.0, warm_latency_seconds=5.0)
+
+    def test_empty_report_percentile(self):
+        from repro.infra.pool import PoolReport
+
+        report = PoolReport(np.array([]), 0, 0, 0.0)
+        assert report.percentile(99) == 0.0
+        assert report.mean_latency == 0.0
+        assert report.hit_rate == 0.0

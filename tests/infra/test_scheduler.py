@@ -1,0 +1,94 @@
+"""Tests for the container scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.infra import ContainerScheduler, SkuFleetConfig
+from repro.workloads.machines import DEFAULT_SKUS
+
+
+def fleet(caps=(20, 20, 20), machines=4):
+    return [
+        SkuFleetConfig(sku, n_machines=machines, max_containers=cap)
+        for sku, cap in zip(DEFAULT_SKUS, caps)
+    ]
+
+
+class TestConfig:
+    def test_invalid_fleet_config(self):
+        with pytest.raises(ValueError):
+            SkuFleetConfig(DEFAULT_SKUS[0], n_machines=0, max_containers=10)
+        with pytest.raises(ValueError):
+            SkuFleetConfig(DEFAULT_SKUS[0], n_machines=1, max_containers=-1)
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError):
+            ContainerScheduler([])
+
+
+class TestPlacement:
+    def test_capacity(self):
+        sched = ContainerScheduler(fleet(), rng=0)
+        assert sched.capacity == 3 * 4 * 20
+
+    def test_all_placed_under_capacity(self):
+        sched = ContainerScheduler(fleet(), rng=0)
+        report = sched.place(100)
+        assert report.placed == 100
+        assert report.queued == 0
+        assert sum(report.containers_by_machine.values()) == 100
+
+    def test_overflow_queues(self):
+        sched = ContainerScheduler(fleet(), rng=0)
+        report = sched.place(sched.capacity + 50)
+        assert report.placed == sched.capacity
+        assert report.queued == 50
+
+    def test_caps_respected(self):
+        sched = ContainerScheduler(fleet(caps=(5, 10, 15)), rng=0)
+        report = sched.place(10_000)
+        for machine, count in report.containers_by_machine.items():
+            cap = 5 if machine.startswith("gen4") else 10 if machine.startswith("gen5") else 15
+            assert count <= cap
+
+    def test_water_filling_balances_relative_load(self):
+        sched = ContainerScheduler(fleet(caps=(10, 20, 30)), noise=0.0, rng=0)
+        report = sched.place(120)  # half of capacity (240)
+        rel = [
+            report.containers_by_machine[m]
+            / (10 if m.startswith("gen4") else 20 if m.startswith("gen5") else 30)
+            for m in report.containers_by_machine
+        ]
+        assert max(rel) - min(rel) < 0.2
+
+    def test_equal_caps_overload_weak_sku(self):
+        # With the same cap everywhere, the slow gen4 machines run much
+        # hotter -- the imbalance KEA's tuned caps remove.
+        sched = ContainerScheduler(fleet(caps=(28, 28, 28)), noise=0.0, rng=0)
+        report = sched.place(sched.capacity)
+        gen4 = np.mean(
+            [v for m, v in report.cpu_by_machine.items() if m.startswith("gen4")]
+        )
+        gen6 = np.mean(
+            [v for m, v in report.cpu_by_machine.items() if m.startswith("gen6")]
+        )
+        assert gen4 > gen6 + 20
+
+    def test_zero_demand(self):
+        report = ContainerScheduler(fleet(), rng=0).place(0)
+        assert report.placed == 0
+        assert all(v == 0 for v in report.containers_by_machine.values())
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            ContainerScheduler(fleet(), rng=0).place(-1)
+
+    def test_report_metrics(self):
+        report = ContainerScheduler(fleet(), noise=0.0, rng=0).place(60)
+        assert 0.0 <= report.mean_cpu <= 100.0
+        assert report.cpu_imbalance >= 0.0
+        assert 0.0 <= report.overload_fraction() <= 1.0
+
+    def test_sweep(self):
+        reports = ContainerScheduler(fleet(), rng=0).sweep([10, 20, 30])
+        assert [r.placed for r in reports] == [10, 20, 30]

@@ -1,0 +1,96 @@
+"""Tests for the serverless pause/resume simulator."""
+
+import numpy as np
+import pytest
+
+from repro.infra import AlwaysOnPolicy, ReactiveIdlePolicy, ServerlessSimulator
+from repro.workloads.usage import TenantTrace
+
+
+def trace_from(values):
+    return TenantTrace("t", np.asarray(values, dtype=float), True)
+
+
+@pytest.fixture
+def sim():
+    return ServerlessSimulator(activity_threshold=0.5, cold_start_seconds=60.0)
+
+
+class TestAlwaysOn:
+    def test_bills_every_hour_no_cold_starts(self, sim):
+        trace = trace_from([1, 0, 0, 1, 0, 1])
+        report = sim.run(trace, AlwaysOnPolicy())
+        assert report.billed_hours == 6
+        assert report.cold_starts == 0
+        assert report.active_hours == 3
+
+
+class TestReactiveIdle:
+    def test_pauses_after_timeout_and_cold_starts_on_demand(self, sim):
+        # hours: active, idle, idle, idle, active
+        trace = trace_from([1, 0, 0, 0, 1])
+        report = sim.run(trace, ReactiveIdlePolicy(idle_hours=1, activity_threshold=0.5))
+        # hour0 billed (active); hour1 idle, history=[1] not idle -> stays on,
+        # billed; hour2 idle, history[-1]=0 -> pause; hour3 paused; hour4
+        # active -> cold start + billed.
+        assert report.billed_hours == 3
+        assert report.cold_starts == 1
+
+    def test_longer_timeout_costs_more_but_fewer_cold_starts(self, sim):
+        rng = np.random.default_rng(0)
+        # bursty: short idle gaps that a long timeout rides out
+        values = (rng.random(500) < 0.5).astype(float)
+        t = trace_from(values)
+        short = sim.run(t, ReactiveIdlePolicy(idle_hours=1, activity_threshold=0.5))
+        long = sim.run(t, ReactiveIdlePolicy(idle_hours=6, activity_threshold=0.5))
+        assert long.billed_hours >= short.billed_hours
+        assert long.cold_starts <= short.cold_starts
+
+    def test_all_idle_trace_costs_little(self, sim):
+        report = sim.run(
+            trace_from([0] * 50),
+            ReactiveIdlePolicy(idle_hours=1, activity_threshold=0.5),
+        )
+        assert report.billed_hours <= 2
+        assert report.cold_starts == 0
+
+
+class TestReportMetrics:
+    def test_cold_start_rate(self, sim):
+        trace = trace_from([1, 0, 0, 1])
+        report = sim.run(trace, ReactiveIdlePolicy(idle_hours=1, activity_threshold=0.5))
+        assert report.cold_start_rate == pytest.approx(
+            report.cold_starts / report.active_hours
+        )
+
+    def test_zero_active_hours(self, sim):
+        report = sim.run(trace_from([0, 0]), AlwaysOnPolicy())
+        assert report.cold_start_rate == 0.0
+
+    def test_cost_scales_with_price(self, sim):
+        report = sim.run(trace_from([1, 1]), AlwaysOnPolicy())
+        assert report.cost(2.0) == 2 * report.billed_hours
+
+    def test_total_delay(self, sim):
+        trace = trace_from([1, 0, 0, 1])
+        report = sim.run(trace, ReactiveIdlePolicy(idle_hours=1, activity_threshold=0.5))
+        assert report.total_delay_seconds == report.cold_starts * 60.0
+
+    def test_invalid_cold_start(self):
+        with pytest.raises(ValueError):
+            ServerlessSimulator(cold_start_seconds=-1)
+
+
+class TestProactiveResume:
+    def test_proactive_resume_avoids_cold_start(self, sim):
+        # A clairvoyant-ish policy that resumes an hour before activity
+        # (here: always resumes immediately after pausing).
+        class EagerResume(ReactiveIdlePolicy):
+            def should_resume(self, hour, history):
+                return True
+
+        trace = trace_from([1, 0, 0, 1])
+        report = sim.run(
+            trace, EagerResume(idle_hours=1, activity_threshold=0.5)
+        )
+        assert report.cold_starts == 0

@@ -1,0 +1,125 @@
+"""Tests for multi-armed and contextual bandits."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    EpsilonGreedyBandit,
+    LinUCB,
+    ThompsonSamplingBandit,
+    UCB1Bandit,
+)
+
+
+def run_bernoulli(bandit, probabilities, n_rounds, rng):
+    """Play a Bernoulli bandit; return the fraction of optimal pulls."""
+    optimal = int(np.argmax(probabilities))
+    optimal_pulls = 0
+    for _ in range(n_rounds):
+        arm = bandit.select()
+        reward = float(rng.random() < probabilities[arm])
+        bandit.update(arm, reward)
+        if arm == optimal:
+            optimal_pulls += 1
+    return optimal_pulls / n_rounds
+
+
+PROBS = [0.2, 0.5, 0.8]
+
+
+class TestStochasticBandits:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: EpsilonGreedyBandit(3, epsilon=0.1, rng=0),
+            lambda: UCB1Bandit(3, rng=0),
+            lambda: ThompsonSamplingBandit(3, rng=0),
+        ],
+        ids=["eps-greedy", "ucb1", "thompson"],
+    )
+    def test_converges_to_best_arm(self, factory):
+        rng = np.random.default_rng(1)
+        bandit = factory()
+        fraction = run_bernoulli(bandit, PROBS, 2000, rng)
+        assert fraction > 0.6
+        assert bandit.best_arm() == 2
+
+    def test_ucb_tries_every_arm_first(self):
+        bandit = UCB1Bandit(4, rng=0)
+        pulled = []
+        for _ in range(4):
+            arm = bandit.select()
+            pulled.append(arm)
+            bandit.update(arm, 0.0)
+        assert sorted(pulled) == [0, 1, 2, 3]
+
+    def test_epsilon_zero_is_pure_greedy(self):
+        bandit = EpsilonGreedyBandit(2, epsilon=0.0, rng=0)
+        bandit.update(1, 1.0)
+        assert all(bandit.select() == 1 for _ in range(20))
+
+    def test_epsilon_one_explores_uniformly(self):
+        bandit = EpsilonGreedyBandit(3, epsilon=1.0, rng=0)
+        bandit.update(0, 100.0)
+        selections = {bandit.select() for _ in range(100)}
+        assert selections == {0, 1, 2}
+
+    def test_thompson_rejects_out_of_range_reward(self):
+        bandit = ThompsonSamplingBandit(2, rng=0)
+        with pytest.raises(ValueError):
+            bandit.update(0, 2.0)
+
+    def test_update_out_of_range_arm(self):
+        with pytest.raises(ValueError):
+            EpsilonGreedyBandit(2).update(5, 1.0)
+
+    def test_invalid_constructor_args(self):
+        with pytest.raises(ValueError):
+            EpsilonGreedyBandit(0)
+        with pytest.raises(ValueError):
+            EpsilonGreedyBandit(2, epsilon=1.5)
+
+
+class TestLinUCB:
+    def test_learns_context_dependent_best_arm(self):
+        # Arm 0 is best when context[0] > 0, arm 1 otherwise.
+        rng = np.random.default_rng(0)
+        bandit = LinUCB(n_arms=2, n_features=2, alpha=0.5, rng=0)
+        for _ in range(600):
+            ctx = rng.normal(size=2)
+            arm = bandit.select(ctx)
+            reward = ctx[0] if arm == 0 else -ctx[0]
+            bandit.update(arm, ctx, reward)
+        # After training, the point estimate should pick the right arm.
+        pos = np.array([1.0, 0.0])
+        neg = np.array([-1.0, 0.0])
+        assert bandit.point_estimate(0, pos) > bandit.point_estimate(1, pos)
+        assert bandit.point_estimate(1, neg) > bandit.point_estimate(0, neg)
+
+    def test_scores_shape(self):
+        bandit = LinUCB(3, 4, rng=0)
+        assert bandit.scores(np.ones(4)).shape == (3,)
+
+    def test_context_dimension_checked(self):
+        bandit = LinUCB(2, 3, rng=0)
+        with pytest.raises(ValueError, match="features"):
+            bandit.select(np.ones(5))
+        with pytest.raises(ValueError, match="features"):
+            bandit.update(0, np.ones(2), 1.0)
+
+    def test_exploration_bonus_shrinks_with_data(self):
+        bandit = LinUCB(1, 2, alpha=1.0, rng=0)
+        ctx = np.array([1.0, 0.5])
+        before = bandit.scores(ctx)[0] - bandit.point_estimate(0, ctx)
+        for _ in range(50):
+            bandit.update(0, ctx, 0.0)
+        after = bandit.scores(ctx)[0] - bandit.point_estimate(0, ctx)
+        assert after < before
+
+    def test_invalid_constructor_args(self):
+        with pytest.raises(ValueError):
+            LinUCB(0, 1)
+        with pytest.raises(ValueError):
+            LinUCB(1, 0)
+        with pytest.raises(ValueError):
+            LinUCB(1, 1, alpha=-1)

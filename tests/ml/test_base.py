@@ -1,0 +1,81 @@
+"""Tests for the shared estimator protocol and validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.ml import LinearRegression, Model, NotFittedError
+from repro.ml.base import check_2d, check_fitted, check_xy
+
+
+class TestCheck2d:
+    def test_1d_becomes_column(self):
+        out = check_2d(np.array([1.0, 2.0, 3.0]))
+        assert out.shape == (3, 1)
+
+    def test_2d_passes_through(self):
+        x = np.ones((4, 2))
+        np.testing.assert_array_equal(check_2d(x), x)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError, match="1-D or 2-D"):
+            check_2d(np.ones((2, 2, 2)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one row"):
+            check_2d(np.empty((0, 3)))
+
+    def test_nan_rejected_with_name(self):
+        with pytest.raises(ValueError, match="features contains"):
+            check_2d(np.array([[np.nan]]), name="features")
+
+    def test_lists_coerced(self):
+        out = check_2d([[1, 2], [3, 4]])
+        assert out.dtype == float
+
+
+class TestCheckXy:
+    def test_aligned_pair(self):
+        x, y = check_xy([[1.0], [2.0]], [3.0, 4.0])
+        assert x.shape == (2, 1)
+        assert y.shape == (2,)
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="sample count"):
+            check_xy(np.ones((3, 1)), np.ones(2))
+
+    def test_nan_target_rejected(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            check_xy(np.ones((2, 1)), [1.0, np.nan])
+
+    def test_column_target_ravelled(self):
+        _, y = check_xy(np.ones((3, 1)), np.ones((3, 1)))
+        assert y.shape == (3,)
+
+
+class TestCheckFitted:
+    def test_raises_when_attribute_missing(self):
+        with pytest.raises(NotFittedError, match="fit"):
+            check_fitted(LinearRegression(), "coef_")
+
+    def test_passes_after_fit(self):
+        model = LinearRegression().fit(np.arange(4.0), np.arange(4.0))
+        check_fitted(model, "coef_")  # no raise
+
+
+class TestModelProtocol:
+    def test_fitted_linear_regression_satisfies_protocol(self):
+        model = LinearRegression()
+        assert isinstance(model, Model)
+
+    def test_duck_typed_model_satisfies_protocol(self):
+        class Custom:
+            def fit(self, x, y):
+                return self
+
+            def predict(self, x):
+                return np.zeros(len(x))
+
+        assert isinstance(Custom(), Model)
+
+    def test_non_model_rejected(self):
+        assert not isinstance(object(), Model)

@@ -1,0 +1,91 @@
+"""Tests for k-means and silhouette score."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import KMeans, NotFittedError, silhouette_score
+
+
+@pytest.fixture
+def three_blobs():
+    rng = np.random.default_rng(2)
+    centers = np.array([[0, 0], [10, 10], [-10, 10]], dtype=float)
+    points = np.vstack(
+        [rng.normal(c, 0.5, size=(40, 2)) for c in centers]
+    )
+    labels = np.repeat([0, 1, 2], 40)
+    return points, labels, centers
+
+
+class TestKMeans:
+    def test_recovers_blob_structure(self, three_blobs):
+        points, truth, _ = three_blobs
+        km = KMeans(n_clusters=3, rng=0).fit(points)
+        # Clusters must be pure: every true blob maps to one predicted label.
+        for blob in range(3):
+            predicted = km.labels_[truth == blob]
+            assert len(set(predicted.tolist())) == 1
+
+    def test_centers_near_true_centers(self, three_blobs):
+        points, _, centers = three_blobs
+        km = KMeans(n_clusters=3, rng=0).fit(points)
+        for c in centers:
+            assert np.min(np.linalg.norm(km.centers_ - c, axis=1)) < 1.0
+
+    def test_predict_matches_fit_labels(self, three_blobs):
+        points, _, _ = three_blobs
+        km = KMeans(n_clusters=3, rng=0).fit(points)
+        np.testing.assert_array_equal(km.predict(points), km.labels_)
+
+    def test_inertia_decreases_with_more_clusters(self, three_blobs):
+        points, _, _ = three_blobs
+        inertias = [
+            KMeans(n_clusters=k, rng=0).fit(points).inertia_ for k in (1, 2, 3)
+        ]
+        assert inertias[0] > inertias[1] > inertias[2]
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(ValueError, match="at least"):
+            KMeans(n_clusters=5).fit(np.ones((3, 2)))
+
+    def test_unfit_predict_raises(self):
+        with pytest.raises(NotFittedError):
+            KMeans().predict(np.ones((2, 2)))
+
+    def test_duplicate_points_do_not_crash(self):
+        points = np.zeros((10, 2))
+        km = KMeans(n_clusters=2, rng=0).fit(points)
+        assert km.inertia_ == pytest.approx(0.0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(k=st.integers(1, 4), seed=st.integers(0, 1000))
+    def test_property_every_point_gets_nearest_center(self, k, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(30, 2))
+        km = KMeans(n_clusters=k, rng=seed).fit(points)
+        dists = np.linalg.norm(
+            points[:, None, :] - km.centers_[None, :, :], axis=2
+        )
+        np.testing.assert_array_equal(km.labels_, np.argmin(dists, axis=1))
+
+
+class TestSilhouette:
+    def test_well_separated_blobs_score_high(self, three_blobs):
+        points, truth, _ = three_blobs
+        assert silhouette_score(points, truth) > 0.8
+
+    def test_random_labels_score_low(self, three_blobs):
+        points, _, _ = three_blobs
+        rng = np.random.default_rng(0)
+        random_labels = rng.integers(0, 3, size=points.shape[0])
+        assert silhouette_score(points, random_labels) < 0.2
+
+    def test_single_cluster_returns_zero(self):
+        assert silhouette_score(np.ones((5, 2)), np.zeros(5)) == 0.0
+
+    def test_score_in_valid_range(self, three_blobs):
+        points, truth, _ = three_blobs
+        score = silhouette_score(points, truth)
+        assert -1.0 <= score <= 1.0

@@ -1,0 +1,60 @@
+"""Tests for drift detectors."""
+
+import numpy as np
+import pytest
+
+from repro.ml import PageHinkley, WindowedKSDetector
+
+
+class TestPageHinkley:
+    def test_no_drift_on_stationary_stream(self):
+        rng = np.random.default_rng(0)
+        detector = PageHinkley(delta=0.05, threshold=10.0)
+        flags = [detector.update(v) for v in rng.normal(0, 0.1, 500)]
+        assert not any(flags)
+
+    def test_detects_mean_shift(self):
+        rng = np.random.default_rng(0)
+        detector = PageHinkley(delta=0.05, threshold=5.0)
+        stream = np.concatenate(
+            [rng.normal(0, 0.1, 200), rng.normal(3.0, 0.1, 200)]
+        )
+        flags = [detector.update(v) for v in stream]
+        assert not any(flags[:200])
+        assert any(flags[200:])
+
+    def test_reset_clears_state(self):
+        detector = PageHinkley(threshold=1.0)
+        for v in [0.0] * 10 + [10.0] * 10:
+            detector.update(v)
+        detector.reset()
+        assert not detector.update(0.0)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            PageHinkley(threshold=0.0)
+
+
+class TestWindowedKS:
+    def test_no_drift_on_same_distribution(self):
+        rng = np.random.default_rng(1)
+        detector = WindowedKSDetector(window=50, p_value=0.001)
+        flags = [detector.update(v) for v in rng.normal(size=300)]
+        assert sum(flags) == 0
+
+    def test_detects_distribution_change(self):
+        rng = np.random.default_rng(1)
+        detector = WindowedKSDetector(window=50, p_value=0.01)
+        stream = np.concatenate([rng.normal(0, 1, 100), rng.normal(5, 1, 100)])
+        flags = [detector.update(v) for v in stream]
+        assert any(flags[100:])
+
+    def test_silent_while_filling_reference(self):
+        detector = WindowedKSDetector(window=20)
+        assert not any(detector.update(float(i)) for i in range(20))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            WindowedKSDetector(window=2)
+        with pytest.raises(ValueError):
+            WindowedKSDetector(p_value=0.0)

@@ -1,0 +1,85 @@
+"""Tests for tree ensembles."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    GradientBoostingRegressor,
+    NotFittedError,
+    RandomForestRegressor,
+    mse,
+)
+
+
+@pytest.fixture
+def friedman_like(rng=np.random.default_rng(3)):
+    x = rng.uniform(size=(300, 4))
+    y = 10 * np.sin(np.pi * x[:, 0] * x[:, 1]) + 20 * (x[:, 2] - 0.5) ** 2 + x[:, 3]
+    return x, y
+
+
+class TestRandomForestRegressor:
+    def test_beats_single_deep_tree_on_noise(self, friedman_like):
+        x, y = friedman_like
+        rng = np.random.default_rng(5)
+        noisy = y + rng.normal(scale=2.0, size=y.shape)
+        train = slice(0, 200)
+        test = slice(200, 300)
+        from repro.ml import DecisionTreeRegressor
+
+        tree = DecisionTreeRegressor(max_depth=12).fit(x[train], noisy[train])
+        forest = RandomForestRegressor(n_trees=20, max_depth=12, rng=1).fit(
+            x[train], noisy[train]
+        )
+        assert mse(y[test], forest.predict(x[test])) < mse(
+            y[test], tree.predict(x[test])
+        )
+
+    def test_deterministic_given_seed(self, friedman_like):
+        x, y = friedman_like
+        a = RandomForestRegressor(n_trees=5, rng=42).fit(x, y).predict(x[:10])
+        b = RandomForestRegressor(n_trees=5, rng=42).fit(x, y).predict(x[:10])
+        np.testing.assert_allclose(a, b)
+
+    def test_predict_std_nonnegative(self, friedman_like):
+        x, y = friedman_like
+        forest = RandomForestRegressor(n_trees=8, rng=0).fit(x, y)
+        assert np.all(forest.predict_std(x[:20]) >= 0)
+
+    def test_unfit_raises(self):
+        with pytest.raises(NotFittedError):
+            RandomForestRegressor().predict(np.ones((1, 1)))
+
+    def test_invalid_n_trees(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_trees=0)
+
+
+class TestGradientBoostingRegressor:
+    def test_training_error_decreases_with_rounds(self, friedman_like):
+        x, y = friedman_like
+        gbm = GradientBoostingRegressor(n_trees=30, rng=0).fit(x, y)
+        errors = [mse(y, pred) for pred in gbm.staged_predict(x)]
+        assert errors[-1] < errors[0]
+        # Error should be monotone non-increasing for squared loss on train.
+        assert all(b <= a + 1e-9 for a, b in zip(errors, errors[1:]))
+
+    def test_outperforms_mean_baseline(self, friedman_like):
+        x, y = friedman_like
+        gbm = GradientBoostingRegressor(n_trees=40, rng=0).fit(x, y)
+        assert mse(y, gbm.predict(x)) < 0.5 * np.var(y)
+
+    def test_single_tree_with_lr_one_equals_mean_plus_tree(self, friedman_like):
+        x, y = friedman_like
+        gbm = GradientBoostingRegressor(n_trees=1, learning_rate=1.0, rng=0).fit(x, y)
+        from repro.ml import DecisionTreeRegressor
+
+        tree = DecisionTreeRegressor(max_depth=3, rng=0).fit(x, y - y.mean())
+        np.testing.assert_allclose(
+            gbm.predict(x), y.mean() + tree.predict(x), atol=1e-9
+        )
+
+    def test_invalid_learning_rate(self):
+        for lr in (0.0, 1.5, -0.1):
+            with pytest.raises(ValueError):
+                GradientBoostingRegressor(learning_rate=lr)

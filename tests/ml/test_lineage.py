@@ -1,0 +1,111 @@
+"""Tests for the Vamsa-style lineage tracker."""
+
+import networkx as nx
+import pytest
+
+from repro.ml import LineageTracker
+
+
+@pytest.fixture
+def pipeline():
+    """A typical ML-for-Systems pipeline recorded end to end."""
+    tracker = LineageTracker()
+    raw = tracker.record("dataset", "cosmos-telemetry-week24", source="kusto")
+    features = tracker.record(
+        "featureset", "per-template-params", [raw], operation="featurize"
+    )
+    model = tracker.record(
+        "model", "cardinality-v3", [features], operation="train", algo="ridge"
+    )
+    deployment = tracker.record(
+        "deployment", "cardinality-v3@prod", [model], operation="deploy"
+    )
+    metric = tracker.record(
+        "metric", "qerror-daily", [deployment], operation="monitor"
+    )
+    return tracker, raw, features, model, deployment, metric
+
+
+class TestRecording:
+    def test_ids_are_unique_and_kinded(self, pipeline):
+        tracker, raw, *_ = pipeline
+        assert raw.artifact_id.startswith("dataset-")
+        assert len({a.artifact_id for a in tracker.by_kind("dataset")}) == 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            LineageTracker().record("spell", "abracadabra")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+            LineageTracker().record("dataset", "")
+
+    def test_unknown_input_rejected(self):
+        tracker = LineageTracker()
+        with pytest.raises(KeyError):
+            tracker.record("model", "m", ["dataset-99999"])
+
+    def test_metadata_accessible(self, pipeline):
+        tracker, raw, *_ = pipeline
+        assert raw.meta("source") == "kusto"
+        assert raw.meta("missing", "fallback") == "fallback"
+
+
+class TestQueries:
+    def test_upstream_of_deployment_reaches_raw_data(self, pipeline):
+        tracker, raw, features, model, deployment, _ = pipeline
+        ancestors = tracker.upstream(deployment)
+        assert raw in ancestors
+        assert features in ancestors
+        assert model in ancestors
+
+    def test_downstream_of_dataset_is_blast_radius(self, pipeline):
+        tracker, raw, _, model, deployment, metric = pipeline
+        victims = tracker.downstream(raw)
+        assert model in victims
+        assert deployment in victims
+        assert metric in victims
+
+    def test_leaf_has_no_downstream(self, pipeline):
+        tracker, *_, metric = pipeline
+        assert tracker.downstream(metric) == []
+
+    def test_path_carries_operations(self, pipeline):
+        tracker, raw, _, _, deployment, _ = pipeline
+        path = tracker.path_between(raw, deployment)
+        operations = [op for _, op in path[1:]]
+        assert operations == ["featurize", "train", "deploy"]
+
+    def test_no_path_raises(self, pipeline):
+        tracker, raw, *_ = pipeline
+        other = tracker.record("dataset", "unrelated")
+        with pytest.raises(nx.NetworkXNoPath):
+            tracker.path_between(raw, other)
+
+    def test_unknown_artifact_raises(self, pipeline):
+        tracker, *_ = pipeline
+        with pytest.raises(KeyError):
+            tracker.upstream("model-99999")
+
+
+class TestFanOut:
+    def test_shared_dataset_feeds_multiple_models(self):
+        tracker = LineageTracker()
+        raw = tracker.record("dataset", "shared")
+        m1 = tracker.record("model", "cardinality", [raw], operation="train")
+        m2 = tracker.record("model", "costmodel", [raw], operation="train")
+        assert {a.name for a in tracker.downstream(raw)} == {
+            "cardinality",
+            "costmodel",
+        }
+        assert tracker.upstream(m1) == tracker.upstream(m2)
+
+
+class TestIncidentReport:
+    def test_report_sections(self, pipeline):
+        tracker, raw, _, model, _, _ = pipeline
+        report = tracker.incident_report(model)
+        assert "# Lineage incident report: cardinality-v3" in report
+        assert "## Derived from (2)" in report
+        assert "## Contaminates (2)" in report
+        assert "cosmos-telemetry-week24" in report

@@ -1,0 +1,159 @@
+"""Tests for the linear model family."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    LinearRegression,
+    LogisticRegression,
+    NotFittedError,
+    QuantileRegression,
+    RidgeRegression,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestLinearRegression:
+    def test_recovers_exact_line(self):
+        x = np.arange(10.0)
+        y = 3.0 * x + 2.0
+        model = LinearRegression().fit(x, y)
+        assert model.coef_[0] == pytest.approx(3.0)
+        assert model.intercept_ == pytest.approx(2.0)
+
+    def test_recovers_multivariate_coefficients(self, rng):
+        x = rng.normal(size=(200, 3))
+        true_coef = np.array([1.5, -2.0, 0.5])
+        y = x @ true_coef + 4.0 + rng.normal(scale=0.01, size=200)
+        model = LinearRegression().fit(x, y)
+        np.testing.assert_allclose(model.coef_, true_coef, atol=0.01)
+        assert model.intercept_ == pytest.approx(4.0, abs=0.01)
+
+    def test_no_intercept(self):
+        x = np.arange(1.0, 6.0)
+        y = 2.0 * x
+        model = LinearRegression(fit_intercept=False).fit(x, y)
+        assert model.intercept_ == 0.0
+        assert model.coef_[0] == pytest.approx(2.0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            LinearRegression().predict(np.array([[1.0]]))
+
+    def test_feature_count_mismatch_raises(self):
+        model = LinearRegression().fit(np.ones((5, 2)), np.ones(5))
+        with pytest.raises(ValueError, match="features"):
+            model.predict(np.ones((3, 3)))
+
+    def test_rejects_nan_input(self):
+        x = np.array([[1.0], [np.nan]])
+        with pytest.raises(ValueError, match="non-finite"):
+            LinearRegression().fit(x, np.array([1.0, 2.0]))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="sample count"):
+            LinearRegression().fit(np.ones((4, 1)), np.ones(3))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        slope=st.floats(-100, 100, allow_nan=False),
+        intercept=st.floats(-100, 100, allow_nan=False),
+    )
+    def test_property_exact_fit_on_noiseless_line(self, slope, intercept):
+        x = np.linspace(0, 10, 20)
+        y = slope * x + intercept
+        model = LinearRegression().fit(x, y)
+        np.testing.assert_allclose(model.predict(x), y, atol=1e-6 + 1e-8 * abs(slope))
+
+
+class TestRidgeRegression:
+    def test_zero_alpha_matches_ols(self, rng):
+        x = rng.normal(size=(50, 2))
+        y = x @ np.array([1.0, 2.0]) + rng.normal(size=50)
+        ols = LinearRegression().fit(x, y)
+        ridge = RidgeRegression(alpha=0.0).fit(x, y)
+        np.testing.assert_allclose(ridge.coef_, ols.coef_, atol=1e-8)
+
+    def test_shrinks_coefficients(self, rng):
+        x = rng.normal(size=(50, 2))
+        y = x @ np.array([5.0, -5.0])
+        small = RidgeRegression(alpha=0.1).fit(x, y)
+        large = RidgeRegression(alpha=1000.0).fit(x, y)
+        assert np.linalg.norm(large.coef_) < np.linalg.norm(small.coef_)
+
+    def test_intercept_not_penalized(self):
+        # Constant target: heavy regularization must not pull intercept to 0.
+        x = np.linspace(0, 1, 30)
+        y = np.full(30, 10.0)
+        model = RidgeRegression(alpha=1e6).fit(x, y)
+        assert model.predict(np.array([[0.5]]))[0] == pytest.approx(10.0, abs=0.1)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            RidgeRegression(alpha=-1.0)
+
+    def test_handles_collinear_features(self):
+        # OLS would be ill-posed; ridge must stay finite.
+        x = np.column_stack([np.arange(10.0), np.arange(10.0)])
+        y = np.arange(10.0)
+        model = RidgeRegression(alpha=1.0).fit(x, y)
+        assert np.all(np.isfinite(model.coef_))
+
+
+class TestLogisticRegression:
+    def test_separable_data(self, rng):
+        x = np.concatenate([rng.normal(-3, 0.5, 50), rng.normal(3, 0.5, 50)])
+        y = np.concatenate([np.zeros(50), np.ones(50)])
+        model = LogisticRegression(n_iter=2000).fit(x, y)
+        assert np.mean(model.predict(x) == y) > 0.95
+
+    def test_proba_in_unit_interval(self, rng):
+        x = rng.normal(size=(40, 2))
+        y = (x[:, 0] > 0).astype(int)
+        model = LogisticRegression().fit(x, y)
+        proba = model.predict_proba(x)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_rejects_nonbinary_labels(self):
+        with pytest.raises(ValueError, match="0/1"):
+            LogisticRegression().fit(np.ones((3, 1)), np.array([0, 1, 2]))
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(learning_rate=0)
+        with pytest.raises(ValueError):
+            LogisticRegression(n_iter=0)
+
+
+class TestQuantileRegression:
+    def test_median_on_symmetric_noise(self, rng):
+        x = np.linspace(0, 10, 200)
+        y = 2.0 * x + rng.normal(scale=0.5, size=200)
+        model = QuantileRegression(quantile=0.5).fit(x, y)
+        assert model.coef_[0] == pytest.approx(2.0, abs=0.1)
+
+    def test_high_quantile_sits_above_median(self, rng):
+        x = np.linspace(0, 10, 300)
+        y = x + rng.exponential(scale=2.0, size=300)
+        q50 = QuantileRegression(0.5).fit(x, y)
+        q90 = QuantileRegression(0.9).fit(x, y)
+        grid = np.linspace(0, 10, 20)
+        assert np.all(q90.predict(grid) >= q50.predict(grid) - 1e-6)
+
+    def test_coverage_close_to_quantile(self, rng):
+        x = np.linspace(0, 5, 400)
+        y = x + rng.normal(size=400)
+        model = QuantileRegression(0.8).fit(x, y)
+        coverage = np.mean(y <= model.predict(x))
+        assert coverage == pytest.approx(0.8, abs=0.07)
+
+    def test_invalid_quantile_rejected(self):
+        for q in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                QuantileRegression(quantile=q)

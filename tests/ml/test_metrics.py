@@ -1,0 +1,120 @@
+"""Tests for metric functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ml import (
+    accuracy,
+    confusion_matrix,
+    f1_score,
+    mae,
+    mape,
+    mse,
+    precision,
+    q_error,
+    r2_score,
+    recall,
+    rmse,
+)
+
+
+class TestRegressionMetrics:
+    def test_perfect_prediction(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert mse(y, y) == 0.0
+        assert rmse(y, y) == 0.0
+        assert mae(y, y) == 0.0
+        assert mape(y, y) == 0.0
+        assert r2_score(y, y) == 1.0
+
+    def test_known_values(self):
+        t = np.array([0.0, 0.0])
+        p = np.array([1.0, 3.0])
+        assert mse(t, p) == pytest.approx(5.0)
+        assert mae(t, p) == pytest.approx(2.0)
+        assert rmse(t, p) == pytest.approx(np.sqrt(5.0))
+
+    def test_r2_of_mean_predictor_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        assert r2_score(y, np.full(4, y.mean())) == pytest.approx(0.0)
+
+    def test_r2_negative_for_bad_model(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.array([3.0, 1.0, -5.0])) < 0.0
+
+    def test_r2_constant_target(self):
+        y = np.full(5, 2.0)
+        assert r2_score(y, y) == 1.0
+        assert r2_score(y, y + 1) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mse(np.ones(3), np.ones(4))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mae(np.array([]), np.array([]))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        y=hnp.arrays(float, 10, elements=st.floats(-1e3, 1e3)),
+        p=hnp.arrays(float, 10, elements=st.floats(-1e3, 1e3)),
+    )
+    def test_property_mse_ge_zero_and_rmse_consistent(self, y, p):
+        assert mse(y, p) >= 0.0
+        assert rmse(y, p) == pytest.approx(np.sqrt(mse(y, p)))
+
+
+class TestQError:
+    def test_perfect_is_one(self):
+        y = np.array([10.0, 100.0])
+        np.testing.assert_allclose(q_error(y, y), [1.0, 1.0])
+
+    def test_symmetric(self):
+        t = np.array([10.0])
+        p = np.array([100.0])
+        assert q_error(t, p)[0] == q_error(p, t)[0] == pytest.approx(10.0)
+
+    def test_floor_protects_zero(self):
+        assert np.isfinite(q_error(np.array([0.0]), np.array([5.0]))).all()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        t=hnp.arrays(float, 5, elements=st.floats(1, 1e6)),
+        p=hnp.arrays(float, 5, elements=st.floats(1, 1e6)),
+    )
+    def test_property_q_error_ge_one(self, t, p):
+        assert np.all(q_error(t, p) >= 1.0)
+
+
+class TestClassificationMetrics:
+    def test_accuracy(self):
+        assert accuracy([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+
+    def test_confusion_matrix(self):
+        cm = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        np.testing.assert_array_equal(cm, [[1, 1], [0, 2]])
+
+    def test_precision_recall_f1(self):
+        t = [1, 1, 0, 0]
+        p = [1, 0, 1, 0]
+        assert precision(t, p) == pytest.approx(0.5)
+        assert recall(t, p) == pytest.approx(0.5)
+        assert f1_score(t, p) == pytest.approx(0.5)
+
+    def test_precision_no_positive_predictions(self):
+        assert precision([1, 1], [0, 0]) == 0.0
+
+    def test_recall_no_positives(self):
+        assert recall([0, 0], [1, 1]) == 0.0
+
+    def test_f1_zero_when_both_zero(self):
+        assert f1_score([1, 0], [0, 1]) == 0.0
+
+    def test_perfect_classifier(self):
+        t = [0, 1, 0, 1]
+        assert accuracy(t, t) == 1.0
+        assert f1_score(t, t) == 1.0

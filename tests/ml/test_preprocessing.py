@@ -1,0 +1,124 @@
+"""Tests for preprocessing utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    NotFittedError,
+    OneHotEncoder,
+    StandardScaler,
+    polynomial_features,
+    train_test_split,
+)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(5, 3, size=(100, 2))
+        scaled = StandardScaler().fit_transform(x)
+        np.testing.assert_allclose(scaled.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(scaled.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_column_not_divided_by_zero(self):
+        x = np.column_stack([np.ones(10), np.arange(10.0)])
+        scaled = StandardScaler().fit_transform(x)
+        assert np.all(np.isfinite(scaled))
+        np.testing.assert_allclose(scaled[:, 0], 0.0)
+
+    def test_inverse_transform_roundtrip(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(30, 3))
+        scaler = StandardScaler().fit(x)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(x)), x)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_feature_count_checked(self):
+        scaler = StandardScaler().fit(np.ones((5, 2)))
+        with pytest.raises(ValueError):
+            scaler.transform(np.ones((5, 3)))
+
+
+class TestOneHotEncoder:
+    def test_basic_encoding(self):
+        enc = OneHotEncoder().fit(["a", "b", "c"])
+        out = enc.transform(["b", "a"])
+        np.testing.assert_array_equal(out, [[0, 1, 0], [1, 0, 0]])
+
+    def test_unknown_ignored_by_default(self):
+        enc = OneHotEncoder().fit(["a", "b"])
+        np.testing.assert_array_equal(enc.transform(["z"]), [[0, 0]])
+
+    def test_unknown_error_mode(self):
+        enc = OneHotEncoder(handle_unknown="error").fit(["a"])
+        with pytest.raises(ValueError, match="unknown category"):
+            enc.transform(["b"])
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            OneHotEncoder(handle_unknown="explode")
+
+    def test_duplicate_fit_values_collapse(self):
+        enc = OneHotEncoder().fit(["x", "x", "y"])
+        assert enc.categories_ == ["x", "y"]
+
+
+class TestTrainTestSplit:
+    def test_partition_is_complete_and_disjoint(self):
+        x = np.arange(20).reshape(-1, 1)
+        y = np.arange(20)
+        xtr, xte, ytr, yte = train_test_split(x, y, 0.25, rng=0)
+        assert len(xtr) + len(xte) == 20
+        assert set(ytr.tolist()) | set(yte.tolist()) == set(range(20))
+        assert not set(ytr.tolist()) & set(yte.tolist())
+
+    def test_rows_stay_aligned(self):
+        x = np.arange(20).reshape(-1, 1) * 10
+        y = np.arange(20)
+        xtr, xte, ytr, yte = train_test_split(x, y, 0.3, rng=1)
+        np.testing.assert_array_equal(xtr[:, 0], ytr * 10)
+        np.testing.assert_array_equal(xte[:, 0], yte * 10)
+
+    def test_deterministic_given_seed(self):
+        x = np.arange(10).reshape(-1, 1)
+        y = np.arange(10)
+        a = train_test_split(x, y, 0.2, rng=5)
+        b = train_test_split(x, y, 0.2, rng=5)
+        np.testing.assert_array_equal(a[0], b[0])
+
+    def test_invalid_fraction(self):
+        for frac in (0.0, 1.0, -0.5):
+            with pytest.raises(ValueError):
+                train_test_split(np.ones((4, 1)), np.ones(4), frac)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(4, 50),
+        frac=st.floats(0.1, 0.5),
+        seed=st.integers(0, 100),
+    )
+    def test_property_test_size_close_to_fraction(self, n, frac, seed):
+        x = np.ones((n, 1))
+        y = np.zeros(n)
+        _, xte, _, _ = train_test_split(x, y, frac, rng=seed)
+        assert abs(len(xte) - frac * n) <= 1
+
+
+class TestPolynomialFeatures:
+    def test_degree_two(self):
+        x = np.array([[2.0, 3.0]])
+        out = polynomial_features(x, degree=2)
+        np.testing.assert_array_equal(out, [[2.0, 3.0, 4.0, 9.0]])
+
+    def test_degree_one_identity(self):
+        x = np.arange(6.0).reshape(3, 2)
+        np.testing.assert_array_equal(polynomial_features(x, 1), x)
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            polynomial_features(np.ones((2, 1)), degree=0)

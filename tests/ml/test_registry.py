@@ -1,0 +1,139 @@
+"""Tests for the model registry (flighting, promotion, rollback)."""
+
+import pytest
+
+from repro.ml import ModelRegistry, ModelStage
+
+
+@pytest.fixture
+def registry():
+    return ModelRegistry(rng=0)
+
+
+class TestRegistration:
+    def test_versions_increase(self, registry):
+        v1 = registry.register("card", object())
+        v2 = registry.register("card", object())
+        assert v2 > v1
+        assert registry.versions("card") == [v1, v2]
+
+    def test_get_unknown_raises(self, registry):
+        with pytest.raises(KeyError):
+            registry.get("nope", 1)
+
+    def test_metadata_stored(self, registry):
+        v = registry.register("m", object(), metadata={"template": "t1"})
+        assert registry.get("m", v).metadata["template"] == "t1"
+
+
+class TestLifecycle:
+    def test_promote_sets_production(self, registry):
+        v = registry.register("m", "model-a")
+        registry.promote("m", v)
+        assert registry.production("m").version == v
+
+    def test_promote_retires_previous(self, registry):
+        v1 = registry.register("m", "a")
+        v2 = registry.register("m", "b")
+        registry.promote("m", v1)
+        registry.promote("m", v2)
+        assert registry.get("m", v1).stage is ModelStage.RETIRED
+        assert registry.production("m").version == v2
+
+    def test_rollback_restores_previous(self, registry):
+        v1 = registry.register("m", "a")
+        v2 = registry.register("m", "b")
+        registry.promote("m", v1)
+        registry.promote("m", v2)
+        restored = registry.rollback("m")
+        assert restored == v1
+        assert registry.production("m").version == v1
+        assert registry.get("m", v2).stage is ModelStage.RETIRED
+
+    def test_double_rollback_walks_history(self, registry):
+        versions = [registry.register("m", i) for i in range(3)]
+        for v in versions:
+            registry.promote("m", v)
+        registry.rollback("m")
+        assert registry.rollback("m") == versions[0]
+
+    def test_rollback_without_history_raises(self, registry):
+        v = registry.register("m", "a")
+        registry.promote("m", v)
+        with pytest.raises(RuntimeError, match="roll back"):
+            registry.rollback("m")
+
+    def test_flight_requires_production(self, registry):
+        v = registry.register("m", "a")
+        with pytest.raises(RuntimeError, match="no production"):
+            registry.flight("m", v)
+
+    def test_flight_fraction_validated(self, registry):
+        v1 = registry.register("m", "a")
+        registry.promote("m", v1)
+        v2 = registry.register("m", "b")
+        with pytest.raises(ValueError):
+            registry.flight("m", v2, fraction=0.0)
+
+    def test_audit_log_records_transitions(self, registry):
+        v = registry.register("m", "a")
+        registry.promote("m", v)
+        actions = [entry[0] for entry in registry.audit_log]
+        assert actions == ["register", "promote"]
+
+
+class TestServing:
+    def test_serve_returns_production_without_flight(self, registry):
+        v = registry.register("m", "a")
+        registry.promote("m", v)
+        assert registry.serve("m").version == v
+
+    def test_serve_without_production_raises(self, registry):
+        registry.register("m", "a")
+        with pytest.raises(RuntimeError, match="no production"):
+            registry.serve("m")
+
+    def test_flight_gets_roughly_its_fraction(self, registry):
+        v1 = registry.register("m", "prod")
+        registry.promote("m", v1)
+        v2 = registry.register("m", "cand")
+        registry.flight("m", v2, fraction=0.3)
+        served = [registry.serve("m").version for _ in range(2000)]
+        candidate_share = served.count(v2) / len(served)
+        assert 0.2 < candidate_share < 0.4
+
+
+class TestFlightEvaluation:
+    def _setup_flight(self, registry):
+        v1 = registry.register("m", "prod")
+        registry.promote("m", v1)
+        v2 = registry.register("m", "cand")
+        registry.flight("m", v2, fraction=0.5)
+        return v1, v2
+
+    def test_insufficient_data_returns_none(self, registry):
+        self._setup_flight(registry)
+        assert registry.evaluate_flight("m") is None
+
+    def test_better_candidate_promoted(self, registry):
+        v1, v2 = self._setup_flight(registry)
+        for _ in range(10):
+            registry.record_metric("m", v1, 1.0)  # production error
+            registry.record_metric("m", v2, 0.5)  # candidate error (lower=better)
+        assert registry.evaluate_flight("m") is True
+        assert registry.production("m").version == v2
+
+    def test_worse_candidate_aborted(self, registry):
+        v1, v2 = self._setup_flight(registry)
+        for _ in range(10):
+            registry.record_metric("m", v1, 0.5)
+            registry.record_metric("m", v2, 1.0)
+        assert registry.evaluate_flight("m") is False
+        assert registry.production("m").version == v1
+        assert registry.get("m", v2).stage is ModelStage.RETIRED
+
+    def test_no_flight_raises(self, registry):
+        v = registry.register("m", "a")
+        registry.promote("m", v)
+        with pytest.raises(RuntimeError, match="no active flight"):
+            registry.evaluate_flight("m")

@@ -1,0 +1,125 @@
+"""Tests for portable model exchange and the generic container."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    LinearRegression,
+    LogisticRegression,
+    RidgeRegression,
+)
+from repro.ml.serialize import (
+    ModelContainer,
+    ModelFormatError,
+    export_model,
+    from_json,
+    import_model,
+    to_json,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestPortableFormat:
+    @pytest.mark.parametrize(
+        "factory",
+        [LinearRegression, lambda: RidgeRegression(alpha=0.5)],
+        ids=["linear", "ridge"],
+    )
+    def test_linear_round_trip(self, factory, rng):
+        x = rng.normal(size=(40, 3))
+        y = x @ np.array([1.0, -2.0, 0.5]) + 3.0
+        model = factory().fit(x, y)
+        restored = import_model(export_model(model))
+        np.testing.assert_allclose(restored.predict(x), model.predict(x))
+
+    def test_logistic_round_trip(self, rng):
+        x = rng.normal(size=(60, 2))
+        y = (x[:, 0] > 0).astype(int)
+        model = LogisticRegression(n_iter=200).fit(x, y)
+        restored = import_model(export_model(model))
+        np.testing.assert_allclose(
+            restored.predict_proba(x), model.predict_proba(x)
+        )
+
+    def test_tree_regressor_round_trip(self, rng):
+        x = rng.normal(size=(80, 2))
+        y = np.where(x[:, 0] > 0, 1.0, 5.0) + rng.normal(scale=0.1, size=80)
+        model = DecisionTreeRegressor(max_depth=4).fit(x, y)
+        restored = import_model(export_model(model))
+        np.testing.assert_allclose(restored.predict(x), model.predict(x))
+
+    def test_tree_classifier_round_trip(self, rng):
+        x = rng.normal(size=(80, 2))
+        y = (x[:, 1] > 0).astype(int)
+        model = DecisionTreeClassifier(max_depth=4).fit(x, y)
+        restored = import_model(export_model(model))
+        np.testing.assert_array_equal(restored.predict(x), model.predict(x))
+
+    def test_json_round_trip(self, rng):
+        x = rng.normal(size=(20, 1))
+        model = LinearRegression().fit(x, x[:, 0] * 2)
+        restored = from_json(to_json(model))
+        np.testing.assert_allclose(restored.coef_, model.coef_)
+
+    def test_unfitted_model_rejected(self):
+        with pytest.raises(ModelFormatError, match="not fitted"):
+            export_model(LinearRegression())
+
+    def test_unsupported_model_rejected(self):
+        with pytest.raises(ModelFormatError, match="portable"):
+            export_model(object())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ModelFormatError, match="kind"):
+            import_model({"version": 1, "kind": "quantum", "payload": {}})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ModelFormatError, match="version"):
+            import_model({"version": 7, "kind": "linear_regression", "payload": {}})
+
+
+class TestModelContainer:
+    @pytest.fixture
+    def container(self, rng):
+        x = rng.normal(size=(30, 2))
+        model = LinearRegression().fit(x, x[:, 0] + x[:, 1])
+        return ModelContainer(
+            model, n_features=2, name="adder", metadata={"owner": "gsl"}
+        )
+
+    def test_predict_validates_feature_count(self, container):
+        with pytest.raises(ValueError, match="expects 2 features"):
+            container.predict(np.ones((1, 3)))
+
+    def test_predict_accepts_1d_row(self, container):
+        out = container.predict(np.array([1.0, 2.0]))
+        assert out.shape == (1,)
+        assert out[0] == pytest.approx(3.0, abs=0.01)
+
+    def test_container_round_trip(self, container, rng):
+        restored = ModelContainer.from_json(container.to_json())
+        assert restored.name == "adder"
+        assert restored.metadata == {"owner": "gsl"}
+        x = rng.normal(size=(5, 2))
+        np.testing.assert_allclose(
+            restored.predict(x), container.predict(x)
+        )
+
+    def test_invalid_feature_count(self):
+        with pytest.raises(ValueError):
+            ModelContainer(LinearRegression(), n_features=0)
+
+    def test_container_is_serving_system_agnostic(self, container):
+        # Any code that knows only the container interface can serve it.
+        def serve(payload: str, features):
+            hosted = ModelContainer.from_json(payload)
+            return hosted.predict(features)
+
+        out = serve(container.to_json(), np.array([[2.0, 2.0]]))
+        assert out[0] == pytest.approx(4.0, abs=0.01)

@@ -1,0 +1,111 @@
+"""Tests for CART trees."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ml import DecisionTreeClassifier, DecisionTreeRegressor, NotFittedError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestDecisionTreeRegressor:
+    def test_fits_step_function_exactly(self):
+        x = np.arange(20.0)
+        y = np.where(x < 10, 1.0, 5.0)
+        tree = DecisionTreeRegressor(max_depth=2).fit(x, y)
+        np.testing.assert_allclose(tree.predict(x), y)
+
+    def test_single_leaf_on_constant_target(self):
+        tree = DecisionTreeRegressor().fit(np.arange(10.0), np.full(10, 3.0))
+        assert tree.n_leaves() == 1
+        assert tree.predict(np.array([[99.0]]))[0] == pytest.approx(3.0)
+
+    def test_respects_max_depth(self, rng):
+        x = rng.normal(size=(200, 3))
+        y = rng.normal(size=200)
+        tree = DecisionTreeRegressor(max_depth=3).fit(x, y)
+        assert tree.depth() <= 3
+
+    def test_respects_min_samples_leaf(self, rng):
+        x = rng.normal(size=(50, 2))
+        y = rng.normal(size=50)
+        tree = DecisionTreeRegressor(max_depth=10, min_samples_leaf=10).fit(x, y)
+
+        def leaf_sizes(node):
+            if node.is_leaf:
+                return [node.n_samples]
+            return leaf_sizes(node.left) + leaf_sizes(node.right)
+
+        assert min(leaf_sizes(tree.root_)) >= 10
+
+    def test_predictions_within_target_range(self, rng):
+        x = rng.normal(size=(100, 2))
+        y = rng.uniform(5, 10, size=100)
+        tree = DecisionTreeRegressor(max_depth=4).fit(x, y)
+        preds = tree.predict(rng.normal(size=(50, 2)))
+        assert np.all(preds >= 5.0) and np.all(preds <= 10.0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeRegressor().predict(np.ones((1, 1)))
+
+    def test_feature_mismatch_raises(self, rng):
+        tree = DecisionTreeRegressor().fit(rng.normal(size=(20, 2)), rng.normal(size=20))
+        with pytest.raises(ValueError, match="features"):
+            tree.predict(np.ones((2, 5)))
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(min_samples_split=1)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(min_samples_leaf=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        y=hnp.arrays(
+            float,
+            st.integers(5, 30),
+            elements=st.floats(-1e6, 1e6, allow_nan=False),
+        )
+    )
+    def test_property_leaf_means_bound_predictions(self, y):
+        x = np.arange(float(y.size))
+        tree = DecisionTreeRegressor(max_depth=4).fit(x, y)
+        preds = tree.predict(x)
+        assert preds.min() >= y.min() - 1e-9
+        assert preds.max() <= y.max() + 1e-9
+
+
+class TestDecisionTreeClassifier:
+    def test_separable_classes(self, rng):
+        x = np.concatenate([rng.normal(-2, 0.3, 50), rng.normal(2, 0.3, 50)])
+        y = np.concatenate([np.zeros(50, int), np.ones(50, int)])
+        tree = DecisionTreeClassifier(max_depth=2).fit(x, y)
+        assert np.mean(tree.predict(x) == y) == 1.0
+
+    def test_majority_vote_at_root(self):
+        x = np.ones((10, 1))  # no split possible
+        y = np.array([0] * 7 + [1] * 3)
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert tree.predict(np.ones((1, 1)))[0] == 0
+
+    def test_multiclass(self, rng):
+        centers = [-4.0, 0.0, 4.0]
+        x = np.concatenate([rng.normal(c, 0.2, 30) for c in centers])
+        y = np.repeat([0, 1, 2], 30)
+        tree = DecisionTreeClassifier(max_depth=3).fit(x, y)
+        assert np.mean(tree.predict(x) == y) > 0.95
+
+    def test_returns_int_dtype(self, rng):
+        x = rng.normal(size=(20, 1))
+        y = (x[:, 0] > 0).astype(int)
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert tree.predict(x).dtype.kind == "i"

@@ -1,0 +1,133 @@
+"""Tests for OS performance counter analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    Metric,
+    TelemetryStore,
+    correlate_counters,
+    counter_summary,
+    detect_saturation,
+)
+
+
+@pytest.fixture
+def store():
+    return TelemetryStore()
+
+
+class TestCounterSummary:
+    def test_summary_values(self, store):
+        store.record_series(
+            Metric.CPU_UTILIZATION, np.arange(100), np.arange(100.0)
+        )
+        summary = counter_summary(store, Metric.CPU_UTILIZATION)
+        assert summary.n_samples == 100
+        assert summary.mean == pytest.approx(49.5)
+        assert summary.p50 == pytest.approx(49.5)
+        assert summary.maximum == 99.0
+        assert summary.p95 <= summary.p99 <= summary.maximum
+
+    def test_headroom(self, store):
+        store.record_series(
+            Metric.CPU_UTILIZATION, np.arange(10), np.full(10, 50.0)
+        )
+        summary = counter_summary(store, Metric.CPU_UTILIZATION)
+        assert summary.headroom(100.0) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            summary.headroom(0.0)
+
+    def test_empty_series_rejected(self, store):
+        with pytest.raises(ValueError, match="no samples"):
+            counter_summary(store, Metric.CPU_UTILIZATION)
+
+    def test_dimension_scoped(self, store):
+        store.record(Metric.CPU_UTILIZATION, 0, 10.0, {"machine": "a"})
+        store.record(Metric.CPU_UTILIZATION, 0, 90.0, {"machine": "b"})
+        summary = counter_summary(
+            store, Metric.CPU_UTILIZATION, dimensions={"machine": "a"}
+        )
+        assert summary.mean == 10.0
+
+
+class TestSaturation:
+    def test_detects_sustained_episode(self, store):
+        values = np.concatenate([np.full(5, 50.0), np.full(4, 95.0), [40.0]])
+        store.record_series(Metric.CPU_UTILIZATION, np.arange(10), values)
+        episodes = detect_saturation(
+            store, Metric.CPU_UTILIZATION, limit=100.0, min_consecutive=3
+        )
+        assert episodes == [(5.0, 8.0)]
+
+    def test_short_blips_ignored(self, store):
+        values = np.array([50.0, 95.0, 50.0, 95.0, 50.0])
+        store.record_series(Metric.CPU_UTILIZATION, np.arange(5), values)
+        assert (
+            detect_saturation(
+                store, Metric.CPU_UTILIZATION, 100.0, min_consecutive=3
+            )
+            == []
+        )
+
+    def test_episode_running_to_end_of_series(self, store):
+        values = np.concatenate([np.full(3, 10.0), np.full(5, 99.0)])
+        store.record_series(Metric.CPU_UTILIZATION, np.arange(8), values)
+        episodes = detect_saturation(store, Metric.CPU_UTILIZATION, 100.0)
+        assert episodes == [(3.0, 7.0)]
+
+    def test_empty_store(self, store):
+        assert detect_saturation(store, Metric.CPU_UTILIZATION, 100.0) == []
+
+    def test_validation(self, store):
+        with pytest.raises(ValueError):
+            detect_saturation(store, Metric.CPU_UTILIZATION, limit=0)
+        with pytest.raises(ValueError):
+            detect_saturation(store, Metric.CPU_UTILIZATION, 100, threshold=0)
+        with pytest.raises(ValueError):
+            detect_saturation(
+                store, Metric.CPU_UTILIZATION, 100, min_consecutive=0
+            )
+
+
+class TestCorrelation:
+    def test_perfectly_coupled_counters(self, store):
+        t = np.arange(50.0)
+        cpu = 10 + 2 * t
+        store.record_series(Metric.CPU_UTILIZATION, t, cpu)
+        store.record_series(Metric.TASK_EXECUTION_SECONDS, t, 3 * cpu + 5)
+        corr = correlate_counters(
+            store,
+            Metric.CPU_UTILIZATION,
+            Metric.TASK_EXECUTION_SECONDS,
+            bin_width=5.0,
+        )
+        assert corr == pytest.approx(1.0)
+
+    def test_anticorrelated(self, store):
+        t = np.arange(50.0)
+        store.record_series(Metric.CPU_UTILIZATION, t, t)
+        store.record_series(Metric.THROUGHPUT_OPS, t, 100 - t)
+        corr = correlate_counters(
+            store, Metric.CPU_UTILIZATION, Metric.THROUGHPUT_OPS, 5.0
+        )
+        assert corr == pytest.approx(-1.0)
+
+    def test_constant_series_returns_zero(self, store):
+        t = np.arange(20.0)
+        store.record_series(Metric.CPU_UTILIZATION, t, np.full(20, 5.0))
+        store.record_series(Metric.THROUGHPUT_OPS, t, t)
+        assert (
+            correlate_counters(
+                store, Metric.CPU_UTILIZATION, Metric.THROUGHPUT_OPS, 5.0
+            )
+            == 0.0
+        )
+
+    def test_insufficient_overlap_rejected(self, store):
+        store.record(Metric.CPU_UTILIZATION, 0, 1.0)
+        store.record(Metric.THROUGHPUT_OPS, 100, 1.0)
+        with pytest.raises(ValueError):
+            correlate_counters(
+                store, Metric.CPU_UTILIZATION, Metric.THROUGHPUT_OPS, 5.0
+            )

@@ -1,0 +1,163 @@
+"""Tests for the telemetry store, schema, and query layer."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    Metric,
+    MetricAliasRegistry,
+    Query,
+    TelemetryStore,
+)
+
+
+@pytest.fixture
+def store():
+    return TelemetryStore()
+
+
+class TestAliases:
+    def test_windows_and_linux_names_resolve_identically(self):
+        reg = MetricAliasRegistry.standard()
+        windows = reg.resolve(r"\Processor(_Total)\% Processor Time")
+        linux = reg.resolve("cpu.percent")
+        assert windows is linux is Metric.CPU_UTILIZATION
+
+    def test_semantic_name_resolves_to_itself(self):
+        reg = MetricAliasRegistry.standard()
+        assert reg.resolve("cpu.utilization") is Metric.CPU_UTILIZATION
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            MetricAliasRegistry.standard().resolve("bogus.metric")
+
+    def test_add_alias(self):
+        reg = MetricAliasRegistry.standard()
+        reg.add_alias("my.cpu", Metric.CPU_UTILIZATION)
+        assert reg.resolve("my.cpu") is Metric.CPU_UTILIZATION
+
+    def test_conflicting_alias_rejected(self):
+        reg = MetricAliasRegistry.standard()
+        with pytest.raises(ValueError, match="already maps"):
+            reg.add_alias("cpu.percent", Metric.MEMORY_UTILIZATION)
+
+
+class TestStore:
+    def test_record_and_scan(self, store):
+        for t in range(5):
+            store.record(Metric.CPU_UTILIZATION, t, t * 10.0)
+        ts, vs = store.series(Metric.CPU_UTILIZATION)
+        np.testing.assert_array_equal(ts, np.arange(5.0))
+        np.testing.assert_array_equal(vs, np.arange(5.0) * 10)
+
+    def test_record_via_raw_name(self, store):
+        store.record("cpu.percent", 1.0, 50.0)
+        assert len(store.points(Metric.CPU_UTILIZATION)) == 1
+
+    def test_time_range_filter(self, store):
+        for t in range(10):
+            store.record(Metric.QUEUE_LENGTH, t, 1.0)
+        assert len(store.points(Metric.QUEUE_LENGTH, start=3, end=6)) == 4
+
+    def test_dimension_filter(self, store):
+        store.record(Metric.CPU_UTILIZATION, 0, 1.0, {"machine": "a"})
+        store.record(Metric.CPU_UTILIZATION, 1, 2.0, {"machine": "b"})
+        pts = store.points(Metric.CPU_UTILIZATION, dimensions={"machine": "a"})
+        assert [p.value for p in pts] == [1.0]
+
+    def test_out_of_order_inserts_kept_sorted(self, store):
+        for t in (5.0, 1.0, 3.0):
+            store.record(Metric.CPU_UTILIZATION, t, t)
+        ts, _ = store.series(Metric.CPU_UTILIZATION)
+        np.testing.assert_array_equal(ts, [1.0, 3.0, 5.0])
+
+    def test_non_finite_value_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.record(Metric.CPU_UTILIZATION, 0, float("nan"))
+
+    def test_record_series_bulk(self, store):
+        store.record_series(Metric.THROUGHPUT_OPS, np.arange(4), np.ones(4))
+        assert len(store) == 4
+
+    def test_record_series_rejects_unsorted(self, store):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            store.record_series(Metric.THROUGHPUT_OPS, [2, 1], [0, 0])
+
+    def test_dimension_values(self, store):
+        store.record(Metric.CPU_UTILIZATION, 0, 1.0, {"sku": "gen5"})
+        store.record(Metric.CPU_UTILIZATION, 1, 1.0, {"sku": "gen7"})
+        assert store.dimension_values(Metric.CPU_UTILIZATION, "sku") == {
+            "gen5",
+            "gen7",
+        }
+
+    def test_empty_series(self, store):
+        ts, vs = store.series(Metric.COST_DOLLARS)
+        assert ts.size == 0 and vs.size == 0
+
+
+class TestAggregate:
+    def test_mean_binning(self, store):
+        # two bins of width 10: [0, 10) -> values 1,3 ; [10, 20) -> 5
+        store.record(Metric.CPU_UTILIZATION, 1, 1.0)
+        store.record(Metric.CPU_UTILIZATION, 8, 3.0)
+        store.record(Metric.CPU_UTILIZATION, 12, 5.0)
+        ts, vs = store.aggregate(Metric.CPU_UTILIZATION, bin_width=10, agg="mean")
+        np.testing.assert_array_equal(ts, [0.0, 10.0])
+        np.testing.assert_array_equal(vs, [2.0, 5.0])
+
+    @pytest.mark.parametrize(
+        "agg,expected", [("sum", 4.0), ("max", 3.0), ("min", 1.0), ("count", 2.0)]
+    )
+    def test_other_aggregations(self, store, agg, expected):
+        store.record(Metric.CPU_UTILIZATION, 1, 1.0)
+        store.record(Metric.CPU_UTILIZATION, 2, 3.0)
+        _, vs = store.aggregate(Metric.CPU_UTILIZATION, 10, agg)
+        assert vs[0] == expected
+
+    def test_p95(self, store):
+        for i in range(100):
+            store.record(Metric.REQUEST_LATENCY_SECONDS, i * 0.01, float(i))
+        _, vs = store.aggregate(Metric.REQUEST_LATENCY_SECONDS, 10, "p95")
+        assert vs[0] == pytest.approx(np.percentile(np.arange(100.0), 95))
+
+    def test_unknown_agg_rejected(self, store):
+        store.record(Metric.CPU_UTILIZATION, 0, 1.0)
+        with pytest.raises(ValueError, match="unknown aggregation"):
+            store.aggregate(Metric.CPU_UTILIZATION, 10, "median-ish")
+
+    def test_invalid_bin_width(self, store):
+        with pytest.raises(ValueError):
+            store.aggregate(Metric.CPU_UTILIZATION, 0)
+
+
+class TestQuery:
+    def test_fluent_pipeline(self, store):
+        for t in range(20):
+            store.record(
+                Metric.CPU_UTILIZATION, t, float(t), {"machine": "m1"}
+            )
+            store.record(
+                Metric.CPU_UTILIZATION, t, 100.0, {"machine": "m2"}
+            )
+        ts, vs = (
+            Query(store)
+            .metric(Metric.CPU_UTILIZATION)
+            .where(machine="m1")
+            .between(0, 9)
+            .summarize("mean", bin_width=5)
+        )
+        np.testing.assert_array_equal(ts, [0.0, 5.0])
+        np.testing.assert_array_equal(vs, [2.0, 7.0])
+
+    def test_metric_by_raw_name(self, store):
+        store.record("cpu.percent", 0, 1.0)
+        assert Query(store).metric("cpu.percent").count() == 1
+
+    def test_missing_metric_clause_raises(self, store):
+        with pytest.raises(ValueError, match="metric"):
+            Query(store).points()
+
+    def test_bad_time_range(self, store):
+        with pytest.raises(ValueError):
+            Query(store).between(5, 1)

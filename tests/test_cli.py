@@ -1,0 +1,59 @@
+"""Tests for the repro command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["stats"])
+        assert args.days == 7
+        assert args.seed == 0
+
+
+class TestCommands:
+    def test_stats_prints_calibrated_fractions(self, capsys):
+        assert main(["stats", "--days", "3", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "recurring_fraction" in out
+        assert "dependency_fraction" in out
+
+    def test_explain_shows_logical_and_optimized(self, capsys):
+        assert main(["explain", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "(logical):" in out
+        assert "optimized:" in out
+        assert "Scan [" in out
+
+    def test_algorithms_search(self, capsys):
+        assert main(["algorithms", "bandit"]) == 0
+        out = capsys.readouterr().out
+        assert "linucb" in out
+
+    def test_algorithms_no_match(self, capsys):
+        assert main(["algorithms", "zzzznothing"]) == 1
+
+    def test_doppler_accuracy(self, capsys):
+        assert main(["doppler", "--customers", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "recommendation accuracy" in out
+
+    def test_seagull(self, capsys):
+        assert main(["seagull", "--servers", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "heuristic accuracy" in out
+
+    def test_moneyball(self, capsys):
+        assert main(["moneyball", "--tenants", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "predictable tenants" in out
+        assert "moneyball" in out

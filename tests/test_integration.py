@@ -1,0 +1,143 @@
+"""Cross-layer integration tests: the services composed, not in isolation.
+
+These mirror the paper's Viewpoint 2 (autonomy spans all layers): a
+learned component trained at one layer must plug into and improve the
+behaviour of another.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cardinality import LearnedCardinalityModel, MicromodelTrainer
+from repro.core.peregrine import WorkloadFeedback, WorkloadRepository
+from repro.core.steering import SteeringService
+from repro.engine import (
+    ClusterExecutor,
+    DefaultCardinalityEstimator,
+    DefaultCostModel,
+    Optimizer,
+    TrueCardinalityModel,
+    compile_stages,
+)
+from repro.ml import ModelRegistry
+from repro.workloads import ScopeWorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def world():
+    workload = ScopeWorkloadGenerator(rng=3).generate(n_days=8)
+    truth = TrueCardinalityModel(workload.catalog, seed=2)
+    default = DefaultCardinalityEstimator(workload.catalog)
+    return workload, truth, default
+
+
+class TestLearnedCardinalityInsideOptimizer:
+    """Micromodels trained from feedback change optimizer decisions."""
+
+    def test_learned_estimates_reduce_true_cost_of_chosen_plans(self, world):
+        workload, truth, default = world
+        repo = WorkloadRepository().ingest(workload)
+        feedback = WorkloadFeedback()
+        representatives = {}
+        for record in repo.records:
+            if record.day < 6:
+                feedback.observe_job(record, truth)
+            for sig, node in record.subexpression_templates.items():
+                representatives.setdefault(sig, node)
+            representatives.setdefault(record.template, record.plan)
+        report = MicromodelTrainer(default).train(feedback, representatives)
+        learned = LearnedCardinalityModel.from_report(default, report)
+
+        true_cost = DefaultCostModel(workload.catalog, truth)
+        base_optimizer = Optimizer(workload.catalog)
+        learned_optimizer = Optimizer(workload.catalog, cardinality=learned)
+        base_total = 0.0
+        learned_total = 0.0
+        for job in workload.jobs:
+            if job.day < 6:
+                continue
+            base_total += true_cost.cost(
+                base_optimizer.optimize(job.plan).plan
+            ).total
+            learned_total += true_cost.cost(
+                learned_optimizer.optimize(job.plan).plan
+            ).total
+        # Better estimates must not hurt, and typically help, the plans
+        # the (estimate-driven) rules produce.
+        assert learned_total <= base_total * 1.02
+
+
+class TestSteeringWithLearnedCardinality:
+    """Steering composes with a learned estimator as its belief source."""
+
+    def test_steering_still_regression_free(self, world):
+        workload, truth, _ = world
+        true_cost = DefaultCostModel(workload.catalog, truth)
+        optimizer = Optimizer(workload.catalog)
+        service = SteeringService(
+            optimizer,
+            lambda p: true_cost.cost(p).total,
+            exploration_rate=0.5,
+            rng=1,
+        )
+        jobs = [
+            (j.job_id, j.plan)
+            for j in workload.jobs
+            if j.is_recurring and j.day < 4
+        ]
+        report = service.run(jobs)
+        assert report.regression_fraction() == 0.0
+
+
+class TestExecutorRespectsEstimateVsTruthSplit:
+    """The executor must run on truth while services see estimates."""
+
+    def test_stage_graph_carries_both_sizings(self, world):
+        workload, truth, default = world
+        est_cost = DefaultCostModel(workload.catalog, default)
+        true_cost = DefaultCostModel(workload.catalog, truth)
+        plan = workload.jobs[0].plan
+        graph = compile_stages(plan, est_cost, truth=true_cost)
+        diffs = [
+            s for s in graph.stages if s.actual_work != s.work
+        ]
+        assert diffs, "truth sizing should differ from estimates somewhere"
+        from repro.engine.executor import OPERATOR_RUNTIME_FACTORS
+
+        report = ClusterExecutor(noise=0.0, rng=0).run(graph)
+        for stage, run in zip(graph.stages, report.runs):
+            factor = OPERATOR_RUNTIME_FACTORS.get(stage.operator, 1.0)
+            assert run.duration == pytest.approx(
+                stage.true_duration() * factor
+            )
+
+
+class TestRegistryRoundTripWithRealModels:
+    def test_flight_and_promote_a_cardinality_model(self, world):
+        workload, truth, default = world
+        registry = ModelRegistry(rng=0)
+        v1 = registry.register("cardinality", default)
+        registry.promote("cardinality", v1)
+        repo = WorkloadRepository().ingest(workload)
+        feedback = WorkloadFeedback()
+        representatives = {}
+        for record in repo.records:
+            if record.day < 5:
+                feedback.observe_job(record, truth)
+            representatives.setdefault(record.template, record.plan)
+            for sig, node in record.subexpression_templates.items():
+                representatives.setdefault(sig, node)
+        report = MicromodelTrainer(default).train(feedback, representatives)
+        learned = LearnedCardinalityModel.from_report(default, report)
+        v2 = registry.register("cardinality", learned)
+        registry.flight("cardinality", v2, fraction=0.5)
+        # Record q-error-ish metrics for both and evaluate the flight.
+        for record in repo.records[:40]:
+            actual = truth.estimate(record.plan)
+            for version, model in ((v1, default), (v2, learned)):
+                estimate = model.estimate(record.plan)
+                error = abs(np.log1p(estimate) - np.log1p(actual))
+                registry.record_metric("cardinality", version, error)
+        outcome = registry.evaluate_flight("cardinality")
+        assert outcome is True  # the learned model wins and is promoted
+        assert registry.production("cardinality").model is learned

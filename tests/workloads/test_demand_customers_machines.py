@@ -1,0 +1,153 @@
+"""Tests for demand traces, customer profiles, and the machine fleet."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import Metric, TelemetryStore
+from repro.workloads import (
+    AZURE_SKUS,
+    MachineFleetSimulator,
+    generate_customers,
+    generate_demand,
+    ground_truth_sku,
+)
+from repro.workloads.demand import diurnal_rate
+from repro.workloads.machines import DEFAULT_SKUS
+
+
+class TestDemand:
+    def test_arrivals_sorted_and_in_range(self):
+        trace = generate_demand(n_days=7, rng=0)
+        assert np.all(np.diff(trace.arrival_hours) >= 0)
+        assert trace.arrival_hours.min() >= 0
+        assert trace.arrival_hours.max() <= 7 * 24
+
+    def test_counts_match_rate_roughly(self):
+        trace = generate_demand(n_days=30, rng=1)
+        counts = trace.counts_per_hour()
+        assert counts.sum() == trace.n_requests
+        # Poisson sanity: total arrivals within 3 sigma of total rate.
+        total_rate = trace.hourly_rate.sum()
+        assert abs(trace.n_requests - total_rate) < 4 * np.sqrt(total_rate)
+
+    def test_diurnal_shape_peaks_midday(self):
+        rate = diurnal_rate(n_days=1)
+        assert int(np.argmax(rate)) == 14
+
+    def test_weekend_dip(self):
+        rate = diurnal_rate(n_days=7)
+        weekday = rate[:24].sum()
+        saturday = rate[5 * 24 : 6 * 24].sum()
+        assert saturday < 0.5 * weekday
+
+    def test_spikes_increase_demand(self):
+        calm = generate_demand(n_days=14, spike_probability=0.0, rng=2)
+        spiky = generate_demand(n_days=14, spike_probability=0.2, rng=2)
+        assert spiky.hourly_rate.sum() > calm.hourly_rate.sum()
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            generate_demand(n_days=0)
+        with pytest.raises(ValueError):
+            generate_demand(base_rate=10, peak_rate=5)
+        with pytest.raises(ValueError):
+            generate_demand(spike_probability=2.0)
+
+
+class TestCustomers:
+    def test_generation_size_and_determinism(self):
+        a = generate_customers(100, rng=0)
+        b = generate_customers(100, rng=0)
+        assert len(a) == 100
+        assert [c.peak_vcores for c in a] == [c.peak_vcores for c in b]
+
+    def test_segments_cover_catalog(self):
+        customers = generate_customers(500, rng=1)
+        assert len({c.segment for c in customers}) == 5
+
+    def test_effective_requirements_below_peaks(self):
+        for c in generate_customers(50, rng=2):
+            vcores, memory, iops = c.effective_requirements()
+            assert vcores <= c.peak_vcores
+            assert memory <= c.peak_memory_gb
+            assert iops <= c.peak_iops
+
+    def test_ground_truth_sku_covers_requirements(self):
+        for c in generate_customers(200, rng=3):
+            sku = ground_truth_sku(c)
+            vcores, memory, iops = c.effective_requirements()
+            biggest = max(AZURE_SKUS, key=lambda s: s.price)
+            if sku != biggest:
+                assert sku.covers(vcores, memory, iops)
+
+    def test_ground_truth_is_cheapest_covering(self):
+        for c in generate_customers(100, rng=4):
+            chosen = ground_truth_sku(c)
+            vcores, memory, iops = c.effective_requirements()
+            cheaper = [
+                s
+                for s in AZURE_SKUS
+                if s.price < chosen.price and s.covers(vcores, memory, iops)
+            ]
+            assert not cheaper
+
+    def test_sku_ladder_monotone_price(self):
+        gp = [s for s in AZURE_SKUS if s.name.startswith("GP")]
+        assert all(
+            a.price < b.price and a.vcores < b.vcores
+            for a, b in zip(gp, gp[1:])
+        )
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            generate_customers(0)
+
+
+class TestMachineFleet:
+    @pytest.fixture
+    def fleet(self):
+        return MachineFleetSimulator(n_machines_per_sku=4, noise=1.0, rng=0)
+
+    def test_fleet_size(self, fleet):
+        assert len(fleet.machines) == 4 * len(DEFAULT_SKUS)
+
+    def test_ground_truth_is_linear(self):
+        sku = DEFAULT_SKUS[0]
+        deltas = [
+            MachineFleetSimulator.cpu_for_containers(sku, n + 1)
+            - MachineFleetSimulator.cpu_for_containers(sku, n)
+            for n in range(5)
+        ]
+        assert all(d == pytest.approx(sku.cpu_per_container) for d in deltas)
+
+    def test_cpu_capped_at_100(self):
+        sku = DEFAULT_SKUS[0]
+        assert MachineFleetSimulator.cpu_for_containers(sku, 10_000) == 100.0
+
+    def test_observe_respects_container_assignment(self, fleet):
+        machine_id, sku = fleet.machines[0]
+        obs = fleet.observe(0.0, {machine_id: 5})
+        target = next(o for o in obs if o.machine_id == machine_id)
+        assert target.running_containers == 5
+
+    def test_observe_clips_to_sku_limit(self, fleet):
+        machine_id, sku = fleet.machines[0]
+        obs = fleet.observe(0.0, {machine_id: 10_000})
+        target = next(o for o in obs if o.machine_id == machine_id)
+        assert target.running_containers == sku.max_containers
+
+    def test_collect_populates_store(self, fleet):
+        store = TelemetryStore()
+        fleet.collect(store, n_steps=3)
+        assert len(store.points(Metric.CPU_UTILIZATION)) == 3 * len(fleet.machines)
+        assert store.dimension_values(Metric.CPU_UTILIZATION, "sku") == {
+            s.name for s in DEFAULT_SKUS
+        }
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            MachineFleetSimulator(n_machines_per_sku=0)
+        with pytest.raises(ValueError):
+            MachineFleetSimulator(noise=-1)
+        with pytest.raises(ValueError):
+            MachineFleetSimulator(rng=0).collect(TelemetryStore(), n_steps=0)

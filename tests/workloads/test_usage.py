@@ -1,0 +1,75 @@
+"""Tests for the tenant usage population generator."""
+
+import numpy as np
+import pytest
+
+from repro.ml import predictability_score
+from repro.workloads import TenantTrace, UsagePopulationConfig, generate_population
+from repro.workloads.usage import HOURS_PER_DAY
+
+
+class TestConfig:
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            UsagePopulationConfig(n_tenants=0)
+        with pytest.raises(ValueError):
+            UsagePopulationConfig(n_days=1)
+        with pytest.raises(ValueError):
+            UsagePopulationConfig(predictable_fraction=1.5)
+        with pytest.raises(ValueError):
+            UsagePopulationConfig(noise=-1)
+
+
+class TestPopulation:
+    @pytest.fixture
+    def population(self):
+        return generate_population(
+            UsagePopulationConfig(n_tenants=60, n_days=14), rng=0
+        )
+
+    def test_population_size_and_length(self, population):
+        assert len(population) == 60
+        assert all(t.hours == 14 * HOURS_PER_DAY for t in population)
+
+    def test_predictable_fraction_exact(self, population):
+        predictable = sum(t.is_predictable for t in population)
+        assert predictable == round(0.77 * 60)
+
+    def test_values_nonnegative(self, population):
+        assert all(np.all(t.values >= 0) for t in population)
+
+    def test_flags_are_shuffled(self, population):
+        flags = [t.is_predictable for t in population]
+        # Not all predictable tenants should come first.
+        first_block = flags[: sum(flags)]
+        assert not all(first_block)
+
+    def test_deterministic_given_seed(self):
+        a = generate_population(UsagePopulationConfig(n_tenants=10), rng=5)
+        b = generate_population(UsagePopulationConfig(n_tenants=10), rng=5)
+        for ta, tb in zip(a, b):
+            np.testing.assert_array_equal(ta.values, tb.values)
+
+    def test_stable_tenants_are_actually_predictable(self, population):
+        scores_stable = [
+            predictability_score(t.values, HOURS_PER_DAY)
+            for t in population
+            if t.is_predictable
+        ]
+        scores_erratic = [
+            predictability_score(t.values, HOURS_PER_DAY)
+            for t in population
+            if not t.is_predictable
+        ]
+        # Ground-truth labels must translate into a measurable gap.
+        assert np.mean(scores_stable) > np.mean(scores_erratic) + 0.3
+
+    def test_stable_tenants_have_idle_windows(self, population):
+        stable = next(t for t in population if t.is_predictable)
+        assert stable.idle_mask().mean() > 0.1
+
+    def test_idle_mask_threshold(self):
+        trace = TenantTrace("x", np.array([0.0, 0.1, 0.5]), True)
+        np.testing.assert_array_equal(
+            trace.idle_mask(threshold=0.2), [True, True, False]
+        )
