@@ -1,0 +1,365 @@
+"""Substrate perf harness: telemetry ingestion + plan-signature hashing.
+
+Every autonomous service rides on two shared substrates — the telemetry
+store (Direction 2) and subexpression signatures (Peregrine/CloudViews,
+Section 4.2) — so their per-point and per-node costs multiply across all
+experiments.  This harness measures both hot paths against faithful
+re-implementations of the pre-columnar / pre-memoization code and writes
+the numbers to ``BENCH_substrate.json`` so regressions are visible.
+
+Run standalone (not under pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_perf_substrate.py            # full
+    PYTHONPATH=src python benchmarks/bench_perf_substrate.py --quick    # CI smoke
+
+Benchmarks:
+
+1. **bulk_ingest_sorted** — ingest N dimensioned points in timestamp
+   order: one ``record_many`` batch vs the legacy per-point
+   ``bisect``-insert loop.
+2. **bulk_ingest_shuffled** — the same points in arrival (shuffled)
+   order: append + lazy sort-on-read vs legacy mid-list inserts (the
+   quadratic case, so the legacy side is size-capped).
+3. **query_windows** — random range scans, dimension-filtered scans and
+   binned aggregates over the ingested store.
+4. **signature_trace** — the workload-repository analysis (full-plan
+   strict+template signatures plus both subexpression maps) over a
+   SCOPE-like recurring-job trace (the E4/E9 shape): memoized one-pass
+   hashing vs the legacy hash-per-call tree walk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import bisect
+import hashlib
+import json
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.engine import Expression, signatures  # noqa: E402
+from repro.engine.signatures import enumerate_all_signatures  # noqa: E402
+from repro.telemetry import Metric, TelemetryStore  # noqa: E402
+from repro.telemetry.timing import SectionProfiler, Stopwatch  # noqa: E402
+from repro.workloads import ScopeWorkloadGenerator  # noqa: E402
+
+#: Jobs emitted per generated day by ScopeWorkloadGenerator(rng=0).
+_JOBS_PER_DAY = 46
+
+
+# -- legacy baselines (the pre-change implementations, verbatim shape) --------
+class LegacyListStore:
+    """The old store: per-metric sorted lists, one ``insert`` per point."""
+
+    def __init__(self) -> None:
+        self._points: dict[Metric, list] = defaultdict(list)
+        self._timestamps: dict[Metric, list[float]] = defaultdict(list)
+
+    def record(self, metric, timestamp, value, dimensions=None) -> None:
+        if not np.isfinite(value):
+            raise ValueError(f"non-finite telemetry value for {metric}")
+        frozen = tuple(sorted(dimensions.items())) if dimensions else ()
+        point = (float(timestamp), float(value), frozen)
+        stamps = self._timestamps[metric]
+        idx = bisect.bisect_right(stamps, point[0])
+        stamps.insert(idx, point[0])
+        self._points[metric].insert(idx, point)
+
+    def points(self, metric, start=None, end=None, dimensions=None) -> list:
+        stamps = self._timestamps.get(metric, [])
+        all_points = self._points.get(metric, [])
+        lo = 0 if start is None else bisect.bisect_left(stamps, start)
+        hi = len(stamps) if end is None else bisect.bisect_right(stamps, end)
+        selected = all_points[lo:hi]
+        if dimensions:
+            wanted = dimensions.items()
+            selected = [
+                p
+                for p in selected
+                if all(
+                    next((v for k2, v in p[2] if k2 == k), None) == v
+                    for k, v in wanted
+                )
+            ]
+        return selected
+
+    def series(self, metric, start=None, end=None, dimensions=None):
+        pts = self.points(metric, start, end, dimensions)
+        if not pts:
+            return np.array([]), np.array([])
+        return np.array([p[0] for p in pts]), np.array([p[1] for p in pts])
+
+    def aggregate(self, metric, bin_width, agg="mean", start=None, end=None,
+                  dimensions=None):
+        ts, vs = self.series(metric, start, end, dimensions)
+        if ts.size == 0:
+            return np.array([]), np.array([])
+        bins = np.floor(ts / bin_width) * bin_width
+        out_t, out_v = [], []
+        fn = {"mean": np.mean, "sum": np.sum, "max": np.max}[agg]
+        for b in np.unique(bins):
+            mask = bins == b
+            out_t.append(b)
+            out_v.append(float(fn(vs[mask])))
+        return np.array(out_t), np.array(out_v)
+
+
+def _legacy_describe(node: Expression, mask_literals: bool) -> str:
+    from repro.engine import Aggregate, Filter, Join, Project, Scan, Union
+
+    if isinstance(node, Scan):
+        return f"Scan:{node.table}"
+    if isinstance(node, Filter):
+        parts = []
+        for p in node.predicates:
+            value = "?" if mask_literals else f"{p.value!r}"
+            parts.append(f"{p.column}{p.op}{value}")
+        return f"Filter:{'&'.join(parts)}"
+    if isinstance(node, Project):
+        return f"Project:{','.join(node.columns)}"
+    if isinstance(node, Join):
+        return f"Join:{node.left_key}={node.right_key}"
+    if isinstance(node, Aggregate):
+        return f"Aggregate:{','.join(node.group_by)}"
+    if isinstance(node, Union):
+        return "Union"
+    raise TypeError(type(node).__name__)
+
+
+def _legacy_hash_tree(node: Expression, mask_literals: bool) -> str:
+    child_hashes = "|".join(
+        _legacy_hash_tree(child, mask_literals) for child in node.children
+    )
+    payload = f"{_legacy_describe(node, mask_literals)}({child_hashes})"
+    return hashlib.sha1(payload.encode()).hexdigest()[:16]
+
+
+def _legacy_analyze(plans: list[Expression]) -> int:
+    """The pre-change repository ingest: four independent hash walks."""
+    n_signatures = 0
+    for plan in plans:
+        _legacy_hash_tree(plan, True)
+        _legacy_hash_tree(plan, False)
+        strict_map: dict[str, Expression] = {}
+        template_map: dict[str, Expression] = {}
+        for node in plan.walk():
+            strict_map.setdefault(_legacy_hash_tree(node, False), node)
+        for node in plan.walk():
+            template_map.setdefault(_legacy_hash_tree(node, True), node)
+        n_signatures += len(strict_map) + len(template_map)
+    return n_signatures
+
+
+def _memoized_analyze(plans: list[Expression]) -> int:
+    n_signatures = 0
+    for plan in plans:
+        strict_map, template_map = enumerate_all_signatures(plan)
+        signatures(plan)
+        n_signatures += len(strict_map) + len(template_map)
+    return n_signatures
+
+
+# -- benchmark data -----------------------------------------------------------
+def _make_points(n_points: int, rng: np.random.Generator):
+    """Timestamps, values and cycling machine/SKU dimension dicts."""
+    timestamps = np.arange(n_points, dtype=float) * 0.1
+    values = rng.uniform(0.0, 100.0, size=n_points)
+    skus = ("gen4", "gen5", "gen6")
+    machines = [
+        {"machine": f"m{i:03d}", "sku": skus[i % len(skus)]} for i in range(90)
+    ]
+    dims = [machines[i % len(machines)] for i in range(n_points)]
+    return timestamps, values, dims
+
+
+def measure_bulk_ingest_sorted(n_points: int, profiler: SectionProfiler) -> dict:
+    ts, vs, dims = _make_points(n_points, np.random.default_rng(0))
+
+    legacy = LegacyListStore()
+    with profiler.section("ingest_sorted/legacy"):
+        for t, v, d in zip(ts, vs, dims):
+            legacy.record(Metric.CPU_UTILIZATION, t, v, d)
+    legacy_s = profiler.seconds("ingest_sorted/legacy")
+
+    store = TelemetryStore()
+    with profiler.section("ingest_sorted/columnar"):
+        store.record_many(Metric.CPU_UTILIZATION, ts, vs, dims)
+    new_s = profiler.seconds("ingest_sorted/columnar")
+    assert len(store) == n_points
+    return {
+        "n_points": n_points,
+        "legacy_seconds": legacy_s,
+        "legacy_points_per_s": n_points / legacy_s,
+        "new_seconds": new_s,
+        "new_points_per_s": n_points / new_s,
+        "speedup": legacy_s / new_s,
+    }
+
+
+def measure_bulk_ingest_shuffled(n_points: int, profiler: SectionProfiler) -> dict:
+    # Mid-list inserts make the legacy path quadratic, so cap its size and
+    # compare throughput at the capped size (generous to the baseline).
+    n_legacy = min(n_points, 100_000)
+    rng = np.random.default_rng(1)
+    ts, vs, dims = _make_points(n_points, rng)
+    order = rng.permutation(n_points)
+    ts, vs = ts[order], vs[order]
+    dims = [dims[i] for i in order]
+
+    legacy = LegacyListStore()
+    with profiler.section("ingest_shuffled/legacy"):
+        for i in range(n_legacy):
+            legacy.record(Metric.CPU_UTILIZATION, ts[i], vs[i], dims[i])
+    legacy_s = profiler.seconds("ingest_shuffled/legacy")
+
+    store = TelemetryStore()
+    with profiler.section("ingest_shuffled/columnar"):
+        store.record_many(Metric.CPU_UTILIZATION, ts, vs, dims)
+        # Make the columnar side pay its deferred sort inside the clock.
+        store.series(Metric.CPU_UTILIZATION, start=0.0, end=1.0)
+    new_s = profiler.seconds("ingest_shuffled/columnar")
+    legacy_rate = n_legacy / legacy_s
+    new_rate = n_points / new_s
+    return {
+        "n_points": n_points,
+        "n_points_legacy": n_legacy,
+        "legacy_seconds": legacy_s,
+        "legacy_points_per_s": legacy_rate,
+        "new_seconds": new_s,
+        "new_points_per_s": new_rate,
+        "speedup": new_rate / legacy_rate,
+    }
+
+
+def measure_query_windows(
+    n_points: int, n_queries: int, profiler: SectionProfiler
+) -> dict:
+    ts, vs, dims = _make_points(n_points, np.random.default_rng(2))
+    store = TelemetryStore()
+    store.record_many(Metric.CPU_UTILIZATION, ts, vs, dims)
+    legacy = LegacyListStore()
+    for t, v, d in zip(ts, vs, dims):
+        legacy.record(Metric.CPU_UTILIZATION, t, v, d)
+
+    span = float(ts[-1])
+    rng = np.random.default_rng(3)
+    starts = rng.uniform(0, span * 0.9, size=n_queries)
+    widths = rng.uniform(span * 0.01, span * 0.1, size=n_queries)
+    machines = [f"m{int(i):03d}" for i in rng.integers(0, 90, size=n_queries)]
+
+    def _run(backend) -> None:
+        for s, w, m in zip(starts, widths, machines):
+            backend.series(Metric.CPU_UTILIZATION, start=s, end=s + w)
+            backend.series(
+                Metric.CPU_UTILIZATION,
+                start=s,
+                end=s + w,
+                dimensions={"machine": m},
+            )
+            backend.aggregate(
+                Metric.CPU_UTILIZATION, bin_width=w / 10, agg="mean",
+                start=s, end=s + w,
+            )
+
+    with profiler.section("query_windows/legacy"):
+        _run(legacy)
+    with profiler.section("query_windows/columnar"):
+        _run(store)
+    legacy_s = profiler.seconds("query_windows/legacy")
+    new_s = profiler.seconds("query_windows/columnar")
+    return {
+        "n_points": n_points,
+        "n_queries": n_queries * 3,
+        "legacy_seconds": legacy_s,
+        "new_seconds": new_s,
+        "speedup": legacy_s / new_s,
+    }
+
+
+def measure_signature_trace(n_jobs: int, profiler: SectionProfiler) -> dict:
+    n_days = max(1, round(n_jobs / _JOBS_PER_DAY))
+    with profiler.section("signature_trace/generate"):
+        workload = ScopeWorkloadGenerator(rng=0).generate(n_days=n_days)
+    plans = [job.plan for job in workload.jobs]
+
+    with profiler.section("signature_trace/legacy"):
+        legacy_count = _legacy_analyze(plans)
+    with profiler.section("signature_trace/memoized"):
+        new_count = _memoized_analyze(plans)
+    assert new_count == legacy_count
+    legacy_s = profiler.seconds("signature_trace/legacy")
+    new_s = profiler.seconds("signature_trace/memoized")
+    return {
+        "n_jobs": len(plans),
+        "n_signatures": new_count,
+        "legacy_seconds": legacy_s,
+        "legacy_jobs_per_s": len(plans) / legacy_s,
+        "new_seconds": new_s,
+        "new_jobs_per_s": len(plans) / new_s,
+        "speedup": legacy_s / new_s,
+    }
+
+
+def run(n_points: int, n_jobs: int, n_queries: int) -> dict:
+    profiler = SectionProfiler()
+    total = Stopwatch().start()
+    results = {
+        "bulk_ingest_sorted": measure_bulk_ingest_sorted(n_points, profiler),
+        "bulk_ingest_shuffled": measure_bulk_ingest_shuffled(n_points, profiler),
+        "query_windows": measure_query_windows(n_points, n_queries, profiler),
+        "signature_trace": measure_signature_trace(n_jobs, profiler),
+    }
+    return {
+        "config": {
+            "n_points": n_points,
+            "n_jobs": n_jobs,
+            "n_queries": n_queries,
+        },
+        "results": results,
+        "sections": profiler.report(),
+        "total_seconds": total.stop(),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--points", type=int, default=1_000_000,
+                        help="points for the ingestion/query benchmarks")
+    parser.add_argument("--jobs", type=int, default=10_000,
+                        help="jobs in the signature trace")
+    parser.add_argument("--queries", type=int, default=200,
+                        help="window-query rounds (x3 queries each)")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced sizes for CI smoke runs")
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_substrate.json")
+    args = parser.parse_args(argv)
+    if min(args.points, args.jobs, args.queries) < 1:
+        parser.error("--points, --jobs, and --queries must be positive")
+    if args.quick:
+        args.points = min(args.points, 50_000)
+        args.jobs = min(args.jobs, 500)
+        args.queries = min(args.queries, 30)
+
+    payload = run(args.points, args.jobs, args.queries)
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"== substrate perf (points={args.points:,}, jobs={args.jobs:,}) ==")
+    for name, row in payload["results"].items():
+        print(
+            f"{name:<22} legacy {row['legacy_seconds']:>8.3f}s"
+            f"  new {row['new_seconds']:>8.3f}s"
+            f"  speedup {row['speedup']:>8.1f}x"
+        )
+    print(f"\nwritten: {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

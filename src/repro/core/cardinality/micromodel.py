@@ -7,7 +7,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.peregrine.feedback import WorkloadFeedback, parameter_vector
-from repro.engine import Expression, template_signature
+from repro.engine import Expression, signatures
 from repro.engine.estimator import CardinalityModel
 from repro.ml import RidgeRegression, StandardScaler, q_error
 
@@ -181,7 +181,9 @@ class LearnedCardinalityModel:
         return cls(default, report.kept)
 
     def estimate(self, expr: Expression) -> float:
-        template = template_signature(expr)
+        # Memoized on the node: repeated estimates on a plan's
+        # subexpressions hash each node once, not once per call.
+        template = signatures(expr).template
         model = self.models.get(template)
         if model is None:
             self.misses += 1

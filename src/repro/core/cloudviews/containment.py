@@ -21,11 +21,7 @@ from dataclasses import dataclass
 
 from repro.engine import Expression, Filter, Predicate, Scan
 from repro.engine.expr import replace_subexpression
-from repro.engine.signatures import (
-    enumerate_signatures,
-    signature,
-    template_signature,
-)
+from repro.engine.signatures import signatures, template_signature
 
 
 @dataclass
@@ -72,7 +68,12 @@ def find_contained_groups(
     """
     by_template: dict[str, list[tuple[str, Expression]]] = defaultdict(list)
     for job_id, plan in jobs:
-        for sig, node in enumerate_signatures(plan, strict=False).items():
+        seen: set[str] = set()
+        for node in plan.walk():
+            sig = signatures(node).template
+            if sig in seen:
+                continue
+            seen.add(sig)
             if node.size < min_size:
                 continue
             if _single_upper_bound(node) is None:
@@ -83,7 +84,7 @@ def find_contained_groups(
         job_ids = {job_id for job_id, _ in instances}
         if len(job_ids) < min_jobs:
             continue
-        strict_signatures = {signature(node) for _, node in instances}
+        strict_signatures = {signatures(node).strict for _, node in instances}
         if len(strict_signatures) < 2:
             continue  # purely syntactic; the base selector handles it
         weakest = max(

@@ -36,7 +36,7 @@ from repro.core.cloudviews.containment import (
     rewrite_with_containment,
 )
 from repro.engine.expr import replace_subexpression, rewrite_bottom_up
-from repro.engine.signatures import enumerate_signatures, signature as strict_signature
+from repro.engine.signatures import signatures as plan_signatures
 
 
 class _ViewAwareTruth:
@@ -165,7 +165,12 @@ class CloudViews:
         """Signatures shared by >= min_occurrences distinct jobs."""
         owners: dict[str, ViewCandidate] = {}
         for job_id, plan in jobs:
-            for sig, node in enumerate_signatures(plan, strict=True).items():
+            seen: set[str] = set()
+            for node in plan.walk():
+                sig = plan_signatures(node).strict
+                if sig in seen:
+                    continue
+                seen.add(sig)
                 if node.size < self.min_size:
                     continue
                 existing = owners.get(sig)
@@ -224,16 +229,17 @@ class CloudViews:
         selected: list[ViewCandidate],
     ) -> list[ViewCandidate]:
         """Widen the selection with drifted-bound (contained) families."""
-        covered = {strict_signature(c.expression) for c in selected}
+        covered = {plan_signatures(c.expression).strict for c in selected}
         out = list(selected)
         groups = find_contained_groups(
             jobs, min_size=self.min_size, min_jobs=self.min_occurrences
         )
         for group in groups:
-            if strict_signature(group.weakest) in covered:
+            weakest_sig = plan_signatures(group.weakest).strict
+            if weakest_sig in covered:
                 continue
             candidate = ViewCandidate(
-                signature=strict_signature(group.weakest),
+                signature=weakest_sig,
                 expression=group.weakest,
                 job_ids=sorted({job_id for job_id, _ in group.instances}),
                 estimated_cost=self.est.cost(group.weakest).total,

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.engine import DefaultCostModel, Expression, template_signature
+from repro.engine import DefaultCostModel, Expression, signatures
 from repro.ml import GradientBoostingRegressor, RidgeRegression, mape
 
 
@@ -166,7 +166,7 @@ class LearnedCostModel:
         self, plan: Expression, cost_model: DefaultCostModel
     ) -> float:
         return self.predict(
-            template_signature(plan), job_cost_features(plan, cost_model)
+            signatures(plan).template, job_cost_features(plan, cost_model)
         )
 
     # -- introspection -------------------------------------------------------------

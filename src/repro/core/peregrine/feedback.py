@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.engine import Expression, Filter, template_signature
+from repro.engine import Expression, Filter, signatures
 from repro.engine.estimator import CardinalityModel
 from repro.core.peregrine.repository import JobRecord
 
@@ -61,7 +61,7 @@ class WorkloadFeedback:
         if actual_rows < 0:
             raise ValueError("actual_rows must be non-negative")
         entry = FeedbackEntry(
-            template=template_signature(expr),
+            template=signatures(expr).template,
             params=parameter_vector(expr),
             actual_rows=float(actual_rows),
             actual_seconds=actual_seconds,
@@ -76,6 +76,9 @@ class WorkloadFeedback:
 
         In production these come from runtime statistics; here the
         ground-truth model plays that role.  Returns observations added.
+
+        The per-node template hashes were memoized when the job was
+        ingested, so this walk is linear in the plan size.
         """
         added = 0
         for node in record.plan.walk():

@@ -14,8 +14,8 @@ from dataclasses import dataclass, field
 
 import networkx as nx
 
-from repro.engine import Expression, signature, template_signature
-from repro.engine.signatures import enumerate_signatures
+from repro.engine import Expression
+from repro.engine.signatures import enumerate_all_signatures, signatures
 from repro.workloads.scope import Job, Workload
 
 
@@ -51,14 +51,18 @@ class WorkloadRepository:
 
     # -- ingestion --------------------------------------------------------------
     def ingest_job(self, job: Job) -> JobRecord:
+        # One bottom-up pass hashes every node; the full-plan signatures
+        # and both subexpression maps come out of the same traversal.
+        strict_map, template_map = enumerate_all_signatures(job.plan)
+        plan_sigs = signatures(job.plan)
         record = JobRecord(
             job_id=job.job_id,
             submit_hour=job.submit_hour,
             plan=job.plan,
-            template=template_signature(job.plan),
-            strict=signature(job.plan),
-            subexpression_templates=enumerate_signatures(job.plan, strict=False),
-            subexpression_strict=enumerate_signatures(job.plan, strict=True),
+            template=plan_sigs.template,
+            strict=plan_sigs.strict,
+            subexpression_templates=template_map,
+            subexpression_strict=strict_map,
             params=dict(job.params),
             depends_on=job.depends_on,
         )

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.engine import Expression, template_signature
+from repro.engine import Expression, signatures
 
 _OPERATORS = ("Scan", "Filter", "Project", "Join", "Aggregate", "Union")
 
@@ -63,6 +63,7 @@ class SimilarityIndex:
             raise ValueError("table_vocabulary must be non-empty")
         self.table_vocabulary = sorted(table_vocabulary)
         self._templates: list[str] = []
+        self._template_index: dict[str, int] = {}
         self._representatives: list[Expression] = []
         self._matrix: np.ndarray | None = None
         self._scale: np.ndarray | None = None
@@ -72,8 +73,9 @@ class SimilarityIndex:
 
     def add(self, plan: Expression) -> str:
         """Index a plan's template (first representative wins)."""
-        template = template_signature(plan)
-        if template not in self._templates:
+        template = signatures(plan).template
+        if template not in self._template_index:
+            self._template_index[template] = len(self._templates)
             self._templates.append(template)
             self._representatives.append(plan)
             self._matrix = None  # invalidate
@@ -100,9 +102,9 @@ class SimilarityIndex:
         """
         if not self._templates:
             return None
-        template = template_signature(plan)
-        if template in self._templates:
-            idx = self._templates.index(template)
+        template = signatures(plan).template
+        idx = self._template_index.get(template)
+        if idx is not None:
             return SimilarityMatch(template, 0.0, self._representatives[idx])
         self._ensure_matrix()
         query = plan_embedding(plan, self.table_vocabulary) / self._scale

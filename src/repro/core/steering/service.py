@@ -31,7 +31,7 @@ from repro.engine import (
     Join,
     Optimizer,
     RuleConfig,
-    template_signature,
+    signatures,
 )
 from repro.ml import LinUCB
 
@@ -176,7 +176,7 @@ class SteeringService:
 
     def process(self, job_id: str, plan: Expression) -> SteeringOutcome:
         """Steer one job: run the adopted config, maybe trial one flip."""
-        template = template_signature(plan)
+        template = signatures(plan).template
         state = self._state(template)
         default_cost = self._evaluate(plan, RuleConfig.all_on())
         steered_cost = self._evaluate(plan, state.config)

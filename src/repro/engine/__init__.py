@@ -30,7 +30,14 @@ from repro.engine.expr import (
 )
 from repro.engine.optimizer import Optimizer, OptimizerResult, RuleConfig
 from repro.engine.rules import ALL_RULES, Rule
-from repro.engine.signatures import semantic_signature, signature, template_signature
+from repro.engine.signatures import (
+    PlanSignatures,
+    enumerate_all_signatures,
+    semantic_signature,
+    signature,
+    signatures,
+    template_signature,
+)
 from repro.engine.stages import Stage, StageGraph, compile_stages
 from repro.engine.executor import ClusterExecutor, ExecutionReport, StageRun
 
@@ -56,8 +63,11 @@ __all__ = [
     "Optimizer",
     "OptimizerResult",
     "signature",
+    "signatures",
     "semantic_signature",
     "template_signature",
+    "PlanSignatures",
+    "enumerate_all_signatures",
     "Stage",
     "StageGraph",
     "compile_stages",

@@ -15,11 +15,19 @@ Two hash flavours are provided:
   predicate values (the SCOPE recurring-job pattern) collapse to one
   template.  This is the Peregrine templatization key and the micromodel
   routing key for learned cardinality/cost.
+
+Both flavours are computed together in a single bottom-up pass and
+memoized on the (immutable) expression nodes, so repeated calls — and
+calls on any node of an already-hashed plan — are O(1) dictionary reads
+instead of a fresh tree walk plus SHA1 per call.  :func:`signatures`
+exposes the pair directly; :func:`enumerate_all_signatures` builds the
+strict and template subexpression maps in one traversal.
 """
 
 from __future__ import annotations
 
 import hashlib
+from typing import NamedTuple
 
 from repro.engine.expr import (
     Aggregate,
@@ -30,6 +38,19 @@ from repro.engine.expr import (
     Scan,
     Union,
 )
+
+#: Instance-dict slot holding the memoized (strict, template) pair.
+#: Expression nodes are frozen dataclasses, so once built their hashes
+#: can never go stale; ``dataclasses.replace`` and deserialization build
+#: fresh instances without the cache entry.
+_SIG_ATTR = "_memo_signatures"
+
+
+class PlanSignatures(NamedTuple):
+    """Both signature flavours of one expression node."""
+
+    strict: str
+    template: str
 
 
 def _describe(node: Expression, mask_literals: bool) -> str:
@@ -52,22 +73,46 @@ def _describe(node: Expression, mask_literals: bool) -> str:
     raise TypeError(f"unknown expression node: {type(node).__name__}")
 
 
-def _hash_tree(node: Expression, mask_literals: bool) -> str:
-    child_hashes = "|".join(
-        _hash_tree(child, mask_literals) for child in node.children
-    )
-    payload = f"{_describe(node, mask_literals)}({child_hashes})"
+def _digest(payload: str) -> str:
     return hashlib.sha1(payload.encode()).hexdigest()[:16]
+
+
+def signatures(expr: Expression) -> PlanSignatures:
+    """Strict and template signatures of ``expr`` in one cached pass.
+
+    The first call walks the subtree bottom-up once, computing both
+    flavours per node; every node visited is memoized, so subsequent
+    calls on the plan *or any of its subexpressions* are O(1).
+    """
+    cached = expr.__dict__.get(_SIG_ATTR)
+    if cached is not None:
+        return cached
+    child_sigs = [signatures(child) for child in expr.children]
+    strict_desc = _describe(expr, mask_literals=False)
+    # Only Filter nodes carry literals; everything else shares one label.
+    template_desc = (
+        _describe(expr, mask_literals=True)
+        if isinstance(expr, Filter)
+        else strict_desc
+    )
+    strict_children = "|".join(s.strict for s in child_sigs)
+    template_children = "|".join(s.template for s in child_sigs)
+    sigs = PlanSignatures(
+        strict=_digest(f"{strict_desc}({strict_children})"),
+        template=_digest(f"{template_desc}({template_children})"),
+    )
+    object.__setattr__(expr, _SIG_ATTR, sigs)
+    return sigs
 
 
 def signature(expr: Expression) -> str:
     """Strict structural hash; equal results <=> equal signatures."""
-    return _hash_tree(expr, mask_literals=False)
+    return signatures(expr).strict
 
 
 def template_signature(expr: Expression) -> str:
     """Literal-masked hash; groups recurring instances into one template."""
-    return _hash_tree(expr, mask_literals=True)
+    return signatures(expr).template
 
 
 def semantic_signature(expr: Expression) -> str:
@@ -80,7 +125,7 @@ def semantic_signature(expr: Expression) -> str:
     syntactically equivalent subexpressions detected by the signatures to
     semantically equivalent ... subexpressions" (Section 4.2).
     """
-    return _hash_tree(_canonicalize(expr), mask_literals=False)
+    return signatures(_canonicalize(expr)).strict
 
 
 def _canonicalize(node: Expression) -> Expression:
@@ -97,13 +142,13 @@ def _canonicalize(node: Expression) -> Expression:
         if ordered != node.predicates:
             node = replace(node, predicates=ordered)
     elif isinstance(node, Join):
-        left_hash = _hash_tree(node.left, mask_literals=False)
-        right_hash = _hash_tree(node.right, mask_literals=False)
+        left_hash = signatures(node.left).strict
+        right_hash = signatures(node.right).strict
         if (right_hash, node.right_key) < (left_hash, node.left_key):
             node = Join(node.right, node.left, node.right_key, node.left_key)
     elif isinstance(node, Union):
-        left_hash = _hash_tree(node.left, mask_literals=False)
-        right_hash = _hash_tree(node.right, mask_literals=False)
+        left_hash = signatures(node.left).strict
+        right_hash = signatures(node.right).strict
         if right_hash < left_hash:
             node = Union(node.right, node.left)
     return node
@@ -116,8 +161,25 @@ def enumerate_signatures(expr: Expression, strict: bool = True) -> dict[str, Exp
     twice in one plan), the first in post-order wins; they are
     interchangeable by construction.
     """
-    fn = signature if strict else template_signature
     out: dict[str, Expression] = {}
     for node in expr.walk():
-        out.setdefault(fn(node), node)
+        sigs = signatures(node)
+        out.setdefault(sigs.strict if strict else sigs.template, node)
     return out
+
+
+def enumerate_all_signatures(
+    expr: Expression,
+) -> tuple[dict[str, Expression], dict[str, Expression]]:
+    """(strict map, template map) for every node, in a single traversal.
+
+    Equivalent to calling :func:`enumerate_signatures` twice but walks
+    the plan once — the shape workload-repository ingestion needs.
+    """
+    strict_map: dict[str, Expression] = {}
+    template_map: dict[str, Expression] = {}
+    for node in expr.walk():
+        sigs = signatures(node)
+        strict_map.setdefault(sigs.strict, node)
+        template_map.setdefault(sigs.template, node)
+    return strict_map, template_map

@@ -10,7 +10,9 @@ subpackage provides:
   alias resolution,
 - :mod:`repro.telemetry.store`: an append-only in-memory metric store with
   dimensional filtering and time-bin aggregation (a miniature Kusto),
-- :mod:`repro.telemetry.query`: a small fluent query layer over the store.
+- :mod:`repro.telemetry.query`: a small fluent query layer over the store,
+- :mod:`repro.telemetry.timing`: stopwatch + section profiler, so hot
+  paths stay measured (the substrate perf harness builds on these).
 """
 
 from repro.telemetry.counters import (
@@ -22,6 +24,7 @@ from repro.telemetry.counters import (
 from repro.telemetry.query import Query
 from repro.telemetry.schema import Metric, MetricAliasRegistry, STANDARD_ALIASES
 from repro.telemetry.store import MetricPoint, TelemetryStore
+from repro.telemetry.timing import SectionProfiler, SectionStats, Stopwatch
 
 __all__ = [
     "Metric",
@@ -34,4 +37,7 @@ __all__ = [
     "counter_summary",
     "detect_saturation",
     "correlate_counters",
+    "Stopwatch",
+    "SectionProfiler",
+    "SectionStats",
 ]

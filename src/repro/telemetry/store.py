@@ -1,14 +1,39 @@
-"""Append-only in-memory telemetry store with dimensional queries."""
+"""Columnar in-memory telemetry store with dimensional queries.
+
+Points live in per-metric numpy columns (timestamps, values, interned
+dimension-set ids) that grow append-mostly with amortized doubling.
+Ingestion never shifts data: out-of-order appends just mark the column
+dirty, and the sort happens lazily — once, stably — on the next read.
+Range scans binary-search the contiguous timestamp array and dimension
+filters resolve to a handful of interned ids instead of per-point tuple
+scans, so bulk ingestion and grouped queries are vectorized end to end
+while the public query semantics match the original list-based store
+point for point.
+"""
 
 from __future__ import annotations
 
-import bisect
-from collections import defaultdict
-from dataclasses import dataclass, field
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.telemetry.schema import Metric, MetricAliasRegistry
+
+#: Interned per-dimension-set lookup dicts, shared by every MetricPoint
+#: carrying the same frozen dimensions tuple.  The universe of distinct
+#: dimension sets (machines x SKUs x regions, ...) is tiny next to the
+#: point count, so this stays small while making ``dimension`` a dict
+#: lookup instead of a linear tuple scan.
+_DIM_LOOKUPS: dict[tuple[tuple[str, str], ...], dict[str, str]] = {}
+
+
+def _dimension_lookup(dimensions: tuple[tuple[str, str], ...]) -> dict[str, str]:
+    lookup = _DIM_LOOKUPS.get(dimensions)
+    if lookup is None:
+        lookup = dict(dimensions)
+        _DIM_LOOKUPS[dimensions] = lookup
+    return lookup
 
 
 @dataclass(frozen=True)
@@ -21,33 +46,135 @@ class MetricPoint:
     dimensions: tuple[tuple[str, str], ...] = ()
 
     def dimension(self, key: str) -> str | None:
-        for k, v in self.dimensions:
-            if k == key:
-                return v
-        return None
+        return _dimension_lookup(self.dimensions).get(key)
 
 
-def _freeze_dimensions(dimensions: dict[str, str] | None) -> tuple:
+def _freeze_dimensions(dimensions: Mapping[str, str] | None) -> tuple:
     if not dimensions:
         return ()
     return tuple(sorted(dimensions.items()))
 
 
-class TelemetryStore:
-    """Miniature Kusto: per-metric time-ordered point lists.
+class _Column:
+    """Append-mostly columnar storage for one metric."""
 
-    Points are kept sorted by timestamp per metric so range scans are
-    binary-search bounded.  Dimensions are arbitrary string key/values
-    (machine id, SKU, region, ...).
+    __slots__ = ("_ts", "_vs", "_dims", "size", "_sorted")
+
+    _INITIAL_CAPACITY = 256
+
+    def __init__(self) -> None:
+        self._ts = np.empty(self._INITIAL_CAPACITY, dtype=np.float64)
+        self._vs = np.empty(self._INITIAL_CAPACITY, dtype=np.float64)
+        self._dims = np.empty(self._INITIAL_CAPACITY, dtype=np.int64)
+        self.size = 0
+        self._sorted = True
+
+    def _reserve(self, needed: int) -> None:
+        capacity = self._ts.size
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        for name in ("_ts", "_vs", "_dims"):
+            old = getattr(self, name)
+            grown = np.empty(capacity, dtype=old.dtype)
+            grown[: self.size] = old[: self.size]
+            setattr(self, name, grown)
+
+    def append(self, timestamp: float, value: float, dim_id: int) -> None:
+        self._reserve(self.size + 1)
+        if self._sorted and self.size and timestamp < self._ts[self.size - 1]:
+            self._sorted = False
+        self._ts[self.size] = timestamp
+        self._vs[self.size] = value
+        self._dims[self.size] = dim_id
+        self.size += 1
+
+    def extend(
+        self, timestamps: np.ndarray, values: np.ndarray, dim_ids: np.ndarray
+    ) -> None:
+        n = timestamps.size
+        if n == 0:
+            return
+        self._reserve(self.size + n)
+        end = self.size + n
+        self._ts[self.size : end] = timestamps
+        self._vs[self.size : end] = values
+        self._dims[self.size : end] = dim_ids
+        if self._sorted and (
+            (self.size and timestamps[0] < self._ts[self.size - 1])
+            or (n > 1 and np.any(np.diff(timestamps) < 0))
+        ):
+            self._sorted = False
+        self.size = end
+
+    def ensure_sorted(self) -> None:
+        """Lazily time-order the column.
+
+        The sort is stable, so points with equal timestamps keep their
+        ingestion order — the same tie-break the old ``bisect_right``
+        insertion produced.
+        """
+        if self._sorted:
+            return
+        n = self.size
+        order = np.argsort(self._ts[:n], kind="stable")
+        self._ts[:n] = self._ts[:n][order]
+        self._vs[:n] = self._vs[:n][order]
+        self._dims[:n] = self._dims[:n][order]
+        self._sorted = True
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        return self._ts[: self.size]
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._vs[: self.size]
+
+    @property
+    def dim_ids(self) -> np.ndarray:
+        return self._dims[: self.size]
+
+
+class TelemetryStore:
+    """Miniature Kusto: per-metric columnar time series.
+
+    Columns are kept (lazily) sorted by timestamp per metric so range
+    scans are binary-search bounded.  Dimensions are arbitrary string
+    key/values (machine id, SKU, region, ...) interned to integer ids at
+    ingestion time.
     """
 
     def __init__(self, aliases: MetricAliasRegistry | None = None) -> None:
-        self._points: dict[Metric, list[MetricPoint]] = defaultdict(list)
-        self._timestamps: dict[Metric, list[float]] = defaultdict(list)
+        self._columns: dict[Metric, _Column] = {}
+        self._dim_ids: dict[tuple, int] = {(): 0}
+        self._dim_tuples: list[tuple] = [()]
+        self._metric_dim_ids: dict[Metric, set[int]] = {}
         self.aliases = aliases or MetricAliasRegistry.standard()
 
     def __len__(self) -> int:
-        return sum(len(points) for points in self._points.values())
+        return sum(column.size for column in self._columns.values())
+
+    def _resolve(self, metric: Metric | str) -> Metric:
+        if isinstance(metric, str):
+            return self.aliases.resolve(metric)
+        return metric
+
+    def _column(self, metric: Metric) -> _Column:
+        column = self._columns.get(metric)
+        if column is None:
+            column = self._columns[metric] = _Column()
+        return column
+
+    def _intern(self, dimensions: tuple) -> int:
+        dim_id = self._dim_ids.get(dimensions)
+        if dim_id is None:
+            dim_id = len(self._dim_tuples)
+            self._dim_ids[dimensions] = dim_id
+            self._dim_tuples.append(dimensions)
+            _dimension_lookup(dimensions)
+        return dim_id
 
     # -- ingestion ------------------------------------------------------------
     def record(
@@ -58,21 +185,20 @@ class TelemetryStore:
         dimensions: dict[str, str] | None = None,
     ) -> MetricPoint:
         """Append one observation; raw string names resolve through aliases."""
-        if isinstance(metric, str):
-            metric = self.aliases.resolve(metric)
+        metric = self._resolve(metric)
+        value = float(value)
         if not np.isfinite(value):
             raise ValueError(f"non-finite telemetry value for {metric}")
-        point = MetricPoint(
+        frozen = _freeze_dimensions(dimensions)
+        dim_id = self._intern(frozen)
+        self._column(metric).append(float(timestamp), value, dim_id)
+        self._metric_dim_ids.setdefault(metric, set()).add(dim_id)
+        return MetricPoint(
             metric=metric,
             timestamp=float(timestamp),
-            value=float(value),
-            dimensions=_freeze_dimensions(dimensions),
+            value=value,
+            dimensions=frozen,
         )
-        stamps = self._timestamps[metric]
-        idx = bisect.bisect_right(stamps, point.timestamp)
-        stamps.insert(idx, point.timestamp)
-        self._points[metric].insert(idx, point)
-        return point
 
     def record_series(
         self,
@@ -80,18 +206,113 @@ class TelemetryStore:
         timestamps: np.ndarray,
         values: np.ndarray,
         dimensions: dict[str, str] | None = None,
-    ) -> None:
-        """Bulk-append a whole series (timestamps must be sorted)."""
+    ) -> int:
+        """Bulk-append a whole series (timestamps must be sorted).
+
+        One vectorized column append; returns the number of points added.
+        """
         ts = np.asarray(timestamps, dtype=float)
         vs = np.asarray(values, dtype=float)
         if ts.shape != vs.shape:
             raise ValueError("timestamps and values must have the same shape")
         if ts.size and np.any(np.diff(ts) < 0):
             raise ValueError("timestamps must be non-decreasing")
-        for t, v in zip(ts, vs):
-            self.record(metric, t, v, dimensions)
+        return self._record_batch(metric, ts, vs, dimensions)
+
+    def record_many(
+        self,
+        metric: Metric | str,
+        timestamps: np.ndarray,
+        values: np.ndarray,
+        dimensions: dict[str, str] | Sequence[dict[str, str] | None] | None = None,
+    ) -> int:
+        """Bulk-append observations in any timestamp order.
+
+        ``dimensions`` is either one dict applied to every point or a
+        sequence of per-point dicts (``None`` entries mean no dimensions).
+        Ordering is repaired lazily on the next read, so interleaved
+        streams from many emitters batch at full speed.  Returns the
+        number of points added.
+        """
+        ts = np.asarray(timestamps, dtype=float)
+        vs = np.asarray(values, dtype=float)
+        if ts.shape != vs.shape:
+            raise ValueError("timestamps and values must have the same shape")
+        return self._record_batch(metric, ts, vs, dimensions)
+
+    def _record_batch(
+        self,
+        metric: Metric | str,
+        ts: np.ndarray,
+        vs: np.ndarray,
+        dimensions: dict[str, str] | Sequence[dict[str, str] | None] | None,
+    ) -> int:
+        metric = self._resolve(metric)
+        if ts.size == 0:
+            return 0
+        if not np.all(np.isfinite(vs)):
+            raise ValueError(f"non-finite telemetry value for {metric}")
+        used = self._metric_dim_ids.setdefault(metric, set())
+        if dimensions is None or isinstance(dimensions, Mapping):
+            dim_id = self._intern(_freeze_dimensions(dimensions))
+            dim_ids = np.full(ts.size, dim_id, dtype=np.int64)
+            used.add(dim_id)
+        else:
+            if len(dimensions) != ts.size:
+                raise ValueError(
+                    "per-point dimensions must match the number of points"
+                )
+            dim_ids = np.empty(ts.size, dtype=np.int64)
+            # Identity memo: emitters typically pass the same dict object
+            # for every point of one machine/SKU, so freezing + interning
+            # happens once per distinct dict, not once per point.  Keyed
+            # by id() only within this call, while the dicts are alive.
+            memo: dict[int, int] = {}
+            for i, dims in enumerate(dimensions):
+                key = id(dims) if dims else -1
+                dim_id = memo.get(key)
+                if dim_id is None:
+                    dim_id = self._intern(_freeze_dimensions(dims))
+                    memo[key] = dim_id
+                dim_ids[i] = dim_id
+            used.update(memo.values())
+        self._column(metric).extend(ts, vs, dim_ids)
+        return int(ts.size)
 
     # -- querying ---------------------------------------------------------------
+    def _window(
+        self, metric: Metric, start: float | None, end: float | None
+    ) -> tuple[_Column | None, int, int]:
+        column = self._columns.get(metric)
+        if column is None or column.size == 0:
+            return None, 0, 0
+        column.ensure_sorted()
+        stamps = column.timestamps
+        lo = 0 if start is None else int(np.searchsorted(stamps, start, side="left"))
+        hi = (
+            column.size
+            if end is None
+            else int(np.searchsorted(stamps, end, side="right"))
+        )
+        return column, lo, hi
+
+    def _matching_dim_ids(
+        self, metric: Metric, dimensions: dict[str, str]
+    ) -> np.ndarray:
+        """Interned ids whose dimension set matches every filter key."""
+        wanted = dimensions.items()
+        return np.array(
+            [
+                dim_id
+                for dim_id in self._metric_dim_ids.get(metric, ())
+                if all(
+                    _dimension_lookup(self._dim_tuples[dim_id]).get(k) == v
+                    for k, v in wanted
+                )
+            ],
+            dtype=np.int64,
+        )
+
     def points(
         self,
         metric: Metric,
@@ -100,19 +321,25 @@ class TelemetryStore:
         dimensions: dict[str, str] | None = None,
     ) -> list[MetricPoint]:
         """Time-range scan with optional exact-match dimension filters."""
-        stamps = self._timestamps.get(metric, [])
-        all_points = self._points.get(metric, [])
-        lo = 0 if start is None else bisect.bisect_left(stamps, start)
-        hi = len(stamps) if end is None else bisect.bisect_right(stamps, end)
-        selected = all_points[lo:hi]
+        column, lo, hi = self._window(metric, start, end)
+        if column is None or lo >= hi:
+            return []
+        ts = column.timestamps[lo:hi]
+        vs = column.values[lo:hi]
+        dim_ids = column.dim_ids[lo:hi]
         if dimensions:
-            wanted = dimensions.items()
-            selected = [
-                p
-                for p in selected
-                if all(p.dimension(k) == v for k, v in wanted)
-            ]
-        return selected
+            mask = np.isin(dim_ids, self._matching_dim_ids(metric, dimensions))
+            ts, vs, dim_ids = ts[mask], vs[mask], dim_ids[mask]
+        tuples = self._dim_tuples
+        return [
+            MetricPoint(
+                metric=metric,
+                timestamp=float(t),
+                value=float(v),
+                dimensions=tuples[d],
+            )
+            for t, v, d in zip(ts, vs, dim_ids)
+        ]
 
     def series(
         self,
@@ -121,14 +348,23 @@ class TelemetryStore:
         end: float | None = None,
         dimensions: dict[str, str] | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Like :meth:`points` but returns (timestamps, values) arrays."""
-        pts = self.points(metric, start, end, dimensions)
-        if not pts:
+        """Like :meth:`points` but returns (timestamps, values) arrays.
+
+        Served straight from the columns — no point objects are built.
+        """
+        column, lo, hi = self._window(metric, start, end)
+        if column is None or lo >= hi:
             return np.array([]), np.array([])
-        return (
-            np.array([p.timestamp for p in pts]),
-            np.array([p.value for p in pts]),
-        )
+        ts = column.timestamps[lo:hi]
+        vs = column.values[lo:hi]
+        if dimensions:
+            mask = np.isin(
+                column.dim_ids[lo:hi],
+                self._matching_dim_ids(metric, dimensions),
+            )
+            return ts[mask], vs[mask]
+        # Copies: later ingestion may lazily re-sort the backing buffers.
+        return ts.copy(), vs.copy()
 
     def aggregate(
         self,
@@ -146,32 +382,42 @@ class TelemetryStore:
         """
         if bin_width <= 0:
             raise ValueError("bin_width must be positive")
-        aggregators = {
-            "mean": np.mean,
-            "sum": np.sum,
-            "max": np.max,
-            "min": np.min,
-            "count": len,
-            "p95": lambda v: float(np.percentile(v, 95)),
-        }
-        if agg not in aggregators:
+        if agg not in ("mean", "sum", "max", "min", "count", "p95"):
             raise ValueError(f"unknown aggregation {agg!r}")
         ts, vs = self.series(metric, start, end, dimensions)
         if ts.size == 0:
             return np.array([]), np.array([])
         bins = np.floor(ts / bin_width) * bin_width
-        out_t, out_v = [], []
-        fn = aggregators[agg]
-        for b in np.unique(bins):
-            mask = bins == b
-            out_t.append(b)
-            out_v.append(float(fn(vs[mask])))
-        return np.array(out_t), np.array(out_v)
+        # ``ts`` is ascending, so bins are non-decreasing: segment
+        # boundaries come from one diff, aggregation from one reduceat.
+        starts = np.r_[0, np.flatnonzero(np.diff(bins)) + 1]
+        out_t = bins[starts]
+        counts = np.diff(np.r_[starts, bins.size]).astype(float)
+        if agg == "count":
+            out_v = counts
+        elif agg == "sum":
+            out_v = np.add.reduceat(vs, starts)
+        elif agg == "mean":
+            out_v = np.add.reduceat(vs, starts) / counts
+        elif agg == "max":
+            out_v = np.maximum.reduceat(vs, starts)
+        elif agg == "min":
+            out_v = np.minimum.reduceat(vs, starts)
+        else:  # p95
+            bounds = np.r_[starts, bins.size]
+            out_v = np.array(
+                [
+                    float(np.percentile(vs[i:j], 95))
+                    for i, j in zip(bounds[:-1], bounds[1:])
+                ]
+            )
+        return out_t, out_v.astype(float)
 
     def dimension_values(self, metric: Metric, key: str) -> set[str]:
         """Distinct values observed for a dimension key of a metric."""
-        return {
-            value
-            for p in self._points.get(metric, [])
-            if (value := p.dimension(key)) is not None
-        }
+        out = set()
+        for dim_id in self._metric_dim_ids.get(metric, ()):
+            value = _dimension_lookup(self._dim_tuples[dim_id]).get(key)
+            if value is not None:
+                out.add(value)
+        return out

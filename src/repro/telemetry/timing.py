@@ -1,0 +1,130 @@
+"""Lightweight wall-clock instrumentation: stopwatch + section profiler.
+
+The substrate perf harness (``benchmarks/bench_perf_substrate.py``) and
+any service that wants to *stay measured* use these instead of ad-hoc
+``time.perf_counter()`` arithmetic.  Both are deliberately tiny: no
+threads, no global registry — a :class:`Stopwatch` is a resumable timer
+and a :class:`SectionProfiler` accumulates named sections into a report.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+
+class Stopwatch:
+    """Resumable ``perf_counter`` timer; also usable as a context manager.
+
+    ::
+
+        with Stopwatch() as watch:
+            do_work()
+        print(watch.elapsed)
+    """
+
+    def __init__(self) -> None:
+        self._started: float | None = None
+        self._accumulated = 0.0
+
+    @property
+    def running(self) -> bool:
+        return self._started is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Total seconds timed so far, including a running segment."""
+        total = self._accumulated
+        if self._started is not None:
+            total += time.perf_counter() - self._started
+        return total
+
+    def start(self) -> "Stopwatch":
+        if self._started is not None:
+            raise RuntimeError("stopwatch is already running")
+        self._started = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Pause the watch; returns total elapsed seconds."""
+        if self._started is None:
+            raise RuntimeError("stopwatch is not running")
+        self._accumulated += time.perf_counter() - self._started
+        self._started = None
+        return self._accumulated
+
+    def reset(self) -> None:
+        self._started = None
+        self._accumulated = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+@dataclass
+class SectionStats:
+    """Accumulated cost of one named section."""
+
+    seconds: float = 0.0
+    calls: int = 0
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.seconds / self.calls if self.calls else 0.0
+
+
+class SectionProfiler:
+    """Accumulate wall-clock time per named section.
+
+    ::
+
+        profiler = SectionProfiler()
+        with profiler.section("ingest"):
+            store.record_many(...)
+        profiler.report()  # {"ingest": {"seconds": ..., "calls": 1, ...}}
+    """
+
+    def __init__(self) -> None:
+        self.sections: dict[str, SectionStats] = {}
+
+    @contextmanager
+    def section(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            stats = self.sections.setdefault(name, SectionStats())
+            stats.seconds += time.perf_counter() - start
+            stats.calls += 1
+
+    def seconds(self, name: str) -> float:
+        """Total seconds recorded for ``name`` (0.0 if never entered)."""
+        stats = self.sections.get(name)
+        return stats.seconds if stats else 0.0
+
+    def report(self) -> dict[str, dict[str, float]]:
+        """JSON-friendly per-section totals, ordered by cost descending."""
+        return {
+            name: {
+                "seconds": stats.seconds,
+                "calls": stats.calls,
+                "mean_seconds": stats.mean_seconds,
+            }
+            for name, stats in sorted(
+                self.sections.items(), key=lambda kv: -kv[1].seconds
+            )
+        }
+
+    def summary(self) -> str:
+        """Human-readable one-line-per-section rendering of the report."""
+        lines = []
+        for name, row in self.report().items():
+            lines.append(
+                f"{name:<32} {row['seconds']:>10.4f}s"
+                f"  x{row['calls']:<6d} {row['mean_seconds'] * 1e3:>10.4f} ms/call"
+            )
+        return "\n".join(lines)

@@ -129,23 +129,44 @@ class MachineFleetSimulator:
     def collect(
         self, store: TelemetryStore, n_steps: int, step_seconds: float = 300.0
     ) -> list[MachineObservation]:
-        """Run ``n_steps`` observation rounds and record them into ``store``."""
+        """Run ``n_steps`` observation rounds and record them into ``store``.
+
+        The whole run is batched into one ``record_many`` call per metric
+        — three column appends for the fleet instead of three ``record``
+        calls per machine per step.
+        """
         if n_steps < 1:
             raise ValueError("n_steps must be >= 1")
         all_observations = []
         for step in range(n_steps):
-            t = step * step_seconds
-            for obs in self.observe(t):
-                dims = {"machine": obs.machine_id, "sku": obs.sku}
-                store.record(Metric.CPU_UTILIZATION, t, obs.cpu_utilization, dims)
-                store.record(
-                    Metric.RUNNING_CONTAINERS, t, obs.running_containers, dims
-                )
-                store.record(
-                    Metric.TASK_EXECUTION_SECONDS,
-                    t,
-                    obs.task_execution_seconds,
-                    dims,
-                )
-                all_observations.append(obs)
+            all_observations.extend(self.observe(step * step_seconds))
+        timestamps = np.array([obs.timestamp for obs in all_observations])
+        # One dict per machine, shared across steps, so the store interns
+        # each dimension set once instead of freezing per point.
+        dims_by_machine = {
+            machine_id: {"machine": machine_id, "sku": sku.name}
+            for machine_id, sku in self.machines
+        }
+        per_point_dims = [
+            dims_by_machine[obs.machine_id] for obs in all_observations
+        ]
+        for metric, values in (
+            (
+                Metric.CPU_UTILIZATION,
+                np.array([obs.cpu_utilization for obs in all_observations]),
+            ),
+            (
+                Metric.RUNNING_CONTAINERS,
+                np.array(
+                    [float(obs.running_containers) for obs in all_observations]
+                ),
+            ),
+            (
+                Metric.TASK_EXECUTION_SECONDS,
+                np.array(
+                    [obs.task_execution_seconds for obs in all_observations]
+                ),
+            ),
+        ):
+            store.record_many(metric, timestamps, values, per_point_dims)
         return all_observations

@@ -1,14 +1,19 @@
 """Tests for strict and template signatures."""
 
+from dataclasses import replace
+
 from repro.engine import (
     Filter,
     Join,
     Predicate,
     Scan,
+    Union,
     signature,
+    signatures,
     template_signature,
 )
-from repro.engine.signatures import enumerate_signatures
+from repro.engine.serialize import deserialize, serialize
+from repro.engine.signatures import enumerate_all_signatures, enumerate_signatures
 
 
 def filtered(value):
@@ -77,6 +82,69 @@ class TestEnumerate:
         sigs = enumerate_signatures(plan)
         # Scan, Filter, Union — the duplicate branch collapses.
         assert len(sigs) == 3
+
+
+class TestMemoization:
+    def test_signatures_agrees_with_single_flavour_functions(self):
+        plan = Join(filtered(3.0), Scan("u"), "k", "k")
+        sigs = signatures(plan)
+        assert sigs.strict == signature(plan)
+        assert sigs.template == template_signature(plan)
+
+    def test_repeated_calls_return_cached_pair(self):
+        plan = filtered(7.0)
+        assert signatures(plan) is signatures(plan)
+
+    def test_shared_subtree_objects_hash_consistently(self):
+        shared = filtered(1.0)
+        plan_a = Union(shared, Scan("u"))
+        plan_b = Join(shared, Scan("w"), "k", "k")
+        # The shared node was hashed under plan_a; plan_b must see the
+        # same child hash, i.e. equal to a structurally fresh copy.
+        signatures(plan_a)
+        assert signature(plan_b) == signature(
+            Join(filtered(1.0), Scan("w"), "k", "k")
+        )
+
+    def test_cache_not_inherited_by_modified_copies(self):
+        original = filtered(5.0)
+        cached = signature(original)
+        modified = replace(
+            original, predicates=(Predicate("a", "<=", 6.0),)
+        )
+        assert signature(modified) != cached
+        assert signature(original) == cached
+
+    def test_strict_and_template_diverge_exactly_on_literals(self):
+        base = filtered(5.0)
+        drifted_literal = filtered(99.0)
+        different_column = Filter(Scan("t"), (Predicate("b", "<=", 5.0),))
+        base_sigs = signatures(base)
+        drifted_sigs = signatures(drifted_literal)
+        other_sigs = signatures(different_column)
+        assert base_sigs.strict != drifted_sigs.strict
+        assert base_sigs.template == drifted_sigs.template
+        assert base_sigs.strict != other_sigs.strict
+        assert base_sigs.template != other_sigs.template
+
+    def test_cached_nodes_stay_equal_to_fresh_nodes(self):
+        cached = filtered(2.0)
+        signatures(cached)
+        fresh = filtered(2.0)
+        assert cached == fresh
+        assert hash(cached) == hash(fresh)
+
+    def test_serialization_round_trip_preserves_signatures(self):
+        plan = Join(filtered(4.0), Scan("u"), "k", "k")
+        sigs = signatures(plan)
+        round_tripped = deserialize(serialize(plan))
+        assert signatures(round_tripped) == sigs
+
+    def test_enumerate_all_matches_separate_enumerations(self):
+        plan = Union(Join(filtered(1.0), Scan("u"), "k", "k"), filtered(2.0))
+        strict_map, template_map = enumerate_all_signatures(plan)
+        assert strict_map == enumerate_signatures(plan, strict=True)
+        assert template_map == enumerate_signatures(plan, strict=False)
 
 
 class TestSemanticSignature:

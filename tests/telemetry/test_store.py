@@ -1,11 +1,16 @@
 """Tests for the telemetry store, schema, and query layer."""
 
+import bisect
+
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.telemetry import (
     Metric,
     MetricAliasRegistry,
+    MetricPoint,
     Query,
     TelemetryStore,
 )
@@ -129,6 +134,226 @@ class TestAggregate:
     def test_invalid_bin_width(self, store):
         with pytest.raises(ValueError):
             store.aggregate(Metric.CPU_UTILIZATION, 0)
+
+
+class TestRecordMany:
+    def test_out_of_order_then_range_query(self, store):
+        ts = np.array([50.0, 10.0, 30.0, 20.0, 40.0])
+        store.record_many(Metric.CPU_UTILIZATION, ts, ts * 2)
+        out_t, out_v = store.series(Metric.CPU_UTILIZATION, start=15, end=45)
+        np.testing.assert_array_equal(out_t, [20.0, 30.0, 40.0])
+        np.testing.assert_array_equal(out_v, [40.0, 60.0, 80.0])
+
+    def test_empty_range(self, store):
+        store.record_many(Metric.CPU_UTILIZATION, [1.0, 2.0], [5.0, 6.0])
+        ts, vs = store.series(Metric.CPU_UTILIZATION, start=10, end=20)
+        assert ts.size == 0 and vs.size == 0
+        assert store.points(Metric.CPU_UTILIZATION, start=10, end=20) == []
+
+    def test_duplicate_timestamps_keep_arrival_order(self, store):
+        store.record(Metric.CPU_UTILIZATION, 1.0, 10.0)
+        store.record_many(
+            Metric.CPU_UTILIZATION, [1.0, 0.0, 1.0], [20.0, 5.0, 30.0]
+        )
+        _, vs = store.series(Metric.CPU_UTILIZATION)
+        np.testing.assert_array_equal(vs, [5.0, 10.0, 20.0, 30.0])
+
+    def test_non_finite_values_rejected(self, store):
+        for bad in (float("nan"), float("inf"), -float("inf")):
+            with pytest.raises(ValueError, match="non-finite"):
+                store.record_many(Metric.CPU_UTILIZATION, [0.0, 1.0], [1.0, bad])
+        assert len(store) == 0
+
+    def test_shape_mismatch_rejected(self, store):
+        with pytest.raises(ValueError, match="same shape"):
+            store.record_many(Metric.CPU_UTILIZATION, [0.0, 1.0], [1.0])
+
+    def test_returns_count_and_accepts_empty(self, store):
+        assert store.record_many(Metric.CPU_UTILIZATION, [], []) == 0
+        assert store.record_many(Metric.CPU_UTILIZATION, [0.0], [1.0]) == 1
+
+    def test_single_dict_applies_to_all_points(self, store):
+        store.record_many(
+            Metric.CPU_UTILIZATION, [0.0, 1.0], [1.0, 2.0], {"machine": "a"}
+        )
+        assert (
+            len(store.points(Metric.CPU_UTILIZATION, dimensions={"machine": "a"}))
+            == 2
+        )
+
+    def test_per_point_dimensions(self, store):
+        store.record_many(
+            Metric.CPU_UTILIZATION,
+            [0.0, 1.0, 2.0],
+            [1.0, 2.0, 3.0],
+            [{"machine": "a"}, {"machine": "b"}, None],
+        )
+        pts = store.points(Metric.CPU_UTILIZATION, dimensions={"machine": "b"})
+        assert [p.value for p in pts] == [2.0]
+        assert store.dimension_values(Metric.CPU_UTILIZATION, "machine") == {
+            "a",
+            "b",
+        }
+
+    def test_per_point_dimensions_length_mismatch(self, store):
+        with pytest.raises(ValueError, match="number of points"):
+            store.record_many(
+                Metric.CPU_UTILIZATION, [0.0, 1.0], [1.0, 2.0], [{"m": "a"}]
+            )
+
+    def test_repeated_dict_objects_intern_once(self, store):
+        shared = {"machine": "a", "sku": "gen5"}
+        store.record_many(
+            Metric.CPU_UTILIZATION, [0.0, 1.0, 2.0], [1.0, 2.0, 3.0],
+            [shared, shared, shared],
+        )
+        pts = store.points(
+            Metric.CPU_UTILIZATION, dimensions={"machine": "a", "sku": "gen5"}
+        )
+        assert len(pts) == 3
+        assert len({id(p.dimensions) for p in pts}) == 1
+
+    def test_record_series_still_rejects_unsorted(self, store):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            store.record_series(Metric.CPU_UTILIZATION, [2.0, 1.0], [0.0, 0.0])
+
+
+class TestMetricPointDimension:
+    def test_lookup_and_missing_key(self):
+        point = MetricPoint(
+            Metric.CPU_UTILIZATION, 0.0, 1.0, (("machine", "a"), ("sku", "g5"))
+        )
+        assert point.dimension("machine") == "a"
+        assert point.dimension("sku") == "g5"
+        assert point.dimension("region") is None
+
+    def test_empty_dimensions(self):
+        assert MetricPoint(Metric.CPU_UTILIZATION, 0.0, 1.0).dimension("x") is None
+
+
+class _ReferenceStore:
+    """The old list-based semantics: bisect_right insertion, linear filters."""
+
+    def __init__(self):
+        self._stamps = []
+        self._points = []  # (timestamp, value, frozen_dims)
+
+    def record(self, timestamp, value, dimensions):
+        frozen = tuple(sorted(dimensions.items())) if dimensions else ()
+        idx = bisect.bisect_right(self._stamps, timestamp)
+        self._stamps.insert(idx, timestamp)
+        self._points.insert(idx, (timestamp, value, frozen))
+
+    def query(self, start, end, dimensions):
+        lo = 0 if start is None else bisect.bisect_left(self._stamps, start)
+        hi = (
+            len(self._stamps)
+            if end is None
+            else bisect.bisect_right(self._stamps, end)
+        )
+        selected = self._points[lo:hi]
+        if dimensions:
+            selected = [
+                p
+                for p in selected
+                if all(dict(p[2]).get(k) == v for k, v in dimensions.items())
+            ]
+        return selected
+
+
+_DIM_CHOICES = (
+    None,
+    {"machine": "a"},
+    {"machine": "b"},
+    {"machine": "a", "sku": "gen5"},
+)
+
+_point_lists = st.lists(
+    st.tuples(
+        st.floats(0, 100, allow_nan=False),
+        st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+        st.integers(0, len(_DIM_CHOICES) - 1),
+    ),
+    max_size=60,
+)
+
+
+class TestColumnarEquivalence:
+    """Columnar results must match the old list-based store point for point."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        points=_point_lists,
+        batch=st.booleans(),
+        window=st.tuples(
+            st.one_of(st.none(), st.floats(0, 100, allow_nan=False)),
+            st.one_of(st.none(), st.floats(0, 100, allow_nan=False)),
+        ),
+        filter_idx=st.integers(0, len(_DIM_CHOICES) - 1),
+    )
+    def test_points_match_reference(self, points, batch, window, filter_idx):
+        reference = _ReferenceStore()
+        store = TelemetryStore()
+        for t, v, d in points:
+            reference.record(t, v, _DIM_CHOICES[d])
+        if batch and points:
+            store.record_many(
+                Metric.CPU_UTILIZATION,
+                [t for t, _, _ in points],
+                [v for _, v, _ in points],
+                [_DIM_CHOICES[d] for _, _, d in points],
+            )
+        else:
+            for t, v, d in points:
+                store.record(Metric.CPU_UTILIZATION, t, v, _DIM_CHOICES[d])
+        start, end = window
+        if start is not None and end is not None and end < start:
+            start, end = end, start
+        dimensions = _DIM_CHOICES[filter_idx]
+        expected = reference.query(start, end, dimensions)
+        actual = store.points(
+            Metric.CPU_UTILIZATION, start=start, end=end, dimensions=dimensions
+        )
+        assert [(p.timestamp, p.value, p.dimensions) for p in actual] == expected
+        ts, vs = store.series(
+            Metric.CPU_UTILIZATION, start=start, end=end, dimensions=dimensions
+        )
+        np.testing.assert_array_equal(ts, [p[0] for p in expected])
+        np.testing.assert_array_equal(vs, [p[1] for p in expected])
+
+    @settings(max_examples=40, deadline=None)
+    @given(points=_point_lists, agg=st.sampled_from(
+        ["mean", "sum", "max", "min", "count", "p95"]
+    ))
+    def test_aggregate_matches_reference(self, points, agg):
+        store = TelemetryStore()
+        if not points:
+            return
+        store.record_many(
+            Metric.CPU_UTILIZATION,
+            [t for t, _, _ in points],
+            [v for _, v, _ in points],
+        )
+        out_t, out_v = store.aggregate(Metric.CPU_UTILIZATION, 10.0, agg)
+        # Old implementation: np.unique over bins, per-bin python loop.
+        ts = np.array(sorted(t for t, _, _ in points))
+        order = np.argsort([t for t, _, _ in points], kind="stable")
+        vs = np.array([points[i][1] for i in order])
+        bins = np.floor(ts / 10.0) * 10.0
+        fns = {
+            "mean": np.mean,
+            "sum": np.sum,
+            "max": np.max,
+            "min": np.min,
+            "count": len,
+            "p95": lambda v: float(np.percentile(v, 95)),
+        }
+        expected_t, expected_v = [], []
+        for b in np.unique(bins):
+            expected_t.append(b)
+            expected_v.append(float(fns[agg](vs[bins == b])))
+        np.testing.assert_array_equal(out_t, expected_t)
+        np.testing.assert_allclose(out_v, expected_v, rtol=1e-12, atol=1e-12)
 
 
 class TestQuery:

@@ -1,0 +1,87 @@
+"""Tests for the stopwatch and section profiler."""
+
+import time
+
+import pytest
+
+from repro.telemetry import SectionProfiler, Stopwatch
+
+
+class TestStopwatch:
+    def test_start_stop_accumulates(self):
+        watch = Stopwatch()
+        watch.start()
+        time.sleep(0.01)
+        first = watch.stop()
+        assert first > 0
+        watch.start()
+        time.sleep(0.01)
+        assert watch.stop() > first
+
+    def test_elapsed_includes_running_segment(self):
+        watch = Stopwatch().start()
+        time.sleep(0.01)
+        assert watch.elapsed > 0
+        assert watch.running
+        watch.stop()
+        assert not watch.running
+
+    def test_context_manager(self):
+        with Stopwatch() as watch:
+            time.sleep(0.01)
+        assert watch.elapsed >= 0.01
+        assert not watch.running
+
+    def test_double_start_rejected(self):
+        watch = Stopwatch().start()
+        with pytest.raises(RuntimeError, match="already running"):
+            watch.start()
+
+    def test_stop_when_idle_rejected(self):
+        with pytest.raises(RuntimeError, match="not running"):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        watch = Stopwatch().start()
+        watch.stop()
+        watch.reset()
+        assert watch.elapsed == 0.0
+        assert not watch.running
+
+
+class TestSectionProfiler:
+    def test_accumulates_per_section(self):
+        profiler = SectionProfiler()
+        for _ in range(3):
+            with profiler.section("work"):
+                time.sleep(0.005)
+        stats = profiler.sections["work"]
+        assert stats.calls == 3
+        assert stats.seconds >= 0.015
+        assert stats.mean_seconds == pytest.approx(stats.seconds / 3)
+
+    def test_seconds_for_missing_section_is_zero(self):
+        assert SectionProfiler().seconds("never") == 0.0
+
+    def test_report_sorted_by_cost(self):
+        profiler = SectionProfiler()
+        with profiler.section("fast"):
+            pass
+        with profiler.section("slow"):
+            time.sleep(0.02)
+        report = profiler.report()
+        assert list(report) == ["slow", "fast"]
+        assert report["slow"]["calls"] == 1
+
+    def test_section_records_even_on_exception(self):
+        profiler = SectionProfiler()
+        with pytest.raises(RuntimeError):
+            with profiler.section("boom"):
+                raise RuntimeError("x")
+        assert profiler.sections["boom"].calls == 1
+
+    def test_summary_mentions_sections(self):
+        profiler = SectionProfiler()
+        with profiler.section("ingest"):
+            pass
+        assert "ingest" in profiler.summary()
