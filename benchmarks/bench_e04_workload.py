@@ -5,7 +5,7 @@ subexpressions with at least one other job; 70% of daily jobs have
 inter-job dependencies.
 """
 
-from conftest import note, print_table
+from conftest import print_table
 
 from repro.core.peregrine import WorkloadRepository, analyze
 

@@ -5,7 +5,7 @@ flips from the default versus allowing unconstrained drift.
 """
 
 import numpy as np
-from conftest import note, print_table
+from conftest import print_table
 
 from repro.core.steering import SteeringService
 

@@ -3,7 +3,7 @@ minimal runtime impact [52].
 """
 
 import numpy as np
-from conftest import note, print_table
+from conftest import print_table
 
 from repro.core.checkpoint import CheckpointOptimizer, StagePredictor
 from repro.engine import ClusterExecutor, compile_stages

@@ -2,8 +2,7 @@
 common subexpressions to producers [8, 14].
 """
 
-import numpy as np
-from conftest import note, print_table
+from conftest import print_table
 
 from repro.core.pipeline import PipelineOptimizer
 

@@ -1,6 +1,6 @@
 """E11: Seagull backup windows — ML 99% vs previous-day heuristic 96% [40]."""
 
-from conftest import note, print_table
+from conftest import print_table
 
 from repro.core.seagull import (
     ForecastWindowPolicy,

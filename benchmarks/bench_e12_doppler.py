@@ -4,7 +4,7 @@ Includes the Insight-2 ablation: segment-wise right-sizing factors vs a
 single global factor.
 """
 
-from conftest import note, print_table
+from conftest import print_table
 
 from repro.core.doppler import SkuRecommender, recommendation_accuracy
 from repro.workloads import generate_customers
@@ -13,8 +13,8 @@ from repro.workloads import generate_customers
 def run_e12():
     historical = generate_customers(500, rng=0)
     migrating = generate_customers(250, rng=1)
-    segmented = SkuRecommender(n_segments=5, rng=0).fit(historical)
-    global_only = SkuRecommender(n_segments=1, rng=0).fit(historical)
+    segmented = SkuRecommender(n_segments=5, rng=0).observe(historical)
+    global_only = SkuRecommender(n_segments=1, rng=0).observe(historical)
     return {
         "segments + price-perf curve": (
             recommendation_accuracy(segmented, migrating, within_one_tier=False),

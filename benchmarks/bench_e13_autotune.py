@@ -3,7 +3,7 @@ fine-tuning converges [45].
 """
 
 import numpy as np
-from conftest import note, print_table
+from conftest import print_table
 
 from repro.core.autotune import ApplicationTuner, benchmark_suite
 

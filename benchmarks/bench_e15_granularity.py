@@ -5,7 +5,7 @@ happy middle ground; with ample data individual models win; the global
 model never does.  The automatic selector tracks the winner.
 """
 
-from conftest import note, print_table
+from conftest import print_table
 
 from repro.core.granularity import GranularPredictor, heterogeneous_population
 

@@ -44,7 +44,7 @@ def run_e16():
     registry2, rng2 = build()
     frozen = registry2.production("m").model
     without_loop = _stream(frozen, 150, 500, rng2, use_loop=False)
-    return with_loop, without_loop, loop.actions()
+    return with_loop, without_loop, loop.report().actions
 
 
 def bench_e16_feedback_loop(benchmark):

@@ -1,7 +1,7 @@
 """E17: MLOS-style tuning beats the default VM configuration [9]."""
 
 import numpy as np
-from conftest import note, print_table
+from conftest import print_table
 
 from repro.core.mlos import (
     ModelGuidedTuner,

@@ -13,7 +13,7 @@ from repro.workloads import generate_customers, ground_truth_sku
 
 
 def run_e19():
-    recommender = SkuRecommender(rng=0).fit(generate_customers(500, rng=0))
+    recommender = SkuRecommender(rng=0).observe(generate_customers(500, rng=0))
     customers = generate_customers(250, rng=1)
     segments, overspend = [], []
     vetoes = 0

@@ -6,7 +6,7 @@ CPU utilization, with fitted slope/intercept/R^2 against the simulator's
 ground truth per SKU.
 """
 
-from conftest import note, print_table
+from conftest import print_table
 
 from repro.core.kea import MachineBehaviorModels
 from repro.telemetry import TelemetryStore

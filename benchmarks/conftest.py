@@ -7,9 +7,7 @@ are not expected to match a production testbed; the *shape* — who wins,
 by roughly what factor — is the reproduction target.
 """
 
-import sys
 
-import numpy as np
 import pytest
 
 from repro.engine import (

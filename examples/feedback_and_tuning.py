@@ -41,7 +41,7 @@ def main() -> None:
     for _ in range(500):  # the workload drifts
         x = rng.normal(size=1)
         loop.observe(x, -1 * x[0] + rng.normal(scale=0.1))
-    print(f"  loop actions: {loop.actions()}")
+    print(f"  loop actions: {loop.report().actions}")
     final = registry.production("latency-model").model
     print(f"  serving model slope: {final.coef_[0]:+.2f} (drifted truth: -1.00)")
 

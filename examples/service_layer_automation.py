@@ -36,7 +36,7 @@ def main() -> None:
     print("\n=== Doppler: SKU recommendation for a migration wave ===")
     historical = generate_customers(400, rng=0)
     migrating = generate_customers(150, rng=1)
-    recommender = SkuRecommender(rng=0).fit(historical)
+    recommender = SkuRecommender(rng=0).observe(historical)
     accuracy = recommendation_accuracy(recommender, migrating)
     print(f"  recommendation accuracy {accuracy:.1%}  (paper: >95%)")
     sample = recommender.recommend(migrating[0])

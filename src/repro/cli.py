@@ -8,49 +8,58 @@ Subcommands::
     repro doppler     [--customers N]       SKU recommendation accuracy
     repro explain     [--seed S]            EXPLAIN a sample optimized plan
     repro algorithms  QUERY                 search the AlgorithmStore
+    repro trace       [--jobs N --seed S]   traced workload->engine->service run
 
 Every subcommand is deterministic given its seed and prints a compact
-table, so the CLI doubles as a smoke test of the installation.
+table, so the CLI doubles as a smoke test of the installation.  Every
+subcommand also runs inside the shared observability runtime
+(:mod:`repro.obs`): pass ``--trace`` to print the span tree and
+per-layer metric rollup after the command's own output.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.obs.runtime import ObservabilityRuntime
 
 
-def _cmd_stats(args: argparse.Namespace) -> int:
+def _cmd_stats(args: argparse.Namespace, obs: "ObservabilityRuntime") -> int:
     from repro.core.peregrine import WorkloadRepository, analyze
     from repro.workloads import ScopeWorkloadGenerator
 
-    workload = ScopeWorkloadGenerator(rng=args.seed).generate(n_days=args.days)
-    stats = analyze(WorkloadRepository().ingest(workload))
+    with obs.span("workload.generate", layer="workload", days=args.days):
+        workload = ScopeWorkloadGenerator(rng=args.seed).generate(n_days=args.days)
+    with obs.span("peregrine.analyze", layer="engine"):
+        stats = analyze(WorkloadRepository().ingest(workload))
     print(f"workload: {args.days} days, seed {args.seed}")
     for name, value in stats.summary_rows():
         print(f"  {name:26s} {value:10.3f}")
     return 0
 
 
-def _cmd_moneyball(args: argparse.Namespace) -> int:
-    from repro.core.moneyball import (
-        PredictabilityClassifier,
-        evaluate_policies,
-        policy_tradeoff,
-    )
-    from repro.infra import ServerlessSimulator
+def _cmd_moneyball(args: argparse.Namespace, obs: "ObservabilityRuntime") -> int:
+    from repro.core.moneyball import MoneyballPolicy
     from repro.workloads import UsagePopulationConfig, generate_population
 
-    tenants = generate_population(
-        UsagePopulationConfig(n_tenants=args.tenants, n_days=42), rng=args.seed
-    )
-    classifier = PredictabilityClassifier()
+    with obs.span("workload.generate", layer="workload", tenants=args.tenants):
+        tenants = generate_population(
+            UsagePopulationConfig(n_tenants=args.tenants, n_days=42), rng=args.seed
+        )
+    service = MoneyballPolicy()
+    service.bind(obs)
+    for trace in tenants:
+        service.observe(trace)
+    report = service.report()
+    obs.replay(report)
     print(
-        f"predictable tenants: {classifier.predictable_fraction(tenants):.1%}"
+        f"predictable tenants: {report.predictable_fraction:.1%}"
         " (paper: 77%)"
     )
-    simulator = ServerlessSimulator()
-    for name, reports in evaluate_policies(tenants, simulator).items():
-        point = policy_tradeoff(reports, name)
+    for name, point in report.points.items():
         print(
             f"  {name:12s} cold-starts/active-hr={point.qos_penalty:.4f}"
             f"  billed/active-hr={point.cost:.3f}"
@@ -58,49 +67,66 @@ def _cmd_moneyball(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_seagull(args: argparse.Namespace) -> int:
+def _cmd_seagull(args: argparse.Namespace, obs: "ObservabilityRuntime") -> int:
     from repro.core.seagull import (
-        ForecastWindowPolicy,
         PreviousDayPolicy,
-        evaluate_policy,
+        SeagullService,
     )
     from repro.workloads import UsagePopulationConfig, generate_population
 
-    population = generate_population(
-        UsagePopulationConfig(n_tenants=args.servers, n_days=42), rng=args.seed
-    )
+    with obs.span("workload.generate", layer="workload", servers=args.servers):
+        population = generate_population(
+            UsagePopulationConfig(n_tenants=args.servers, n_days=42), rng=args.seed
+        )
     servers = [t for t in population if t.is_predictable]
     days = range(29, 41)
-    heuristic = evaluate_policy(servers, PreviousDayPolicy(), days)
-    ml = evaluate_policy(servers, ForecastWindowPolicy(), days)
-    print(f"previous-day heuristic accuracy: {heuristic:.1%} (paper: 96%)")
-    print(f"ML forecast accuracy:            {ml:.1%} (paper: 99%)")
+    heuristic = SeagullService(policy=PreviousDayPolicy()).bind(obs)
+    ml = SeagullService().bind(obs)
+    for service in (heuristic, ml):
+        for trace in servers:
+            service.observe(trace)
+        for trace in servers:
+            for day in days:
+                service.recommend(trace.tenant_id, day)
+    heuristic_report = heuristic.report()
+    ml_report = ml.report()
+    obs.replay(ml_report)
+    print(
+        f"previous-day heuristic accuracy: {heuristic_report.accuracy:.1%}"
+        " (paper: 96%)"
+    )
+    print(
+        f"ML forecast accuracy:            {ml_report.accuracy:.1%}"
+        " (paper: 99%)"
+    )
     return 0
 
 
-def _cmd_doppler(args: argparse.Namespace) -> int:
+def _cmd_doppler(args: argparse.Namespace, obs: "ObservabilityRuntime") -> int:
     from repro.core.doppler import SkuRecommender, recommendation_accuracy
     from repro.workloads import generate_customers
 
-    recommender = SkuRecommender(rng=args.seed).fit(
-        generate_customers(2 * args.customers, rng=args.seed)
-    )
+    recommender = SkuRecommender(rng=args.seed).bind(obs)
+    with obs.span("doppler.observe", layer="service"):
+        recommender.observe(generate_customers(2 * args.customers, rng=args.seed))
     migrating = generate_customers(args.customers, rng=args.seed + 1)
     accuracy = recommendation_accuracy(recommender, migrating)
     exact = recommendation_accuracy(recommender, migrating, within_one_tier=False)
+    obs.replay(recommender.report())
     print(f"SKU recommendation accuracy: {accuracy:.1%} within one tier "
           f"({exact:.1%} exact; paper: >95%)")
     return 0
 
 
-def _cmd_explain(args: argparse.Namespace) -> int:
+def _cmd_explain(args: argparse.Namespace, obs: "ObservabilityRuntime") -> int:
     from repro.engine import Optimizer
     from repro.engine.serialize import explain
     from repro.workloads import ScopeWorkloadGenerator
 
-    workload = ScopeWorkloadGenerator(rng=args.seed).generate(n_days=1)
+    with obs.span("workload.generate", layer="workload"):
+        workload = ScopeWorkloadGenerator(rng=args.seed).generate(n_days=1)
     job = next(j for j in workload.jobs if j.plan.size >= 5)
-    optimizer = Optimizer(workload.catalog)
+    optimizer = Optimizer(workload.catalog, obs=obs)
     print(f"job {job.job_id} (logical):")
     print(explain(job.plan))
     print("\noptimized:")
@@ -108,11 +134,12 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_algorithms(args: argparse.Namespace) -> int:
+def _cmd_algorithms(args: argparse.Namespace, obs: "ObservabilityRuntime") -> int:
     from repro.core.algorithmstore import default_store
 
     store = default_store()
-    results = store.search(" ".join(args.query))
+    with obs.span("algorithmstore.search", layer="service"):
+        results = store.search(" ".join(args.query))
     if not results:
         print("no matching algorithms")
         return 1
@@ -121,48 +148,144 @@ def _cmd_algorithms(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace, obs: "ObservabilityRuntime") -> int:
+    """One traced end-to-end scenario: workload -> engine -> service.
+
+    Jobs arrive through the DES event queue (infra layer); each arrival
+    optimizes the plan, executes the stage DAG on the simulated cluster
+    (engine layer), and feeds the plan through the steering service
+    (service layer).  Spans and events land in one TelemetryStore.
+    """
+    from repro.core.steering import SteeringService
+    from repro.engine import (
+        ClusterExecutor,
+        DefaultCardinalityEstimator,
+        DefaultCostModel,
+        Optimizer,
+        TrueCardinalityModel,
+        compile_stages,
+    )
+    from repro.infra import EventQueue
+    from repro.workloads import ScopeWorkloadGenerator
+
+    with obs.span("workload.generate", layer="workload"):
+        workload = ScopeWorkloadGenerator(rng=args.seed).generate(n_days=1)
+    truth = TrueCardinalityModel(workload.catalog, seed=args.seed)
+    est_cost = DefaultCostModel(
+        workload.catalog, DefaultCardinalityEstimator(workload.catalog)
+    )
+    true_cost = DefaultCostModel(workload.catalog, truth)
+    optimizer = Optimizer(workload.catalog, obs=obs)
+    executor = ClusterExecutor(rng=args.seed, obs=obs)
+    steering = SteeringService(
+        optimizer, lambda p: true_cost.cost(p).total, rng=args.seed
+    )
+    steering.bind(obs)
+    queue = EventQueue(obs=obs)
+
+    jobs = workload.jobs[: args.jobs]
+
+    def _arrival(job):
+        def _run() -> None:
+            optimized = optimizer.optimize(job.plan).plan
+            graph = compile_stages(optimized, est_cost, truth=true_cost)
+            executor.run(graph)
+            steering.observe(job.job_id, job.plan)
+
+        return _run
+
+    for i, job in enumerate(jobs):
+        queue.schedule(float(i), _arrival(job), label="job_arrival")
+    queue.run()
+    obs.replay(steering.report())
+    points = obs.flush()
+
+    print(obs.render())
+    print(
+        f"\ntraced {len(jobs)} jobs: {len(obs.tracer.spans)} spans, "
+        f"{len(obs.events)} events, {points} metric points exported"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Autonomous data services reproduction — quick looks.",
     )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the span tree and per-layer rollup after the command",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    stats = sub.add_parser("stats", help="workload structure statistics")
+    stats = sub.add_parser(
+        "stats", help="workload structure statistics", parents=[common]
+    )
     stats.add_argument("--days", type=int, default=7)
     stats.add_argument("--seed", type=int, default=0)
     stats.set_defaults(func=_cmd_stats)
 
-    moneyball = sub.add_parser("moneyball", help="pause/resume comparison")
+    moneyball = sub.add_parser(
+        "moneyball", help="pause/resume comparison", parents=[common]
+    )
     moneyball.add_argument("--tenants", type=int, default=60)
     moneyball.add_argument("--seed", type=int, default=0)
     moneyball.set_defaults(func=_cmd_moneyball)
 
-    seagull = sub.add_parser("seagull", help="backup-window accuracy")
+    seagull = sub.add_parser(
+        "seagull", help="backup-window accuracy", parents=[common]
+    )
     seagull.add_argument("--servers", type=int, default=40)
     seagull.add_argument("--seed", type=int, default=0)
     seagull.set_defaults(func=_cmd_seagull)
 
-    doppler = sub.add_parser("doppler", help="SKU recommendation accuracy")
+    doppler = sub.add_parser(
+        "doppler", help="SKU recommendation accuracy", parents=[common]
+    )
     doppler.add_argument("--customers", type=int, default=150)
     doppler.add_argument("--seed", type=int, default=0)
     doppler.set_defaults(func=_cmd_doppler)
 
-    explain = sub.add_parser("explain", help="EXPLAIN a sample plan")
+    explain = sub.add_parser(
+        "explain", help="EXPLAIN a sample plan", parents=[common]
+    )
     explain.add_argument("--seed", type=int, default=0)
     explain.set_defaults(func=_cmd_explain)
 
-    algorithms = sub.add_parser("algorithms", help="search the AlgorithmStore")
+    algorithms = sub.add_parser(
+        "algorithms", help="search the AlgorithmStore", parents=[common]
+    )
     algorithms.add_argument("query", nargs="+")
     algorithms.set_defaults(func=_cmd_algorithms)
+
+    trace = sub.add_parser(
+        "trace",
+        help="traced end-to-end run (workload -> engine -> service)",
+        parents=[common],
+    )
+    trace.add_argument("--jobs", type=int, default=6)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.set_defaults(func=_cmd_trace)
 
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.obs import ObservabilityRuntime
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    obs = ObservabilityRuntime()
+    with obs.span(f"cli.{args.command}", layer="cli"):
+        code = args.func(args, obs)
+    obs.flush()
+    if getattr(args, "trace", False) and args.command != "trace":
+        print()
+        print(obs.render())
+    return code
 
 
 if __name__ == "__main__":

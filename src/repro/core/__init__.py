@@ -25,5 +25,12 @@ Service layer (4.3)
 
 Cross-cutting (Insights 1-3)
     :mod:`~repro.core.feedback` (monitoring + rollback loop),
-    :mod:`~repro.core.pareto` (QoS/cost frontier tooling).
+    :mod:`~repro.core.pareto` (QoS/cost frontier tooling),
+    :mod:`~repro.core.service` (the common ``AutonomousService``
+    observe/recommend/report protocol every service implements, bound
+    to the shared :mod:`repro.obs` observability runtime).
 """
+
+from repro.core.service import AutonomousService, deprecated_alias
+
+__all__ = ["AutonomousService", "deprecated_alias"]

@@ -19,7 +19,7 @@ The paper's requirements for the catalog map to features here:
 from __future__ import annotations
 
 import inspect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 

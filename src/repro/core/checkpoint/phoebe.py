@@ -11,7 +11,7 @@ the paper's LP rounds to in practice.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -8,9 +8,15 @@ options."
 """
 
 from repro.core.doppler.recommender import (
+    DopplerReport,
     Recommendation,
     SkuRecommender,
     recommendation_accuracy,
 )
 
-__all__ = ["SkuRecommender", "Recommendation", "recommendation_accuracy"]
+__all__ = [
+    "SkuRecommender",
+    "Recommendation",
+    "DopplerReport",
+    "recommendation_accuracy",
+]

@@ -15,10 +15,12 @@ The pipeline mirrors Doppler:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.core.service import AutonomousService, deprecated_alias
 from repro.ml import KMeans, StandardScaler
 from repro.workloads.customers import (
     AZURE_SKUS,
@@ -26,6 +28,9 @@ from repro.workloads.customers import (
     Sku,
     ground_truth_sku,
 )
+
+if TYPE_CHECKING:
+    from repro.obs.events import ObsEvent
 
 
 @dataclass
@@ -41,9 +46,50 @@ class Recommendation:
     def price(self) -> float:
         return self.sku.price
 
+    def to_events(self) -> "list[ObsEvent]":
+        from repro.obs.events import ObsEvent, freeze_attributes
 
-class SkuRecommender:
+        return [
+            ObsEvent(
+                timestamp=0.0,
+                layer="service",
+                source="doppler",
+                kind="recommendation",
+                value=self.price,
+                attributes=freeze_attributes(
+                    {
+                        "customer": self.customer_id,
+                        "sku": self.sku.name,
+                        "segment": self.segment,
+                    }
+                ),
+            )
+        ]
+
+
+@dataclass
+class DopplerReport:
+    """Every recommendation issued so far, replayable into the EventLog."""
+
+    recommendations: list[Recommendation]
+
+    @property
+    def mean_price(self) -> float:
+        if not self.recommendations:
+            return 0.0
+        return float(np.mean([r.price for r in self.recommendations]))
+
+    def to_events(self) -> "list[ObsEvent]":
+        return [
+            event for rec in self.recommendations for event in rec.to_events()
+        ]
+
+
+class SkuRecommender(AutonomousService):
     """Fit on labelled migrations; recommend for unseen customers."""
+
+    service_name = "doppler"
+    layer = "service"
 
     def __init__(
         self,
@@ -62,9 +108,10 @@ class SkuRecommender:
         self._global_factor: dict[str, float] = {
             "vcores": 1.0, "memory": 1.0, "iops": 1.0,
         }
+        self._recommendations: list[Recommendation] = []
 
     # -- training --------------------------------------------------------------
-    def fit(
+    def observe(
         self,
         customers: list[CustomerProfile],
         observed_needs: list[tuple[float, float, float]] | None = None,
@@ -113,7 +160,20 @@ class SkuRecommender:
                 d: float(np.median(v)) if v else self._global_factor[d]
                 for d, v in seg.items()
             }
+        self._emit("observe", value=float(len(customers)))
         return self
+
+    @deprecated_alias("observe")
+    def fit(
+        self,
+        customers: list[CustomerProfile],
+        observed_needs: list[tuple[float, float, float]] | None = None,
+    ) -> "SkuRecommender":
+        return self.observe(customers, observed_needs)
+
+    def report(self) -> DopplerReport:
+        """Every recommendation issued so far."""
+        return DopplerReport(recommendations=list(self._recommendations))
 
     # -- recommendation --------------------------------------------------------------
     def segment_of(self, customer: CustomerProfile) -> int:
@@ -140,12 +200,20 @@ class SkuRecommender:
         ]
         covering = [sku for sku, covers in options if covers]
         chosen = covering[0] if covering else ranked[-1]
-        return Recommendation(
+        recommendation = Recommendation(
             customer_id=customer.customer_id,
             sku=chosen,
             segment=segment,
             ranked_options=options,
         )
+        self._recommendations.append(recommendation)
+        self._emit(
+            "recommendation",
+            value=recommendation.price,
+            sku=chosen.name,
+            segment=segment,
+        )
+        return recommendation
 
 
 def recommendation_accuracy(

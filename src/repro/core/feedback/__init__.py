@@ -5,6 +5,6 @@ real-time, continually assess, and initiate fine-tuning of the model,
 and (2) a rollback mechanism that reacts fast and avoids regression."
 """
 
-from repro.core.feedback.loop import FeedbackLoop, LoopEvent
+from repro.core.feedback.loop import FeedbackLoop, FeedbackReport, LoopEvent
 
-__all__ = ["FeedbackLoop", "LoopEvent"]
+__all__ = ["FeedbackLoop", "FeedbackReport", "LoopEvent"]

@@ -15,13 +15,17 @@ The loop owns one logical model name in a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from repro.core.service import AutonomousService, deprecated_alias
 from repro.ml import ModelRegistry, PageHinkley
 from repro.ml.drift import DriftDetector
+
+if TYPE_CHECKING:
+    from repro.obs.events import ObsEvent
 
 
 @dataclass
@@ -32,9 +36,47 @@ class LoopEvent:
     action: str      # "drift" | "flight" | "promote" | "abort" | "rollback"
     version: int | None = None
 
+    def to_events(self) -> "list[ObsEvent]":
+        """This loop action as the shared observability event shape."""
+        from repro.obs.events import ObsEvent, freeze_attributes
 
-class FeedbackLoop:
+        attributes = (
+            freeze_attributes({"version": self.version})
+            if self.version is not None
+            else ()
+        )
+        return [
+            ObsEvent(
+                timestamp=float(self.step),
+                layer="service",
+                source="feedback",
+                kind=self.action,
+                attributes=attributes,
+            )
+        ]
+
+
+@dataclass
+class FeedbackReport:
+    """Audit trail of one loop, replayable into the shared EventLog."""
+
+    name: str
+    steps: int
+    events: list[LoopEvent]
+
+    @property
+    def actions(self) -> list[str]:
+        return [e.action for e in self.events]
+
+    def to_events(self) -> "list[ObsEvent]":
+        return [obs_event for event in self.events for obs_event in event.to_events()]
+
+
+class FeedbackLoop(AutonomousService):
     """Drive one model name through monitor -> retrain -> flight -> rollback."""
+
+    service_name = "feedback"
+    layer = "service"
 
     def __init__(
         self,
@@ -66,7 +108,7 @@ class FeedbackLoop:
         self._baseline_error: float | None = None
         self._post_promotion_errors: list[float] = []
 
-    # -- the single entry point -----------------------------------------------
+    # -- the AutonomousService API ----------------------------------------------
     def observe(self, features: np.ndarray, actual: float) -> float:
         """Process one production observation; returns the served prediction."""
         self._step += 1
@@ -90,9 +132,33 @@ class FeedbackLoop:
             self._evaluate_flight()
         return prediction
 
+    def recommend(self) -> dict:
+        """The loop's current serving decision for its model name."""
+        serving = self.registry.serve(self.name)
+        flighting = self.registry.flighting(self.name)
+        return {
+            "name": self.name,
+            "serving_version": serving.version,
+            "flighting_version": flighting.version if flighting else None,
+        }
+
+    def report(self) -> FeedbackReport:
+        """The audit trail so far (replayable via ``to_events()``)."""
+        return FeedbackReport(
+            name=self.name, steps=self._step, events=list(self.events)
+        )
+
+    def _record(self, event: LoopEvent) -> None:
+        self.events.append(event)
+        self._emit(
+            event.action,
+            step=event.step,
+            **({"version": event.version} if event.version is not None else {}),
+        )
+
     # -- internals -------------------------------------------------------------
     def _trigger_retrain(self) -> None:
-        self.events.append(LoopEvent(self._step, "drift"))
+        self._record(LoopEvent(self._step, "drift"))
         self.detector.reset()
         x = np.vstack(self._recent_x)
         y = np.array(self._recent_y)
@@ -106,7 +172,7 @@ class FeedbackLoop:
         production = self.registry.production(self.name)
         if production is not None:
             production.metrics.clear()
-        self.events.append(LoopEvent(self._step, "flight", version))
+        self._record(LoopEvent(self._step, "flight", version))
 
     def _evaluate_flight(self) -> None:
         candidate = self.registry.flighting(self.name)
@@ -114,15 +180,11 @@ class FeedbackLoop:
             self.name, min_samples=self.flight_min_samples
         )
         if outcome is True:
-            self.events.append(
-                LoopEvent(self._step, "promote", candidate.version)
-            )
+            self._record(LoopEvent(self._step, "promote", candidate.version))
             self._baseline_error = None
             self._post_promotion_errors = []
         elif outcome is False:
-            self.events.append(
-                LoopEvent(self._step, "abort", candidate.version)
-            )
+            self._record(LoopEvent(self._step, "abort", candidate.version))
 
     def _monitor_production(self, error: float) -> None:
         """Rollback watch: sustained error blow-up after a promotion."""
@@ -147,9 +209,10 @@ class FeedbackLoop:
                 version = self.registry.rollback(self.name)
             except RuntimeError:
                 return
-            self.events.append(LoopEvent(self._step, "rollback", version))
+            self._record(LoopEvent(self._step, "rollback", version))
             self._baseline_error = None
 
-    # -- introspection -------------------------------------------------------------
+    # -- deprecated entry points -----------------------------------------------
+    @deprecated_alias("report")
     def actions(self) -> list[str]:
-        return [e.action for e in self.events]
+        return self.report().actions

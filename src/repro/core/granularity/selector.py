@@ -10,7 +10,7 @@ that which granularity wins depends on how much data each entity has.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

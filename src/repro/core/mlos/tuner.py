@@ -16,7 +16,7 @@ configuration is deliberately far from optimal.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np

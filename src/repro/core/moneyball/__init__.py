@@ -8,6 +8,8 @@ Pareto curve.
 
 from repro.core.moneyball.policy import (
     ForecastPausePolicy,
+    MoneyballPolicy,
+    MoneyballReport,
     PredictabilityClassifier,
     evaluate_policies,
     policy_tradeoff,
@@ -16,6 +18,8 @@ from repro.core.moneyball.policy import (
 __all__ = [
     "PredictabilityClassifier",
     "ForecastPausePolicy",
+    "MoneyballPolicy",
+    "MoneyballReport",
     "policy_tradeoff",
     "evaluate_policies",
 ]

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
+
+from repro.core.service import AutonomousService, deprecated_alias
 
 from repro.core.pareto import TradeoffPoint
 from repro.infra.serverless import (
@@ -16,6 +18,9 @@ from repro.infra.serverless import (
 )
 from repro.ml import predictability_score
 from repro.workloads.usage import HOURS_PER_DAY, TenantTrace
+
+if TYPE_CHECKING:
+    from repro.obs.events import ObsEvent
 
 
 @dataclass
@@ -157,3 +162,104 @@ class _AlwaysOn:
 
     def should_resume(self, hour: int, history: np.ndarray) -> bool:
         return True
+
+
+@dataclass
+class MoneyballReport:
+    """Per-policy (QoS, cost) tradeoff points over the observed tenants."""
+
+    points: dict[str, TradeoffPoint]
+    n_tenants: int
+    predictable_fraction: float
+
+    def to_events(self) -> "list[ObsEvent]":
+        from repro.obs.events import ObsEvent, freeze_attributes
+
+        return [
+            ObsEvent(
+                timestamp=0.0,
+                layer="service",
+                source="moneyball",
+                kind="policy",
+                value=point.cost,
+                attributes=freeze_attributes(
+                    {"policy": name, "qos_penalty": round(point.qos_penalty, 6)}
+                ),
+            )
+            for name, point in self.points.items()
+        ]
+
+
+class MoneyballPolicy(AutonomousService):
+    """The pause/resume service behind the AutonomousService API.
+
+    ``observe`` ingests tenant usage traces, ``recommend`` returns the
+    pause policy a tenant should run (forecast-driven when the
+    classifier deems it predictable, conservative reactive fallback
+    otherwise), and ``report`` simulates the standard policy lineup over
+    everything observed and returns the tradeoff points.
+    """
+
+    service_name = "moneyball"
+    layer = "service"
+
+    def __init__(
+        self,
+        simulator: ServerlessSimulator | None = None,
+        classifier: PredictabilityClassifier | None = None,
+        fallback_idle_hours: int = 4,
+        pause_margin: int = 1,
+    ) -> None:
+        self.simulator = simulator or ServerlessSimulator()
+        self.classifier = classifier or PredictabilityClassifier()
+        self.fallback_idle_hours = fallback_idle_hours
+        self.pause_margin = pause_margin
+        self._traces: list[TenantTrace] = []
+
+    def observe(self, trace: TenantTrace) -> bool:
+        """Ingest one tenant's usage trace; returns its predictability."""
+        self._traces.append(trace)
+        predictable = self.classifier.is_predictable(trace)
+        self._emit(
+            "observe", tenant=trace.tenant_id, predictable=predictable
+        )
+        return predictable
+
+    def recommend(self, trace: TenantTrace) -> PausePolicy:
+        """The pause policy this tenant should run."""
+        if self.classifier.is_predictable(trace):
+            return ForecastPausePolicy(
+                activity_threshold=self.simulator.activity_threshold,
+                pause_margin=self.pause_margin,
+            )
+        return ReactiveIdlePolicy(
+            self.fallback_idle_hours, self.simulator.activity_threshold
+        )
+
+    def report(self) -> MoneyballReport:
+        """Simulate the policy lineup over every observed tenant."""
+        if not self._traces:
+            raise ValueError("no traces observed")
+        with self._span("report", n_tenants=len(self._traces)):
+            by_policy = evaluate_policies(
+                self._traces,
+                self.simulator,
+                classifier=self.classifier,
+                fallback_idle_hours=self.fallback_idle_hours,
+                pause_margin=self.pause_margin,
+            )
+            return MoneyballReport(
+                points={
+                    name: policy_tradeoff(reports, name)
+                    for name, reports in by_policy.items()
+                },
+                n_tenants=len(self._traces),
+                predictable_fraction=self.classifier.predictable_fraction(
+                    self._traces
+                ),
+            )
+
+    # -- deprecated entry points -----------------------------------------------
+    @deprecated_alias("report")
+    def evaluate(self) -> MoneyballReport:
+        return self.report()

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.peregrine.repository import JobRecord, WorkloadRepository
+from repro.core.peregrine.repository import WorkloadRepository
 
 
 @dataclass

@@ -10,7 +10,7 @@ dependency edges for pipeline analysis.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import networkx as nx
 

@@ -22,9 +22,7 @@ import numpy as np
 
 from repro.engine import (
     Catalog,
-    DefaultCardinalityEstimator,
     DefaultCostModel,
-    Expression,
     Filter,
     Predicate,
     Scan,

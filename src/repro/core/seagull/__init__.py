@@ -11,6 +11,8 @@ from repro.core.seagull.scheduler import (
     BackupScheduler,
     ForecastWindowPolicy,
     PreviousDayPolicy,
+    SeagullReport,
+    SeagullService,
     WindowChoice,
     evaluate_policy,
 )
@@ -20,5 +22,7 @@ __all__ = [
     "WindowChoice",
     "ForecastWindowPolicy",
     "PreviousDayPolicy",
+    "SeagullService",
+    "SeagullReport",
     "evaluate_policy",
 ]

@@ -10,12 +10,16 @@ that day (choosing an equally-quiet window is not an error).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol
+from typing import TYPE_CHECKING, Protocol
 
 import numpy as np
 
-from repro.ml import HoltWinters, SeasonalNaiveForecaster
+from repro.core.service import AutonomousService, deprecated_alias
+from repro.ml import HoltWinters
 from repro.workloads.usage import HOURS_PER_DAY, TenantTrace
+
+if TYPE_CHECKING:
+    from repro.obs.events import ObsEvent
 
 
 @dataclass
@@ -32,6 +36,22 @@ class WindowChoice:
     def is_correct(self, tolerance: float) -> bool:
         """Within ``tolerance`` (absolute load units) of the optimum."""
         return self.actual_load <= self.optimal_load + tolerance
+
+    def to_events(self) -> "list[ObsEvent]":
+        from repro.obs.events import ObsEvent, freeze_attributes
+
+        return [
+            ObsEvent(
+                timestamp=float(self.day * HOURS_PER_DAY + self.start_hour),
+                layer="service",
+                source="seagull",
+                kind="window",
+                value=self.actual_load,
+                attributes=freeze_attributes(
+                    {"server": self.server_id, "start_hour": self.start_hour}
+                ),
+            )
+        ]
 
 
 class WindowPolicy(Protocol):
@@ -140,3 +160,77 @@ def evaluate_policy(
     if not choices:
         raise ValueError("no (trace, day) pairs to evaluate")
     return float(np.mean([c.is_correct(tolerance) for c in choices]))
+
+
+@dataclass
+class SeagullReport:
+    """Accuracy of the windows recommended so far."""
+
+    choices: list[WindowChoice]
+    tolerance: float
+
+    @property
+    def accuracy(self) -> float:
+        if not self.choices:
+            return 0.0
+        return float(
+            np.mean([c.is_correct(self.tolerance) for c in self.choices])
+        )
+
+    def to_events(self) -> "list[ObsEvent]":
+        return [event for choice in self.choices for event in choice.to_events()]
+
+
+class SeagullService(AutonomousService):
+    """Backup-window selection behind the AutonomousService API.
+
+    ``observe`` ingests server load traces, ``recommend`` picks
+    tomorrow's window for one (server, day) via the configured forecast
+    policy, and ``report`` summarizes the accuracy of every window
+    recommended so far.
+    """
+
+    service_name = "seagull"
+    layer = "service"
+
+    def __init__(
+        self,
+        policy: WindowPolicy | None = None,
+        window_hours: int = 2,
+        tolerance: float = 0.1,
+    ) -> None:
+        self.policy = policy or ForecastWindowPolicy()
+        self.scheduler = BackupScheduler(window_hours)
+        self.tolerance = tolerance
+        self._traces: dict[str, TenantTrace] = {}
+        self._choices: list[WindowChoice] = []
+
+    def observe(self, trace: TenantTrace) -> TenantTrace:
+        """Ingest (or refresh) one server's load trace."""
+        self._traces[trace.tenant_id] = trace
+        self._emit("observe", server=trace.tenant_id)
+        return trace
+
+    def recommend(self, server_id: str, day: int) -> WindowChoice:
+        """Pick the backup window for one observed server-day."""
+        trace = self._traces.get(server_id)
+        if trace is None:
+            raise KeyError(f"server {server_id!r} has not been observed")
+        with self._span("recommend", server=server_id, day=day):
+            choice = self.scheduler.choose(trace, day, self.policy)
+            self._choices.append(choice)
+            self._emit(
+                "window",
+                value=choice.actual_load,
+                server=server_id,
+                start_hour=choice.start_hour,
+            )
+            return choice
+
+    def report(self) -> SeagullReport:
+        return SeagullReport(choices=list(self._choices), tolerance=self.tolerance)
+
+    # -- deprecated entry points -----------------------------------------------
+    @deprecated_alias("recommend")
+    def choose(self, server_id: str, day: int) -> WindowChoice:
+        return self.recommend(server_id, day)

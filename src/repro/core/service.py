@@ -1,0 +1,110 @@
+"""The common ``AutonomousService`` API every core service speaks.
+
+The paper's services grew up with ad-hoc entry points (``process``,
+``fit``, ``choose``, ...).  This module defines the one shape they all
+share now:
+
+- :meth:`AutonomousService.observe` — ingest production signals
+  (telemetry, traces, job outcomes) and update internal state,
+- :meth:`AutonomousService.recommend` — produce a decision for one
+  subject (a policy, a config, a SKU, a window),
+- :meth:`AutonomousService.report` — return the accumulated report;
+  every report exposes ``to_events()`` so it replays into the shared
+  :class:`~repro.obs.events.EventLog`.
+
+Services bind to an :class:`~repro.obs.runtime.ObservabilityRuntime`
+with :meth:`AutonomousService.bind`; unbound services run with zero
+instrumentation overhead.  Old entry points remain as thin aliases that
+raise :class:`DeprecationWarning` via :func:`deprecated_alias`.
+"""
+
+from __future__ import annotations
+
+import abc
+import functools
+import warnings
+from contextlib import nullcontext
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:
+    from repro.obs.runtime import ObservabilityRuntime
+
+
+class AutonomousService(abc.ABC):
+    """observe() / recommend() / report(), with optional observability.
+
+    Subclasses set ``service_name`` (the ``source`` tag on emitted
+    events and the span-name prefix) and ``layer`` (defaults to
+    ``"service"`` — the paper's service layer).
+    """
+
+    #: Component tag used in span names and event sources.
+    service_name: str = "service"
+    #: Architectural layer the service reports under.
+    layer: str = "service"
+
+    _obs: "ObservabilityRuntime | None" = None
+
+    def bind(self, obs: "ObservabilityRuntime | None") -> "AutonomousService":
+        """Attach (or detach, with ``None``) an observability runtime."""
+        self._obs = obs
+        return self
+
+    @property
+    def obs(self) -> "ObservabilityRuntime | None":
+        return self._obs
+
+    # -- instrumentation helpers ----------------------------------------------
+    def _span(self, name: str, **attributes: object):
+        """Span context manager, or a no-op when the service is unbound."""
+        if self._obs is None:
+            return nullcontext()
+        return self._obs.span(
+            f"{self.service_name}.{name}", layer=self.layer, **attributes
+        )
+
+    def _emit(self, kind: str, value: float = 1.0, **attributes: object) -> None:
+        if self._obs is not None:
+            self._obs.emit(
+                self.layer, self.service_name, kind, value=value, **attributes
+            )
+
+    # -- the protocol ---------------------------------------------------------
+    @abc.abstractmethod
+    def observe(self, *args, **kwargs):
+        """Ingest one production signal; returns a service-specific value."""
+
+    @abc.abstractmethod
+    def recommend(self, *args, **kwargs):
+        """Produce a decision for one subject."""
+
+    @abc.abstractmethod
+    def report(self):
+        """Return the accumulated report (``to_events()``-bearing)."""
+
+
+def deprecated_alias(replacement: str) -> Callable:
+    """Mark an old entry point as a deprecated alias of ``replacement``.
+
+    ::
+
+        @deprecated_alias("observe")
+        def process(self, job_id, plan):
+            return self.observe(job_id, plan)
+    """
+
+    def decorator(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(self, *args, **kwargs):
+            warnings.warn(
+                f"{type(self).__name__}.{fn.__name__}() is deprecated; "
+                f"use {type(self).__name__}.{replacement}() instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return fn(self, *args, **kwargs)
+
+        wrapper.__deprecated_for__ = replacement
+        return wrapper
+
+    return decorator

@@ -17,23 +17,23 @@ Production adaptations reproduced from [35, 51]:
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from repro.core.service import AutonomousService, deprecated_alias
 from repro.engine import (
     ALL_RULES,
-    Aggregate,
     Expression,
-    Filter,
-    Join,
     Optimizer,
     RuleConfig,
     signatures,
 )
 from repro.ml import LinUCB
+
+if TYPE_CHECKING:
+    from repro.obs.events import ObsEvent
 
 #: Context feature count (see :func:`plan_features`).
 N_FEATURES = 6
@@ -124,9 +124,54 @@ class SteeringReport:
         default = RuleConfig.all_on()
         return max(o.config.hamming(default) for o in self.outcomes)
 
+    def to_events(self) -> "list[ObsEvent]":
+        """The steered stream as shared observability events.
 
-class SteeringService:
+        One ``job`` event per outcome (value = relative improvement,
+        stamped by stream position) plus summary ``adoptions`` /
+        ``rollbacks`` counters at the end.
+        """
+        from repro.obs.events import ObsEvent, freeze_attributes
+
+        events = [
+            ObsEvent(
+                timestamp=float(i),
+                layer="service",
+                source="steering",
+                kind="job",
+                value=outcome.improvement,
+                attributes=freeze_attributes(
+                    {
+                        "job_id": outcome.job_id,
+                        "template": outcome.template,
+                        "experimented": outcome.experimented,
+                    }
+                ),
+            )
+            for i, outcome in enumerate(self.outcomes)
+        ]
+        end = float(len(self.outcomes))
+        for kind, count in (
+            ("adoptions", self.adoptions),
+            ("rollbacks", self.rollbacks),
+        ):
+            events.append(
+                ObsEvent(
+                    timestamp=end,
+                    layer="service",
+                    source="steering",
+                    kind=kind,
+                    value=float(count),
+                )
+            )
+        return events
+
+
+class SteeringService(AutonomousService):
     """Per-template steering with exploration, validation, and rollback."""
+
+    service_name = "steering"
+    layer = "service"
 
     def __init__(
         self,
@@ -154,6 +199,7 @@ class SteeringService:
         self.max_steps = max_steps
         self._rng = np.random.default_rng(rng)
         self._states: dict[str, _TemplateState] = {}
+        self._outcomes: list[SteeringOutcome] = []
         self.adoptions = 0
         self.rollbacks = 0
         #: Arm index meaning "trial nothing this round".
@@ -169,42 +215,70 @@ class SteeringService:
             rng=self._rng,
         )
 
-    # -- public API --------------------------------------------------------------
-    def config_for(self, template: str) -> RuleConfig:
+    # -- the AutonomousService API ----------------------------------------------
+    def recommend(self, template: str) -> RuleConfig:
+        """The currently adopted config for a job template."""
         state = self._states.get(template)
         return state.config if state else RuleConfig.all_on()
 
-    def process(self, job_id: str, plan: Expression) -> SteeringOutcome:
+    def observe(self, job_id: str, plan: Expression) -> SteeringOutcome:
         """Steer one job: run the adopted config, maybe trial one flip."""
-        template = signatures(plan).template
-        state = self._state(template)
-        default_cost = self._evaluate(plan, RuleConfig.all_on())
-        steered_cost = self._evaluate(plan, state.config)
+        with self._span("observe", job_id=job_id):
+            template = signatures(plan).template
+            state = self._state(template)
+            default_cost = self._evaluate(plan, RuleConfig.all_on())
+            steered_cost = self._evaluate(plan, state.config)
 
-        experimented = False
-        trial_arm = None
-        if self._rng.random() < self.exploration_rate:
-            trial_arm = self._trial(state, plan, steered_cost)
-            experimented = trial_arm is not None
+            experimented = False
+            trial_arm = None
+            if self._rng.random() < self.exploration_rate:
+                trial_arm = self._trial(state, plan, steered_cost)
+                experimented = trial_arm is not None
 
-        self._monitor_adoption(state, default_cost, steered_cost)
-        return SteeringOutcome(
-            job_id=job_id,
-            template=template,
-            config=state.config,
-            default_cost=default_cost,
-            steered_cost=steered_cost,
-            experimented=experimented,
-            trial_arm=trial_arm,
+            self._monitor_adoption(state, default_cost, steered_cost)
+            outcome = SteeringOutcome(
+                job_id=job_id,
+                template=template,
+                config=state.config,
+                default_cost=default_cost,
+                steered_cost=steered_cost,
+                experimented=experimented,
+                trial_arm=trial_arm,
+            )
+            self._outcomes.append(outcome)
+            self._emit(
+                "job",
+                value=outcome.improvement,
+                template=template,
+                experimented=experimented,
+            )
+            return outcome
+
+    def report(self) -> SteeringReport:
+        """Aggregate report over every job observed so far."""
+        return SteeringReport(
+            outcomes=list(self._outcomes),
+            adoptions=self.adoptions,
+            rollbacks=self.rollbacks,
         )
 
     def run(self, jobs: list[tuple[str, Expression]]) -> SteeringReport:
-        outcomes = [self.process(job_id, plan) for job_id, plan in jobs]
+        """Observe a whole stream; report covers just this stream."""
+        outcomes = [self.observe(job_id, plan) for job_id, plan in jobs]
         return SteeringReport(
             outcomes=outcomes,
             adoptions=self.adoptions,
             rollbacks=self.rollbacks,
         )
+
+    # -- deprecated entry points -----------------------------------------------
+    @deprecated_alias("recommend")
+    def config_for(self, template: str) -> RuleConfig:
+        return self.recommend(template)
+
+    @deprecated_alias("observe")
+    def process(self, job_id: str, plan: Expression) -> SteeringOutcome:
+        return self.observe(job_id, plan)
 
     # -- internals -------------------------------------------------------------
     def _state(self, template: str) -> _TemplateState:
@@ -261,6 +335,7 @@ class SteeringService:
             state.trials[arm] = []
             state.post_adoption = []
             self.adoptions += 1
+            self._emit("adopt", arm=arm)
 
     def _monitor_adoption(
         self, state: _TemplateState, default_cost: float, steered_cost: float
@@ -284,3 +359,4 @@ class SteeringService:
             state.blacklisted.add(bad_arm)
             state.post_adoption = []
             self.rollbacks += 1
+            self._emit("rollback", arm=bad_arm)

@@ -9,7 +9,7 @@ cardinality/cost services something real to improve (Section 4.2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

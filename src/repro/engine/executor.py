@@ -16,11 +16,16 @@ checkpoint optimizer and computation-reuse services are measured in.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.engine.stages import Stage, StageGraph
+from repro.obs.events import ObsEvent
+
+if TYPE_CHECKING:
+    from repro.obs.runtime import ObservabilityRuntime
 
 #: Durable-store write throughput, bytes/second (for checkpoint writes).
 CHECKPOINT_WRITE_RATE = 500e6
@@ -73,6 +78,49 @@ class ExecutionReport:
     def run_of(self, stage_id: int) -> StageRun:
         return self.runs[stage_id]
 
+    def to_events(self) -> "list[ObsEvent]":
+        """The run as shared observability events (simulated timestamps).
+
+        One ``stage`` event per stage run (value = duration seconds,
+        stamped at stage start) plus one ``job`` summary event at job
+        end, so a replayed report reconstructs the execution timeline in
+        any :class:`~repro.obs.events.EventLog`.
+        """
+        # Attribute tuples are built directly (in sorted-key order, the
+        # freeze_attributes convention) and fields are passed
+        # positionally: one event per executed stage makes this a hot
+        # path under tracing.
+        checkpointed = self.checkpointed
+        events = [
+            ObsEvent(
+                run.start,
+                "engine",
+                "executor",
+                "stage",
+                run.duration,
+                (
+                    ("checkpointed", str(run.stage_id in checkpointed)),
+                    ("stage_id", str(run.stage_id)),
+                ),
+            )
+            for run in self.runs
+        ]
+        job_end = max((run.end for run in self.runs), default=0.0)
+        events.append(
+            ObsEvent(
+                job_end,
+                "engine",
+                "executor",
+                "job",
+                self.runtime,
+                (
+                    ("checkpoints", str(len(self.checkpointed))),
+                    ("stages", str(len(self.runs))),
+                ),
+            )
+        )
+        return events
+
 
 class ClusterExecutor:
     """Deterministic-given-seed simulator of a machine fleet."""
@@ -84,6 +132,7 @@ class ClusterExecutor:
         placement_skew: float = 1.5,
         checkpoint_overhead_seconds: float = 0.05,
         rng: np.random.Generator | int | None = None,
+        obs: "ObservabilityRuntime | None" = None,
     ) -> None:
         if n_machines < 1:
             raise ValueError("n_machines must be >= 1")
@@ -94,11 +143,16 @@ class ClusterExecutor:
         self.n_machines = n_machines
         self.noise = noise
         self.checkpoint_overhead_seconds = checkpoint_overhead_seconds
+        self._obs = obs
         self._rng = np.random.default_rng(rng)
         # Skewed placement preferences: a few machines attract more tasks,
         # which is what creates temp-storage hotspots in production [52].
         raw = self._rng.exponential(scale=1.0, size=n_machines) ** placement_skew
         self._placement_weights = raw / raw.sum()
+
+    def bind(self, obs: "ObservabilityRuntime | None") -> "ClusterExecutor":
+        self._obs = obs
+        return self
 
     # -- execution ------------------------------------------------------------
     def run(
@@ -107,7 +161,28 @@ class ClusterExecutor:
         checkpoints: frozenset[int] | set[int] = frozenset(),
         start_time: float = 0.0,
     ) -> ExecutionReport:
-        """Execute the DAG; ``checkpoints`` marks stages written durably."""
+        """Execute the DAG; ``checkpoints`` marks stages written durably.
+
+        When an observability runtime is bound, the call is wrapped in an
+        ``engine.executor.run`` span and the finished report is replayed
+        into the event log (stage/job events on simulated time).
+        """
+        if self._obs is None:
+            return self._run(graph, checkpoints, start_time)
+        with self._obs.span(
+            "engine.executor.run", layer="engine", stages=len(graph.stages)
+        ) as span:
+            report = self._run(graph, checkpoints, start_time)
+            span.attributes["sim_runtime"] = round(report.runtime, 6)
+            self._obs.replay(report)
+            return report
+
+    def _run(
+        self,
+        graph: StageGraph,
+        checkpoints: frozenset[int] | set[int],
+        start_time: float,
+    ) -> ExecutionReport:
         checkpoints = frozenset(checkpoints)
         runs: list[StageRun] = []
         finish: dict[int, float] = {}

@@ -13,7 +13,7 @@ fixed and only literals move.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterator
 
 _COMPARISONS = ("<", "<=", ">", ">=", "=", "!=")

@@ -11,7 +11,8 @@ steering all enter through these two seams plus the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.engine.catalog import Catalog
 from repro.engine.cost import DefaultCostModel, PlanCost
@@ -20,7 +21,10 @@ from repro.engine.estimator import (
     DefaultCardinalityEstimator,
 )
 from repro.engine.expr import Expression, rewrite_bottom_up
-from repro.engine.rules import ALL_RULES, Rule, RuleContext
+from repro.engine.rules import ALL_RULES, RuleContext
+
+if TYPE_CHECKING:
+    from repro.obs.runtime import ObservabilityRuntime
 
 
 @dataclass(frozen=True)
@@ -83,6 +87,7 @@ class Optimizer:
         cardinality: CardinalityModel | None = None,
         cost_model: DefaultCostModel | None = None,
         max_passes: int = 5,
+        obs: "ObservabilityRuntime | None" = None,
     ) -> None:
         self.catalog = catalog
         self.cardinality = cardinality or DefaultCardinalityEstimator(catalog)
@@ -90,11 +95,28 @@ class Optimizer:
         if max_passes < 1:
             raise ValueError("max_passes must be >= 1")
         self.max_passes = max_passes
+        self._obs = obs
+
+    def bind(self, obs: "ObservabilityRuntime | None") -> "Optimizer":
+        self._obs = obs
+        return self
 
     def optimize(
         self, expr: Expression, config: RuleConfig | None = None
     ) -> OptimizerResult:
         """Apply enabled rules to fixpoint, then cost the final plan."""
+        if self._obs is None:
+            return self._optimize(expr, config)
+        with self._obs.span(
+            "engine.optimizer.optimize", layer="engine", plan_size=expr.size
+        ) as span:
+            result = self._optimize(expr, config)
+            span.attributes["passes"] = result.passes
+            return result
+
+    def _optimize(
+        self, expr: Expression, config: RuleConfig | None
+    ) -> OptimizerResult:
         config = config or RuleConfig.all_on()
         ctx = RuleContext(self.catalog, self.cardinality)
         active = [rule for rule in ALL_RULES if config.enabled(rule.rule_id)]

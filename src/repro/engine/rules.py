@@ -23,7 +23,6 @@ from repro.engine.expr import (
     Join,
     Predicate,
     Project,
-    Scan,
     Union,
 )
 

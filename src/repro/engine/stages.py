@@ -10,7 +10,7 @@ optimizer sizes them with its learned predictions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import networkx as nx
 import numpy as np

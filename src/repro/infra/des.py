@@ -5,7 +5,11 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:
+    from repro.obs.events import ObsEvent
+    from repro.obs.runtime import ObservabilityRuntime
 
 
 @dataclass(order=True)
@@ -17,15 +21,42 @@ class Event:
     action: Callable[[], Any] = field(compare=False)
     label: str = field(compare=False, default="")
 
+    def to_events(self) -> "list[ObsEvent]":
+        """This DES event as the shared observability event shape.
+
+        The timestamp is *simulated* time — replaying a simulation into
+        an :class:`~repro.obs.events.EventLog` reconstructs its timeline.
+        """
+        from repro.obs.events import ObsEvent
+
+        return [
+            ObsEvent(
+                timestamp=self.time,
+                layer="infra",
+                source="des",
+                kind=self.label or "event",
+            )
+        ]
+
 
 class EventQueue:
-    """Run callbacks in time order; actions may schedule further events."""
+    """Run callbacks in time order; actions may schedule further events.
 
-    def __init__(self) -> None:
+    Pass an :class:`~repro.obs.runtime.ObservabilityRuntime` as ``obs``
+    to get a span around each :meth:`run` plus one layer-tagged event
+    per processed DES event (stamped with simulated time).
+    """
+
+    def __init__(self, obs: "ObservabilityRuntime | None" = None) -> None:
         self._heap: list[Event] = []
         self._sequence = itertools.count()
         self.now = 0.0
         self.processed = 0
+        self._obs = obs
+
+    def bind(self, obs: "ObservabilityRuntime | None") -> "EventQueue":
+        self._obs = obs
+        return self
 
     def schedule(self, time: float, action: Callable[[], Any], label: str = "") -> Event:
         if time < self.now:
@@ -45,6 +76,17 @@ class EventQueue:
 
     def run(self, until: float | None = None) -> None:
         """Process events until the queue drains or ``until`` is reached."""
+        if self._obs is None:
+            self._run(until)
+            return
+        with self._obs.span("infra.des.run", layer="infra") as span:
+            before = self.processed
+            self._run(until)
+            span.attributes["processed"] = self.processed - before
+            span.attributes["sim_now"] = round(self.now, 6)
+
+    def _run(self, until: float | None) -> None:
+        obs = self._obs
         while self._heap:
             if until is not None and self._heap[0].time > until:
                 self.now = until
@@ -53,6 +95,8 @@ class EventQueue:
             self.now = event.time
             event.action()
             self.processed += 1
+            if obs is not None:
+                obs.replay(event)
         if until is not None:
             self.now = max(self.now, until)
 

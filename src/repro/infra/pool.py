@@ -16,12 +16,11 @@ machine-hours while they sit idle.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Protocol
 
 import numpy as np
 
-from repro.infra.des import EventQueue
 from repro.workloads.demand import DemandTrace
 
 

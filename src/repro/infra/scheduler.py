@@ -11,10 +11,14 @@ outcome the balancing optimizer cares about.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.workloads.machines import MachineFleetSimulator, MachineSku
+
+if TYPE_CHECKING:
+    from repro.obs.runtime import ObservabilityRuntime
 
 
 @dataclass(frozen=True)
@@ -63,11 +67,13 @@ class ContainerScheduler:
         fleet: list[SkuFleetConfig],
         noise: float = 1.5,
         rng: np.random.Generator | int | None = None,
+        obs: "ObservabilityRuntime | None" = None,
     ) -> None:
         if not fleet:
             raise ValueError("fleet must not be empty")
         self.fleet = fleet
         self.noise = noise
+        self._obs = obs
         self._rng = np.random.default_rng(rng)
         self._machines: list[tuple[str, MachineSku, int]] = []
         for config in fleet:
@@ -84,10 +90,29 @@ class ContainerScheduler:
     def capacity(self) -> int:
         return sum(cap for _, _, cap in self._machines)
 
+    def bind(self, obs: "ObservabilityRuntime | None") -> "ContainerScheduler":
+        self._obs = obs
+        return self
+
     def place(self, demand: int) -> ClusterLoadReport:
         """Distribute ``demand`` containers, least-loaded machine first."""
         if demand < 0:
             raise ValueError("demand must be non-negative")
+        if self._obs is None:
+            return self._place(demand)
+        with self._obs.span(
+            "infra.scheduler.place", layer="infra", demand=demand
+        ) as span:
+            report = self._place(demand)
+            span.attributes["placed"] = report.placed
+            span.attributes["queued"] = report.queued
+            self._obs.emit(
+                "infra", "scheduler", "place", value=report.placed,
+                queued=report.queued,
+            )
+            return report
+
+    def _place(self, demand: int) -> ClusterLoadReport:
         load = {machine_id: 0 for machine_id, _, _ in self._machines}
         caps = {machine_id: cap for machine_id, _, cap in self._machines}
         placed = 0

@@ -16,7 +16,7 @@ engineer can answer the two incident questions in one call each:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable
 
 import networkx as nx

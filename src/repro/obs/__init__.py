@@ -1,0 +1,37 @@
+"""Unified tracing + observability runtime (the paper's Direction 2).
+
+Every layer of the reproduction — the DES infrastructure simulators, the
+query engine, and the autonomous services — used to self-report through
+incompatible ad-hoc shapes.  This package is the shared spine they now
+report through:
+
+- :mod:`repro.obs.span` — a :class:`Tracer` producing nested spans with
+  wall *and* CPU time (measured with the existing
+  :class:`~repro.telemetry.timing.Stopwatch`),
+- :mod:`repro.obs.events` — an :class:`EventLog` of typed, layer-tagged
+  :class:`ObsEvent` records; any report shape with a ``to_events()``
+  method replays into it,
+- :mod:`repro.obs.export` — exporters that sink spans/events into the
+  :class:`~repro.telemetry.store.TelemetryStore` as standard metrics so
+  the existing :class:`~repro.telemetry.query.Query` layer and counters
+  work on them,
+- :mod:`repro.obs.runtime` — :class:`ObservabilityRuntime`, the one
+  object components bind to (``tracer + event log + store`` with a
+  shared clock), plus per-layer rollups and a span-tree renderer.
+"""
+
+from repro.obs.events import EventLog, ObsEvent
+from repro.obs.export import export_events, export_spans
+from repro.obs.runtime import ObservabilityRuntime
+from repro.obs.span import EpochClock, Span, Tracer
+
+__all__ = [
+    "EpochClock",
+    "EventLog",
+    "ObsEvent",
+    "ObservabilityRuntime",
+    "Span",
+    "Tracer",
+    "export_events",
+    "export_spans",
+]

@@ -1,0 +1,147 @@
+"""Typed, layer-tagged events and the log that collects them.
+
+An :class:`ObsEvent` is the one event shape every layer reports through.
+Pre-existing report shapes (``ExecutionReport``, ``LoopEvent``,
+``SteeringReport``, the DES ``Event``) each expose ``to_events()``, so
+:meth:`EventLog.replay` can ingest any of them — simulated timelines
+(DES time, stage start/end) land in the log next to live emissions.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, Iterator, NamedTuple
+
+
+class ObsEvent(NamedTuple):
+    """One observable occurrence somewhere in the system.
+
+    ``layer`` tags which architectural layer emitted it ("infra",
+    "engine", "service", ...), ``source`` the component, ``kind`` the
+    event type within that component.  ``value`` defaults to 1.0 so
+    counting events and summing values coincide for plain occurrences.
+
+    A NamedTuple rather than a dataclass: events are created on hot
+    paths (one per simulated DES event / executed stage), and tuple
+    construction is about half the cost of a frozen-dataclass init.
+    """
+
+    timestamp: float
+    layer: str
+    source: str
+    kind: str
+    value: float = 1.0
+    attributes: tuple[tuple[str, str], ...] = ()
+    span_id: int | None = None
+
+    def attribute(self, key: str) -> str | None:
+        for k, v in self.attributes:
+            if k == key:
+                return v
+        return None
+
+
+def freeze_attributes(attributes: dict[str, object] | None) -> tuple[tuple[str, str], ...]:
+    """Normalize an attribute dict into the frozen, sorted tuple form."""
+    if not attributes:
+        return ()
+    return tuple(sorted((k, str(v)) for k, v in attributes.items()))
+
+
+class EventLog:
+    """Append-only log of :class:`ObsEvent`.
+
+    Emission is one tuple build + list append, cheap enough for
+    per-simulation-event instrumentation; analysis (filtering, counting,
+    export) happens on read.
+    """
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self._clock = clock or time.perf_counter
+        self.events: list[ObsEvent] = []
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[ObsEvent]:
+        return iter(self.events)
+
+    def emit(
+        self,
+        layer: str,
+        source: str,
+        kind: str,
+        value: float = 1.0,
+        timestamp: float | None = None,
+        span_id: int | None = None,
+        **attributes: object,
+    ) -> ObsEvent:
+        """Record one event; ``timestamp`` defaults to the log's clock."""
+        event = ObsEvent(
+            timestamp=self._clock() if timestamp is None else float(timestamp),
+            layer=layer,
+            source=source,
+            kind=kind,
+            value=float(value),
+            attributes=freeze_attributes(attributes),
+            span_id=span_id,
+        )
+        self.events.append(event)
+        return event
+
+    def replay(self, source: object) -> int:
+        """Ingest events from any report shape; returns the count added.
+
+        Accepts an :class:`ObsEvent`, anything with a ``to_events()``
+        method, or an iterable mixing both (so a list of ``LoopEvent``
+        replays just like one ``SteeringReport``).
+        """
+        if isinstance(source, ObsEvent):
+            self.events.append(source)
+            return 1
+        to_events = getattr(source, "to_events", None)
+        if to_events is not None:
+            source = to_events()
+            # An ObsEvent is itself a tuple; don't iterate its fields.
+            if isinstance(source, ObsEvent):
+                self.events.append(source)
+                return 1
+        if not isinstance(source, Iterable):
+            raise TypeError(
+                f"cannot replay {type(source).__name__}: "
+                "expected ObsEvent, to_events(), or an iterable"
+            )
+        added = 0
+        append = self.events.append
+        for item in source:
+            if isinstance(item, ObsEvent):
+                append(item)
+                added += 1
+            else:
+                added += self.replay(item)
+        return added
+
+    # -- analysis -------------------------------------------------------------
+    def filter(
+        self,
+        layer: str | None = None,
+        source: str | None = None,
+        kind: str | None = None,
+    ) -> list[ObsEvent]:
+        return [
+            e
+            for e in self.events
+            if (layer is None or e.layer == layer)
+            and (source is None or e.source == source)
+            and (kind is None or e.kind == kind)
+        ]
+
+    def counts_by(self, key: str = "layer") -> dict[str, int]:
+        """Event counts grouped by ``layer``, ``source``, or ``kind``."""
+        if key not in ("layer", "source", "kind"):
+            raise ValueError(f"cannot group events by {key!r}")
+        counts: dict[str, int] = {}
+        for event in self.events:
+            group = getattr(event, key)
+            counts[group] = counts.get(group, 0) + 1
+        return counts

@@ -1,0 +1,78 @@
+"""Export spans and events into the columnar :class:`TelemetryStore`.
+
+Spans become :data:`Metric.SPAN_SECONDS` / :data:`Metric.SPAN_CPU_SECONDS`
+points (timestamp = span start, dimensions = layer/name/status) and
+events become :data:`Metric.EVENT_COUNT` points (dimensions =
+layer/source/kind), so the existing :class:`~repro.telemetry.query.Query`
+pipeline, binned aggregation, and counter analysis all work on traces
+without knowing anything about the tracer.
+
+Both exporters batch through ``record_many``: one dimension dict is
+interned per distinct (layer, name, status) / (layer, source, kind)
+combination, and timestamps may arrive out of order (the store sorts
+lazily on read), so exporting a large trace is a few vectorized appends.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.obs.events import ObsEvent
+from repro.obs.span import Span
+from repro.telemetry.schema import Metric
+from repro.telemetry.store import TelemetryStore
+
+
+def export_spans(spans: Iterable[Span], store: TelemetryStore) -> int:
+    """Sink finished spans into ``store``; returns points written.
+
+    Every span contributes one wall-seconds point and one CPU-seconds
+    point.  Open spans are skipped — flush again after they close.
+    """
+    finished = [s for s in spans if s.finished]
+    if not finished:
+        return 0
+    timestamps = np.array([s.start for s in finished])
+    wall = np.array([s.wall_seconds for s in finished])
+    cpu = np.array([s.cpu_seconds for s in finished])
+    # Reuse one dict object per distinct dimension set so record_many's
+    # identity memo interns each combination once.
+    dim_cache: dict[tuple[str, str, str], dict[str, str]] = {}
+    dims = []
+    for span in finished:
+        key = (span.layer, span.name, span.status)
+        cached = dim_cache.get(key)
+        if cached is None:
+            cached = dim_cache[key] = {
+                "layer": span.layer,
+                "name": span.name,
+                "status": span.status,
+            }
+        dims.append(cached)
+    written = store.record_many(Metric.SPAN_SECONDS, timestamps, wall, dims)
+    written += store.record_many(Metric.SPAN_CPU_SECONDS, timestamps, cpu, dims)
+    return written
+
+
+def export_events(events: Iterable[ObsEvent], store: TelemetryStore) -> int:
+    """Sink typed events into ``store``; returns points written."""
+    events = list(events)
+    if not events:
+        return 0
+    timestamps = np.array([e.timestamp for e in events])
+    values = np.array([e.value for e in events])
+    dim_cache: dict[tuple[str, str, str], dict[str, str]] = {}
+    dims = []
+    for event in events:
+        key = (event.layer, event.source, event.kind)
+        cached = dim_cache.get(key)
+        if cached is None:
+            cached = dim_cache[key] = {
+                "layer": event.layer,
+                "source": event.source,
+                "kind": event.kind,
+            }
+        dims.append(cached)
+    return store.record_many(Metric.EVENT_COUNT, timestamps, values, dims)

@@ -1,0 +1,143 @@
+"""The one observability object components bind to.
+
+:class:`ObservabilityRuntime` bundles a :class:`Tracer`, an
+:class:`EventLog`, and a :class:`TelemetryStore` behind a shared
+:class:`EpochClock`, so spans, live events, and exported metrics all
+live on one timeline.  Components accept an optional runtime (``obs=``
+keyword or :meth:`~repro.core.service.AutonomousService.bind`); passing
+``None`` keeps them completely uninstrumented.
+"""
+
+from __future__ import annotations
+
+from contextlib import AbstractContextManager
+
+from repro.obs.events import EventLog, ObsEvent
+from repro.obs.export import export_events, export_spans
+from repro.obs.span import EpochClock, Span, Tracer
+from repro.telemetry.query import Query
+from repro.telemetry.schema import Metric
+from repro.telemetry.store import TelemetryStore
+
+
+class ObservabilityRuntime:
+    """Tracer + event log + telemetry store with one clock.
+
+    ::
+
+        obs = ObservabilityRuntime()
+        with obs.span("scenario", layer="cli"):
+            run_everything(obs)
+        obs.flush()                      # spans/events -> TelemetryStore
+        print(obs.render())              # span tree + per-layer rollup
+    """
+
+    def __init__(self, store: TelemetryStore | None = None) -> None:
+        self.clock = EpochClock()
+        self.tracer = Tracer(clock=self.clock)
+        self.events = EventLog(clock=self.clock)
+        self.store = store if store is not None else TelemetryStore()
+        self._flushed_spans = 0
+        self._flushed_events = 0
+
+    # -- recording ------------------------------------------------------------
+    def span(
+        self, name: str, layer: str = "", **attributes: object
+    ) -> AbstractContextManager[Span]:
+        return self.tracer.span(name, layer=layer, **attributes)
+
+    def emit(
+        self,
+        layer: str,
+        source: str,
+        kind: str,
+        value: float = 1.0,
+        timestamp: float | None = None,
+        **attributes: object,
+    ) -> ObsEvent:
+        current = self.tracer.current
+        return self.events.emit(
+            layer,
+            source,
+            kind,
+            value=value,
+            timestamp=timestamp,
+            span_id=current.span_id if current else None,
+            **attributes,
+        )
+
+    def replay(self, report: object) -> int:
+        """Replay any ``to_events()``-bearing report into the event log."""
+        return self.events.replay(report)
+
+    # -- export ---------------------------------------------------------------
+    def flush(self) -> int:
+        """Export not-yet-exported spans/events to the store; returns points.
+
+        Incremental: safe to call repeatedly mid-run.  Spans still open
+        at flush time are picked up by a later flush.
+        """
+        spans = [s for s in self.tracer.spans[self._flushed_spans :] if s.finished]
+        written = export_spans(spans, self.store)
+        self._flushed_spans = len(self.tracer.spans)
+        events = self.events.events[self._flushed_events :]
+        written += export_events(events, self.store)
+        self._flushed_events = len(self.events.events)
+        return written
+
+    def query(self) -> Query:
+        """A fresh :class:`Query` over the runtime's store."""
+        return Query(self.store)
+
+    # -- rollups --------------------------------------------------------------
+    def layer_rollup(self) -> dict[str, dict[str, float]]:
+        """Per-layer span/event totals, served from the *store*.
+
+        Reading back through the store (not the in-memory tracer) keeps
+        the rollup honest: it only shows what a downstream consumer of
+        the TelemetryStore would see.  Call :meth:`flush` first.
+        """
+        layers: set[str] = set()
+        layers |= self.store.dimension_values(Metric.SPAN_SECONDS, "layer")
+        layers |= self.store.dimension_values(Metric.EVENT_COUNT, "layer")
+        rollup: dict[str, dict[str, float]] = {}
+        for layer in sorted(layers):
+            _, wall = self.store.series(
+                Metric.SPAN_SECONDS, dimensions={"layer": layer}
+            )
+            _, cpu = self.store.series(
+                Metric.SPAN_CPU_SECONDS, dimensions={"layer": layer}
+            )
+            _, events = self.store.series(
+                Metric.EVENT_COUNT, dimensions={"layer": layer}
+            )
+            rollup[layer] = {
+                "spans": int(wall.size),
+                "wall_seconds": float(wall.sum()),
+                "cpu_seconds": float(cpu.sum()),
+                "events": int(events.size),
+                "event_value": float(events.sum()),
+            }
+        return rollup
+
+    def render(self) -> str:
+        """Span tree plus the per-layer rollup table, as printable text."""
+        lines = ["== span tree =="]
+        tree = self.tracer.render_tree()
+        lines.append(tree if tree else "(no spans)")
+        lines.append("")
+        lines.append("== per-layer rollup ==")
+        rollup = self.layer_rollup()
+        if not rollup:
+            lines.append("(nothing exported; call flush() first)")
+        else:
+            lines.append(
+                f"{'layer':<10} {'spans':>6} {'wall_s':>10} {'cpu_s':>10} {'events':>7}"
+            )
+            for layer, row in rollup.items():
+                lines.append(
+                    f"{layer or '-':<10} {row['spans']:>6d}"
+                    f" {row['wall_seconds']:>10.4f} {row['cpu_seconds']:>10.4f}"
+                    f" {row['events']:>7d}"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,186 @@
+"""Nested spans with wall + CPU time, produced by a :class:`Tracer`.
+
+A span is one timed unit of work.  Spans nest: entering a span while
+another is open links the child to the parent, so a traced end-to-end
+run (workload -> engine -> service) comes out as a tree.  Wall time and
+CPU time are both measured with the existing
+:class:`~repro.telemetry.timing.Stopwatch` (wall on ``perf_counter``,
+CPU on ``process_time``), so span costs line up with the substrate perf
+harness numbers.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.telemetry.timing import Stopwatch
+
+
+class EpochClock:
+    """``perf_counter`` offsets from construction time.
+
+    Timestamps start at ~0.0 when the runtime is created, which keeps
+    them small, comparable across the tracer and the event log (both
+    share one clock), and friendly to :class:`TelemetryStore` windows.
+    """
+
+    __slots__ = ("_epoch",)
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+
+    def __call__(self) -> float:
+        return time.perf_counter() - self._epoch
+
+
+@dataclass(slots=True)
+class Span:
+    """One timed unit of work inside a trace tree."""
+
+    name: str
+    span_id: int
+    parent_id: int | None = None
+    layer: str = ""
+    start: float = 0.0
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    attributes: dict[str, object] = field(default_factory=dict)
+    status: str = "open"  # "open" | "ok" | "error"
+    error: str | None = None
+
+    @property
+    def end(self) -> float:
+        return self.start + self.wall_seconds
+
+    @property
+    def finished(self) -> bool:
+        return self.status != "open"
+
+
+class _SpanContext:
+    """Hand-rolled context manager: spans open on hot paths, and the
+    generator machinery of ``@contextmanager`` costs real time there."""
+
+    __slots__ = ("_tracer", "span", "_wall", "_cpu")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        span = self.span
+        tracer = self._tracer
+        tracer._stack.append(span)
+        # Wall time runs on the tracer's clock, and ``start`` is the
+        # stopwatch's own first reading, so ``span.end`` lands exactly
+        # where the stopwatch stops — events emitted inside the span
+        # (same clock) always fall within [start, end].
+        self._wall = Stopwatch(clock=tracer._clock).start()
+        self._cpu = Stopwatch(clock=time.process_time).start()
+        span.start = self._wall._started
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self.span
+        span.wall_seconds = self._wall.stop()
+        span.cpu_seconds = self._cpu.stop()
+        if exc_type is None:
+            span.status = "ok"
+        else:
+            span.status = "error"
+            span.error = f"{exc_type.__name__}: {exc}"
+        self._tracer._stack.pop()
+        self._tracer.spans.append(span)
+        return False  # exceptions propagate; the span still closed
+
+
+class Tracer:
+    """Produce nested spans; finished spans accumulate in ``spans``.
+
+    ::
+
+        tracer = Tracer()
+        with tracer.span("optimize", layer="engine", template="T1") as sp:
+            ...
+            sp.attributes["passes"] = 3
+
+    Exceptions propagate but the span still closes, flagged
+    ``status="error"`` with the exception recorded — a crashed scenario
+    leaves a complete trace.
+    """
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self._clock = clock or EpochClock()
+        self.spans: list[Span] = []  # finished spans, completion order
+        self._stack: list[Span] = []
+        self._ids = itertools.count(1)
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def span(self, name: str, layer: str = "", **attributes: object) -> _SpanContext:
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent else None,
+            # Unlabelled child spans inherit the enclosing layer.
+            layer=layer or (parent.layer if parent else ""),
+            attributes=attributes,
+        )
+        return _SpanContext(self, span)
+
+    # -- tree views -----------------------------------------------------------
+    def span_tree(self) -> list[tuple[Span, list]]:
+        """All spans as a ``(span, children)`` root forest, by start time.
+
+        Still-open spans (e.g. the enclosing scenario span during a
+        mid-run render) are included so the tree never loses its root.
+        """
+        every = self.spans + self._stack
+        nodes: dict[int, tuple[Span, list]] = {
+            s.span_id: (s, []) for s in every
+        }
+        roots: list[tuple[Span, list]] = []
+        for span in sorted(every, key=lambda s: (s.start, s.span_id)):
+            node = nodes[span.span_id]
+            parent = (
+                nodes.get(span.parent_id) if span.parent_id is not None else None
+            )
+            if parent is None:
+                roots.append(node)
+            else:
+                parent[1].append(node)
+        return roots
+
+    def render_tree(self) -> str:
+        """Indented one-line-per-span rendering of the trace forest."""
+        lines: list[str] = []
+
+        def _walk(node: tuple[Span, list], depth: int) -> None:
+            span, children = node
+            label = f"[{span.layer}] " if span.layer else ""
+            attrs = (
+                " " + " ".join(f"{k}={v}" for k, v in span.attributes.items())
+                if span.attributes
+                else ""
+            )
+            flag = f"  !! {span.error}" if span.status == "error" else ""
+            timing = (
+                "(open)"
+                if span.status == "open"
+                else f"{span.wall_seconds * 1e3:.2f}ms"
+                f" (cpu {span.cpu_seconds * 1e3:.2f}ms)"
+            )
+            lines.append(f"{'  ' * depth}{label}{span.name}  {timing}{attrs}{flag}")
+            for child in children:
+                _walk(child, depth + 1)
+
+        for root in self.span_tree():
+            _walk(root, 0)
+        return "\n".join(lines)

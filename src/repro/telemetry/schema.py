@@ -22,6 +22,11 @@ class Metric(enum.Enum):
     JOB_LATENCY_SECONDS = "job.latency.seconds"
     STAGE_OUTPUT_BYTES = "stage.output.bytes"
     COST_DOLLARS = "cost.dollars"
+    # Observability runtime (repro.obs): spans and typed events exported
+    # into the store so the standard Query layer works on traces too.
+    SPAN_SECONDS = "obs.span.seconds"
+    SPAN_CPU_SECONDS = "obs.span.cpu.seconds"
+    EVENT_COUNT = "obs.events.count"
 
 
 #: Default platform-specific aliases (Direction 2: a Windows performance
@@ -38,6 +43,9 @@ STANDARD_ALIASES: dict[str, Metric] = {
     "node_disk_utilization": Metric.DISK_UTILIZATION,
     "container.count": Metric.RUNNING_CONTAINERS,
     "yarn.containers.running": Metric.RUNNING_CONTAINERS,
+    "otel.span.duration": Metric.SPAN_SECONDS,
+    "otel.span.cpu_time": Metric.SPAN_CPU_SECONDS,
+    "otel.events": Metric.EVENT_COUNT,
 }
 
 

@@ -12,10 +12,15 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import Callable
 
 
 class Stopwatch:
-    """Resumable ``perf_counter`` timer; also usable as a context manager.
+    """Resumable timer; also usable as a context manager.
+
+    Times on ``perf_counter`` by default; pass another ``clock`` (e.g.
+    ``time.process_time``) to measure CPU seconds with the same API —
+    the tracer in :mod:`repro.obs` runs one of each per span.
 
     ::
 
@@ -24,7 +29,8 @@ class Stopwatch:
         print(watch.elapsed)
     """
 
-    def __init__(self) -> None:
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
         self._started: float | None = None
         self._accumulated = 0.0
 
@@ -37,20 +43,20 @@ class Stopwatch:
         """Total seconds timed so far, including a running segment."""
         total = self._accumulated
         if self._started is not None:
-            total += time.perf_counter() - self._started
+            total += self._clock() - self._started
         return total
 
     def start(self) -> "Stopwatch":
         if self._started is not None:
             raise RuntimeError("stopwatch is already running")
-        self._started = time.perf_counter()
+        self._started = self._clock()
         return self
 
     def stop(self) -> float:
         """Pause the watch; returns total elapsed seconds."""
         if self._started is None:
             raise RuntimeError("stopwatch is not running")
-        self._accumulated += time.perf_counter() - self._started
+        self._accumulated += self._clock() - self._started
         self._started = None
         return self._accumulated
 

@@ -11,7 +11,7 @@ capacities cover the customer's effective requirements).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.autotune import ApplicationTuner, SparkApplication, benchmark_suite
+from repro.core.autotune import ApplicationTuner, benchmark_suite
 from repro.core.feedback import FeedbackLoop
 from repro.core.granularity import GranularPredictor, heterogeneous_population
 from repro.ml import LinearRegression, ModelRegistry
@@ -145,7 +145,7 @@ class TestFeedbackLoop:
         for _ in range(300):
             x = rng.normal(size=1)
             loop.observe(x, 2 * x[0] + rng.normal(scale=0.1))
-        assert loop.actions() == []
+        assert loop.report().actions == []
         assert registry.production("m").version == 1
 
     def test_drift_triggers_retrain_and_promotion(self):
@@ -156,7 +156,7 @@ class TestFeedbackLoop:
         for _ in range(500):
             x = rng.normal(size=1)
             loop.observe(x, -1 * x[0] + rng.normal(scale=0.1))
-        actions = loop.actions()
+        actions = loop.report().actions
         assert "drift" in actions
         assert "promote" in actions
         final = registry.production("m").model

@@ -4,7 +4,7 @@ optimization, and RAI guardrails."""
 import numpy as np
 import pytest
 
-from repro.core.algorithmstore import AlgorithmEntry, AlgorithmStore, default_store
+from repro.core.algorithmstore import default_store
 from repro.core.guardrails import (
     CostGuardrail,
     RegressionGuardrail,
@@ -249,7 +249,7 @@ class TestFairness:
         from repro.core.doppler import SkuRecommender
         from repro.workloads import generate_customers, ground_truth_sku
 
-        recommender = SkuRecommender(rng=0).fit(generate_customers(400, rng=0))
+        recommender = SkuRecommender(rng=0).observe(generate_customers(400, rng=0))
         customers = generate_customers(200, rng=1)
         segments, overspend = [], []
         for customer in customers:

@@ -11,7 +11,7 @@ from repro.core.mlos import (
     RandomSearchTuner,
     redis_vm_benchmark,
 )
-from repro.workloads import AZURE_SKUS, generate_customers, ground_truth_sku
+from repro.workloads import AZURE_SKUS, generate_customers
 
 
 class TestConfigSpace:
@@ -82,7 +82,7 @@ class TestTuners:
 class TestDoppler:
     @pytest.fixture(scope="class")
     def recommender(self):
-        return SkuRecommender(rng=0).fit(generate_customers(400, rng=0))
+        return SkuRecommender(rng=0).observe(generate_customers(400, rng=0))
 
     @pytest.fixture(scope="class")
     def test_customers(self):

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.pipeline import PipelineOptimizer, PipelineStats
-from repro.engine import Predicate
 
 
 @pytest.fixture(scope="module")

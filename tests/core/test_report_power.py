@@ -1,6 +1,5 @@
 """Tests for the workload report and rack power capping."""
 
-import numpy as np
 import pytest
 
 from repro.core.kea import (

@@ -11,7 +11,6 @@ from repro.core.seagull import (
     evaluate_policy,
 )
 from repro.core.seagull.scheduler import PreviousWeekPolicy
-from repro.infra import ClusterPoolSimulator
 from repro.workloads import (
     UsagePopulationConfig,
     generate_demand,

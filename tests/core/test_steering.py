@@ -63,7 +63,7 @@ class TestGuardrails:
         assert np.mean(halves[1]) >= np.mean(halves[0])
 
     def test_default_config_served_for_unknown_template(self, service):
-        assert service.config_for("never-seen") == RuleConfig.all_on()
+        assert service.recommend("never-seen") == RuleConfig.all_on()
 
 
 class TestValidation:

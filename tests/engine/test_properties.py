@@ -1,7 +1,6 @@
 """Property-based invariants over random plans."""
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 
 from repro.engine import (

@@ -1,0 +1,153 @@
+"""EventLog emission and replay of every converged report shape."""
+
+import numpy as np
+import pytest
+
+from repro.core.feedback.loop import FeedbackReport, LoopEvent
+from repro.core.steering.service import SteeringOutcome, SteeringReport
+from repro.engine import (
+    ClusterExecutor,
+    DefaultCardinalityEstimator,
+    DefaultCostModel,
+    RuleConfig,
+    compile_stages,
+)
+from repro.infra.des import Event
+from repro.obs import EventLog, ObsEvent
+from repro.obs.events import freeze_attributes
+
+
+class TestEmit:
+    def test_emit_defaults(self):
+        log = EventLog()
+        event = log.emit("engine", "executor", "stage")
+        assert event.value == 1.0
+        assert event.timestamp > 0.0
+        assert len(log) == 1
+
+    def test_explicit_timestamp_and_attributes(self):
+        log = EventLog()
+        event = log.emit("infra", "des", "arrival", value=2.5, timestamp=17.0, job="j1")
+        assert event.timestamp == 17.0
+        assert event.value == 2.5
+        assert event.attribute("job") == "j1"
+        assert event.attribute("missing") is None
+
+    def test_clock_injection(self):
+        ticks = iter([5.0, 6.0])
+        log = EventLog(clock=lambda: next(ticks))
+        assert log.emit("a", "b", "c").timestamp == 5.0
+        assert log.emit("a", "b", "c").timestamp == 6.0
+
+    def test_freeze_attributes_sorted_and_stringified(self):
+        frozen = freeze_attributes({"b": 2, "a": True})
+        assert frozen == (("a", "True"), ("b", "2"))
+        assert freeze_attributes(None) == ()
+
+
+class TestFilterAndCounts:
+    def _log(self):
+        log = EventLog()
+        log.emit("engine", "executor", "stage", timestamp=1.0)
+        log.emit("engine", "optimizer", "pass", timestamp=2.0)
+        log.emit("service", "steering", "job", timestamp=3.0)
+        return log
+
+    def test_filter_by_layer_source_kind(self):
+        log = self._log()
+        assert len(log.filter(layer="engine")) == 2
+        assert len(log.filter(source="steering")) == 1
+        assert len(log.filter(layer="engine", kind="pass")) == 1
+
+    def test_counts_by(self):
+        log = self._log()
+        assert log.counts_by("layer") == {"engine": 2, "service": 1}
+        with pytest.raises(ValueError):
+            log.counts_by("timestamp")
+
+
+class TestReplayShapes:
+    """All four pre-existing report shapes replay through one method."""
+
+    def test_replay_des_event(self):
+        log = EventLog()
+        assert log.replay(Event(3.5, 0, lambda: None, label="arrival")) == 1
+        event = log.events[0]
+        assert (event.layer, event.source, event.kind) == ("infra", "des", "arrival")
+        assert event.timestamp == 3.5
+
+    def test_replay_loop_events(self):
+        log = EventLog()
+        events = [LoopEvent(5, "drift"), LoopEvent(9, "flight", version=2)]
+        assert log.replay(events) == 2
+        assert [e.kind for e in log.events] == ["drift", "flight"]
+        assert log.events[1].attribute("version") == "2"
+        assert log.events[1].timestamp == 9.0
+
+    def test_replay_feedback_report(self):
+        report = FeedbackReport(
+            name="m", steps=12, events=[LoopEvent(3, "drift"), LoopEvent(7, "promote", 1)]
+        )
+        log = EventLog()
+        assert log.replay(report) == 2
+        assert log.counts_by("kind") == {"drift": 1, "promote": 1}
+
+    def test_replay_steering_report(self):
+        outcome = SteeringOutcome(
+            job_id="j1",
+            template="T1",
+            config=RuleConfig.all_on(),
+            default_cost=10.0,
+            steered_cost=8.0,
+            experimented=True,
+        )
+        report = SteeringReport(outcomes=[outcome], adoptions=1, rollbacks=0)
+        log = EventLog()
+        assert log.replay(report) == 3  # 1 job + adoptions + rollbacks
+        job = log.filter(kind="job")[0]
+        assert job.value == pytest.approx(0.2)
+        assert job.attribute("template") == "T1"
+        summary = {e.kind: e.value for e in log.events if e.kind != "job"}
+        assert summary == {"adoptions": 1.0, "rollbacks": 0.0}
+
+    def test_replay_execution_report(self, small_graph):
+        report = ClusterExecutor(rng=0).run(small_graph)
+        log = EventLog()
+        added = log.replay(report)
+        assert added == len(report.runs) + 1
+        stages = log.filter(kind="stage")
+        assert len(stages) == len(report.runs)
+        # Simulated, not wall-clock, timestamps.
+        assert [e.timestamp for e in stages] == [r.start for r in report.runs]
+        assert [e.value for e in stages] == [
+            pytest.approx(r.duration) for r in report.runs
+        ]
+        job = log.filter(kind="job")[0]
+        assert job.value == pytest.approx(report.runtime)
+        assert job.attribute("stages") == str(len(report.runs))
+
+    def test_replay_single_obs_event_and_bad_input(self):
+        log = EventLog()
+        assert log.replay(ObsEvent(1.0, "a", "b", "c")) == 1
+        with pytest.raises(TypeError, match="cannot replay"):
+            log.replay(42)
+
+
+@pytest.fixture
+def small_graph():
+    from repro.workloads import ScopeWorkloadGenerator
+
+    workload = ScopeWorkloadGenerator(rng=0).generate(n_days=1)
+    catalog = workload.catalog
+    cost = DefaultCostModel(catalog, DefaultCardinalityEstimator(catalog))
+    plan = next(j.plan for j in workload.jobs if j.plan.size >= 4)
+    return compile_stages(plan, cost)
+
+
+def test_replay_preserves_numpy_value_types(small_graph):
+    """Replayed values coerce cleanly to float columns for export."""
+    report = ClusterExecutor(rng=0).run(small_graph)
+    log = EventLog()
+    log.replay(report)
+    values = np.array([e.value for e in log.events])
+    assert values.dtype == np.float64

@@ -1,0 +1,96 @@
+"""Exporters: spans/events round-trip into the TelemetryStore."""
+
+import pytest
+
+from repro.obs import EventLog, Tracer, export_events, export_spans
+from repro.telemetry import Metric, Query, TelemetryStore
+
+
+class TestExportSpans:
+    def _traced(self):
+        tracer = Tracer()
+        with tracer.span("outer", layer="cli"):
+            with tracer.span("optimize", layer="engine"):
+                pass
+            with tracer.span("optimize", layer="engine"):
+                pass
+        return tracer
+
+    def test_each_span_writes_wall_and_cpu_points(self):
+        tracer = self._traced()
+        store = TelemetryStore()
+        written = export_spans(tracer.spans, store)
+        assert written == 2 * len(tracer.spans)
+        assert Query(store).metric(Metric.SPAN_SECONDS).count() == 3
+        assert Query(store).metric(Metric.SPAN_CPU_SECONDS).count() == 3
+
+    def test_round_trip_through_query(self):
+        tracer = self._traced()
+        store = TelemetryStore()
+        export_spans(tracer.spans, store)
+        engine = (
+            Query(store)
+            .metric(Metric.SPAN_SECONDS)
+            .where(layer="engine", name="optimize")
+            .points()
+        )
+        assert len(engine) == 2
+        expected = sorted(
+            s.wall_seconds for s in tracer.spans if s.name == "optimize"
+        )
+        assert sorted(p.value for p in engine) == pytest.approx(expected)
+        assert all(p.dimension("status") == "ok" for p in engine)
+
+    def test_open_spans_skipped(self):
+        tracer = Tracer()
+        store = TelemetryStore()
+        with tracer.span("open_one"):
+            # Only the stack holds it; nothing finished yet.
+            assert export_spans(tracer._stack, store) == 0
+        assert export_spans(tracer._stack, store) == 0
+        assert export_spans(tracer.spans, store) == 2
+
+    def test_error_spans_exported_with_status_dimension(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("fails", layer="engine"):
+                raise ValueError("x")
+        store = TelemetryStore()
+        export_spans(tracer.spans, store)
+        errors = (
+            Query(store).metric(Metric.SPAN_SECONDS).where(status="error").points()
+        )
+        assert len(errors) == 1
+        assert errors[0].dimension("name") == "fails"
+
+    def test_empty_input_writes_nothing(self):
+        store = TelemetryStore()
+        assert export_spans([], store) == 0
+        assert export_events([], store) == 0
+
+
+class TestExportEvents:
+    def test_events_round_trip_with_dimensions(self):
+        log = EventLog()
+        log.emit("engine", "executor", "stage", value=2.0, timestamp=1.0)
+        log.emit("engine", "executor", "stage", value=3.0, timestamp=0.5)
+        log.emit("service", "steering", "job", timestamp=2.0)
+        store = TelemetryStore()
+        assert export_events(log.events, store) == 3
+        stages = (
+            Query(store)
+            .metric(Metric.EVENT_COUNT)
+            .where(layer="engine", source="executor", kind="stage")
+            .series()
+        )
+        timestamps, values = stages
+        # Store sorts lazily on read; out-of-order appends come back ordered.
+        assert list(timestamps) == [0.5, 1.0]
+        assert list(values) == [3.0, 2.0]
+
+    def test_metric_alias_resolves(self):
+        log = EventLog()
+        log.emit("infra", "des", "arrival", timestamp=0.0)
+        store = TelemetryStore()
+        export_events(log.events, store)
+        assert Query(store).metric("otel.events").count() == 1

@@ -1,0 +1,131 @@
+"""Acceptance: one traced workload -> engine -> service run, queryable
+from the TelemetryStore through the standard Query layer."""
+
+import pytest
+
+from repro.core.steering import SteeringService
+from repro.engine import (
+    ClusterExecutor,
+    DefaultCardinalityEstimator,
+    DefaultCostModel,
+    Optimizer,
+    TrueCardinalityModel,
+    compile_stages,
+)
+from repro.infra import EventQueue
+from repro.obs import ObservabilityRuntime
+from repro.telemetry import Metric
+from repro.workloads import ScopeWorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    obs = ObservabilityRuntime()
+    with obs.span("scenario", layer="cli"):
+        with obs.span("workload.generate", layer="workload"):
+            workload = ScopeWorkloadGenerator(rng=0).generate(n_days=1)
+        truth = TrueCardinalityModel(workload.catalog, seed=0)
+        est_cost = DefaultCostModel(
+            workload.catalog, DefaultCardinalityEstimator(workload.catalog)
+        )
+        true_cost = DefaultCostModel(workload.catalog, truth)
+        optimizer = Optimizer(workload.catalog, obs=obs)
+        executor = ClusterExecutor(rng=0, obs=obs)
+        steering = SteeringService(
+            optimizer, lambda p: true_cost.cost(p).total, rng=0
+        )
+        steering.bind(obs)
+        queue = EventQueue(obs=obs)
+
+        def arrival(job):
+            def run():
+                optimized = optimizer.optimize(job.plan).plan
+                graph = compile_stages(optimized, est_cost, truth=true_cost)
+                executor.run(graph)
+                steering.observe(job.job_id, job.plan)
+
+            return run
+
+        jobs = workload.jobs[:4]
+        for i, job in enumerate(jobs):
+            queue.schedule(float(i), arrival(job), label="job_arrival")
+        queue.run()
+        obs.replay(steering.report())
+    obs.flush()
+    return obs, jobs
+
+
+class TestSpanTree:
+    def test_all_layers_present(self, traced_run):
+        obs, _ = traced_run
+        layers = {s.layer for s in obs.tracer.spans}
+        assert {"cli", "workload", "infra", "engine", "service"} <= layers
+
+    def test_nesting_crosses_layers(self, traced_run):
+        obs, _ = traced_run
+        by_id = {s.span_id: s for s in obs.tracer.spans}
+        executor_spans = [
+            s for s in obs.tracer.spans if s.name == "engine.executor.run"
+        ]
+        assert executor_spans
+        # Executor runs inside the DES run span: engine nests under infra.
+        for span in executor_spans:
+            assert by_id[span.parent_id].name == "infra.des.run"
+
+    def test_every_job_produced_an_executor_span(self, traced_run):
+        obs, jobs = traced_run
+        runs = [s for s in obs.tracer.spans if s.name == "engine.executor.run"]
+        assert len(runs) == len(jobs)
+
+
+class TestQueryability:
+    def test_span_wall_time_queryable_per_layer(self, traced_run):
+        obs, _ = traced_run
+        for layer in ("infra", "engine", "service", "workload"):
+            count = (
+                obs.query().metric(Metric.SPAN_SECONDS).where(layer=layer).count()
+            )
+            assert count > 0, layer
+
+    def test_cpu_seconds_tracked_alongside_wall(self, traced_run):
+        obs, _ = traced_run
+        wall = obs.query().metric(Metric.SPAN_SECONDS).count()
+        cpu = obs.query().metric(Metric.SPAN_CPU_SECONDS).count()
+        assert wall == cpu > 0
+
+    def test_simulated_events_queryable(self, traced_run):
+        obs, jobs = traced_run
+        arrivals = (
+            obs.query()
+            .metric(Metric.EVENT_COUNT)
+            .where(layer="infra", source="des", kind="job_arrival")
+            .count()
+        )
+        assert arrivals == len(jobs)
+        stage_ts, stage_values = (
+            obs.query()
+            .metric(Metric.EVENT_COUNT)
+            .where(layer="engine", source="executor", kind="stage")
+            .series()
+        )
+        assert stage_ts.size > 0
+        assert (stage_values > 0).all()
+
+    def test_rollup_covers_all_layers(self, traced_run):
+        obs, _ = traced_run
+        rollup = obs.layer_rollup()
+        assert {"cli", "workload", "infra", "engine", "service"} <= set(rollup)
+        for row in rollup.values():
+            assert row["wall_seconds"] >= 0.0
+
+    def test_time_windowing_on_simulated_events(self, traced_run):
+        obs, jobs = traced_run
+        # Arrivals are scheduled at t = 0..n-1 in simulated time.
+        early = (
+            obs.query()
+            .metric(Metric.EVENT_COUNT)
+            .where(kind="job_arrival")
+            .between(-0.5, 1.5)
+            .count()
+        )
+        assert early == 2

@@ -1,0 +1,113 @@
+"""ObservabilityRuntime: shared clock, incremental flush, rollups."""
+
+import pytest
+
+from repro.obs import ObservabilityRuntime
+from repro.telemetry import Metric, TelemetryStore
+
+
+class TestSharedClock:
+    def test_spans_and_events_share_one_timeline(self):
+        obs = ObservabilityRuntime()
+        with obs.span("work", layer="engine"):
+            event = obs.emit("engine", "executor", "tick")
+        span = obs.tracer.spans[0]
+        assert span.start <= event.timestamp <= span.end
+
+    def test_emit_inside_span_links_span_id(self):
+        obs = ObservabilityRuntime()
+        with obs.span("work") as span:
+            inside = obs.emit("engine", "x", "tick")
+        outside = obs.emit("engine", "x", "tick")
+        assert inside.span_id == span.span_id
+        assert outside.span_id is None
+
+
+class TestFlush:
+    def test_flush_exports_spans_and_events(self):
+        obs = ObservabilityRuntime()
+        with obs.span("work", layer="engine"):
+            obs.emit("engine", "x", "tick")
+        written = obs.flush()
+        assert written == 3  # wall + cpu + one event
+        assert obs.query().metric(Metric.SPAN_SECONDS).count() == 1
+        assert obs.query().metric(Metric.EVENT_COUNT).count() == 1
+
+    def test_flush_is_incremental(self):
+        obs = ObservabilityRuntime()
+        with obs.span("first"):
+            pass
+        assert obs.flush() == 2
+        assert obs.flush() == 0
+        with obs.span("second"):
+            pass
+        obs.emit("engine", "x", "tick")
+        assert obs.flush() == 3
+        assert obs.query().metric(Metric.SPAN_SECONDS).count() == 2
+
+    def test_open_span_at_flush_time_is_flushed_later(self):
+        obs = ObservabilityRuntime()
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+            assert obs.flush() == 2  # inner only; outer still open
+        assert obs.flush() == 2  # outer now
+
+    def test_external_store_receives_exports(self):
+        store = TelemetryStore()
+        obs = ObservabilityRuntime(store=store)
+        with obs.span("work"):
+            pass
+        obs.flush()
+        assert obs.store is store
+        assert obs.query().metric(Metric.SPAN_SECONDS).count() == 1
+
+
+class TestRollup:
+    def test_layer_rollup_served_from_store(self):
+        obs = ObservabilityRuntime()
+        with obs.span("a", layer="engine"):
+            pass
+        with obs.span("b", layer="infra"):
+            obs.emit("infra", "des", "arrival")
+        # Nothing flushed yet: rollup must be empty (store is the truth).
+        assert obs.layer_rollup() == {}
+        obs.flush()
+        rollup = obs.layer_rollup()
+        assert set(rollup) == {"engine", "infra"}
+        assert rollup["engine"]["spans"] == 1
+        assert rollup["infra"]["events"] == 1
+        assert rollup["engine"]["wall_seconds"] > 0.0
+
+    def test_render_contains_tree_and_rollup(self):
+        obs = ObservabilityRuntime()
+        with obs.span("scenario", layer="cli"):
+            pass
+        obs.flush()
+        text = obs.render()
+        assert "== span tree ==" in text
+        assert "[cli] scenario" in text
+        assert "== per-layer rollup ==" in text
+        assert "cli" in text.split("== per-layer rollup ==")[1]
+
+    def test_render_before_flush_points_at_flush(self):
+        obs = ObservabilityRuntime()
+        assert "(no spans)" in obs.render()
+        assert "flush()" in obs.render()
+
+
+class TestReplay:
+    def test_replay_delegates_to_event_log(self):
+        obs = ObservabilityRuntime()
+
+        class Shape:
+            def to_events(self):
+                from repro.obs import ObsEvent
+
+                return [ObsEvent(1.0, "service", "s", "k", value=4.0)]
+
+        assert obs.replay(Shape()) == 1
+        obs.flush()
+        points = obs.query().metric(Metric.EVENT_COUNT).where(source="s").points()
+        assert len(points) == 1
+        assert points[0].value == pytest.approx(4.0)

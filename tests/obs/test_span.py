@@ -1,0 +1,135 @@
+"""Tracer behaviour: nesting, layers, timing, exception safety."""
+
+import pytest
+
+from repro.obs import EpochClock, Tracer
+
+
+class TestSpanBasics:
+    def test_span_records_name_layer_and_attributes(self):
+        tracer = Tracer()
+        with tracer.span("optimize", layer="engine", template="T1") as span:
+            span.attributes["passes"] = 3
+        assert len(tracer.spans) == 1
+        done = tracer.spans[0]
+        assert done.name == "optimize"
+        assert done.layer == "engine"
+        assert done.attributes == {"template": "T1", "passes": 3}
+        assert done.status == "ok"
+
+    def test_wall_and_cpu_time_measured(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            sum(range(20_000))
+        span = tracer.spans[0]
+        assert span.wall_seconds > 0.0
+        assert span.cpu_seconds > 0.0
+        assert span.end == pytest.approx(span.start + span.wall_seconds)
+
+    def test_epoch_clock_starts_near_zero(self):
+        clock = EpochClock()
+        first = clock()
+        assert 0.0 <= first < 1.0
+        assert clock() >= first
+
+
+class TestNesting:
+    def test_children_link_to_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+            with tracer.span("inner2") as inner2:
+                assert inner2.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_current_tracks_innermost_open_span(self):
+        tracer = Tracer()
+        assert tracer.current is None
+        with tracer.span("outer") as outer:
+            assert tracer.current is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current is inner
+            assert tracer.current is outer
+        assert tracer.current is None
+
+    def test_child_inherits_parent_layer(self):
+        tracer = Tracer()
+        with tracer.span("outer", layer="engine"):
+            with tracer.span("inner"):          # no explicit layer
+                pass
+            with tracer.span("other", layer="service"):
+                pass
+        layers = {s.name: s.layer for s in tracer.spans}
+        assert layers == {"inner": "engine", "other": "service", "outer": "engine"}
+
+    def test_span_tree_structure(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("a"):
+                with tracer.span("a1"):
+                    pass
+            with tracer.span("b"):
+                pass
+        roots = tracer.span_tree()
+        assert len(roots) == 1
+        root, children = roots[0]
+        assert root.name == "root"
+        assert [c[0].name for c in children] == ["a", "b"]
+        assert [g[0].name for g in children[0][1]] == ["a1"]
+
+    def test_open_spans_render_as_open(self):
+        tracer = Tracer()
+        with tracer.span("running"):
+            text = tracer.render_tree()
+        assert "running  (open)" in text
+
+    def test_render_tree_indents_and_labels(self):
+        tracer = Tracer()
+        with tracer.span("root", layer="cli"):
+            with tracer.span("child", layer="engine"):
+                pass
+        text = tracer.render_tree()
+        lines = text.splitlines()
+        assert lines[0].startswith("[cli] root")
+        assert lines[1].startswith("  [engine] child")
+
+
+class TestExceptionSafety:
+    def test_exception_closes_span_with_error_status(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.span("fails"):
+                raise ValueError("boom")
+        span = tracer.spans[0]
+        assert span.status == "error"
+        assert span.error == "ValueError: boom"
+        assert span.finished
+        assert span.wall_seconds >= 0.0
+
+    def test_exception_pops_stack(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("inner failure")
+        assert tracer.current is None
+        statuses = {s.name: s.status for s in tracer.spans}
+        assert statuses == {"inner": "error", "outer": "error"}
+
+    def test_tracer_usable_after_exception(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("bad"):
+                raise ValueError()
+        with tracer.span("good"):
+            pass
+        assert tracer.spans[-1].status == "ok"
+        assert tracer.spans[-1].parent_id is None
+
+    def test_error_marker_in_rendered_tree(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("fails"):
+                raise ValueError("boom")
+        assert "!! ValueError: boom" in tracer.render_tree()

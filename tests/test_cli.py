@@ -19,6 +19,19 @@ class TestParser:
         assert args.days == 7
         assert args.seed == 0
 
+    def test_every_subcommand_accepts_trace(self):
+        parser = build_parser()
+        for argv in (
+            ["stats", "--trace"],
+            ["moneyball", "--trace"],
+            ["seagull", "--trace"],
+            ["doppler", "--trace"],
+            ["explain", "--trace"],
+            ["algorithms", "bandit", "--trace"],
+            ["trace", "--trace"],
+        ):
+            assert parser.parse_args(argv).trace is True
+
 
 class TestCommands:
     def test_stats_prints_calibrated_fractions(self, capsys):
@@ -57,3 +70,92 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "predictable tenants" in out
         assert "moneyball" in out
+
+
+class TestTraceFlag:
+    """Every subcommand runs through the runtime, so --trace works uniformly."""
+
+    def _run_traced(self, capsys, argv):
+        assert main([*argv, "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "== span tree ==" in out
+        assert "== per-layer rollup ==" in out
+        return out
+
+    def test_stats_trace(self, capsys):
+        out = self._run_traced(capsys, ["stats", "--days", "2"])
+        assert "cli.stats" in out
+        assert "workload.generate" in out
+
+    def test_moneyball_trace(self, capsys):
+        out = self._run_traced(capsys, ["moneyball", "--tenants", "12"])
+        assert "cli.moneyball" in out
+        assert "moneyball.report" in out
+
+    def test_seagull_trace(self, capsys):
+        out = self._run_traced(capsys, ["seagull", "--servers", "8"])
+        assert "cli.seagull" in out
+        assert "seagull.recommend" in out
+
+    def test_doppler_trace(self, capsys):
+        out = self._run_traced(capsys, ["doppler", "--customers", "40"])
+        assert "cli.doppler" in out
+        assert "doppler.observe" in out
+
+    def test_explain_trace(self, capsys):
+        out = self._run_traced(capsys, ["explain"])
+        assert "cli.explain" in out
+        assert "engine.optimizer.optimize" in out
+
+    def test_algorithms_trace(self, capsys):
+        out = self._run_traced(capsys, ["algorithms", "bandit"])
+        assert "cli.algorithms" in out
+        assert "algorithmstore.search" in out
+
+    def test_untraced_commands_stay_quiet(self, capsys):
+        assert main(["stats", "--days", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "== span tree ==" not in out
+
+
+class TestTraceCommand:
+    """The end-to-end traced scenario: workload -> engine -> service."""
+
+    def test_renders_all_layers(self, capsys):
+        assert main(["trace", "--jobs", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "== span tree ==" in out
+        for needle in (
+            "cli.trace",
+            "workload.generate",
+            "infra.des.run",
+            "engine.optimizer.optimize",
+            "engine.executor.run",
+            "steering.observe",
+        ):
+            assert needle in out, needle
+
+    def test_rollup_covers_all_layers(self, capsys):
+        assert main(["trace", "--jobs", "3"]) == 0
+        rollup = capsys.readouterr().out.split("== per-layer rollup ==")[1]
+        for layer in ("workload", "infra", "engine", "service"):
+            assert layer in rollup, layer
+
+    def test_reports_export_counts(self, capsys):
+        assert main(["trace", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "metric points exported" in out
+
+    def test_simulated_quantities_deterministic_given_seed(self, capsys):
+        def sim_runtimes():
+            return [
+                line.split("sim_runtime=")[1]
+                for line in capsys.readouterr().out.splitlines()
+                if "sim_runtime=" in line
+            ]
+
+        assert main(["trace", "--jobs", "2", "--seed", "7"]) == 0
+        first = sim_runtimes()
+        assert main(["trace", "--jobs", "2", "--seed", "7"]) == 0
+        # Simulated quantities are reproducible; wall times are not.
+        assert first and first == sim_runtimes()

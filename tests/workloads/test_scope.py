@@ -1,6 +1,5 @@
 """Tests for the SCOPE-like workload generator and its calibration."""
 
-import numpy as np
 import pytest
 
 from repro.engine import signature, template_signature
