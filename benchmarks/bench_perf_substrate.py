@@ -26,7 +26,17 @@ Benchmarks:
    strict+template signatures plus both subexpression maps) over a
    SCOPE-like recurring-job trace (the E4/E9 shape): memoized one-pass
    hashing vs the legacy hash-per-call tree walk.
-5. **tracing_overhead** — the optimize -> compile -> execute hot path
+5. **cloudviews_day** — the full CloudViews day (candidates, greedy
+   selection, per-job matching and rewriting, true-cost accounting):
+   the inverted strict-signature index vs the legacy pairwise
+   node-equality flow, asserted byte-identical, instrumented with
+   :mod:`repro.obs` spans so the rollup shows where the time goes.
+6. **parallel_scaling** — the sharded analyses (CloudViews candidate
+   enumeration + Peregrine repository analysis) at 1/2/4 process-pool
+   workers, outputs asserted identical across worker counts.  Honest
+   numbers only: ``cpu_count`` is recorded alongside, and a single-core
+   container will (correctly) show flat scaling.
+7. **tracing_overhead** — the optimize -> compile -> execute hot path
    driven uninstrumented vs bound to an :mod:`repro.obs` runtime
    (spans + event replay + store flush included): the overhead fraction
    must stay under 10%.
@@ -46,15 +56,27 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.core.cloudviews import CloudViews  # noqa: E402
+from repro.core.cloudviews.reuse import (  # noqa: E402
+    WRITE_COST_PER_BYTE,
+    ReuseReport,
+    ViewCandidate,
+    _ViewAwareTruth,
+)
+from repro.core.peregrine import WorkloadRepository, analyze  # noqa: E402
 from repro.engine import (  # noqa: E402
     ClusterExecutor,
     DefaultCardinalityEstimator,
     DefaultCostModel,
     Expression,
     Optimizer,
+    Scan,
+    TableDef,
+    TrueCardinalityModel,
     compile_stages,
     signatures,
 )
+from repro.engine.expr import replace_subexpression  # noqa: E402
 from repro.engine.signatures import enumerate_all_signatures  # noqa: E402
 from repro.obs import ObservabilityRuntime  # noqa: E402
 from repro.telemetry import Metric, TelemetryStore  # noqa: E402
@@ -318,6 +340,288 @@ def measure_signature_trace(n_jobs: int, profiler: SectionProfiler) -> dict:
     }
 
 
+# -- legacy CloudViews (the pre-index pairwise flow, verbatim shape) ----------
+class LegacyCloudViews(CloudViews):
+    """The pre-change day flow: node-equality walks instead of indexes.
+
+    Candidate enumeration mutates one shared owners dict per node (no
+    sharding), containment is ``any(node == inner ...)`` over a full
+    walk, matching re-walks every plan against every selected view, and
+    rewriting runs one full ``replace_subexpression`` pass per view.
+    """
+
+    def candidates(self, jobs, workers: int = 1):
+        owners: dict[str, ViewCandidate] = {}
+        for job_id, plan in jobs:
+            seen: set[str] = set()
+            for node in plan.walk():
+                sig = signatures(node).strict
+                if sig in seen:
+                    continue
+                seen.add(sig)
+                if node.size < self.min_size:
+                    continue
+                existing = owners.get(sig)
+                if existing is None:
+                    owners[sig] = ViewCandidate(
+                        signature=sig,
+                        expression=node,
+                        job_ids=[job_id],
+                        estimated_cost=self.est.cost(node).total,
+                        estimated_bytes=self.est.output_bytes(node),
+                    )
+                elif job_id not in existing.job_ids:
+                    existing.job_ids.append(job_id)
+        return [
+            c
+            for c in owners.values()
+            if c.occurrences >= self.min_occurrences and c.utility > 0
+        ]
+
+    def select(self, jobs, workers: int = 1):
+        pool = sorted(
+            self.candidates(jobs),
+            key=lambda c: -c.utility / max(c.estimated_bytes, 1.0),
+        )
+        selected: list[ViewCandidate] = []
+        spent = 0.0
+        for candidate in pool:
+            if len(selected) >= self.max_views:
+                break
+            if spent + candidate.estimated_bytes > self.budget_bytes:
+                continue
+            contained = any(
+                self._contains(chosen.expression, candidate.expression)
+                for chosen in selected
+            )
+            if contained:
+                continue
+            selected.append(candidate)
+            spent += candidate.estimated_bytes
+        return selected
+
+    @staticmethod
+    def _contains(outer: Expression, inner: Expression) -> bool:
+        return any(node == inner for node in outer.walk())
+
+    def _matches(self, plan, candidate) -> bool:
+        if candidate.group is None:
+            return self._contains(plan, candidate.expression)
+        from repro.core.cloudviews.containment import rewrite_with_containment
+
+        return rewrite_with_containment(plan, candidate.group) != plan
+
+    def _apply(self, plan, candidate):
+        if candidate.group is None:
+            return self.rewrite(plan, [candidate])
+        from repro.core.cloudviews.containment import rewrite_with_containment
+
+        return rewrite_with_containment(plan, candidate.group)
+
+    def rewrite(self, plan, selected):
+        for candidate in sorted(selected, key=lambda c: -c.expression.size):
+            plan = replace_subexpression(
+                plan, candidate.expression, Scan(candidate.view_table)
+            )
+        return plan
+
+    def run_day(self, jobs, true_cardinality, containment: bool = False,
+                workers: int = 1) -> ReuseReport:
+        selected = self.select(jobs)
+        if containment:
+            selected = self._add_containment_candidates(jobs, selected)
+        truth = DefaultCostModel(self.catalog, true_cardinality)
+        baseline = sum(truth.cost(plan).total for _, plan in jobs)
+
+        day_catalog = self.catalog.clone()
+        definitions: dict[str, Expression] = {}
+        for candidate in selected:
+            rows = max(1.0, true_cardinality.estimate(candidate.expression))
+            true_bytes = truth.output_bytes(candidate.expression)
+            day_catalog.add(
+                TableDef(
+                    name=candidate.view_table,
+                    n_rows=int(rows),
+                    columns=self._VIEW_COLUMNS,
+                    row_bytes=max(1, int(true_bytes / rows)),
+                )
+            )
+            definitions[candidate.view_table] = candidate.expression
+        day_truth = _ViewAwareTruth(true_cardinality, definitions)
+        day_cost = DefaultCostModel(day_catalog, day_truth)
+
+        materialized: set[str] = set()
+        reuse_total = 0.0
+        for job_id, plan in jobs:
+            pending = [
+                c
+                for c in selected
+                if c.signature not in materialized and self._matches(plan, c)
+            ]
+            ready = [c for c in selected if c.signature in materialized]
+            rewritten = plan
+            for candidate in sorted(ready, key=lambda c: -c.expression.size):
+                rewritten = self._apply(rewritten, candidate)
+            cost = day_cost.cost(rewritten).total
+            for candidate in pending:
+                cost += WRITE_COST_PER_BYTE * day_cost.output_bytes(
+                    candidate.expression
+                )
+                materialized.add(candidate.signature)
+            reuse_total += cost
+        return ReuseReport(
+            n_jobs=len(jobs),
+            n_views=len(selected),
+            baseline_latency=baseline,
+            reuse_latency=reuse_total,
+            baseline_processing=baseline,
+            reuse_processing=reuse_total,
+            views=selected,
+        )
+
+
+def _report_key(report: ReuseReport) -> tuple:
+    """Everything a ReuseReport says, as a comparable value."""
+    return (
+        report.n_jobs,
+        report.n_views,
+        report.baseline_latency,
+        report.reuse_latency,
+        report.baseline_processing,
+        report.reuse_processing,
+        tuple(
+            (v.signature, tuple(v.job_ids), v.estimated_cost, v.estimated_bytes)
+            for v in report.views
+        ),
+    )
+
+
+def measure_cloudviews_day(n_jobs: int, profiler: SectionProfiler) -> dict:
+    n_days = max(1, round(n_jobs / _JOBS_PER_DAY))
+    with profiler.section("cloudviews_day/generate"):
+        workload = ScopeWorkloadGenerator(rng=0).generate(n_days=n_days)
+    jobs = [(job.job_id, job.plan) for job in workload.jobs]
+    # Warm the signature memos so neither side is charged first-hash costs.
+    for _, plan in jobs:
+        enumerate_all_signatures(plan)
+    est = DefaultCostModel(
+        workload.catalog, DefaultCardinalityEstimator(workload.catalog)
+    )
+    truth = TrueCardinalityModel(workload.catalog, seed=5)
+
+    # Legacy pairwise matching scales with jobs x views x nodes; run it
+    # at full size (capped at 10k jobs) for an honest same-size
+    # comparison, and fall back to per-job throughput if a larger run
+    # ever trims the legacy side.
+    n_legacy = min(len(jobs), 10_000)
+    legacy = LegacyCloudViews(workload.catalog, est)
+    with profiler.section("cloudviews_day/legacy"):
+        legacy_report = legacy.run_day(jobs[:n_legacy], truth)
+
+    obs = ObservabilityRuntime()
+    indexed = CloudViews(workload.catalog, est, obs=obs)
+    with profiler.section("cloudviews_day/indexed"):
+        report = indexed.run_day(jobs, truth)
+
+    # The indexed flow must reproduce the legacy report byte for byte
+    # (checked untimed, at the size the legacy side actually ran).
+    if n_legacy == len(jobs):
+        assert _report_key(report) == _report_key(legacy_report)
+    else:
+        indexed_small = CloudViews(workload.catalog, est).run_day(
+            jobs[:n_legacy], truth
+        )
+        assert _report_key(indexed_small) == _report_key(legacy_report)
+
+    legacy_s = profiler.seconds("cloudviews_day/legacy")
+    new_s = profiler.seconds("cloudviews_day/indexed")
+    legacy_rate = n_legacy / legacy_s
+    new_rate = len(jobs) / new_s
+    span_seconds: dict[str, float] = defaultdict(float)
+    for span in obs.tracer.spans:
+        span_seconds[span.name] += span.wall_seconds
+    return {
+        "n_jobs": len(jobs),
+        "n_jobs_legacy": n_legacy,
+        "n_views": report.n_views,
+        "latency_improvement": report.latency_improvement,
+        "legacy_seconds": legacy_s,
+        "legacy_jobs_per_s": legacy_rate,
+        "new_seconds": new_s,
+        "new_jobs_per_s": new_rate,
+        "speedup": new_rate / legacy_rate,
+        "identical_reports": True,
+        "span_seconds": dict(sorted(span_seconds.items())),
+    }
+
+
+def measure_parallel_scaling(
+    n_jobs: int,
+    profiler: SectionProfiler,
+    workers_axis: tuple[int, ...] = (1, 2, 4),
+) -> dict:
+    """CloudViews enumeration + Peregrine analysis across worker counts.
+
+    Every worker count must produce identical outputs (the substrate's
+    core contract); the timings show whatever scaling the machine's
+    cores actually allow, with ``cpu_count`` recorded so flat numbers
+    from a one-core container read as what they are.
+    """
+    import os
+
+    n_days = max(1, round(n_jobs / _JOBS_PER_DAY))
+    workload = ScopeWorkloadGenerator(rng=0).generate(n_days=n_days)
+    jobs = [(job.job_id, job.plan) for job in workload.jobs]
+    for _, plan in jobs:
+        enumerate_all_signatures(plan)
+    est = DefaultCostModel(
+        workload.catalog, DefaultCardinalityEstimator(workload.catalog)
+    )
+    cloudviews = CloudViews(workload.catalog, est)
+    repo = WorkloadRepository().ingest(workload)
+
+    candidate_seconds: dict[str, float] = {}
+    analyze_seconds: dict[str, float] = {}
+    baseline_candidates = None
+    baseline_stats = None
+    for w in workers_axis:
+        with profiler.section(f"parallel_scaling/candidates_w{w}"):
+            cands = cloudviews.candidates(jobs, workers=w)
+        with profiler.section(f"parallel_scaling/analyze_w{w}"):
+            stats = analyze(repo, workers=w)
+        candidate_seconds[str(w)] = profiler.seconds(
+            f"parallel_scaling/candidates_w{w}"
+        )
+        analyze_seconds[str(w)] = profiler.seconds(
+            f"parallel_scaling/analyze_w{w}"
+        )
+        cand_key = [
+            (c.signature, tuple(c.job_ids), c.estimated_cost, c.estimated_bytes)
+            for c in cands
+        ]
+        if baseline_candidates is None:
+            baseline_candidates, baseline_stats = cand_key, stats
+        else:
+            assert cand_key == baseline_candidates, f"workers={w} diverged"
+            assert stats == baseline_stats, f"workers={w} diverged"
+    base_total = candidate_seconds["1"] + analyze_seconds["1"]
+    speedups = {
+        str(w): base_total
+        / (candidate_seconds[str(w)] + analyze_seconds[str(w)])
+        for w in workers_axis
+    }
+    return {
+        "n_jobs": len(jobs),
+        "n_candidates": len(baseline_candidates),
+        "cpu_count": os.cpu_count(),
+        "workers": list(workers_axis),
+        "candidate_seconds": candidate_seconds,
+        "analyze_seconds": analyze_seconds,
+        "speedup_vs_serial": speedups,
+        "identical_across_workers": True,
+    }
+
+
 #: Acceptance bound on relative tracing overhead.
 TRACING_OVERHEAD_THRESHOLD = 0.10
 
@@ -426,6 +730,8 @@ def run(n_points: int, n_jobs: int, n_queries: int) -> dict:
         "bulk_ingest_shuffled": measure_bulk_ingest_shuffled(n_points, profiler),
         "query_windows": measure_query_windows(n_points, n_queries, profiler),
         "signature_trace": measure_signature_trace(n_jobs, profiler),
+        "cloudviews_day": measure_cloudviews_day(n_jobs, profiler),
+        "parallel_scaling": measure_parallel_scaling(n_jobs, profiler),
         "tracing_overhead": measure_tracing_overhead(n_jobs, profiler),
     }
     return {
@@ -466,13 +772,22 @@ def main(argv: list[str] | None = None) -> int:
 
     print(f"== substrate perf (points={args.points:,}, jobs={args.jobs:,}) ==")
     for name, row in payload["results"].items():
-        if name == "tracing_overhead":
+        if name in ("tracing_overhead", "parallel_scaling"):
             continue
         print(
             f"{name:<22} legacy {row['legacy_seconds']:>8.3f}s"
             f"  new {row['new_seconds']:>8.3f}s"
             f"  speedup {row['speedup']:>8.1f}x"
         )
+    scaling = payload["results"]["parallel_scaling"]
+    per_worker = "  ".join(
+        f"w{w} {scaling['speedup_vs_serial'][str(w)]:.2f}x"
+        for w in scaling["workers"]
+    )
+    print(
+        f"{'parallel_scaling':<22} {per_worker}"
+        f"  (cpu_count={scaling['cpu_count']})"
+    )
     overhead = payload["results"]["tracing_overhead"]
     verdict = "OK" if overhead["within_threshold"] else "OVER BUDGET"
     print(

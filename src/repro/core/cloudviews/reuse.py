@@ -13,6 +13,12 @@ The day's flow mirrors production CloudViews:
    candidate subtree replaced by a scan of the materialized view; the
    first occurrence pays the write.
 
+All three stages are **signature-indexed**: detection builds an inverted
+strict-signature -> candidate table (shardable across a process pool by
+template hash, with an order-stable merge), matching is set membership
+against each plan's memoized signature set, and rewriting replaces every
+selected view in one top-down pass.  Nothing walks plans pairwise.
+
 ``run_day`` evaluates the whole pipeline against the true cost model and
 reports the accumulated-latency and total-processing improvements the
 paper quotes.
@@ -21,6 +27,7 @@ paper quotes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.engine import (
     Catalog,
@@ -35,8 +42,13 @@ from repro.core.cloudviews.containment import (
     find_contained_groups,
     rewrite_with_containment,
 )
-from repro.engine.expr import replace_subexpression, rewrite_bottom_up
+from repro.engine.expr import rewrite_bottom_up
+from repro.engine.signatures import signature_sets
 from repro.engine.signatures import signatures as plan_signatures
+from repro.parallel import DEFAULT_N_SHARDS, pmap, resolve_workers, shard_items
+
+if TYPE_CHECKING:
+    from repro.obs.runtime import ObservabilityRuntime
 
 
 class _ViewAwareTruth:
@@ -52,6 +64,10 @@ class _ViewAwareTruth:
     def __init__(self, truth, definitions: dict[str, Expression]) -> None:
         self._truth = truth
         self._definitions = definitions
+        # Rewritten plans re-estimate the same view subtrees once per
+        # job; restoring is O(plan), so memoize per strict signature
+        # (sound: the wrapped truth is a pure function of the plan).
+        self._memo: dict[str, float] = {}
 
     def _restore(self, expr: Expression) -> Expression:
         def swap(node: Expression) -> Expression:
@@ -62,7 +78,12 @@ class _ViewAwareTruth:
         return rewrite_bottom_up(expr, swap)
 
     def estimate(self, expr: Expression) -> float:
-        return self._truth.estimate(self._restore(expr))
+        sig = plan_signatures(expr).strict
+        cached = self._memo.get(sig)
+        if cached is None:
+            cached = self._truth.estimate(self._restore(expr))
+            self._memo[sig] = cached
+        return cached
 
 #: Cost units charged per byte written when materializing a view.
 WRITE_COST_PER_BYTE = 0.002
@@ -126,6 +147,97 @@ class ReuseReport:
         return 1.0 - self.reuse_processing / self.baseline_processing
 
 
+# -- sharded candidate enumeration --------------------------------------------
+def _enumerate_candidate_shard(payload) -> dict[str, list]:
+    """Worker: partial candidate table over one shard of the day's jobs.
+
+    ``payload`` is ``(entries, min_size)`` with entries of
+    ``(job_index, job_id, plan)``.  Each slot carries the *global*
+    discovery order ``(job_index, walk_position)`` of its first sighting,
+    so merging partials reproduces the exact candidate ordering a serial
+    scan over all jobs would produce — regardless of shard count.
+
+    Workers only collect signatures and owners; the (expensive) cost
+    model runs post-merge, and only on signatures that survive the
+    occurrence filter.  That keeps pool payloads small and avoids
+    costing the long tail of once-seen subexpressions.
+    """
+    entries, min_size = payload
+    partial: dict[str, list] = {}
+    for job_index, job_id, plan in entries:
+        seen: set[str] = set()
+        for position, node in enumerate(plan.walk()):
+            sig = plan_signatures(node).strict
+            if sig in seen:
+                continue
+            seen.add(sig)
+            if node.size < min_size:
+                continue
+            slot = partial.get(sig)
+            if slot is None:
+                # [order, expression, owners]
+                partial[sig] = [
+                    (job_index, position),
+                    node,
+                    [(job_index, job_id)],
+                ]
+            else:
+                # The per-job ``seen`` set guarantees one entry per job,
+                # so owners stay strictly ordered by job index.
+                slot[2].append((job_index, job_id))
+    return partial
+
+
+def _merge_candidate_shards(
+    partials: list[dict[str, list]],
+) -> list[tuple[str, Expression, list[str]]]:
+    """Order-stable merge of per-shard candidate tables.
+
+    Deterministic by construction: the expression of a signature comes
+    from its globally-first sighting, owners are reassembled in job
+    order, and ``(signature, expression, job_ids)`` rows are emitted in
+    first-sighting order — byte-identical for any shard count and
+    worker count, and identical to a serial scan.
+    """
+    merged: dict[str, list] = {}
+    for partial in partials:
+        for sig, slot in partial.items():
+            current = merged.get(sig)
+            if current is None:
+                merged[sig] = [slot[0], slot[1], list(slot[2])]
+            else:
+                if slot[0] < current[0]:
+                    current[0:2] = slot[0:2]
+                current[2].extend(slot[2])
+    out = []
+    for sig, slot in sorted(merged.items(), key=lambda kv: kv[1][0]):
+        owners = sorted(slot[2])
+        out.append((sig, slot[1], [job_id for _, job_id in owners]))
+    return out
+
+
+def _rewrite_with_views(plan: Expression, views: dict[str, str]) -> Expression:
+    """Replace every subtree whose strict signature is in ``views``.
+
+    One top-down pass: a matched node becomes a view scan and is not
+    descended into, so when one selected view contains another the
+    larger view wins — the same outcome as the legacy largest-first
+    sequence of full-tree rewrites, at a single traversal's cost.
+    Subtrees that index-provably carry no match are skipped whole.
+    """
+    if signature_sets(plan).strict.isdisjoint(views):
+        return plan
+    table = views.get(plan_signatures(plan).strict)
+    if table is not None:
+        return Scan(table)
+    new_children = tuple(
+        _rewrite_with_views(child, views) for child in plan.children
+    )
+    if new_children != plan.children:
+        plan = plan.with_children(new_children)
+    return plan
+
+
 class CloudViews:
     """One instance per day: select, materialize, rewrite, account."""
 
@@ -144,6 +256,7 @@ class CloudViews:
         min_size: int = 2,
         budget_bytes: float = float("inf"),
         max_views: int = 50,
+        obs: "ObservabilityRuntime | None" = None,
     ) -> None:
         if min_occurrences < 2:
             raise ValueError("min_occurrences must be >= 2")
@@ -157,40 +270,74 @@ class CloudViews:
         self.min_size = min_size
         self.budget_bytes = budget_bytes
         self.max_views = max_views
+        self._obs = obs
+
+    def bind(self, obs: "ObservabilityRuntime | None") -> "CloudViews":
+        """Attach (or detach) an observability runtime; returns self."""
+        self._obs = obs
+        return self
+
+    def _span(self, name: str, **attributes: object):
+        if self._obs is None:
+            from contextlib import nullcontext
+
+            return nullcontext()
+        return self._obs.span(name, layer="service", **attributes)
 
     # -- detection & selection -------------------------------------------------
     def candidates(
-        self, jobs: list[tuple[str, Expression]]
+        self, jobs: list[tuple[str, Expression]], workers: int = 1
     ) -> list[ViewCandidate]:
-        """Signatures shared by >= min_occurrences distinct jobs."""
-        owners: dict[str, ViewCandidate] = {}
-        for job_id, plan in jobs:
-            seen: set[str] = set()
-            for node in plan.walk():
-                sig = plan_signatures(node).strict
-                if sig in seen:
-                    continue
-                seen.add(sig)
-                if node.size < self.min_size:
-                    continue
-                existing = owners.get(sig)
-                if existing is None:
-                    owners[sig] = ViewCandidate(
-                        signature=sig,
-                        expression=node,
-                        job_ids=[job_id],
-                        estimated_cost=self.est.cost(node).total,
-                        estimated_bytes=self.est.output_bytes(node),
-                    )
-                elif job_id not in existing.job_ids:
-                    existing.job_ids.append(job_id)
-        return [
-            c
-            for c in owners.values()
-            if c.occurrences >= self.min_occurrences and c.utility > 0
-        ]
+        """Signatures shared by >= min_occurrences distinct jobs.
 
-    def select(self, jobs: list[tuple[str, Expression]]) -> list[ViewCandidate]:
+        With ``workers > 1`` the day's jobs are sharded by template-
+        signature hash and enumerated across a process pool; the partial
+        utility tables merge into the same candidate list (same order,
+        same floats) a serial scan produces.
+        """
+        entries = [
+            (index, job_id, plan)
+            for index, (job_id, plan) in enumerate(jobs)
+        ]
+        n = resolve_workers(workers)
+        with self._span("cloudviews.candidates", n_jobs=len(jobs), workers=n):
+            if n <= 1:
+                partials = [
+                    _enumerate_candidate_shard((entries, self.min_size))
+                ]
+            else:
+                shards = shard_items(
+                    entries,
+                    key=lambda entry: plan_signatures(entry[2]).template,
+                    n_shards=DEFAULT_N_SHARDS,
+                )
+                partials = pmap(
+                    _enumerate_candidate_shard,
+                    [(shard, self.min_size) for shard in shards],
+                    workers=n,
+                )
+            merged = _merge_candidate_shards(partials)
+            # Costing is deferred to here: only signatures that recur
+            # enough get the cost model run (the once-seen long tail —
+            # the overwhelming majority — never does).
+            out = []
+            for sig, expression, job_ids in merged:
+                if len(job_ids) < self.min_occurrences:
+                    continue
+                candidate = ViewCandidate(
+                    signature=sig,
+                    expression=expression,
+                    job_ids=job_ids,
+                    estimated_cost=self.est.cost(expression).total,
+                    estimated_bytes=self.est.output_bytes(expression),
+                )
+                if candidate.utility > 0:
+                    out.append(candidate)
+        return out
+
+    def select(
+        self, jobs: list[tuple[str, Expression]], workers: int = 1
+    ) -> list[ViewCandidate]:
         """Greedy utility-per-byte selection under the byte budget.
 
         Nested candidates are pruned: once a candidate is selected, any
@@ -198,29 +345,35 @@ class CloudViews:
         disappear after rewriting).
         """
         pool = sorted(
-            self.candidates(jobs),
+            self.candidates(jobs, workers=workers),
             key=lambda c: -c.utility / max(c.estimated_bytes, 1.0),
         )
-        selected: list[ViewCandidate] = []
-        spent = 0.0
-        for candidate in pool:
-            if len(selected) >= self.max_views:
-                break
-            if spent + candidate.estimated_bytes > self.budget_bytes:
-                continue
-            contained = any(
-                self._contains(chosen.expression, candidate.expression)
-                for chosen in selected
-            )
-            if contained:
-                continue
-            selected.append(candidate)
-            spent += candidate.estimated_bytes
+        with self._span("cloudviews.select", n_candidates=len(pool)):
+            selected: list[ViewCandidate] = []
+            selected_sets: list[frozenset[str]] = []
+            spent = 0.0
+            for candidate in pool:
+                if len(selected) >= self.max_views:
+                    break
+                if spent + candidate.estimated_bytes > self.budget_bytes:
+                    continue
+                contained = any(
+                    candidate.signature in chosen_set
+                    for chosen_set in selected_sets
+                )
+                if contained:
+                    continue
+                selected.append(candidate)
+                selected_sets.append(signature_sets(candidate.expression).strict)
+                spent += candidate.estimated_bytes
         return selected
 
     @staticmethod
     def _contains(outer: Expression, inner: Expression) -> bool:
-        return any(node == inner for node in outer.walk())
+        """Is ``inner`` a subtree of ``outer``?  Signature-keyed: one
+        membership test against the outer plan's memoized signature set
+        instead of structural equality at every node."""
+        return plan_signatures(inner).strict in signature_sets(outer).strict
 
     # -- containment extension ---------------------------------------------------
     def _add_containment_candidates(
@@ -252,26 +405,41 @@ class CloudViews:
 
     def _matches(self, plan: Expression, candidate: ViewCandidate) -> bool:
         """Does ``plan`` carry (an instance of) the candidate?"""
+        sets = signature_sets(plan)
         if candidate.group is None:
-            return self._contains(plan, candidate.expression)
+            return candidate.signature in sets.strict
+        # Cheap pre-filter: an instance implies the group's template
+        # signature appears somewhere in the plan.
+        if candidate.group.template not in sets.template:
+            return False
         rewritten = rewrite_with_containment(plan, candidate.group)
         return rewritten != plan
 
     def _apply(self, plan: Expression, candidate: ViewCandidate) -> Expression:
         if candidate.group is None:
-            return self.rewrite(plan, [candidate])
+            return _rewrite_with_views(
+                plan, {candidate.signature: candidate.view_table}
+            )
+        if candidate.group.template not in signature_sets(plan).template:
+            return plan
         return rewrite_with_containment(plan, candidate.group)
 
     # -- rewriting ---------------------------------------------------------------
     def rewrite(
         self, plan: Expression, selected: list[ViewCandidate]
     ) -> Expression:
-        """Replace matched subtrees by view scans, largest views first."""
+        """Replace matched subtrees by view scans, largest views first.
+
+        A single top-down pass over the plan against the signature ->
+        view table index; pre-order replacement makes the largest
+        selected view win wherever views nest.
+        """
+        views: dict[str, str] = {}
         for candidate in sorted(selected, key=lambda c: -c.expression.size):
-            plan = replace_subexpression(
-                plan, candidate.expression, Scan(candidate.view_table)
-            )
-        return plan
+            views.setdefault(candidate.signature, candidate.view_table)
+        if not views:
+            return plan
+        return _rewrite_with_views(plan, views)
 
     # -- end-to-end day evaluation ---------------------------------------------------
     def run_day(
@@ -279,6 +447,7 @@ class CloudViews:
         jobs: list[tuple[str, Expression]],
         true_cardinality,
         containment: bool = False,
+        workers: int = 1,
     ) -> ReuseReport:
         """Account one day's costs with and without reuse.
 
@@ -293,12 +462,17 @@ class CloudViews:
         and whose occurrences count every contained job.  Stricter
         instances are rewritten to compensating filters over the view by
         normalizing them to the weakest bound first.
+
+        ``workers`` fans the candidate enumeration across a process
+        pool; the report is byte-identical for every worker count.
         """
-        selected = self.select(jobs)
+        selected = self.select(jobs, workers=workers)
         if containment:
-            selected = self._add_containment_candidates(jobs, selected)
+            with self._span("cloudviews.containment"):
+                selected = self._add_containment_candidates(jobs, selected)
         truth = DefaultCostModel(self.catalog, true_cardinality)
-        baseline = sum(truth.cost(plan).total for _, plan in jobs)
+        with self._span("cloudviews.baseline", n_jobs=len(jobs)):
+            baseline = sum(truth.cost(plan).total for _, plan in jobs)
 
         # Register view tables (sized by ground truth) in a day catalog.
         day_catalog = self.catalog.clone()
@@ -320,31 +494,63 @@ class CloudViews:
 
         materialized: set[str] = set()
         reuse_total = 0.0
-        for job_id, plan in jobs:
-            pending = [
-                c
-                for c in selected
-                if c.signature not in materialized
-                and self._matches(plan, c)
-            ]
-            # First occurrence: run as-is, pay the write for each view.
-            ready = [
-                c
-                for c in selected
-                if c.signature in materialized
-            ]
-            rewritten = plan
-            for candidate in sorted(
-                ready, key=lambda c: -c.expression.size
-            ):
-                rewritten = self._apply(rewritten, candidate)
-            cost = day_cost.cost(rewritten).total
-            for candidate in pending:
-                cost += WRITE_COST_PER_BYTE * day_cost.output_bytes(
-                    candidate.expression
-                )
-                materialized.add(candidate.signature)
-            reuse_total += cost
+        n_selected = len(selected)
+        # Strict-only selections (the common case) take a batched path:
+        # all matured views apply in ONE top-down rewrite pass, which is
+        # provably identical to the sequential largest-first applies —
+        # pre-order replacement already makes the largest view win
+        # wherever views nest.  Group (containment) candidates rewrite
+        # to compensating filters, which can interleave with strict
+        # replacements in size order, so they keep the sequential path.
+        strict_only = all(c.group is None for c in selected)
+        by_size = sorted(selected, key=lambda c: -c.expression.size)
+        with self._span("cloudviews.rewrite_and_account", n_views=n_selected):
+            for job_id, plan in jobs:
+                sets = signature_sets(plan)
+                strict_sigs = sets.strict
+                if len(materialized) < n_selected:
+                    pending = [
+                        c
+                        for c in selected
+                        if c.signature not in materialized
+                        and self._matches(plan, c)
+                    ]
+                else:
+                    # Every view matured: the pending scan can only come
+                    # up empty, so skip it (it is O(views) per job).
+                    pending = []
+                # First occurrence: run as-is, pay the write for each view.
+                if strict_only:
+                    views = {
+                        c.signature: c.view_table
+                        for c in by_size
+                        if c.signature in materialized
+                        and c.signature in strict_sigs
+                    }
+                    rewritten = (
+                        _rewrite_with_views(plan, views) if views else plan
+                    )
+                else:
+                    ready = [
+                        c
+                        for c in by_size
+                        if c.signature in materialized
+                        and (
+                            c.signature in strict_sigs
+                            if c.group is None
+                            else c.group.template in sets.template
+                        )
+                    ]
+                    rewritten = plan
+                    for candidate in ready:
+                        rewritten = self._apply(rewritten, candidate)
+                cost = day_cost.cost(rewritten).total
+                for candidate in pending:
+                    cost += WRITE_COST_PER_BYTE * day_cost.output_bytes(
+                        candidate.expression
+                    )
+                    materialized.add(candidate.signature)
+                reuse_total += cost
         return ReuseReport(
             n_jobs=len(jobs),
             n_views=len(selected),

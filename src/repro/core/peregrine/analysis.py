@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.peregrine.repository import WorkloadRepository
+from repro.parallel import pmap
 
 
 @dataclass
@@ -78,6 +79,50 @@ def shared_jobs_on_day(
     return sharing_jobs, shared_sigs
 
 
+def _day_sharing_worker(
+    payload: tuple[int, list[tuple[str, list[str]]]],
+) -> tuple[int, int, int, dict[str, int]]:
+    """Worker: one day's sharing statistics from plain signature lists.
+
+    The payload carries only strings (job ids and pre-filtered strict
+    signatures), so fanning days across a process pool ships kilobytes,
+    not plan trees.  Returns ``(day, n_jobs, n_sharing_jobs,
+    {signature: n_jobs sharing it})`` with dict order equal to first-
+    sighting order — the same order a serial scan produces.
+    """
+    day, entries = payload
+    owners: dict[str, set[str]] = defaultdict(set)
+    for job_id, sigs in entries:
+        for sig in sigs:
+            owners[sig].add(job_id)
+    shared = {s: len(jobs) for s, jobs in owners.items() if len(jobs) > 1}
+    sharing_jobs: set[str] = set()
+    for sig in shared:
+        sharing_jobs |= owners[sig]
+    return day, len(entries), len(sharing_jobs), shared
+
+
+def _day_payloads(
+    repo: WorkloadRepository, min_size: int
+) -> list[tuple[int, list[tuple[str, list[str]]]]]:
+    """Per-day (job_id, filtered signatures) payloads, in day order."""
+    payloads = []
+    for day in repo.days():
+        entries = [
+            (
+                record.job_id,
+                [
+                    sig
+                    for sig, node in record.subexpression_strict.items()
+                    if node.size >= min_size
+                ],
+            )
+            for record in repo.by_day(day)
+        ]
+        payloads.append((day, entries))
+    return payloads
+
+
 def _dependency_fraction(repo: WorkloadRepository) -> float:
     involved: set[str] = set()
     for record in repo.records:
@@ -87,19 +132,31 @@ def _dependency_fraction(repo: WorkloadRepository) -> float:
     return len(involved) / max(len(repo), 1)
 
 
-def analyze(repo: WorkloadRepository, min_subexpr_size: int = 2) -> WorkloadStatistics:
-    """Compute the full statistics bundle over everything ingested."""
+def analyze(
+    repo: WorkloadRepository,
+    min_subexpr_size: int = 2,
+    workers: int = 1,
+) -> WorkloadStatistics:
+    """Compute the full statistics bundle over everything ingested.
+
+    ``workers`` fans the per-day sharing analysis across a process pool
+    (one payload per day, merged back in day order); the statistics are
+    byte-identical for every worker count.
+    """
     if len(repo) == 0:
         raise ValueError("repository is empty")
     recurring, n_templates, p50 = _recurring_fraction(repo)
+    day_results = pmap(
+        _day_sharing_worker,
+        _day_payloads(repo, min_subexpr_size),
+        workers=workers,
+    )
     day_fractions = []
     best_shared: dict[str, int] = {}
-    for day in repo.days():
-        day_jobs = repo.by_day(day)
-        sharing, shared_sigs = shared_jobs_on_day(repo, day, min_subexpr_size)
-        day_fractions.append(len(sharing) / max(len(day_jobs), 1))
-        for sig, jobs in shared_sigs.items():
-            best_shared[sig] = max(best_shared.get(sig, 0), len(jobs))
+    for _day, n_day_jobs, n_sharing, shared_sigs in day_results:
+        day_fractions.append(n_sharing / max(n_day_jobs, 1))
+        for sig, n_jobs in shared_sigs.items():
+            best_shared[sig] = max(best_shared.get(sig, 0), n_jobs)
     top = sorted(best_shared.items(), key=lambda kv: -kv[1])[:10]
     return WorkloadStatistics(
         n_jobs=len(repo),

@@ -45,6 +45,7 @@ class WorkloadRepository:
         self.records: list[JobRecord] = []
         self._by_template: dict[str, list[JobRecord]] = defaultdict(list)
         self._by_job_id: dict[str, JobRecord] = {}
+        self._by_day: dict[int, list[JobRecord]] = defaultdict(list)
 
     def __len__(self) -> int:
         return len(self.records)
@@ -71,6 +72,7 @@ class WorkloadRepository:
         self.records.append(record)
         self._by_template[record.template].append(record)
         self._by_job_id[record.job_id] = record
+        self._by_day[record.day].append(record)
         return record
 
     def ingest(self, workload: Workload) -> "WorkloadRepository":
@@ -92,10 +94,11 @@ class WorkloadRepository:
         return list(self._by_template.get(template, []))
 
     def by_day(self, day: int) -> list[JobRecord]:
-        return [r for r in self.records if r.day == day]
+        """Records of one day, in ingestion order (day-indexed: no scan)."""
+        return list(self._by_day.get(day, ()))
 
     def days(self) -> list[int]:
-        return sorted({r.day for r in self.records})
+        return sorted(self._by_day)
 
     def dependency_graph(self) -> nx.DiGraph:
         """Job-level DAG: edge producer -> consumer."""

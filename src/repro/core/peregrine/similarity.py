@@ -18,6 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.engine import Expression, signatures
+from repro.parallel import pmap
 
 _OPERATORS = ("Scan", "Filter", "Project", "Join", "Aggregate", "Union")
 
@@ -46,6 +47,12 @@ def plan_embedding(plan: Expression, table_vocabulary: list[str]) -> np.ndarray:
     )
 
 
+def _embed_worker(payload: tuple[Expression, tuple[str, ...]]) -> np.ndarray:
+    """Worker: embed one representative plan (picklable module function)."""
+    plan, vocabulary = payload
+    return plan_embedding(plan, list(vocabulary))
+
+
 @dataclass
 class SimilarityMatch:
     """A nearest-template answer."""
@@ -65,30 +72,69 @@ class SimilarityIndex:
         self._templates: list[str] = []
         self._template_index: dict[str, int] = {}
         self._representatives: list[Expression] = []
+        self._embeddings: list[np.ndarray] = []
         self._matrix: np.ndarray | None = None
         self._scale: np.ndarray | None = None
 
     def __len__(self) -> int:
         return len(self._templates)
 
+    def _append(self, template: str, plan: Expression, row: np.ndarray) -> None:
+        self._template_index[template] = len(self._templates)
+        self._templates.append(template)
+        self._representatives.append(plan)
+        self._embeddings.append(row)
+
     def add(self, plan: Expression) -> str:
-        """Index a plan's template (first representative wins)."""
+        """Index a plan's template (first representative wins).
+
+        The embedding row is computed once here; the distance matrix
+        grows lazily by appending pending rows instead of rebuilding
+        from scratch on every add.
+        """
         template = signatures(plan).template
         if template not in self._template_index:
-            self._template_index[template] = len(self._templates)
-            self._templates.append(template)
-            self._representatives.append(plan)
-            self._matrix = None  # invalidate
+            self._append(
+                template, plan, plan_embedding(plan, self.table_vocabulary)
+            )
         return template
 
+    def bulk_add(self, plans: list[Expression], workers: int = 1) -> list[str]:
+        """Index many plans at once; embeddings fan across a process pool.
+
+        Returns the template of each input plan, in input order — the
+        same list a loop of :meth:`add` calls produces, with identical
+        final index state for every worker count.
+        """
+        templates = [signatures(plan).template for plan in plans]
+        fresh: list[tuple[str, Expression]] = []
+        claimed: set[str] = set()
+        for template, plan in zip(templates, plans):
+            if template in self._template_index or template in claimed:
+                continue
+            claimed.add(template)
+            fresh.append((template, plan))
+        vocabulary = tuple(self.table_vocabulary)
+        rows = pmap(
+            _embed_worker,
+            [(plan, vocabulary) for _, plan in fresh],
+            workers=workers,
+        )
+        for (template, plan), row in zip(fresh, rows):
+            self._append(template, plan, row)
+        return templates
+
     def _ensure_matrix(self) -> None:
-        if self._matrix is not None:
+        n_rows = len(self._embeddings)
+        if self._matrix is not None and self._matrix.shape[0] == n_rows:
             return
-        rows = [
-            plan_embedding(p, self.table_vocabulary)
-            for p in self._representatives
-        ]
-        self._matrix = np.vstack(rows)
+        if self._matrix is None:
+            self._matrix = np.vstack(self._embeddings)
+        else:
+            # Incremental growth: append only the rows added since the
+            # last build instead of re-embedding every representative.
+            pending = self._embeddings[self._matrix.shape[0] :]
+            self._matrix = np.vstack([self._matrix, *pending])
         scale = self._matrix.std(axis=0)
         scale[scale == 0.0] = 1.0
         self._scale = scale

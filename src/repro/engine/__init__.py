@@ -32,9 +32,11 @@ from repro.engine.optimizer import Optimizer, OptimizerResult, RuleConfig
 from repro.engine.rules import ALL_RULES, Rule
 from repro.engine.signatures import (
     PlanSignatures,
+    SignatureSets,
     enumerate_all_signatures,
     semantic_signature,
     signature,
+    signature_sets,
     signatures,
     template_signature,
 )
@@ -67,6 +69,8 @@ __all__ = [
     "semantic_signature",
     "template_signature",
     "PlanSignatures",
+    "SignatureSets",
+    "signature_sets",
     "enumerate_all_signatures",
     "Stage",
     "StageGraph",

@@ -96,8 +96,14 @@ class Catalog:
         return out
 
     def owner_of_column(self, column: str, among: set[str]) -> str | None:
-        """Which of the tables in ``among`` owns ``column`` (None if absent)."""
-        for name in among:
+        """Which of the tables in ``among`` owns ``column`` (None if absent).
+
+        Ties (several tables carrying the column) break alphabetically.
+        Iterating the raw set here would let the interpreter's hash salt
+        pick the owner, making estimates — and everything downstream of
+        them — differ between runs and between pool workers.
+        """
+        for name in sorted(among):
             if name in self._tables and self._tables[name].has_column(column):
                 return name
         return None

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.engine.catalog import Catalog
 from repro.engine.estimator import CardinalityModel
+from repro.engine.signatures import signatures
 from repro.engine.expr import (
     Aggregate,
     Expression,
@@ -62,6 +63,18 @@ class DefaultCostModel:
     def __init__(self, catalog: Catalog, cardinality: CardinalityModel) -> None:
         self.catalog = catalog
         self.cardinality = cardinality
+        # Width depends on plan structure only (literals never change
+        # column sets), so it memoizes per template signature.  The
+        # cardinality model is deliberately NOT memoized here: learned
+        # models can retrain between calls.
+        self._width_memo: dict[str, float] = {}
+
+    def __getstate__(self) -> dict:
+        # Keep process-pool payloads small: workers rebuild their own
+        # memo instead of deserializing the parent's.
+        state = dict(self.__dict__)
+        state["_width_memo"] = {}
+        return state
 
     def cost(self, expr: Expression) -> PlanCost:
         total = PlanCost(0.0, 0.0)
@@ -100,15 +113,22 @@ class DefaultCostModel:
         everything else inherits the minimum of its children (joins carry
         both sides' surviving columns, approximated by the mean).
         """
+        sig = signatures(node).template
+        cached = self._width_memo.get(sig)
+        if cached is not None:
+            return cached
         if isinstance(node, Scan):
-            return _FULL_WIDTH
-        if isinstance(node, Project):
+            width = _FULL_WIDTH
+        elif isinstance(node, Project):
             base_columns = self._base_column_count(node)
-            return min(
+            width = min(
                 _FULL_WIDTH, max(0.05, len(node.columns) / max(base_columns, 1))
             )
-        fractions = [self.width_fraction(c) for c in node.children]
-        return sum(fractions) / len(fractions)
+        else:
+            fractions = [self.width_fraction(c) for c in node.children]
+            width = sum(fractions) / len(fractions)
+        self._width_memo[sig] = width
+        return width
 
     def _base_column_count(self, node: Expression) -> int:
         total = 0

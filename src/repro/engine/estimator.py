@@ -20,6 +20,7 @@ from typing import Protocol
 import numpy as np
 
 from repro.engine.catalog import Catalog, ColumnStats
+from repro.engine.signatures import signatures
 from repro.engine.expr import (
     Aggregate,
     Expression,
@@ -54,10 +55,25 @@ def _uniform_fraction(pred: Predicate, col: ColumnStats) -> float:
 
 
 class _EstimatorBase:
-    """Shared recursive walk; subclasses override the leaf selectivities."""
+    """Shared recursive walk; subclasses override the leaf selectivities.
+
+    Estimates are memoized per strict signature: both concrete models
+    are pure functions of (expression, catalog, seed), and the fleet
+    analyses estimate the same shared subexpressions across thousands of
+    jobs, so the recursive walk runs once per distinct subtree instead
+    of once per reference to it.
+    """
 
     def __init__(self, catalog: Catalog) -> None:
         self.catalog = catalog
+        self._estimate_memo: dict[str, float] = {}
+
+    def __getstate__(self) -> dict:
+        # Keep process-pool payloads small: workers rebuild their own
+        # memo instead of deserializing the parent's.
+        state = dict(self.__dict__)
+        state["_estimate_memo"] = {}
+        return state
 
     # -- hooks ---------------------------------------------------------------
     def _predicate_selectivity(self, pred: Predicate, col: ColumnStats) -> float:
@@ -74,6 +90,15 @@ class _EstimatorBase:
 
     # -- estimation -------------------------------------------------------------
     def estimate(self, expr: Expression) -> float:
+        sig = signatures(expr).strict
+        cached = self._estimate_memo.get(sig)
+        if cached is not None:
+            return cached
+        value = self._estimate(expr)
+        self._estimate_memo[sig] = value
+        return value
+
+    def _estimate(self, expr: Expression) -> float:
         if isinstance(expr, Scan):
             return float(self.catalog.get(expr.table).n_rows)
         if isinstance(expr, Project):

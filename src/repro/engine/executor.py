@@ -30,6 +30,9 @@ if TYPE_CHECKING:
 #: Durable-store write throughput, bytes/second (for checkpoint writes).
 CHECKPOINT_WRITE_RATE = 500e6
 
+#: Interned string forms of small stage ids (event-attribute hot path).
+_SMALL_INT_STR = tuple(map(str, range(64)))
+
 #: Systematic runtime effects the analytical cost model does not capture
 #: (shuffle network time, hash-table spills, vectorized scan speedups).
 #: Applied only to truth-sized runs: they represent physical reality,
@@ -89,8 +92,10 @@ class ExecutionReport:
         # Attribute tuples are built directly (in sorted-key order, the
         # freeze_attributes convention) and fields are passed
         # positionally: one event per executed stage makes this a hot
-        # path under tracing.
+        # path under tracing.  Stage ids are small, so their string
+        # forms come from an interned table instead of ``str()`` calls.
         checkpointed = self.checkpointed
+        small = _SMALL_INT_STR
         events = [
             ObsEvent(
                 run.start,
@@ -99,8 +104,13 @@ class ExecutionReport:
                 "stage",
                 run.duration,
                 (
-                    ("checkpointed", str(run.stage_id in checkpointed)),
-                    ("stage_id", str(run.stage_id)),
+                    ("checkpointed", "True" if run.stage_id in checkpointed else "False"),
+                    (
+                        "stage_id",
+                        small[run.stage_id]
+                        if run.stage_id < len(small)
+                        else str(run.stage_id),
+                    ),
                 ),
             )
             for run in self.runs

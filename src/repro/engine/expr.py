@@ -62,14 +62,23 @@ class Expression:
 
     @property
     def size(self) -> int:
-        """Number of nodes in the tree."""
-        return sum(1 for _ in self.walk())
+        """Number of nodes in the tree (memoized: trees are immutable)."""
+        cached = self.__dict__.get("_memo_size")
+        if cached is None:
+            cached = 1 + sum(child.size for child in self.children)
+            object.__setattr__(self, "_memo_size", cached)
+        return cached
 
     @property
     def depth(self) -> int:
-        if not self.children:
-            return 1
-        return 1 + max(child.depth for child in self.children)
+        cached = self.__dict__.get("_memo_depth")
+        if cached is None:
+            if not self.children:
+                cached = 1
+            else:
+                cached = 1 + max(child.depth for child in self.children)
+            object.__setattr__(self, "_memo_depth", cached)
+        return cached
 
     def tables(self) -> set[str]:
         """Base table names referenced anywhere in the tree."""

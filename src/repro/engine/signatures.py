@@ -45,12 +45,28 @@ from repro.engine.expr import (
 #: fresh instances without the cache entry.
 _SIG_ATTR = "_memo_signatures"
 
+#: Instance-dict slot holding the memoized per-subtree signature sets.
+_SIGSET_ATTR = "_memo_signature_sets"
+
 
 class PlanSignatures(NamedTuple):
     """Both signature flavours of one expression node."""
 
     strict: str
     template: str
+
+
+class SignatureSets(NamedTuple):
+    """Every signature carried anywhere in one subtree, both flavours.
+
+    The inverted-index primitive behind CloudViews matching: a plan
+    contains a candidate subexpression iff the candidate's strict
+    signature is a member of the plan's strict set — an O(1) lookup
+    instead of a node-by-node structural-equality walk.
+    """
+
+    strict: frozenset[str]
+    template: frozenset[str]
 
 
 def _describe(node: Expression, mask_literals: bool) -> str:
@@ -103,6 +119,28 @@ def signatures(expr: Expression) -> PlanSignatures:
     )
     object.__setattr__(expr, _SIG_ATTR, sigs)
     return sigs
+
+
+def signature_sets(expr: Expression) -> SignatureSets:
+    """Memoized (strict set, template set) of every node under ``expr``.
+
+    Built bottom-up from the children's cached sets, so hashing any plan
+    once makes membership tests on it — and on every subtree of it —
+    O(1) for the rest of the process lifetime.
+    """
+    cached = expr.__dict__.get(_SIGSET_ATTR)
+    if cached is not None:
+        return cached
+    sigs = signatures(expr)
+    strict: set[str] = {sigs.strict}
+    template: set[str] = {sigs.template}
+    for child in expr.children:
+        child_sets = signature_sets(child)
+        strict |= child_sets.strict
+        template |= child_sets.template
+    sets = SignatureSets(frozenset(strict), frozenset(template))
+    object.__setattr__(expr, _SIGSET_ATTR, sets)
+    return sets
 
 
 def signature(expr: Expression) -> str:

@@ -106,6 +106,11 @@ class EventLog:
             if isinstance(source, ObsEvent):
                 self.events.append(source)
                 return 1
+        # Fast path for the hot shape: a plain list of ObsEvent (every
+        # ``to_events()`` returns one) extends in a single C-level call.
+        if type(source) is list and all(type(item) is ObsEvent for item in source):
+            self.events.extend(source)
+            return len(source)
         if not isinstance(source, Iterable):
             raise TypeError(
                 f"cannot replay {type(source).__name__}: "

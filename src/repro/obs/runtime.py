@@ -39,6 +39,11 @@ class ObservabilityRuntime:
         self.store = store if store is not None else TelemetryStore()
         self._flushed_spans = 0
         self._flushed_events = 0
+        # Hot-path delegations bind straight to the target methods: the
+        # class-level defs below keep the documented surface, these
+        # instance attributes skip one Python call per span/replay.
+        self.span = self.tracer.span
+        self.replay = self.events.replay
 
     # -- recording ------------------------------------------------------------
     def span(

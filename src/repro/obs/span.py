@@ -2,11 +2,10 @@
 
 A span is one timed unit of work.  Spans nest: entering a span while
 another is open links the child to the parent, so a traced end-to-end
-run (workload -> engine -> service) comes out as a tree.  Wall time and
-CPU time are both measured with the existing
-:class:`~repro.telemetry.timing.Stopwatch` (wall on ``perf_counter``,
-CPU on ``process_time``), so span costs line up with the substrate perf
-harness numbers.
+run (workload -> engine -> service) comes out as a tree.  Wall time
+(tracer clock, ``perf_counter``-based) and CPU time (``process_time``)
+are measured with raw clock reads, so span costs line up with the
+substrate perf harness numbers without per-span allocation overhead.
 """
 
 from __future__ import annotations
@@ -15,8 +14,6 @@ import itertools
 import time
 from dataclasses import dataclass, field
 from typing import Callable
-
-from repro.telemetry.timing import Stopwatch
 
 
 class EpochClock:
@@ -64,7 +61,7 @@ class _SpanContext:
     """Hand-rolled context manager: spans open on hot paths, and the
     generator machinery of ``@contextmanager`` costs real time there."""
 
-    __slots__ = ("_tracer", "span", "_wall", "_cpu")
+    __slots__ = ("_tracer", "span", "_wall0", "_cpu0")
 
     def __init__(self, tracer: "Tracer", span: Span) -> None:
         self._tracer = tracer
@@ -74,26 +71,29 @@ class _SpanContext:
         span = self.span
         tracer = self._tracer
         tracer._stack.append(span)
-        # Wall time runs on the tracer's clock, and ``start`` is the
-        # stopwatch's own first reading, so ``span.end`` lands exactly
-        # where the stopwatch stops — events emitted inside the span
-        # (same clock) always fall within [start, end].
-        self._wall = Stopwatch(clock=tracer._clock).start()
-        self._cpu = Stopwatch(clock=time.process_time).start()
-        span.start = self._wall._started
+        # Raw clock reads, not Stopwatch objects: spans open on hot paths
+        # and two allocations per span are measurable.  Wall time runs on
+        # the tracer's clock and ``start`` is the first wall reading, so
+        # ``span.end`` lands exactly where the exit reading is taken —
+        # events emitted inside the span (same clock) always fall within
+        # [start, end].  The wall window is innermost (CPU read first on
+        # enter, last on exit) so it never excludes body work.
+        self._cpu0 = time.process_time()
+        span.start = self._wall0 = tracer._clock()
         return span
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         span = self.span
-        span.wall_seconds = self._wall.stop()
-        span.cpu_seconds = self._cpu.stop()
+        tracer = self._tracer
+        span.wall_seconds = tracer._clock() - self._wall0
+        span.cpu_seconds = time.process_time() - self._cpu0
         if exc_type is None:
             span.status = "ok"
         else:
             span.status = "error"
             span.error = f"{exc_type.__name__}: {exc}"
-        self._tracer._stack.pop()
-        self._tracer.spans.append(span)
+        tracer._stack.pop()
+        tracer.spans.append(span)
         return False  # exceptions propagate; the span still closed
 
 
@@ -124,14 +124,20 @@ class Tracer:
         return self._stack[-1] if self._stack else None
 
     def span(self, name: str, layer: str = "", **attributes: object) -> _SpanContext:
-        parent = self._stack[-1] if self._stack else None
+        stack = self._stack
+        parent = stack[-1] if stack else None
+        # Positional construction: spans open on hot paths, and keyword
+        # binding through the dataclass __init__ costs measurable time.
+        # Unlabelled child spans inherit the enclosing layer.
         span = Span(
-            name=name,
-            span_id=next(self._ids),
-            parent_id=parent.span_id if parent else None,
-            # Unlabelled child spans inherit the enclosing layer.
-            layer=layer or (parent.layer if parent else ""),
-            attributes=attributes,
+            name,
+            next(self._ids),
+            parent.span_id if parent else None,
+            layer or (parent.layer if parent else ""),
+            0.0,
+            0.0,
+            0.0,
+            attributes,
         )
         return _SpanContext(self, span)
 

@@ -1,0 +1,34 @@
+"""Process-parallel fan-out substrate for fleet-scale analysis.
+
+CloudViews mines common subexpressions across hundreds of thousands of
+daily jobs and Peregrine analyzes recurrence over the whole fleet
+(Section 4.2); this package is the shared scale-out layer both ride:
+
+- :func:`pmap` — order-preserving process-pool map with a serial twin,
+- :func:`shard_map` — deterministic shard-then-map by stable key hash,
+- :mod:`~repro.parallel.sharding` — the partitioning contract (blake2b
+  key hashing, worker-count-independent shard membership).
+
+The invariant every caller relies on: **parallel results are
+bit-identical to serial results** — ``workers`` is a throughput knob,
+never a semantics knob.
+"""
+
+from repro.parallel.pool import FORCE_ENV, pmap, resolve_workers, shard_map
+from repro.parallel.sharding import (
+    DEFAULT_N_SHARDS,
+    shard_items,
+    shard_of,
+    stable_hash,
+)
+
+__all__ = [
+    "pmap",
+    "shard_map",
+    "resolve_workers",
+    "shard_items",
+    "shard_of",
+    "stable_hash",
+    "DEFAULT_N_SHARDS",
+    "FORCE_ENV",
+]

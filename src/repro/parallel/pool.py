@@ -1,0 +1,91 @@
+"""Process-pool fan-out with a guaranteed serial twin.
+
+The paper's service layer learns from fleet-sized shared repositories —
+hundreds of thousands of daily jobs — so the analysis layer must scale
+*out* across cores, not just *up* per core.  :func:`pmap` and
+:func:`shard_map` are the two fan-out shapes every analysis here uses,
+with one contract on top of ``concurrent.futures``:
+
+**the parallel result is bit-identical to the serial result.**
+
+That holds because (a) worker functions are pure, (b) ``pmap`` preserves
+input order, and (c) sharding is by stable key hash
+(:mod:`repro.parallel.sharding`), never by worker count.  Callers can
+therefore treat ``workers`` as a pure throughput knob.
+
+Serial fallback: ``workers <= 1`` runs in-process with zero pool
+machinery, and so does any call made under pytest (pool startup is slow
+and sandbox-hostile inside test runs) unless ``REPRO_PARALLEL_FORCE=1``
+is set — the equivalence tests set it to exercise the real pool.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.parallel.sharding import DEFAULT_N_SHARDS, shard_items
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment switch: run real pools even under pytest.
+FORCE_ENV = "REPRO_PARALLEL_FORCE"
+
+
+def resolve_workers(workers: int | None) -> int:
+    """The worker count a fan-out call will actually use.
+
+    ``None`` or anything ``<= 1`` means serial.  Under pytest
+    (``PYTEST_CURRENT_TEST`` set) the answer is serial unless
+    ``REPRO_PARALLEL_FORCE`` is set, so the suite never pays pool
+    startup by accident.  The count is *not* clamped to ``cpu_count``:
+    oversubscription is harmless for correctness (results never depend
+    on the worker count) and lets scaling benches measure honestly.
+    """
+    if workers is None or workers <= 1:
+        return 1
+    if "PYTEST_CURRENT_TEST" in os.environ and not os.environ.get(FORCE_ENV):
+        return 1
+    return int(workers)
+
+
+def pmap(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    workers: int | None = None,
+    chunksize: int | None = None,
+) -> list[R]:
+    """Order-preserving map, fanned across a process pool.
+
+    ``fn`` must be a module-level (picklable) function.  With
+    ``workers <= 1`` — or a single item, where a pool can only lose —
+    this is exactly ``[fn(x) for x in items]``.
+    """
+    work = list(items)
+    n = resolve_workers(workers)
+    if n <= 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    if chunksize is None:
+        chunksize = max(1, len(work) // (n * 4))
+    with ProcessPoolExecutor(max_workers=n) as pool:
+        return list(pool.map(fn, work, chunksize=chunksize))
+
+
+def shard_map(
+    fn: Callable[[list[T]], R],
+    items: Sequence[T] | Iterable[T],
+    key: Callable[[T], str],
+    n_shards: int = DEFAULT_N_SHARDS,
+    workers: int | None = None,
+) -> list[R]:
+    """Partition ``items`` by stable key hash and map ``fn`` per shard.
+
+    Returns one result per shard, in shard-index order (including empty
+    shards), so downstream merges are deterministic.  ``n_shards`` is
+    independent of ``workers`` by design: changing the worker count must
+    never change what any shard contains.
+    """
+    shards = shard_items(items, key, n_shards)
+    return pmap(fn, shards, workers=workers)

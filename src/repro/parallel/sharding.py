@@ -1,0 +1,69 @@
+"""Deterministic sharding: the partitioning contract behind fan-out.
+
+Every fleet-scale analysis in this repo (CloudViews candidate
+enumeration, Peregrine per-day sharing statistics, similarity embedding
+construction) follows the same shape: partition the work by a *stable*
+key hash, analyze each shard independently, and merge partial results in
+shard order.  Correctness of the merge step demands two properties that
+Python's builtin ``hash`` cannot give:
+
+- **run-to-run stability** — ``hash(str)`` is salted per process
+  (``PYTHONHASHSEED``), so shard membership would differ between the
+  parent and its pool workers, and between today's run and tomorrow's.
+  :func:`stable_hash` uses blake2b, which is a pure function of the key.
+- **worker-count independence** — shard membership depends only on the
+  key and the shard count, never on how many processes serve the
+  shards, so ``workers=1`` and ``workers=8`` see the same partition.
+
+Merges that must *additionally* be shard-count independent (CloudViews
+candidate tables) tag each partial record with its global input index
+and reassemble in index order — see ``reuse._merge_candidate_shards``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+#: Default shard count: fixed (not derived from the worker count) so the
+#: partition — and therefore any per-shard artifact — is reproducible
+#: regardless of the machine the analysis lands on.
+DEFAULT_N_SHARDS = 16
+
+
+def stable_hash(key: str) -> int:
+    """A 64-bit hash of ``key`` that is identical in every process.
+
+    Unlike ``hash(str)``, this is not salted: the same key maps to the
+    same value across interpreter runs, pool workers, and platforms.
+    """
+    digest = hashlib.blake2b(key.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def shard_of(key: str, n_shards: int) -> int:
+    """The shard index of ``key`` under an ``n_shards``-way partition."""
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    return stable_hash(key) % n_shards
+
+
+def shard_items(
+    items: Sequence[T] | Iterable[T],
+    key: Callable[[T], str],
+    n_shards: int = DEFAULT_N_SHARDS,
+) -> list[list[T]]:
+    """Partition ``items`` into ``n_shards`` lists by stable key hash.
+
+    Input order is preserved *within* each shard, so a merge that walks
+    shards in index order and reassembles by original position is fully
+    deterministic.  Empty shards are kept (stable shard order).
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    shards: list[list[T]] = [[] for _ in range(n_shards)]
+    for item in items:
+        shards[shard_of(key(item), n_shards)].append(item)
+    return shards

@@ -37,8 +37,22 @@ from repro.engine import (
     Scan,
     TableDef,
 )
+from repro.parallel import DEFAULT_N_SHARDS, shard_items
 
 HOURS_PER_DAY = 24.0
+
+
+def _job_shard_key(job: "Job") -> str:
+    """Stable shard key: template for recurring jobs, job id for ad-hoc.
+
+    Keying recurring jobs by template keeps every instance of a template
+    in one shard, so per-template analyses (candidate enumeration,
+    micromodel training) never straddle a shard boundary.  Module-level
+    so sharded job lists stay picklable for process pools.
+    """
+    if job.template_id is not None:
+        return f"template:{job.template_id}"
+    return f"job:{job.job_id}"
 
 
 @dataclass
@@ -105,6 +119,17 @@ class Workload:
             if j.job_id == job_id:
                 return j
         raise KeyError(f"unknown job {job_id!r}")
+
+    def shards(self, n_shards: int = DEFAULT_N_SHARDS) -> list[list[Job]]:
+        """Deterministic fan-out-ready partition of the trace.
+
+        Shard membership depends only on each job's stable key (template
+        id for recurring jobs, job id for ad-hoc) and the shard count —
+        never on worker count or hash seed — so sharded analyses merge
+        back identically on every run.  Submit order is preserved within
+        each shard.
+        """
+        return shard_items(self.jobs, key=_job_shard_key, n_shards=n_shards)
 
 
 @dataclass

@@ -1,0 +1,138 @@
+"""Serial/parallel equivalence: ``workers`` is a throughput knob only.
+
+The substrate's core contract is that fanning an analysis across a
+process pool changes nothing about its output — not an ordering, not a
+float.  These tests force real pools under pytest (``REPRO_PARALLEL_FORCE``)
+and compare against the serial twin field by field, and separately pin
+the shard merge's independence from the shard count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cloudviews import CloudViews
+from repro.core.cloudviews.reuse import (
+    _enumerate_candidate_shard,
+    _merge_candidate_shards,
+)
+from repro.core.peregrine import SimilarityIndex, WorkloadRepository, analyze
+from repro.engine.signatures import signatures
+from repro.parallel import FORCE_ENV, shard_items
+
+
+def _report_key(report):
+    return (
+        report.n_jobs,
+        report.n_views,
+        report.baseline_latency,
+        report.reuse_latency,
+        report.baseline_processing,
+        report.reuse_processing,
+        tuple(
+            (v.signature, tuple(v.job_ids), v.estimated_cost, v.estimated_bytes)
+            for v in report.views
+        ),
+    )
+
+
+def _candidate_key(candidates):
+    return [
+        (c.signature, tuple(c.job_ids), c.estimated_cost, c.estimated_bytes)
+        for c in candidates
+    ]
+
+
+@pytest.fixture(scope="module")
+def jobs(world):
+    return [(job.job_id, job.plan) for job in world["workload"].jobs]
+
+
+@pytest.fixture
+def force_pools(monkeypatch):
+    monkeypatch.setenv(FORCE_ENV, "1")
+
+
+class TestCloudViewsEquivalence:
+    def test_candidates_identical_across_worker_counts(
+        self, world, jobs, force_pools
+    ):
+        service = CloudViews(world["catalog"], world["est_cost"])
+        serial = service.candidates(jobs, workers=1)
+        for workers in (2, 4):
+            pooled = service.candidates(jobs, workers=workers)
+            assert _candidate_key(pooled) == _candidate_key(serial)
+            assert [c.expression for c in pooled] == [
+                c.expression for c in serial
+            ]
+
+    def test_run_day_identical_serial_vs_pool(self, world, jobs, force_pools):
+        serial = CloudViews(world["catalog"], world["est_cost"]).run_day(
+            jobs, world["truth"], workers=1
+        )
+        pooled = CloudViews(world["catalog"], world["est_cost"]).run_day(
+            jobs, world["truth"], workers=4
+        )
+        assert _report_key(pooled) == _report_key(serial)
+
+    def test_candidate_merge_is_shard_count_independent(self, world, jobs):
+        service = CloudViews(world["catalog"], world["est_cost"])
+        entries = [
+            (index, job_id, plan)
+            for index, (job_id, plan) in enumerate(jobs)
+        ]
+        reference = _merge_candidate_shards(
+            [_enumerate_candidate_shard((entries, service.min_size))]
+        )
+        assert reference  # sanity: the merge has rows to compare
+        for n_shards in (1, 3, 16, 64):
+            shards = shard_items(
+                entries,
+                key=lambda entry: signatures(entry[2]).template,
+                n_shards=n_shards,
+            )
+            partials = [
+                _enumerate_candidate_shard((shard, service.min_size))
+                for shard in shards
+            ]
+            merged = _merge_candidate_shards(partials)
+            # Merged rows are (signature, expression, job_ids) in global
+            # first-sighting order; every component must be identical.
+            assert merged == reference
+
+
+class TestPeregrineEquivalence:
+    def test_analyze_identical_serial_vs_pool(self, world, force_pools):
+        repo = WorkloadRepository().ingest(world["workload"])
+        serial = analyze(repo, workers=1)
+        pooled = analyze(repo, workers=4)
+        assert pooled == serial
+
+
+class TestSimilarityEquivalence:
+    def test_bulk_add_identical_serial_vs_pool(self, world, force_pools):
+        plans = [job.plan for job in world["workload"].jobs[:60]]
+        vocabulary = [t.name for t in world["catalog"].tables()]
+        serial_index = SimilarityIndex(vocabulary)
+        serial_templates = serial_index.bulk_add(plans, workers=1)
+        pooled_index = SimilarityIndex(vocabulary)
+        pooled_templates = pooled_index.bulk_add(plans, workers=4)
+        assert pooled_templates == serial_templates
+        assert pooled_index._templates == serial_index._templates
+        np.testing.assert_array_equal(
+            np.vstack(pooled_index._embeddings),
+            np.vstack(serial_index._embeddings),
+        )
+
+    def test_bulk_add_matches_sequential_adds(self, world):
+        plans = [job.plan for job in world["workload"].jobs[:60]]
+        vocabulary = [t.name for t in world["catalog"].tables()]
+        bulk_index = SimilarityIndex(vocabulary)
+        bulk_templates = bulk_index.bulk_add(plans)
+        loop_index = SimilarityIndex(vocabulary)
+        loop_templates = [loop_index.add(plan) for plan in plans]
+        assert bulk_templates == loop_templates
+        assert bulk_index._templates == loop_index._templates
+        np.testing.assert_array_equal(
+            np.vstack(bulk_index._embeddings),
+            np.vstack(loop_index._embeddings),
+        )

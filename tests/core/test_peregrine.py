@@ -143,3 +143,19 @@ class TestForecast:
     def test_empty_repo_rejected(self):
         with pytest.raises(ValueError):
             forecast_daily_volume(WorkloadRepository())
+
+
+class TestDayIndex:
+    def test_by_day_matches_full_scan_in_ingestion_order(self, repo):
+        for day in repo.days():
+            indexed = [r.job_id for r in repo.by_day(day)]
+            scanned = [r.job_id for r in repo.records if r.day == day]
+            assert indexed == scanned
+
+    def test_unknown_day_is_empty(self, repo):
+        assert repo.by_day(99) == []
+
+    def test_by_day_returns_a_copy(self, repo):
+        first = repo.by_day(0)
+        first.clear()
+        assert repo.by_day(0)

@@ -99,3 +99,37 @@ class TestIndex:
         adhoc = [j for j in workload.jobs if not j.is_recurring][:20]
         matches = [index.nearest(j.plan) for j in adhoc]
         assert all(m is not None for m in matches)
+
+
+class TestIncrementalMatrix:
+    def test_matrix_grows_by_appending_rows(self, index):
+        probe = Project(Scan("fact"), ("a0",))  # novel template: forces a build
+        index.nearest(probe)
+        assert index._matrix.shape[0] == 3
+        before = index._matrix.copy()
+        index.add(Filter(Scan("dim"), (Predicate("a1", "<", 1.0),)))
+        index.nearest(probe)
+        assert index._matrix.shape[0] == 4
+        np.testing.assert_array_equal(index._matrix[:3], before)
+
+    def test_incremental_build_equals_fresh_build(self):
+        plans = [
+            Join(fragment(10.0), Scan("dim"), "key", "key"),
+            Aggregate(fragment(10.0), ("a0",)),
+            Project(Scan("other"), ("a0",)),
+            Filter(Scan("dim"), (Predicate("a0", ">", 2.0),)),
+        ]
+        probe = Project(Scan("fact"), ("a1",))
+        fresh = SimilarityIndex(["fact", "dim", "other"])
+        for plan in plans:
+            fresh.add(plan)
+        incremental = SimilarityIndex(["fact", "dim", "other"])
+        for plan in plans[:2]:
+            incremental.add(plan)
+        incremental.nearest(probe)  # builds a 2-row matrix...
+        for plan in plans[2:]:
+            incremental.add(plan)   # ...which must grow, not rebuild wrong
+        a, b = fresh.nearest(probe), incremental.nearest(probe)
+        assert (a.template, a.distance) == (b.template, b.distance)
+        np.testing.assert_array_equal(fresh._matrix, incremental._matrix)
+        np.testing.assert_array_equal(fresh._scale, incremental._scale)

@@ -1,0 +1,1 @@
+"""Tests for the process-parallel fan-out substrate."""

@@ -1,0 +1,81 @@
+"""Tests for the process-pool fan-out layer (pmap / shard_map)."""
+
+import os
+
+from repro.parallel import (
+    FORCE_ENV,
+    pmap,
+    resolve_workers,
+    shard_items,
+    shard_map,
+)
+
+
+def _double(x: int) -> int:
+    return x * 2
+
+
+def _pid_of(_: object) -> int:
+    return os.getpid()
+
+
+def _shard_echo(shard: list) -> list:
+    return list(shard)
+
+
+class TestResolveWorkers:
+    def test_serial_values(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(0) == 1
+        assert resolve_workers(1) == 1
+        assert resolve_workers(-3) == 1
+
+    def test_pytest_forces_serial(self, monkeypatch):
+        monkeypatch.delenv(FORCE_ENV, raising=False)
+        assert "PYTEST_CURRENT_TEST" in os.environ
+        assert resolve_workers(4) == 1
+
+    def test_force_env_overrides_pytest_guard(self, monkeypatch):
+        monkeypatch.setenv(FORCE_ENV, "1")
+        assert resolve_workers(4) == 4
+
+
+class TestPmap:
+    def test_serial_matches_listcomp(self):
+        assert pmap(_double, range(5)) == [0, 2, 4, 6, 8]
+
+    def test_serial_fallback_runs_closures(self, monkeypatch):
+        # Under pytest (no force flag) no pool spins up, so even an
+        # unpicklable closure works — proof the fallback stays serial.
+        monkeypatch.delenv(FORCE_ENV, raising=False)
+        offset = 10
+        assert pmap(lambda x: x + offset, [1, 2], workers=8) == [11, 12]
+
+    def test_single_item_never_pays_a_pool(self, monkeypatch):
+        monkeypatch.setenv(FORCE_ENV, "1")
+        assert pmap(lambda x: x + 1, [41], workers=4) == [42]
+
+    def test_real_pool_preserves_order_and_results(self, monkeypatch):
+        monkeypatch.setenv(FORCE_ENV, "1")
+        items = list(range(24))
+        assert pmap(_double, items, workers=2) == [x * 2 for x in items]
+
+    def test_real_pool_crosses_the_process_boundary(self, monkeypatch):
+        monkeypatch.setenv(FORCE_ENV, "1")
+        pids = set(pmap(_pid_of, range(8), workers=2, chunksize=1))
+        assert os.getpid() not in pids
+
+
+class TestShardMap:
+    def test_matches_shard_items_in_index_order(self):
+        items = [f"k{i}" for i in range(30)]
+        assert shard_map(_shard_echo, items, key=str, n_shards=7) == shard_items(
+            items, key=str, n_shards=7
+        )
+
+    def test_worker_count_is_pure_throughput(self, monkeypatch):
+        monkeypatch.setenv(FORCE_ENV, "1")
+        items = [f"k{i}" for i in range(30)]
+        serial = shard_map(_shard_echo, items, key=str, n_shards=5, workers=1)
+        pooled = shard_map(_shard_echo, items, key=str, n_shards=5, workers=4)
+        assert pooled == serial

@@ -1,0 +1,100 @@
+"""Tests for the deterministic sharding contract."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.parallel import (
+    DEFAULT_N_SHARDS,
+    shard_items,
+    shard_of,
+    stable_hash,
+)
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestStableHash:
+    def test_pure_function_of_the_key(self):
+        assert stable_hash("template:tpl-007") == stable_hash("template:tpl-007")
+        assert stable_hash("a") != stable_hash("b")
+
+    def test_distinct_keys_spread(self):
+        assert len({stable_hash(f"key{i}") for i in range(200)}) == 200
+
+    def test_stable_across_interpreters_and_hash_seeds(self):
+        # ``hash(str)`` would differ between these children; blake2b
+        # must not — shard membership has to agree across processes.
+        script = (
+            "from repro.parallel import stable_hash; "
+            "print(stable_hash('template:tpl-007'))"
+        )
+        seen = set()
+        for seed in ("0", "1", "12345"):
+            env = dict(
+                os.environ,
+                PYTHONHASHSEED=seed,
+                PYTHONPATH=str(_REPO_ROOT / "src"),
+            )
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            ).stdout.strip()
+            seen.add(out)
+        assert seen == {str(stable_hash("template:tpl-007"))}
+
+
+class TestShardOf:
+    def test_in_range(self):
+        for i in range(50):
+            assert 0 <= shard_of(f"k{i}", 7) < 7
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError):
+            shard_of("x", 0)
+        with pytest.raises(ValueError):
+            shard_items(["x"], key=str, n_shards=0)
+
+
+_KEYS = st.lists(st.text(max_size=8), max_size=60)
+
+
+class TestShardItems:
+    @given(_KEYS, st.integers(1, 32))
+    def test_shards_partition_the_input(self, keys, n_shards):
+        items = list(enumerate(keys))
+        shards = shard_items(items, key=lambda it: it[1], n_shards=n_shards)
+        assert len(shards) == n_shards
+        assert sorted(x for shard in shards for x in shard) == sorted(items)
+        for index, shard in enumerate(shards):
+            assert all(shard_of(key, n_shards) == index for _, key in shard)
+
+    @given(_KEYS, st.integers(1, 32))
+    def test_input_order_preserved_within_each_shard(self, keys, n_shards):
+        items = list(enumerate(keys))
+        for shard in shard_items(items, key=lambda it: it[1], n_shards=n_shards):
+            positions = [position for position, _ in shard]
+            assert positions == sorted(positions)
+
+    @given(_KEYS)
+    def test_membership_independent_of_other_items(self, keys):
+        # An item's shard is a function of its key alone: sharding a
+        # subset assigns every surviving item to the same shard index.
+        items = list(enumerate(keys))
+        full = shard_items(items, key=lambda it: it[1], n_shards=8)
+        subset = items[::2]
+        partial = shard_items(subset, key=lambda it: it[1], n_shards=8)
+        for index, shard in enumerate(partial):
+            assert all(item in full[index] for item in shard)
+
+    def test_default_shard_count_is_fixed(self):
+        assert DEFAULT_N_SHARDS == 16
+        assert len(shard_items([], key=str)) == DEFAULT_N_SHARDS
