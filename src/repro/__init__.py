@@ -9,7 +9,11 @@ The package mirrors the paper's structure:
   (SCOPE/Spark-flavoured query engine);
 - the contribution: :mod:`repro.core`, one subpackage per autonomous
   service across the cloud-infrastructure, query-engine, and service
-  layers.
+  layers;
+- the shared runtime: :mod:`repro.obs` (tracing/metrics),
+  :mod:`repro.parallel` (deterministic process fan-out), and
+  :mod:`repro.fabric` — the control plane hosting every service as a
+  checkpointable, fault-tolerant feedback pipeline.
 
 Quickstart::
 
@@ -30,4 +34,7 @@ __all__ = [
     "infra",
     "engine",
     "core",
+    "obs",
+    "parallel",
+    "fabric",
 ]

@@ -10,6 +10,8 @@ Subcommands::
     repro explain     [--seed S]            EXPLAIN a sample optimized plan
     repro algorithms  QUERY                 search the AlgorithmStore
     repro trace       [--jobs N --seed S]   traced workload->engine->service run
+    repro fabric      [--days N --full --list --checkpoint P --resume P
+                       --inject-fault SPEC]  the control plane end to end
 
 Every subcommand is deterministic given its seed and prints a compact
 table, so the CLI doubles as a smoke test of the installation.  Every
@@ -193,13 +195,67 @@ def _cmd_algorithms(args: argparse.Namespace, obs: "ObservabilityRuntime") -> in
     return 0
 
 
+def _trace_driver():
+    """The end-to-end pipeline behind ``repro trace``, built lazily.
+
+    One job per fabric tick: optimize -> execute -> steer.  Defined
+    inside a factory so importing the CLI stays cheap.
+    """
+    from repro.fabric.pipeline import PipelineDriver, TickContext
+
+    class _TraceDriver(PipelineDriver):
+        name = "trace"
+        layer = "engine"
+
+        def __init__(
+            self, jobs, optimizer, executor, est_cost, true_cost, steering
+        ) -> None:
+            self.jobs = list(jobs)
+            self.optimizer = optimizer
+            self.executor = executor
+            self.est_cost = est_cost
+            self.true_cost = true_cost
+            self.steering = steering
+
+        def services(self):
+            return [self.steering]
+
+        def bind_obs(self, obs) -> None:
+            self.optimizer.bind(obs)
+            self.executor.bind(obs)
+            super().bind_obs(obs)
+
+        def act(self, ctx: TickContext) -> None:
+            from repro.engine import compile_stages
+
+            if ctx.tick >= len(self.jobs):
+                return
+            job = self.jobs[ctx.tick]
+            optimized = self.optimizer.optimize(job.plan).plan
+            graph = compile_stages(
+                optimized, self.est_cost, truth=self.true_cost
+            )
+            self.executor.run(graph)
+            self.steering.observe(job.job_id, job.plan)
+
+        def final_report(self) -> dict:
+            report = self.steering.report()
+            return {
+                "jobs": len(self.jobs),
+                "improvement": round(report.improvement, 10),
+            }
+
+    return _TraceDriver
+
+
 def _cmd_trace(args: argparse.Namespace, obs: "ObservabilityRuntime") -> int:
     """One traced end-to-end scenario: workload -> engine -> service.
 
-    Jobs arrive through the DES event queue (infra layer); each arrival
-    optimizes the plan, executes the stage DAG on the simulated cluster
-    (engine layer), and feeds the plan through the steering service
-    (service layer).  Spans and events land in one TelemetryStore.
+    Jobs arrive as fabric pipeline ticks on the DES event queue (infra
+    layer); each tick optimizes the plan, executes the stage DAG on the
+    simulated cluster (engine layer), and feeds the plan through the
+    steering service (service layer).  Spans, fabric health events, and
+    metrics land in one TelemetryStore.
     """
     from repro.core.steering import SteeringService
     from repro.engine import (
@@ -208,9 +264,9 @@ def _cmd_trace(args: argparse.Namespace, obs: "ObservabilityRuntime") -> int:
         DefaultCostModel,
         Optimizer,
         TrueCardinalityModel,
-        compile_stages,
     )
-    from repro.infra import EventQueue
+    from repro.fabric import ControlPlane
+    from repro.fabric.fleet import TrueCostFn
     from repro.workloads import ScopeWorkloadGenerator
 
     with obs.span("workload.generate", layer="workload"):
@@ -220,36 +276,100 @@ def _cmd_trace(args: argparse.Namespace, obs: "ObservabilityRuntime") -> int:
         workload.catalog, DefaultCardinalityEstimator(workload.catalog)
     )
     true_cost = DefaultCostModel(workload.catalog, truth)
-    optimizer = Optimizer(workload.catalog, obs=obs)
-    executor = ClusterExecutor(rng=args.seed, obs=obs)
-    steering = SteeringService(
-        optimizer, lambda p: true_cost.cost(p).total, rng=args.seed
-    )
-    steering.bind(obs)
-    queue = EventQueue(obs=obs)
+    optimizer = Optimizer(workload.catalog)
+    executor = ClusterExecutor(rng=args.seed)
+    steering = SteeringService(optimizer, TrueCostFn(true_cost), rng=args.seed)
 
     jobs = workload.jobs[: args.jobs]
-
-    def _arrival(job):
-        def _run() -> None:
-            optimized = optimizer.optimize(job.plan).plan
-            graph = compile_stages(optimized, est_cost, truth=true_cost)
-            executor.run(graph)
-            steering.observe(job.job_id, job.plan)
-
-        return _run
-
-    for i, job in enumerate(jobs):
-        queue.schedule(float(i), _arrival(job), label="job_arrival")
-    queue.run()
+    driver = _trace_driver()(
+        jobs, optimizer, executor, est_cost, true_cost, steering
+    )
+    plane = ControlPlane(obs=obs)
+    plane.register(driver)
+    plane.run_days(max(1, len(jobs)))
     obs.replay(steering.report())
     points = obs.flush()
 
     print(obs.render())
     print(
-        f"\ntraced {len(jobs)} jobs: {len(obs.tracer.spans)} spans, "
+        f"\ntraced {len(jobs)} jobs on the fabric: "
+        f"{len(obs.tracer.spans)} spans, "
         f"{len(obs.events)} events, {points} metric points exported"
     )
+    return 0
+
+
+def _cmd_fabric(args: argparse.Namespace, obs: "ObservabilityRuntime") -> int:
+    """Run the whole fleet on the control plane (or resume a checkpoint)."""
+    from repro.fabric import (
+        CORE_FLEET,
+        FULL_FLEET,
+        ControlPlane,
+        FaultInjector,
+        FleetConfig,
+        build_fleet,
+        parse_fault_spec,
+    )
+
+    if args.resume:
+        plane = ControlPlane.restore(args.resume, obs=obs)
+        remaining = args.days - plane.day
+        if remaining <= 0:
+            print(
+                f"checkpoint already covers day {plane.day}"
+                f" (target {args.days}); nothing to run"
+            )
+        else:
+            plane.run_days(remaining)
+    else:
+        if args.services:
+            include = tuple(args.services.split(","))
+        else:
+            include = FULL_FLEET if args.full else CORE_FLEET
+        injector = FaultInjector(
+            specs=[parse_fault_spec(s) for s in args.inject_fault]
+        )
+        plane = ControlPlane(injector=injector, obs=obs)
+        build_fleet(
+            plane,
+            FleetConfig(
+                seed=args.seed,
+                days=args.days,
+                workers=args.workers,
+                include=include,
+            ),
+        )
+        if args.list:
+            print(f"{'service':<12} {'layer':<8} {'cadence':>8}  stages")
+            for binding in plane.bindings:
+                stages = ", ".join(s for s, _ in binding.driver.stages())
+                print(
+                    f"{binding.name:<12} {binding.driver.layer:<8}"
+                    f" {binding.cadence_days:>7.1f}d  {stages}"
+                )
+            return 0
+        checkpoint_day = args.checkpoint_day
+        if args.checkpoint and 0 < checkpoint_day < args.days:
+            plane.run_days(checkpoint_day)
+            plane.checkpoint(args.checkpoint)
+            plane.run_days(args.days - checkpoint_day)
+        else:
+            plane.run_days(args.days)
+            if args.checkpoint:
+                plane.checkpoint(args.checkpoint)
+
+    report = plane.final_report()
+    print(f"fabric: {report['days']} days, {len(plane.bindings)} services")
+    for name, entry in report["services"].items():
+        print(f"  {name:<12} ticks={entry['ticks']}")
+    lifecycle = report["lifecycle"]
+    print(
+        f"lifecycle: {lifecycle['actions']}"
+        f"  serving={lifecycle['serving']}"
+    )
+    print(plane.render_health())
+    if plane.injector.fired:
+        print(f"injected faults fired: {plane.injector.fired}")
     return 0
 
 
@@ -339,6 +459,48 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--jobs", type=int, default=6)
     trace.add_argument("--seed", type=int, default=0)
     trace.set_defaults(func=_cmd_trace)
+
+    fabric = sub.add_parser(
+        "fabric",
+        help="run every service on the control plane",
+        parents=[common],
+    )
+    fabric.add_argument("--days", type=int, default=7)
+    fabric.add_argument("--seed", type=int, default=0)
+    fabric.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool width for fleet-scale analyses",
+    )
+    fabric.add_argument(
+        "--full", action="store_true",
+        help="include the heavier infra/engine tuners (kea, autotune, joint)",
+    )
+    fabric.add_argument(
+        "--services", default="",
+        help="comma-separated service subset (overrides --full)",
+    )
+    fabric.add_argument(
+        "--list", action="store_true",
+        help="list the registered pipelines and exit without running",
+    )
+    fabric.add_argument(
+        "--checkpoint", default="",
+        help="snapshot fabric state to this path (see --checkpoint-day)",
+    )
+    fabric.add_argument(
+        "--checkpoint-day", type=int, default=0,
+        help="snapshot mid-run after this day, then continue (default: at the end)",
+    )
+    fabric.add_argument(
+        "--resume", default="",
+        help="restore from a checkpoint and run up to --days total",
+    )
+    fabric.add_argument(
+        "--inject-fault", action="append", default=[],
+        metavar="SERVICE:STAGE[:DAY[:TIMES]]",
+        help="plant a deterministic stage fault (repeatable; day '*' = any)",
+    )
+    fabric.set_defaults(func=_cmd_fabric)
 
     return parser
 

@@ -10,14 +10,20 @@ from repro.core.joint.coordinate import (
     JointResult,
     ParameterGrid,
     joint_optimize,
+    optimize_one,
     sequential_optimize,
 )
-from repro.core.joint.scenario import checkpoint_wave_objective
+from repro.core.joint.scenario import (
+    CheckpointWaveObjective,
+    checkpoint_wave_objective,
+)
 
 __all__ = [
     "ParameterGrid",
     "JointResult",
     "sequential_optimize",
     "joint_optimize",
+    "optimize_one",
+    "CheckpointWaveObjective",
     "checkpoint_wave_objective",
 ]

@@ -49,14 +49,21 @@ class JointResult:
     trajectory: list[tuple[Config, float]] = field(default_factory=list)
 
 
-def _optimize_one(
+def optimize_one(
     objective: Callable[[Config], float],
     grid: ParameterGrid,
     config: Config,
     name: str,
     cache: dict,
 ) -> tuple[Config, float, int]:
-    """Best value for ``name`` with every other knob frozen."""
+    """Best value for ``name`` with every other knob frozen.
+
+    The shared building block of both schedules below — and of the
+    fabric's :class:`~repro.fabric.fleet.JointTuningDriver`, which runs
+    one coordinate-descent round per simulated day.  Returns the updated
+    config, its score, and how many fresh objective evaluations were
+    spent (cache hits are free).
+    """
     evaluations = 0
     best_value = config[name]
     best_score = None
@@ -93,7 +100,7 @@ def sequential_optimize(
     cache[tuple(sorted(config.items()))] = score
     evaluations += 1
     for name in order:
-        config, score, used = _optimize_one(objective, grid, config, name, cache)
+        config, score, used = optimize_one(objective, grid, config, name, cache)
         evaluations += used
         trajectory.append((dict(config), score))
     return JointResult(
@@ -124,7 +131,7 @@ def joint_optimize(
         rounds += 1
         before = dict(config)
         for name in grid.names:
-            config, score, used = _optimize_one(
+            config, score, used = optimize_one(
                 objective, grid, config, name, cache
             )
             evaluations += used

@@ -1,0 +1,135 @@
+"""Checkpoint/restore of full fabric state.
+
+File format (``repro.fabric/checkpoint@1``, documented in DESIGN.md): a
+single :mod:`pickle` (protocol 4) of::
+
+    {
+        "format": "repro.fabric/checkpoint@1",
+        "state": {
+            "day":      int,        # completed fabric days
+            "now":      float,      # DES clock (days)
+            "registry": ModelRegistry,
+            "lifecycle": ModelLifecycle,     # shares the registry object
+            "retry":    RetryPolicy,
+            "injector": FaultInjector,
+            "health":   FabricHealth,
+            "mirrored": int,        # lifecycle actions already replayed to obs
+            "bindings": [           # registration order
+                {"name", "cadence_days", "next_due", "ticks", "driver"},
+                ...
+            ],
+        },
+    }
+
+Everything is pickled in **one** dump, so object identity is preserved:
+a driver holding the shared registry (e.g. the feedback loop) restores
+pointing at the same registry instance the lifecycle owns.  The
+observability runtime is *never* part of a checkpoint — drivers are
+detached before pickling and the caller rebinds a (fresh or existing)
+runtime on restore.  Pending DES events are not serialized either:
+tick schedules are fully determined by each binding's ``next_due`` and
+cadence, so restore simply re-arms every binding in registration order,
+which reproduces the original execution order exactly.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.fabric.plane import ControlPlane
+    from repro.obs.runtime import ObservabilityRuntime
+
+#: Format tag written into (and required from) every checkpoint file.
+CHECKPOINT_FORMAT = "repro.fabric/checkpoint@1"
+
+
+def checkpoint_bytes(plane: "ControlPlane") -> bytes:
+    """Serialize ``plane`` to checkpoint bytes (obs detached throughout)."""
+    obs = plane._obs
+    plane.bind(None)
+    try:
+        state = {
+            "day": plane.day,
+            "now": plane.queue.now,
+            "registry": plane.registry,
+            "lifecycle": plane.lifecycle,
+            "retry": plane.retry,
+            "injector": plane.injector,
+            "health": plane.health,
+            "mirrored": plane._lifecycle_mirrored,
+            "bindings": [
+                {
+                    "name": b.name,
+                    "cadence_days": b.cadence_days,
+                    "next_due": b.next_due,
+                    "ticks": b.ticks,
+                    "driver": b.driver,
+                }
+                for b in plane.bindings
+            ],
+        }
+        return pickle.dumps(
+            {"format": CHECKPOINT_FORMAT, "state": state}, protocol=4
+        )
+    finally:
+        plane.bind(obs)
+
+
+def save_checkpoint(plane: "ControlPlane", path) -> None:
+    data = checkpoint_bytes(plane)
+    Path(path).write_bytes(data)
+    if plane._obs is not None:
+        plane._obs.emit(
+            "fabric",
+            "fabric",
+            "checkpoint",
+            value=float(len(data)),
+            timestamp=plane.queue.now,
+            day=plane.day,
+        )
+
+
+def restore_from_bytes(
+    data: bytes, obs: "ObservabilityRuntime | None" = None
+) -> "ControlPlane":
+    """Rebuild a :class:`ControlPlane` from checkpoint bytes."""
+    from repro.fabric.plane import ControlPlane, ServiceBinding
+
+    payload = pickle.loads(data)
+    if not isinstance(payload, dict) or payload.get("format") != CHECKPOINT_FORMAT:
+        raise ValueError(
+            f"not a fabric checkpoint (expected format {CHECKPOINT_FORMAT!r})"
+        )
+    state = payload["state"]
+    plane = ControlPlane(
+        registry=state["registry"],
+        retry=state["retry"],
+        injector=state["injector"],
+    )
+    plane.lifecycle = state["lifecycle"]
+    plane.health = state["health"]
+    plane.day = state["day"]
+    plane._lifecycle_mirrored = state["mirrored"]
+    plane.queue.now = state["now"]
+    for index, saved in enumerate(state["bindings"]):
+        binding = ServiceBinding(
+            name=saved["name"],
+            driver=saved["driver"],
+            cadence_days=saved["cadence_days"],
+            index=index,
+            next_due=saved["next_due"],
+            ticks=saved["ticks"],
+        )
+        plane.bindings.append(binding)
+        plane._arm(binding)
+    if obs is not None:
+        plane.bind(obs)
+        plane._emit("restore", value=float(plane.day))
+    return plane
+
+
+def load_checkpoint(path, obs: "ObservabilityRuntime | None" = None) -> "ControlPlane":
+    return restore_from_bytes(Path(path).read_bytes(), obs=obs)

@@ -1,0 +1,110 @@
+"""Fault injection and retry policy for fabric stage execution.
+
+Stage executions are wrapped in retry-with-backoff; a stage that
+exhausts its attempts *degrades* (the driver's fallback runs, the tick
+continues, the run never aborts).  :class:`FaultInjector` plants
+deterministic faults at (service, stage, day) coordinates so the
+retry/degrade machinery is testable end to end — injection happens at
+stage *entry*, before the stage body touches service state, which keeps
+retries idempotent by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class InjectedFault(RuntimeError):
+    """The exception planted by :class:`FaultInjector`."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many attempts a stage gets and how backoff grows.
+
+    Retries are sub-tick: the DES clock does not advance between
+    attempts (ticks are instantaneous in simulated time), but each
+    retry records its would-be backoff delay as the ``stage_retry``
+    event value so backoff pressure is visible in telemetry.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.25
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base < 0:
+            raise ValueError("backoff_base must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1.0")
+
+    def backoff(self, attempt: int) -> float:
+        """Backoff delay after failed attempt number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        return self.backoff_base * self.backoff_factor ** (attempt - 1)
+
+
+@dataclass
+class FaultSpec:
+    """One planted fault: fire ``times`` times at matching executions.
+
+    ``day=None`` matches any day.  Each *attempt* that matches consumes
+    one firing, so ``times=1`` exercises the retry path (first attempt
+    fails, the retry succeeds) and ``times >= max_attempts`` exercises
+    the degrade path.
+    """
+
+    service: str
+    stage: str
+    day: int | None = None
+    times: int = 1
+
+    def matches(self, service: str, stage: str, day: int) -> bool:
+        return (
+            self.times > 0
+            and self.service == service
+            and self.stage == stage
+            and (self.day is None or self.day == day)
+        )
+
+
+def parse_fault_spec(text: str) -> FaultSpec:
+    """Parse the CLI form ``service:stage[:day[:times]]``."""
+    parts = text.split(":")
+    if len(parts) < 2 or len(parts) > 4 or not parts[0] or not parts[1]:
+        raise ValueError(
+            f"bad fault spec {text!r}: expected service:stage[:day[:times]]"
+        )
+    day = int(parts[2]) if len(parts) > 2 and parts[2] != "*" else None
+    times = int(parts[3]) if len(parts) > 3 else 1
+    if times < 1:
+        raise ValueError("fault times must be >= 1")
+    return FaultSpec(service=parts[0], stage=parts[1], day=day, times=times)
+
+
+@dataclass
+class FaultInjector:
+    """Deterministic fault planting for stage executions."""
+
+    specs: list[FaultSpec] = field(default_factory=list)
+    fired: int = 0
+
+    def inject(
+        self, service: str, stage: str, day: int | None = None, times: int = 1
+    ) -> FaultSpec:
+        spec = FaultSpec(service=service, stage=stage, day=day, times=times)
+        self.specs.append(spec)
+        return spec
+
+    def check(self, service: str, stage: str, day: int) -> None:
+        """Raise :class:`InjectedFault` when a planted fault matches."""
+        for spec in self.specs:
+            if spec.matches(service, stage, day):
+                spec.times -= 1
+                self.fired += 1
+                raise InjectedFault(
+                    f"injected fault: {service}.{stage} on day {day}"
+                )

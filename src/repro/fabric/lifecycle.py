@@ -1,0 +1,191 @@
+"""The fabric's single model-deployment path.
+
+Every learned model on the fabric flows through one
+:class:`~repro.ml.registry.ModelRegistry` along one staged path::
+
+    shadow -> flight -> promote            (healthy candidates)
+                     -> abort              (flight lost on live traffic)
+    proposal -> veto                       (guardrail refused the flight)
+    production -> rollback                 (post-promotion regression)
+
+:class:`ModelLifecycle` is that path.  Services never talk to the
+registry's lifecycle methods directly on the fabric; they *propose*
+candidates with before/after metrics and the
+:class:`~repro.core.guardrails.RegressionGuardrail` decides whether the
+candidate may even start flighting.  Every transition lands in an
+ordered ``actions`` log (simulated-day stamped), which the control
+plane mirrors into the observability runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.core.guardrails import RegressionGuardrail
+from repro.ml.registry import ModelRegistry
+
+if TYPE_CHECKING:
+    from repro.obs.events import ObsEvent
+
+
+@dataclass
+class LifecycleAction:
+    """One transition on the deployment path (the audit unit)."""
+
+    day: int
+    action: str  # "shadow" | "flight" | "veto" | "promote" | "abort" | "rollback"
+    name: str
+    version: int | None = None
+    reason: str = ""
+
+    def to_events(self) -> "list[ObsEvent]":
+        from repro.obs.events import ObsEvent, freeze_attributes
+
+        attributes = {"model": self.name}
+        if self.version is not None:
+            attributes["version"] = self.version
+        if self.reason:
+            attributes["reason"] = self.reason
+        return [
+            ObsEvent(
+                timestamp=float(self.day),
+                layer="fabric",
+                source="lifecycle",
+                kind=self.action,
+                attributes=freeze_attributes(attributes),
+            )
+        ]
+
+
+class ModelLifecycle:
+    """Guardrail-gated shadow/flight/promote/rollback over one registry."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry | None = None,
+        guardrail: RegressionGuardrail | None = None,
+        flight_fraction: float = 0.2,
+        min_samples: int = 10,
+    ) -> None:
+        self.registry = registry if registry is not None else ModelRegistry(rng=0)
+        self.guardrail = guardrail or RegressionGuardrail(tolerance=0.05)
+        self.flight_fraction = flight_fraction
+        self.min_samples = min_samples
+        self.actions: list[LifecycleAction] = []
+
+    def _record(
+        self,
+        day: int,
+        action: str,
+        name: str,
+        version: int | None = None,
+        reason: str = "",
+    ) -> LifecycleAction:
+        entry = LifecycleAction(day, action, name, version, reason)
+        self.actions.append(entry)
+        return entry
+
+    # -- the deployment path -------------------------------------------------
+    def shadow(
+        self, name: str, model: Any, day: int = 0, metadata: dict | None = None
+    ) -> int:
+        """Register a candidate that observes but serves no traffic."""
+        meta = dict(metadata or {})
+        meta.setdefault("shadow_day", day)
+        version = self.registry.register(name, model, metadata=meta)
+        self._record(day, "shadow", name, version)
+        return version
+
+    def propose(
+        self,
+        name: str,
+        model: Any,
+        candidate_metric: float,
+        baseline_metric: float | None = None,
+        day: int = 0,
+        metadata: dict | None = None,
+    ) -> LifecycleAction:
+        """Offer a candidate for deployment; the guardrail gates the flight.
+
+        Metrics are error-style (lower is better).  With no production
+        model yet the candidate is promoted directly (there is nothing
+        to regress against); otherwise the regression guardrail reviews
+        ``candidate_metric`` vs ``baseline_metric`` and either starts a
+        flight or vetoes with a recorded reason.
+        """
+        if self.registry.production(name) is None:
+            version = self.shadow(name, model, day=day, metadata=metadata)
+            self.registry.promote(name, version)
+            return self._record(day, "promote", name, version, "initial")
+        if baseline_metric is None:
+            baseline = self.registry.production(name)
+            metrics = baseline.metrics if baseline is not None else []
+            if not metrics:
+                raise ValueError(
+                    f"no baseline_metric given and no production metrics "
+                    f"recorded for {name!r}"
+                )
+            baseline_metric = sum(metrics) / len(metrics)
+        decision = self.guardrail.review(candidate_metric, baseline_metric)
+        if not decision.approved:
+            return self._record(day, "veto", name, reason=decision.reason)
+        if self.registry.flighting(name) is not None:
+            return self._record(
+                day, "veto", name, reason="a flight is already active"
+            )
+        version = self.shadow(name, model, day=day, metadata=metadata)
+        self.registry.flight(name, version, self.flight_fraction)
+        return self._record(day, "flight", name, version)
+
+    def observe_metric(self, name: str, value: float) -> None:
+        """Record one live error-style metric on the serving record."""
+        record = self.registry.serve(name)
+        self.registry.record_metric(name, record.version, value)
+
+    def evaluate(self, name: str, day: int = 0) -> bool | None:
+        """Settle an active flight once it has enough live samples."""
+        candidate = self.registry.flighting(name)
+        if candidate is None:
+            return None
+        outcome = self.registry.evaluate_flight(
+            name, min_samples=self.min_samples
+        )
+        if outcome is True:
+            self._record(day, "promote", name, candidate.version)
+        elif outcome is False:
+            self._record(day, "abort", name, candidate.version)
+        return outcome
+
+    def rollback(self, name: str, day: int = 0, reason: str = "") -> int | None:
+        """Revert production one promotion back; None when impossible."""
+        try:
+            version = self.registry.rollback(name)
+        except RuntimeError as exc:
+            self._record(day, "veto", name, reason=f"rollback refused: {exc}")
+            return None
+        self._record(day, "rollback", name, version, reason)
+        return version
+
+    # -- reporting -------------------------------------------------------------
+    def serving_versions(self) -> dict[str, int]:
+        """Model name -> production version, for deterministic reports."""
+        names = sorted({a.name for a in self.actions})
+        versions = {}
+        for name in names:
+            record = self.registry.production(name)
+            if record is not None:
+                versions[name] = record.version
+        return versions
+
+    def summary(self) -> dict:
+        counts: dict[str, int] = {}
+        for action in self.actions:
+            counts[action.action] = counts.get(action.action, 0) + 1
+        return {
+            "actions": counts,
+            "serving": self.serving_versions(),
+            "guardrail_vetoes": sum(
+                1 for d in self.guardrail.audit_log if not d.approved
+            ),
+        }

@@ -1,0 +1,332 @@
+"""The control plane: every autonomous service on one shared fabric.
+
+:class:`ControlPlane` hosts :class:`~repro.fabric.pipeline.PipelineDriver`
+instances as scheduled feedback pipelines:
+
+- **one scheduler** — ticks run on the DES
+  :class:`~repro.infra.des.EventQueue` at per-service cadences
+  (simulated days), so multi-service scenarios interleave exactly as a
+  shared production fleet would;
+- **one model path** — learned models flow through the plane's
+  :class:`~repro.fabric.lifecycle.ModelLifecycle` (one
+  :class:`~repro.ml.registry.ModelRegistry`, guardrail-gated
+  shadow/flight/promote/rollback);
+- **one failure story** — every stage execution is wrapped in
+  retry-with-backoff and a degrade-to-default fallback
+  (:mod:`repro.fabric.faults`), so a failing stage never aborts the run;
+- **one telemetry substrate** — stage spans, health events, and
+  lifecycle transitions all land in the bound
+  :class:`~repro.obs.runtime.ObservabilityRuntime`.
+
+State between ticks is fully picklable, which is what makes
+:mod:`repro.fabric.checkpoint` possible: snapshot at a day boundary,
+restore in a fresh process, and the remaining days replay
+byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.guardrails import RegressionGuardrail
+from repro.fabric.faults import FaultInjector, RetryPolicy
+from repro.fabric.lifecycle import ModelLifecycle
+from repro.fabric.pipeline import PipelineDriver, StageOutcome, TickContext
+from repro.infra.des import EventQueue
+from repro.ml.registry import ModelRegistry
+
+if TYPE_CHECKING:
+    from repro.obs.runtime import ObservabilityRuntime
+
+#: One simulated day in DES clock units.
+DAY = 1.0
+#: Per-service scheduling offset: keeps concurrent ticks at distinct
+#: timestamps (registration order), so resumed runs re-arm into exactly
+#: the original execution order without relying on heap tie-breaking.
+TICK_EPS = 1e-6
+#: Margin keeping next-day ticks out of the current run window.
+_RUN_MARGIN = 1e-9
+
+
+@dataclass
+class ServiceBinding:
+    """One hosted pipeline: driver + cadence + scheduling state."""
+
+    name: str
+    driver: PipelineDriver
+    cadence_days: float
+    index: int
+    next_due: float
+    ticks: int = 0
+
+    def due_day(self) -> int:
+        return int(self.next_due)
+
+
+@dataclass
+class FabricHealth:
+    """Per-(service, stage) stage-execution counters."""
+
+    counters: dict[tuple[str, str], dict[str, int]] = field(default_factory=dict)
+    outcomes: list[StageOutcome] = field(default_factory=list)
+
+    def record(self, outcome: StageOutcome) -> None:
+        bucket = self.counters.setdefault(
+            (outcome.service, outcome.stage),
+            {"ok": 0, "retried": 0, "degraded": 0, "attempts": 0},
+        )
+        bucket[outcome.status] += 1
+        bucket["attempts"] += outcome.attempts
+        self.outcomes.append(outcome)
+
+    def total(self, status: str) -> int:
+        return sum(bucket[status] for bucket in self.counters.values())
+
+    def summary(self) -> dict:
+        """JSON-able rollup keyed ``service.stage`` (sorted)."""
+        return {
+            "stages": {
+                f"{service}.{stage}": dict(bucket)
+                for (service, stage), bucket in sorted(self.counters.items())
+            },
+            "ok": self.total("ok"),
+            "retried": self.total("retried"),
+            "degraded": self.total("degraded"),
+        }
+
+
+class ControlPlane:
+    """Host, schedule, guard, and checkpoint a fleet of pipelines."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry | None = None,
+        guardrail: RegressionGuardrail | None = None,
+        retry: RetryPolicy | None = None,
+        injector: FaultInjector | None = None,
+        obs: "ObservabilityRuntime | None" = None,
+    ) -> None:
+        self.registry = registry if registry is not None else ModelRegistry(rng=0)
+        self.lifecycle = ModelLifecycle(self.registry, guardrail)
+        self.retry = retry or RetryPolicy()
+        self.injector = injector or FaultInjector()
+        self.health = FabricHealth()
+        self.bindings: list[ServiceBinding] = []
+        self.queue = EventQueue()
+        self.day = 0
+        self._obs: "ObservabilityRuntime | None" = None
+        self._lifecycle_mirrored = 0
+        if obs is not None:
+            self.bind(obs)
+
+    # -- observability ---------------------------------------------------------
+    def bind(self, obs: "ObservabilityRuntime | None") -> "ControlPlane":
+        """Attach (or detach, with ``None``) the observability runtime."""
+        self._obs = obs
+        self.queue.bind(obs)
+        for binding in self.bindings:
+            binding.driver.bind_obs(obs)
+        return self
+
+    def _span(self, name: str, **attributes: object):
+        if self._obs is None:
+            from contextlib import nullcontext
+
+            return nullcontext()
+        return self._obs.span(name, layer="fabric", **attributes)
+
+    def _emit(self, kind: str, value: float = 1.0, **attributes: object) -> None:
+        if self._obs is not None:
+            self._obs.emit(
+                "fabric",
+                "fabric",
+                kind,
+                value=value,
+                timestamp=self.queue.now,
+                **attributes,
+            )
+
+    def _mirror_lifecycle(self) -> None:
+        """Replay lifecycle transitions recorded since the last tick."""
+        fresh = self.lifecycle.actions[self._lifecycle_mirrored :]
+        self._lifecycle_mirrored = len(self.lifecycle.actions)
+        if fresh and self._obs is not None:
+            self._obs.replay(fresh)
+
+    # -- registration ----------------------------------------------------------
+    def register(
+        self,
+        driver: PipelineDriver,
+        cadence_days: float = 1.0,
+        start_day: int = 0,
+    ) -> ServiceBinding:
+        """Host ``driver`` as a pipeline ticking every ``cadence_days``."""
+        if cadence_days <= 0:
+            raise ValueError("cadence_days must be positive")
+        if start_day < self.day:
+            raise ValueError(
+                f"start_day {start_day} is before fabric day {self.day}"
+            )
+        if any(b.name == driver.name for b in self.bindings):
+            raise ValueError(f"service {driver.name!r} already registered")
+        driver.stages()  # validates the driver declares at least one stage
+        index = len(self.bindings)
+        binding = ServiceBinding(
+            name=driver.name,
+            driver=driver,
+            cadence_days=float(cadence_days),
+            index=index,
+            next_due=start_day * DAY + index * TICK_EPS,
+        )
+        self.bindings.append(binding)
+        driver.bind_obs(self._obs)
+        self._arm(binding)
+        return binding
+
+    def service_names(self) -> list[str]:
+        return [b.name for b in self.bindings]
+
+    # -- scheduling ------------------------------------------------------------
+    def _arm(self, binding: ServiceBinding) -> None:
+        self.queue.schedule(
+            binding.next_due,
+            lambda: self._tick(binding),
+            label=f"fabric.{binding.name}.tick",
+        )
+
+    def _tick(self, binding: ServiceBinding) -> None:
+        ctx = TickContext(
+            day=int(self.queue.now),
+            tick=binding.ticks,
+            now=self.queue.now,
+            lifecycle=self.lifecycle,
+        )
+        with self._span(
+            f"fabric.{binding.name}.tick", day=ctx.day, tick=ctx.tick
+        ):
+            for stage, fn in binding.driver.stages():
+                self._run_stage(binding, stage, fn, ctx)
+        self._mirror_lifecycle()
+        binding.ticks += 1
+        binding.next_due += binding.cadence_days * DAY
+        self._arm(binding)
+
+    def _run_stage(self, binding, stage, fn, ctx) -> StageOutcome:
+        attempts = 0
+        error: Exception | None = None
+        status = "degraded"
+        with self._span(f"fabric.{binding.name}.{stage}", day=ctx.day):
+            while attempts < self.retry.max_attempts:
+                attempts += 1
+                try:
+                    self.injector.check(binding.name, stage, ctx.day)
+                    fn(ctx)
+                    status = "ok" if attempts == 1 else "retried"
+                    break
+                except Exception as exc:  # noqa: BLE001 — fault boundary
+                    error = exc
+                    if attempts < self.retry.max_attempts:
+                        self._emit(
+                            "stage_retry",
+                            value=self.retry.backoff(attempts),
+                            service=binding.name,
+                            stage=stage,
+                            attempt=attempts,
+                        )
+            else:
+                ctx.degraded = True
+                binding.driver.degrade(stage, ctx)
+                self._emit(
+                    "stage_degraded",
+                    service=binding.name,
+                    stage=stage,
+                    error=type(error).__name__ if error else "",
+                )
+        if status == "ok":
+            self._emit("stage_ok", service=binding.name, stage=stage)
+        elif status == "retried":
+            self._emit(
+                "stage_recovered",
+                value=float(attempts),
+                service=binding.name,
+                stage=stage,
+            )
+        outcome = StageOutcome(
+            service=binding.name,
+            stage=stage,
+            day=ctx.day,
+            attempts=attempts,
+            status=status,
+            error=str(error) if status == "degraded" and error else "",
+        )
+        self.health.record(outcome)
+        return outcome
+
+    def run_days(self, n_days: int) -> "ControlPlane":
+        """Advance the fabric ``n_days`` simulated days."""
+        if n_days < 1:
+            raise ValueError("n_days must be >= 1")
+        horizon = (self.day + n_days) * DAY
+        with self._span(
+            "fabric.run", from_day=self.day, to_day=self.day + n_days
+        ):
+            self.queue.run(until=horizon - _RUN_MARGIN)
+        self.day += n_days
+        self._emit("run_complete", value=float(n_days))
+        return self
+
+    # -- checkpoint ------------------------------------------------------------
+    def checkpoint(self, path) -> None:
+        """Snapshot full fabric state to ``path`` (see fabric.checkpoint)."""
+        from repro.fabric.checkpoint import save_checkpoint
+
+        save_checkpoint(self, path)
+
+    @classmethod
+    def restore(cls, path, obs: "ObservabilityRuntime | None" = None) -> "ControlPlane":
+        """Rebuild a plane from a checkpoint and re-arm its schedule."""
+        from repro.fabric.checkpoint import load_checkpoint
+
+        return load_checkpoint(path, obs=obs)
+
+    # -- reporting -------------------------------------------------------------
+    def final_report(self) -> dict:
+        """Deterministic whole-run summary (services + lifecycle + health)."""
+        return {
+            "days": self.day,
+            "services": {
+                b.name: {
+                    "ticks": b.ticks,
+                    "cadence_days": b.cadence_days,
+                    "report": b.driver.final_report(),
+                }
+                for b in self.bindings
+            },
+            "lifecycle": self.lifecycle.summary(),
+            "health": self.health.summary(),
+        }
+
+    def report_bytes(self) -> bytes:
+        """The final report as canonical JSON bytes (equivalence gates)."""
+        return json.dumps(
+            self.final_report(), sort_keys=True, separators=(",", ":")
+        ).encode()
+
+    def render_health(self) -> str:
+        """Printable health table (the CLI's fabric view)."""
+        lines = [
+            f"{'service.stage':<34} {'ok':>5} {'retried':>8} {'degraded':>9}"
+        ]
+        summary = self.health.summary()
+        for key, bucket in summary["stages"].items():
+            lines.append(
+                f"{key:<34} {bucket['ok']:>5d} {bucket['retried']:>8d}"
+                f" {bucket['degraded']:>9d}"
+            )
+        lines.append(
+            f"{'total':<34} {summary['ok']:>5d} {summary['retried']:>8d}"
+            f" {summary['degraded']:>9d}"
+        )
+        return "\n".join(lines)

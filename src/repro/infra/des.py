@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable
 
@@ -59,6 +60,10 @@ class EventQueue:
         return self
 
     def schedule(self, time: float, action: Callable[[], Any], label: str = "") -> Event:
+        # NaN comparisons are all False, so a NaN time would sail past the
+        # past-check and silently corrupt heap ordering — reject it here.
+        if not math.isfinite(time):
+            raise ValueError(f"event time must be finite, got {time}")
         if time < self.now:
             raise ValueError(
                 f"cannot schedule in the past (now={self.now}, time={time})"
@@ -70,6 +75,8 @@ class EventQueue:
     def schedule_after(
         self, delay: float, action: Callable[[], Any], label: str = ""
     ) -> Event:
+        if not math.isfinite(delay):
+            raise ValueError(f"delay must be finite, got {delay}")
         if delay < 0:
             raise ValueError("delay must be non-negative")
         return self.schedule(self.now + delay, action, label)

@@ -80,12 +80,24 @@ class ModelRegistry:
         self.audit_log.append(("promote", name, version))
 
     def flight(self, name: str, version: int, fraction: float = 0.1) -> None:
-        """Start flighting ``version`` on ``fraction`` of traffic."""
+        """Start flighting ``version`` on ``fraction`` of traffic.
+
+        Only one flight per name may be active: a second concurrent
+        flight would leave ``flighting()`` answering with one candidate
+        while the traffic fraction applies to the other.  Settle the
+        active flight (``evaluate_flight``) or roll it back first.
+        """
         if not 0.0 < fraction < 1.0:
             raise ValueError("flight fraction must be in (0, 1)")
         record = self.get(name, version)
         if self.production(name) is None:
             raise RuntimeError(f"cannot flight {name!r}: no production model")
+        active = self.flighting(name)
+        if active is not None and active.version != version:
+            raise RuntimeError(
+                f"cannot flight {name!r} v{version}: "
+                f"v{active.version} is already flighting"
+            )
         record.stage = ModelStage.FLIGHTING
         self._flight_fraction[name] = fraction
         self.audit_log.append(("flight", name, version))

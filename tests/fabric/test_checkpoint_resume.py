@@ -1,0 +1,147 @@
+"""Checkpoint/restore: interrupted fabric runs finish byte-identically.
+
+The acceptance scenario for the control plane: a fleet of 7 services
+runs 7 simulated days; checkpointing at day 3, restoring (optionally in
+a fresh interpreter via pickle bytes), and running the remaining 4 days
+must produce the *byte-identical* final report an uninterrupted run
+produces.
+"""
+
+import pickle
+
+import pytest
+
+from repro.fabric import (
+    CHECKPOINT_FORMAT,
+    ControlPlane,
+    FaultInjector,
+    FleetConfig,
+    RecordingDriver,
+    build_fleet,
+)
+from repro.fabric.checkpoint import checkpoint_bytes, restore_from_bytes
+
+DAYS = 7
+CHECKPOINT_AT = 3
+
+
+def _fleet_plane(injector=None, workers=1):
+    plane = ControlPlane(injector=injector)
+    build_fleet(plane, FleetConfig(days=DAYS, workers=workers))
+    return plane
+
+
+@pytest.fixture(scope="module")
+def uninterrupted_report():
+    plane = _fleet_plane()
+    plane.run_days(DAYS)
+    return plane.report_bytes()
+
+
+class TestFleetCheckpointResume:
+    def test_fleet_is_at_least_five_services(self):
+        assert len(_fleet_plane().bindings) >= 5
+
+    def test_resumed_run_is_byte_identical(self, uninterrupted_report):
+        plane = _fleet_plane()
+        plane.run_days(CHECKPOINT_AT)
+        blob = checkpoint_bytes(plane)
+        restored = restore_from_bytes(blob)
+        restored.run_days(DAYS - CHECKPOINT_AT)
+        assert restored.report_bytes() == uninterrupted_report
+
+    def test_checkpointed_plane_can_also_continue(self, uninterrupted_report):
+        # Taking a snapshot must not perturb the running plane.
+        plane = _fleet_plane()
+        plane.run_days(CHECKPOINT_AT)
+        checkpoint_bytes(plane)
+        plane.run_days(DAYS - CHECKPOINT_AT)
+        assert plane.report_bytes() == uninterrupted_report
+
+    def test_parallel_workers_match_serial(self, uninterrupted_report):
+        plane = _fleet_plane(workers=2)
+        plane.run_days(DAYS)
+        assert plane.report_bytes() == uninterrupted_report
+
+    def test_file_round_trip(self, tmp_path, uninterrupted_report):
+        path = tmp_path / "fabric.ckpt"
+        plane = _fleet_plane()
+        plane.run_days(CHECKPOINT_AT)
+        plane.checkpoint(path)
+        restored = ControlPlane.restore(path)
+        assert restored.day == CHECKPOINT_AT
+        restored.run_days(DAYS - CHECKPOINT_AT)
+        assert restored.report_bytes() == uninterrupted_report
+
+    def test_resume_with_faults_still_deterministic(self):
+        def injector():
+            inj = FaultInjector()
+            inj.inject("seagull", "recommend", day=5, times=3)
+            inj.inject("doppler", "recommend", day=1, times=1)
+            return inj
+
+        straight = _fleet_plane(injector=injector())
+        straight.run_days(DAYS)
+
+        interrupted = _fleet_plane(injector=injector())
+        interrupted.run_days(CHECKPOINT_AT)
+        restored = restore_from_bytes(checkpoint_bytes(interrupted))
+        restored.run_days(DAYS - CHECKPOINT_AT)
+        assert restored.report_bytes() == straight.report_bytes()
+        # The day-5 fault fires after the checkpoint and still degrades.
+        assert restored.health.summary()["degraded"] == 1
+
+
+class TestCheckpointFormat:
+    def test_format_tag_present(self):
+        plane = ControlPlane()
+        plane.register(RecordingDriver())
+        payload = pickle.loads(checkpoint_bytes(plane))
+        assert payload["format"] == CHECKPOINT_FORMAT
+        assert set(payload["state"]) >= {
+            "day", "now", "registry", "lifecycle", "bindings",
+        }
+
+    def test_foreign_pickle_rejected(self):
+        blob = pickle.dumps({"format": "something-else", "state": {}})
+        with pytest.raises(ValueError, match="not a fabric checkpoint"):
+            restore_from_bytes(blob)
+
+    def test_obs_runtime_never_pickled(self):
+        from repro.obs import ObservabilityRuntime
+
+        obs = ObservabilityRuntime()
+        plane = ControlPlane(obs=obs)
+        plane.register(RecordingDriver())
+        plane.run_days(1)
+        blob = checkpoint_bytes(plane)  # must not try to pickle obs
+        assert plane._obs is obs  # rebound after the snapshot
+        restored = restore_from_bytes(blob)
+        assert restored._obs is None
+
+    def test_restore_rebinds_fresh_obs(self):
+        from repro.obs import ObservabilityRuntime
+
+        plane = ControlPlane()
+        plane.register(RecordingDriver())
+        plane.run_days(1)
+        blob = checkpoint_bytes(plane)
+        fresh = ObservabilityRuntime()
+        restored = restore_from_bytes(blob, obs=fresh)
+        restored.run_days(1)
+        assert any(s.name == "fabric.run" for s in fresh.tracer.spans)
+        kinds = [e.kind for e in fresh.events.events]
+        assert "restore" in kinds
+
+    def test_shared_registry_identity_survives(self):
+        # Drivers holding the shared registry must restore pointing at
+        # the same object the lifecycle owns (single pickle dump).
+        plane = _fleet_plane()
+        plane.run_days(2)
+        restored = restore_from_bytes(checkpoint_bytes(plane))
+        feedback = next(
+            b.driver for b in restored.bindings if b.name == "feedback"
+        )
+        assert feedback.loop is not None
+        assert feedback.loop.registry is restored.registry
+        assert restored.lifecycle.registry is restored.registry

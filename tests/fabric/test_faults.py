@@ -1,0 +1,134 @@
+"""Tests for retry policy, fault specs, and plane-level fault tolerance."""
+
+import pytest
+
+from repro.fabric import (
+    ControlPlane,
+    FaultInjector,
+    InjectedFault,
+    RecordingDriver,
+    RetryPolicy,
+    parse_fault_spec,
+)
+from repro.obs import ObservabilityRuntime
+from repro.telemetry import Metric
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_geometrically(self):
+        policy = RetryPolicy(max_attempts=4, backoff_base=0.5, backoff_factor=2.0)
+        assert [policy.backoff(i) for i in (1, 2, 3)] == [0.5, 1.0, 2.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff(0)
+
+
+class TestFaultSpecs:
+    def test_parse_full_form(self):
+        spec = parse_fault_spec("seagull:recommend:3:2")
+        assert (spec.service, spec.stage, spec.day, spec.times) == (
+            "seagull", "recommend", 3, 2,
+        )
+
+    def test_parse_wildcard_day(self):
+        assert parse_fault_spec("a:b:*").day is None
+        assert parse_fault_spec("a:b").day is None
+
+    def test_parse_rejects_bad_forms(self):
+        for bad in ("nostage", "a:b:c:d:e", ":observe", "a::1"):
+            with pytest.raises(ValueError):
+                parse_fault_spec(bad)
+        with pytest.raises(ValueError):
+            parse_fault_spec("a:b:1:0")
+
+    def test_injector_fires_exactly_times(self):
+        injector = FaultInjector()
+        injector.inject("svc", "observe", times=2)
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                injector.check("svc", "observe", day=0)
+        injector.check("svc", "observe", day=0)  # exhausted: no raise
+        assert injector.fired == 2
+
+    def test_injector_matches_day(self):
+        injector = FaultInjector()
+        injector.inject("svc", "observe", day=2)
+        injector.check("svc", "observe", day=1)
+        with pytest.raises(InjectedFault):
+            injector.check("svc", "observe", day=2)
+
+
+class TestPlaneFaultTolerance:
+    def test_transient_fault_is_retried_not_surfaced(self):
+        injector = FaultInjector()
+        injector.inject("recorder", "observe", day=1, times=1)
+        plane = ControlPlane(injector=injector)
+        plane.register(RecordingDriver())
+        plane.run_days(3)
+        # All three days ran; day 1's observe took an extra attempt.
+        assert [d for s, d in plane.bindings[0].driver.calls if s == "observe"] == [
+            0, 1, 2,
+        ]
+        bucket = plane.health.counters[("recorder", "observe")]
+        assert bucket["retried"] == 1
+        assert bucket["attempts"] == 4
+        assert plane.health.total("degraded") == 0
+
+    def test_persistent_fault_degrades_without_aborting(self):
+        injector = FaultInjector()
+        injector.inject("recorder", "observe", day=1, times=3)
+        plane = ControlPlane(injector=injector)
+        plane.register(RecordingDriver())
+        plane.run_days(3)
+        calls = plane.bindings[0].driver.calls
+        # Day 1's observe was lost to the fault, but the tick continued
+        # (recommend/validate ran) and later days are unaffected.
+        assert [d for s, d in calls if s == "observe"] == [0, 2]
+        assert [d for s, d in calls if s == "recommend"] == [0, 1, 2]
+        bucket = plane.health.counters[("recorder", "observe")]
+        assert bucket["degraded"] == 1
+
+    def test_driver_exception_handled_same_as_injected_fault(self):
+        plane = ControlPlane()
+        plane.register(RecordingDriver(fail_stage="recommend", fail_times=5))
+        plane.run_days(2)
+        health = plane.health.summary()
+        assert health["stages"]["recorder.recommend"]["degraded"] == 1
+        # fail_times=5 > max_attempts=3: day 0 degrades after 3 attempts,
+        # day 1 burns the remaining 2 failures then succeeds on the third.
+        assert health["stages"]["recorder.recommend"]["retried"] == 1
+
+    def test_fault_events_reach_the_telemetry_store(self):
+        injector = FaultInjector()
+        injector.inject("recorder", "observe", day=0, times=3)
+        obs = ObservabilityRuntime()
+        plane = ControlPlane(injector=injector, obs=obs)
+        plane.register(RecordingDriver())
+        plane.run_days(2)
+        obs.flush()
+        points = obs.query().metric(Metric.EVENT_COUNT).where(layer="fabric").points()
+        kinds = {}
+        for point in points:
+            kind = point.dimension("kind")
+            kinds[kind] = kinds.get(kind, 0) + 1
+        assert kinds.get("stage_retry") == 2  # attempts 1 and 2 backed off
+        assert kinds.get("stage_degraded") == 1
+        assert kinds.get("stage_ok", 0) > 0
+
+    def test_custom_retry_policy_bounds_attempts(self):
+        injector = FaultInjector()
+        injector.inject("recorder", "observe", day=0, times=1)
+        plane = ControlPlane(
+            retry=RetryPolicy(max_attempts=1), injector=injector
+        )
+        plane.register(RecordingDriver())
+        plane.run_days(1)
+        bucket = plane.health.counters[("recorder", "observe")]
+        assert bucket == {"ok": 0, "retried": 0, "degraded": 1, "attempts": 1}

@@ -1,0 +1,151 @@
+"""Tests for the fabric's single model-deployment path."""
+
+import pytest
+
+from repro.core.guardrails import RegressionGuardrail
+from repro.fabric import ModelLifecycle
+from repro.ml import ModelRegistry, ModelStage
+
+
+@pytest.fixture
+def lifecycle():
+    return ModelLifecycle(ModelRegistry(rng=0), min_samples=3)
+
+
+class TestPropose:
+    def test_first_proposal_promotes_directly(self, lifecycle):
+        action = lifecycle.propose("m", "model-a", candidate_metric=1.0, day=2)
+        assert action.action == "promote"
+        assert action.reason == "initial"
+        assert lifecycle.registry.production("m").model == "model-a"
+        assert [a.action for a in lifecycle.actions] == ["shadow", "promote"]
+
+    def test_regressing_candidate_vetoed(self, lifecycle):
+        lifecycle.propose("m", "good", candidate_metric=1.0)
+        action = lifecycle.propose(
+            "m", "bad", candidate_metric=2.0, baseline_metric=1.0, day=1
+        )
+        assert action.action == "veto"
+        assert lifecycle.registry.flighting("m") is None
+        assert lifecycle.summary()["guardrail_vetoes"] == 1
+
+    def test_improving_candidate_starts_flight(self, lifecycle):
+        lifecycle.propose("m", "v1", candidate_metric=1.0)
+        action = lifecycle.propose(
+            "m", "v2", candidate_metric=0.5, baseline_metric=1.0, day=1
+        )
+        assert action.action == "flight"
+        assert lifecycle.registry.flighting("m").model == "v2"
+
+    def test_second_proposal_during_flight_vetoed(self, lifecycle):
+        lifecycle.propose("m", "v1", candidate_metric=1.0)
+        lifecycle.propose("m", "v2", candidate_metric=0.5, baseline_metric=1.0)
+        action = lifecycle.propose(
+            "m", "v3", candidate_metric=0.4, baseline_metric=1.0
+        )
+        assert action.action == "veto"
+        assert "already active" in action.reason
+        assert lifecycle.registry.flighting("m").model == "v2"
+
+    def test_baseline_from_production_metrics(self, lifecycle):
+        lifecycle.propose("m", "v1", candidate_metric=1.0)
+        record = lifecycle.registry.production("m")
+        lifecycle.registry.record_metric("m", record.version, 1.0)
+        action = lifecycle.propose("m", "v2", candidate_metric=0.5)
+        assert action.action == "flight"
+
+    def test_no_baseline_anywhere_raises(self, lifecycle):
+        lifecycle.propose("m", "v1", candidate_metric=1.0)
+        with pytest.raises(ValueError, match="baseline"):
+            lifecycle.propose("m", "v2", candidate_metric=0.5)
+
+
+class TestFlightSettlement:
+    def _start_flight(self, lifecycle):
+        lifecycle.propose("m", "v1", candidate_metric=1.0)
+        lifecycle.propose("m", "v2", candidate_metric=0.5, baseline_metric=1.0)
+
+    def test_winning_flight_promotes(self, lifecycle):
+        self._start_flight(lifecycle)
+        registry = lifecycle.registry
+        prod = registry.production("m")
+        cand = registry.flighting("m")
+        for _ in range(3):
+            registry.record_metric("m", prod.version, 1.0)
+            registry.record_metric("m", cand.version, 0.2)
+        assert lifecycle.evaluate("m", day=4) is True
+        assert registry.production("m").version == cand.version
+        assert lifecycle.actions[-1].action == "promote"
+        assert lifecycle.actions[-1].day == 4
+
+    def test_losing_flight_aborts(self, lifecycle):
+        self._start_flight(lifecycle)
+        registry = lifecycle.registry
+        prod = registry.production("m")
+        cand = registry.flighting("m")
+        for _ in range(3):
+            registry.record_metric("m", prod.version, 0.2)
+            registry.record_metric("m", cand.version, 1.0)
+        assert lifecycle.evaluate("m") is False
+        assert registry.production("m").version == prod.version
+        assert registry.get("m", cand.version).stage is ModelStage.RETIRED
+
+    def test_underfed_flight_stays_open(self, lifecycle):
+        self._start_flight(lifecycle)
+        assert lifecycle.evaluate("m") is None
+        assert lifecycle.registry.flighting("m") is not None
+
+    def test_evaluate_without_flight_is_none(self, lifecycle):
+        lifecycle.propose("m", "v1", candidate_metric=1.0)
+        assert lifecycle.evaluate("m") is None
+
+    def test_observe_metric_lands_on_serving_record(self, lifecycle):
+        lifecycle.propose("m", "v1", candidate_metric=1.0)
+        lifecycle.observe_metric("m", 0.7)
+        assert lifecycle.registry.production("m").metrics == [0.7]
+
+
+class TestRollback:
+    def test_rollback_records_action(self, lifecycle):
+        lifecycle.propose("m", "v1", candidate_metric=1.0)
+        version = lifecycle.shadow("m", "v2")
+        lifecycle.registry.promote("m", version)
+        restored = lifecycle.rollback("m", day=5, reason="regression")
+        assert lifecycle.registry.production("m").version == restored
+        assert lifecycle.actions[-1].action == "rollback"
+
+    def test_impossible_rollback_becomes_veto_not_crash(self, lifecycle):
+        lifecycle.propose("m", "v1", candidate_metric=1.0)
+        assert lifecycle.rollback("m") is None
+        assert lifecycle.actions[-1].action == "veto"
+        assert "rollback refused" in lifecycle.actions[-1].reason
+
+
+class TestReporting:
+    def test_summary_counts_actions(self, lifecycle):
+        lifecycle.propose("a", "m1", candidate_metric=1.0)
+        lifecycle.propose("b", "m2", candidate_metric=1.0)
+        summary = lifecycle.summary()
+        assert summary["actions"] == {"shadow": 2, "promote": 2}
+        assert set(summary["serving"]) == {"a", "b"}
+
+    def test_actions_replay_as_obs_events(self, lifecycle):
+        from repro.obs import ObservabilityRuntime
+
+        lifecycle.propose("m", "v1", candidate_metric=1.0, day=3)
+        obs = ObservabilityRuntime()
+        for action in lifecycle.actions:
+            obs.replay(action)
+        kinds = [e.kind for e in obs.events.events]
+        assert kinds == ["shadow", "promote"]
+        assert all(e.layer == "fabric" for e in obs.events.events)
+
+    def test_custom_guardrail_tolerance_respected(self):
+        lenient = ModelLifecycle(
+            ModelRegistry(rng=0), guardrail=RegressionGuardrail(tolerance=0.5)
+        )
+        lenient.propose("m", "v1", candidate_metric=1.0)
+        action = lenient.propose(
+            "m", "v2", candidate_metric=1.3, baseline_metric=1.0
+        )
+        assert action.action == "flight"  # within the 50% tolerance

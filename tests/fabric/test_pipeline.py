@@ -1,0 +1,66 @@
+"""Tests for pipeline stage declaration and discovery."""
+
+import pytest
+
+from repro.fabric import STAGES, PipelineDriver, RecordingDriver, TickContext
+from repro.fabric.lifecycle import ModelLifecycle
+
+
+def _ctx(day=0, tick=0):
+    return TickContext(day=day, tick=tick, now=float(day), lifecycle=ModelLifecycle())
+
+
+class TestStageDiscovery:
+    def test_canonical_order(self):
+        class Backwards(PipelineDriver):
+            name = "backwards"
+
+            def validate(self, ctx):
+                pass
+
+            def observe(self, ctx):
+                pass
+
+            def act(self, ctx):
+                pass
+
+        names = [stage for stage, _ in Backwards().stages()]
+        assert names == ["observe", "act", "validate"]
+        assert set(names) <= set(STAGES)
+
+    def test_driver_without_stages_rejected(self):
+        class Empty(PipelineDriver):
+            name = "empty"
+
+        with pytest.raises(TypeError, match="no pipeline stages"):
+            Empty().stages()
+
+    def test_recording_driver_declares_three_stages(self):
+        assert [s for s, _ in RecordingDriver().stages()] == [
+            "observe",
+            "recommend",
+            "validate",
+        ]
+
+
+class TestRecordingDriver:
+    def test_records_calls_with_days(self):
+        driver = RecordingDriver()
+        for stage, fn in driver.stages():
+            fn(_ctx(day=3))
+        assert driver.calls == [("observe", 3), ("recommend", 3), ("validate", 3)]
+        assert driver.final_report() == {"calls": 3}
+
+    def test_fail_stage_raises_then_recovers(self):
+        driver = RecordingDriver(fail_stage="observe", fail_times=2)
+        with pytest.raises(RuntimeError):
+            driver.observe(_ctx())
+        with pytest.raises(RuntimeError):
+            driver.observe(_ctx())
+        driver.observe(_ctx())  # third attempt succeeds
+        assert driver.calls == [("observe", 0)]
+
+    def test_default_degrade_is_a_noop(self):
+        driver = RecordingDriver()
+        driver.degrade("observe", _ctx())
+        assert driver.calls == []

@@ -1,0 +1,157 @@
+"""Tests for the control plane: registration, scheduling, health, reports."""
+
+import json
+
+import pytest
+
+from repro.fabric import ControlPlane, RecordingDriver
+from repro.obs import ObservabilityRuntime
+from repro.telemetry import Metric
+
+
+class TestRegistration:
+    def test_register_validates_cadence(self):
+        plane = ControlPlane()
+        with pytest.raises(ValueError, match="cadence"):
+            plane.register(RecordingDriver(), cadence_days=0)
+
+    def test_register_rejects_duplicate_names(self):
+        plane = ControlPlane()
+        plane.register(RecordingDriver())
+        with pytest.raises(ValueError, match="already registered"):
+            plane.register(RecordingDriver())
+
+    def test_register_rejects_stageless_drivers(self):
+        from repro.fabric import PipelineDriver
+
+        class Empty(PipelineDriver):
+            name = "empty"
+
+        with pytest.raises(TypeError):
+            ControlPlane().register(Empty())
+
+    def test_register_rejects_start_in_the_past(self):
+        plane = ControlPlane()
+        plane.register(RecordingDriver())
+        plane.run_days(2)
+        with pytest.raises(ValueError, match="before fabric day"):
+            plane.register(RecordingDriver(name="late"), start_day=1)
+
+    def test_service_names_in_registration_order(self):
+        plane = ControlPlane()
+        plane.register(RecordingDriver(name="a"))
+        plane.register(RecordingDriver(name="b"))
+        assert plane.service_names() == ["a", "b"]
+
+
+class TestScheduling:
+    def test_daily_cadence_ticks_once_per_day(self):
+        plane = ControlPlane()
+        binding = plane.register(RecordingDriver())
+        plane.run_days(4)
+        assert binding.ticks == 4
+        days = [d for s, d in binding.driver.calls if s == "observe"]
+        assert days == [0, 1, 2, 3]
+
+    def test_slower_cadence_skips_days(self):
+        plane = ControlPlane()
+        binding = plane.register(RecordingDriver(), cadence_days=2.0)
+        plane.run_days(5)
+        assert [d for s, d in binding.driver.calls if s == "observe"] == [0, 2, 4]
+
+    def test_start_day_delays_first_tick(self):
+        plane = ControlPlane()
+        binding = plane.register(RecordingDriver(), start_day=2)
+        plane.run_days(4)
+        assert [d for s, d in binding.driver.calls if s == "observe"] == [2, 3]
+
+    def test_services_interleave_in_registration_order_per_day(self):
+        from repro.fabric import PipelineDriver
+
+        order = []
+
+        class Logger(PipelineDriver):
+            def __init__(self, name):
+                self.name = name
+
+            def observe(self, ctx):
+                order.append((self.name, ctx.day))
+
+        plane = ControlPlane()
+        a = plane.register(Logger("a"))
+        b = plane.register(Logger("b"))
+        plane.run_days(2)
+        # Each day: a ticks before b (registration order), never by heap luck.
+        assert order == [("a", 0), ("b", 0), ("a", 1), ("b", 1)]
+        assert a.ticks == b.ticks == 2
+
+    def test_run_days_validates(self):
+        with pytest.raises(ValueError):
+            ControlPlane().run_days(0)
+
+    def test_incremental_runs_equal_one_shot(self):
+        one = ControlPlane()
+        one.register(RecordingDriver())
+        one.run_days(4)
+        two = ControlPlane()
+        two.register(RecordingDriver())
+        two.run_days(1)
+        two.run_days(3)
+        assert one.report_bytes() == two.report_bytes()
+        assert one.bindings[0].driver.calls == two.bindings[0].driver.calls
+
+
+class TestReports:
+    def test_final_report_shape(self):
+        plane = ControlPlane()
+        plane.register(RecordingDriver())
+        plane.run_days(2)
+        report = plane.final_report()
+        assert report["days"] == 2
+        assert report["services"]["recorder"]["ticks"] == 2
+        assert report["services"]["recorder"]["report"] == {"calls": 6}
+        assert "lifecycle" in report and "health" in report
+
+    def test_report_bytes_is_canonical_json(self):
+        plane = ControlPlane()
+        plane.register(RecordingDriver())
+        plane.run_days(1)
+        payload = json.loads(plane.report_bytes())
+        assert payload["days"] == 1
+
+    def test_render_health_is_a_table(self):
+        plane = ControlPlane()
+        plane.register(RecordingDriver())
+        plane.run_days(1)
+        text = plane.render_health()
+        assert "recorder.observe" in text
+        assert "total" in text
+
+
+class TestObservability:
+    def test_stage_spans_and_health_events_exported(self):
+        obs = ObservabilityRuntime()
+        plane = ControlPlane(obs=obs)
+        plane.register(RecordingDriver())
+        plane.run_days(2)
+        obs.flush()
+        span_names = {s.name for s in obs.tracer.spans}
+        assert "fabric.recorder.tick" in span_names
+        assert "fabric.recorder.observe" in span_names
+        assert "fabric.run" in span_names
+        ok_points = (
+            obs.query()
+            .metric(Metric.EVENT_COUNT)
+            .where(layer="fabric", kind="stage_ok")
+            .points()
+        )
+        assert len(ok_points) == 6  # 3 stages x 2 days
+
+    def test_bind_late_attaches_runtime(self):
+        plane = ControlPlane()
+        plane.register(RecordingDriver())
+        plane.run_days(1)
+        obs = ObservabilityRuntime()
+        plane.bind(obs)
+        plane.run_days(1)
+        assert any(s.name == "fabric.run" for s in obs.tracer.spans)

@@ -59,6 +59,24 @@ class TestEventQueue:
         with pytest.raises(ValueError):
             EventQueue().schedule_after(-1.0, lambda: None)
 
+    def test_nan_time_rejected(self):
+        # NaN compares False against everything, so without the guard it
+        # would slip past the in-the-past check and corrupt heap order.
+        with pytest.raises(ValueError, match="finite"):
+            EventQueue().schedule(float("nan"), lambda: None)
+
+    def test_infinite_time_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            EventQueue().schedule(float("inf"), lambda: None)
+
+    def test_nan_delay_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            EventQueue().schedule_after(float("nan"), lambda: None)
+
+    def test_infinite_delay_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            EventQueue().schedule_after(float("-inf"), lambda: None)
+
     def test_run_until_with_empty_queue_advances_clock(self):
         q = EventQueue()
         q.run(until=7.0)

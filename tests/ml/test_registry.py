@@ -81,6 +81,33 @@ class TestLifecycle:
         actions = [entry[0] for entry in registry.audit_log]
         assert actions == ["register", "promote"]
 
+    def test_rollback_with_no_prior_production_raises(self, registry):
+        # A name that was only ever registered (never promoted) has an
+        # empty promotion history, not a one-entry one.
+        registry.register("m", "a")
+        with pytest.raises(RuntimeError, match="roll back"):
+            registry.rollback("m")
+
+    def test_second_concurrent_flight_rejected(self, registry):
+        v1 = registry.register("m", "prod")
+        registry.promote("m", v1)
+        v2 = registry.register("m", "cand-a")
+        registry.flight("m", v2, fraction=0.2)
+        v3 = registry.register("m", "cand-b")
+        with pytest.raises(RuntimeError, match="already flighting"):
+            registry.flight("m", v3, fraction=0.2)
+        # The original flight is untouched by the rejected attempt.
+        assert registry.flighting("m").version == v2
+        assert registry.get("m", v3).stage is ModelStage.REGISTERED
+
+    def test_reflighting_same_version_is_idempotent(self, registry):
+        v1 = registry.register("m", "prod")
+        registry.promote("m", v1)
+        v2 = registry.register("m", "cand")
+        registry.flight("m", v2, fraction=0.1)
+        registry.flight("m", v2, fraction=0.3)  # adjust fraction, no error
+        assert registry.flighting("m").version == v2
+
 
 class TestServing:
     def test_serve_returns_production_without_flight(self, registry):
@@ -101,6 +128,17 @@ class TestServing:
         served = [registry.serve("m").version for _ in range(2000)]
         candidate_share = served.count(v2) / len(served)
         assert 0.2 < candidate_share < 0.4
+
+    def test_serve_during_flight_answers_only_with_the_two_parties(self, registry):
+        # Retired versions must never answer during an active split.
+        v1 = registry.register("m", "old")
+        registry.promote("m", v1)
+        v2 = registry.register("m", "prod")
+        registry.promote("m", v2)  # v1 retired
+        v3 = registry.register("m", "cand")
+        registry.flight("m", v3, fraction=0.5)
+        served = {registry.serve("m").version for _ in range(500)}
+        assert served == {v2, v3}
 
 
 class TestFlightEvaluation:

@@ -118,6 +118,52 @@ class TestTraceFlag:
         assert "== span tree ==" not in out
 
 
+class TestFabricCommand:
+    """The control plane behind one subcommand."""
+
+    def test_list_shows_pipelines_without_running(self, capsys):
+        assert main(["fabric", "--list"]) == 0
+        out = capsys.readouterr().out
+        for service in ("steering", "cloudviews", "seagull", "feedback"):
+            assert service in out
+        assert "stages" in out
+        assert "fabric:" not in out  # did not run
+
+    def test_short_run_reports_health(self, capsys):
+        assert main(["fabric", "--days", "2", "--services", "moneyball,doppler"]) == 0
+        out = capsys.readouterr().out
+        assert "fabric: 2 days, 2 services" in out
+        assert "moneyball.observe" in out
+        assert "lifecycle:" in out
+
+    def test_injected_fault_degrades_but_run_completes(self, capsys):
+        assert main([
+            "fabric", "--days", "2", "--services", "seagull,moneyball",
+            "--inject-fault", "seagull:recommend:1:3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fabric: 2 days" in out
+        assert "injected faults fired: 3" in out
+
+    def test_unknown_service_rejected(self):
+        with pytest.raises(ValueError, match="unknown fleet services"):
+            main(["fabric", "--days", "1", "--services", "teleport"])
+
+    def test_checkpoint_resume_round_trip(self, tmp_path, capsys):
+        path = str(tmp_path / "fab.ckpt")
+        args = ["--days", "3", "--services", "moneyball,seagull,doppler"]
+        assert main(["fabric", *args]) == 0
+        straight = capsys.readouterr().out
+        assert main([
+            "fabric", *args, "--checkpoint", path, "--checkpoint-day", "1",
+        ]) == 0
+        interrupted = capsys.readouterr().out
+        assert main(["fabric", *args, "--resume", path]) == 0
+        resumed = capsys.readouterr().out
+        assert interrupted == straight
+        assert resumed == straight
+
+
 class TestTraceCommand:
     """The end-to-end traced scenario: workload -> engine -> service."""
 
