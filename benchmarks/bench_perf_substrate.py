@@ -32,11 +32,16 @@ Benchmarks:
    node-equality flow, asserted byte-identical, instrumented with
    :mod:`repro.obs` spans so the rollup shows where the time goes.
 6. **parallel_scaling** — the sharded analyses (CloudViews candidate
-   enumeration + Peregrine repository analysis) at 1/2/4 process-pool
+   enumeration + Peregrine repository analysis) at 1/2/4 persistent-pool
    workers, outputs asserted identical across worker counts.  Honest
-   numbers only: ``cpu_count`` is recorded alongside, and a single-core
-   container will (correctly) show flat scaling.
-7. **tracing_overhead** — the optimize -> compile -> execute hot path
+   numbers only: ``cpu_count`` is recorded at the top of the payload,
+   and on a single-core machine the timings are **skipped**
+   (``skipped_single_core: true``) with only the serial-vs-pool
+   equivalence check run.
+7. **pool_reuse** — cold pool spawn vs warm dispatch latency on the
+   persistent :class:`~repro.parallel.WorkerPool`: the factor that
+   spawn-per-call used to cost every fan-out.
+8. **tracing_overhead** — the optimize -> compile -> execute hot path
    driven uninstrumented vs bound to an :mod:`repro.obs` runtime
    (spans + event replay + store flush included): the overhead fraction
    must stay under 10%.
@@ -564,11 +569,17 @@ def measure_parallel_scaling(
 
     Every worker count must produce identical outputs (the substrate's
     core contract); the timings show whatever scaling the machine's
-    cores actually allow, with ``cpu_count`` recorded so flat numbers
-    from a one-core container read as what they are.
+    cores actually allow.  On a single-core machine timings would be
+    pure theater, so the measurement is **skipped**: the result carries
+    ``skipped_single_core: true`` and only the equivalence check runs
+    (worker-count identity is a correctness property, not a perf one,
+    so it holds on any core count).  The shard publication is done once
+    per worker axis via :meth:`CloudViews.day_context`, matching how a
+    fabric day amortizes it across dispatches.
     """
     import os
 
+    cpu_count = os.cpu_count() or 1
     n_days = max(1, round(n_jobs / _JOBS_PER_DAY))
     workload = ScopeWorkloadGenerator(rng=0).generate(n_days=n_days)
     jobs = [(job.job_id, job.plan) for job in workload.jobs]
@@ -580,30 +591,54 @@ def measure_parallel_scaling(
     cloudviews = CloudViews(workload.catalog, est)
     repo = WorkloadRepository().ingest(workload)
 
+    def _cand_key(cands) -> list:
+        return [
+            (c.signature, tuple(c.job_ids), c.estimated_cost, c.estimated_bytes)
+            for c in cands
+        ]
+
+    if cpu_count <= 1:
+        # No honest scaling numbers exist here; verify the contract
+        # (serial and a real 2-worker pool agree bit-for-bit) and say
+        # loudly that timing was skipped.
+        with profiler.section("parallel_scaling/equivalence"):
+            serial = (_cand_key(cloudviews.candidates(jobs, workers=1)),
+                      analyze(repo, workers=1))
+            with cloudviews.day_context(jobs):
+                pooled = (_cand_key(cloudviews.candidates(jobs, workers=2)),
+                          analyze(repo, workers=2))
+        assert pooled == serial, "workers=2 diverged from serial"
+        return {
+            "skipped_single_core": True,
+            "cpu_count": cpu_count,
+            "n_jobs": len(jobs),
+            "n_candidates": len(serial[0]),
+            "workers": list(workers_axis),
+            "identical_across_workers": True,
+        }
+
     candidate_seconds: dict[str, float] = {}
     analyze_seconds: dict[str, float] = {}
     baseline_candidates = None
     baseline_stats = None
-    for w in workers_axis:
-        with profiler.section(f"parallel_scaling/candidates_w{w}"):
-            cands = cloudviews.candidates(jobs, workers=w)
-        with profiler.section(f"parallel_scaling/analyze_w{w}"):
-            stats = analyze(repo, workers=w)
-        candidate_seconds[str(w)] = profiler.seconds(
-            f"parallel_scaling/candidates_w{w}"
-        )
-        analyze_seconds[str(w)] = profiler.seconds(
-            f"parallel_scaling/analyze_w{w}"
-        )
-        cand_key = [
-            (c.signature, tuple(c.job_ids), c.estimated_cost, c.estimated_bytes)
-            for c in cands
-        ]
-        if baseline_candidates is None:
-            baseline_candidates, baseline_stats = cand_key, stats
-        else:
-            assert cand_key == baseline_candidates, f"workers={w} diverged"
-            assert stats == baseline_stats, f"workers={w} diverged"
+    with cloudviews.day_context(jobs):
+        for w in workers_axis:
+            with profiler.section(f"parallel_scaling/candidates_w{w}"):
+                cands = cloudviews.candidates(jobs, workers=w)
+            with profiler.section(f"parallel_scaling/analyze_w{w}"):
+                stats = analyze(repo, workers=w)
+            candidate_seconds[str(w)] = profiler.seconds(
+                f"parallel_scaling/candidates_w{w}"
+            )
+            analyze_seconds[str(w)] = profiler.seconds(
+                f"parallel_scaling/analyze_w{w}"
+            )
+            cand_key = _cand_key(cands)
+            if baseline_candidates is None:
+                baseline_candidates, baseline_stats = cand_key, stats
+            else:
+                assert cand_key == baseline_candidates, f"workers={w} diverged"
+                assert stats == baseline_stats, f"workers={w} diverged"
     base_total = candidate_seconds["1"] + analyze_seconds["1"]
     speedups = {
         str(w): base_total
@@ -611,14 +646,65 @@ def measure_parallel_scaling(
         for w in workers_axis
     }
     return {
+        "skipped_single_core": False,
+        "cpu_count": cpu_count,
         "n_jobs": len(jobs),
         "n_candidates": len(baseline_candidates),
-        "cpu_count": os.cpu_count(),
         "workers": list(workers_axis),
         "candidate_seconds": candidate_seconds,
         "analyze_seconds": analyze_seconds,
         "speedup_vs_serial": speedups,
         "identical_across_workers": True,
+    }
+
+
+def _pool_probe(x: int) -> int:
+    """Module-level probe for pool_reuse (tiny fixed work per item)."""
+    return x * x
+
+
+def measure_pool_reuse(profiler: SectionProfiler, reps: int = 5) -> dict:
+    """Cold pool spawn vs warm dispatch on the persistent pool.
+
+    The whole point of the persistent :class:`~repro.parallel.WorkerPool`
+    is that spawn is paid once: the first dispatch carries worker
+    startup, every later one rides the living processes.  This measures
+    both on a fresh pool — ``warm_seconds`` is the min over ``reps``
+    dispatches of a small fixed batch (explicit chunksize, so the
+    autotuner can't route it serial), and ``cold_over_warm`` is the
+    factor spawn-per-call used to cost.  Valid on any core count:
+    dispatch latency, not scaling, is what's measured.
+    """
+    from repro.parallel import WorkerPool, pmap
+
+    batch = list(range(64))
+    pool = WorkerPool()
+    try:
+        with profiler.section("pool_reuse/cold"):
+            clock = Stopwatch().start()
+            expected = pmap(_pool_probe, batch, workers=2, chunksize=16,
+                            pool=pool)
+            cold_s = clock.stop()
+        warm_s = float("inf")
+        for _ in range(reps):
+            with profiler.section("pool_reuse/warm"):
+                clock = Stopwatch().start()
+                got = pmap(_pool_probe, batch, workers=2, chunksize=16,
+                           pool=pool)
+                warm_s = min(warm_s, clock.stop())
+            assert got == expected
+        stats = pool.stats()
+    finally:
+        pool.shutdown()
+    return {
+        "n_items": len(batch),
+        "reps": reps,
+        "cold_seconds": cold_s,
+        "warm_seconds": warm_s,
+        "spawn_seconds": stats["spawn_seconds"],
+        "cold_over_warm": cold_s / warm_s if warm_s > 0 else float("inf"),
+        "dispatches": stats["dispatches"],
+        "generation": stats["generation"],
     }
 
 
@@ -723,6 +809,8 @@ def measure_tracing_overhead(
 
 
 def run(n_points: int, n_jobs: int, n_queries: int) -> dict:
+    import os
+
     profiler = SectionProfiler()
     total = Stopwatch().start()
     results = {
@@ -732,6 +820,7 @@ def run(n_points: int, n_jobs: int, n_queries: int) -> dict:
         "signature_trace": measure_signature_trace(n_jobs, profiler),
         "cloudviews_day": measure_cloudviews_day(n_jobs, profiler),
         "parallel_scaling": measure_parallel_scaling(n_jobs, profiler),
+        "pool_reuse": measure_pool_reuse(profiler),
         "tracing_overhead": measure_tracing_overhead(n_jobs, profiler),
     }
     return {
@@ -740,6 +829,7 @@ def run(n_points: int, n_jobs: int, n_queries: int) -> dict:
             "n_jobs": n_jobs,
             "n_queries": n_queries,
         },
+        "cpu_count": os.cpu_count(),
         "results": results,
         "sections": profiler.report(),
         "total_seconds": total.stop(),
@@ -770,9 +860,12 @@ def main(argv: list[str] | None = None) -> int:
     payload = run(args.points, args.jobs, args.queries)
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
 
-    print(f"== substrate perf (points={args.points:,}, jobs={args.jobs:,}) ==")
+    print(
+        f"== substrate perf (points={args.points:,}, jobs={args.jobs:,},"
+        f" cpu_count={payload['cpu_count']}) =="
+    )
     for name, row in payload["results"].items():
-        if name in ("tracing_overhead", "parallel_scaling"):
+        if name in ("tracing_overhead", "parallel_scaling", "pool_reuse"):
             continue
         print(
             f"{name:<22} legacy {row['legacy_seconds']:>8.3f}s"
@@ -780,13 +873,26 @@ def main(argv: list[str] | None = None) -> int:
             f"  speedup {row['speedup']:>8.1f}x"
         )
     scaling = payload["results"]["parallel_scaling"]
-    per_worker = "  ".join(
-        f"w{w} {scaling['speedup_vs_serial'][str(w)]:.2f}x"
-        for w in scaling["workers"]
-    )
+    if scaling["skipped_single_core"]:
+        print(
+            f"{'parallel_scaling':<22} SKIPPED (single core;"
+            " equivalence verified, no timing theater)"
+        )
+    else:
+        per_worker = "  ".join(
+            f"w{w} {scaling['speedup_vs_serial'][str(w)]:.2f}x"
+            for w in scaling["workers"]
+        )
+        print(
+            f"{'parallel_scaling':<22} {per_worker}"
+            f"  (cpu_count={scaling['cpu_count']})"
+        )
+    reuse = payload["results"]["pool_reuse"]
     print(
-        f"{'parallel_scaling':<22} {per_worker}"
-        f"  (cpu_count={scaling['cpu_count']})"
+        f"{'pool_reuse':<22} cold {reuse['cold_seconds']*1e3:>7.1f}ms"
+        f"  warm {reuse['warm_seconds']*1e3:>7.1f}ms"
+        f"  cold/warm {reuse['cold_over_warm']:>6.1f}x"
+        f"  (spawn {reuse['spawn_seconds']*1e3:.1f}ms)"
     )
     overhead = payload["results"]["tracing_overhead"]
     verdict = "OK" if overhead["within_threshold"] else "OVER BUDGET"

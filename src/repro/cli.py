@@ -18,9 +18,10 @@ table, so the CLI doubles as a smoke test of the installation.  Every
 subcommand also runs inside the shared observability runtime
 (:mod:`repro.obs`): pass ``--trace`` to print the span tree and
 per-layer metric rollup after the command's own output.  Analysis
-subcommands accept ``--workers`` to fan the fleet-scale scans across a
-process pool (:mod:`repro.parallel`); results are identical for every
-worker count.
+subcommands accept ``--workers`` to fan the fleet-scale scans across
+the persistent worker pool (:mod:`repro.parallel`); results are
+identical for every worker count, and the pool is shut down before the
+command exits.
 """
 
 from __future__ import annotations
@@ -370,6 +371,14 @@ def _cmd_fabric(args: argparse.Namespace, obs: "ObservabilityRuntime") -> int:
     print(plane.render_health())
     if plane.injector.fired:
         print(f"injected faults fired: {plane.injector.fired}")
+    if plane.pool.generation:
+        stats = plane.pool.stats()
+        print(
+            f"worker pool: {stats['dispatches']} dispatches over"
+            f" {stats['generation']} pool start(s)"
+            f" (spawn {stats['spawn_seconds']:.3f}s)"
+        )
+    plane.close()
     return 0
 
 
@@ -507,12 +516,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     from repro.obs import ObservabilityRuntime
+    from repro.parallel import shutdown_pool
 
     parser = build_parser()
     args = parser.parse_args(argv)
     obs = ObservabilityRuntime()
-    with obs.span(f"cli.{args.command}", layer="cli"):
-        code = args.func(args, obs)
+    try:
+        with obs.span(f"cli.{args.command}", layer="cli"):
+            code = args.func(args, obs)
+    finally:
+        # Commands that fanned out leave the warm pool behind; stop the
+        # workers before the process lingers (atexit is the backstop).
+        shutdown_pool()
     obs.flush()
     if getattr(args, "trace", False) and args.command != "trace":
         print()

@@ -26,6 +26,8 @@ paper quotes.
 
 from __future__ import annotations
 
+import pickle
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -45,7 +47,14 @@ from repro.core.cloudviews.containment import (
 from repro.engine.expr import rewrite_bottom_up
 from repro.engine.signatures import signature_sets
 from repro.engine.signatures import signatures as plan_signatures
-from repro.parallel import DEFAULT_N_SHARDS, pmap, resolve_workers, shard_items
+from repro.parallel import (
+    DEFAULT_N_SHARDS,
+    BytesArena,
+    arena_blob,
+    pmap,
+    resolve_workers,
+    shard_items,
+)
 
 if TYPE_CHECKING:
     from repro.obs.runtime import ObservabilityRuntime
@@ -163,6 +172,24 @@ def _enumerate_candidate_shard(payload) -> dict[str, list]:
     costing the long tail of once-seen subexpressions.
     """
     entries, min_size = payload
+    return _enumerate_entries(entries, min_size)
+
+
+def _enumerate_candidate_arena(payload) -> dict[str, list]:
+    """Worker: enumerate one shard read from the shared-memory arena.
+
+    ``payload`` is ``(arena_handle, shard_index, min_size)`` — a few
+    dozen bytes per task.  The shard's pickled entries live in the
+    arena the parent published once for the whole day, so a worker
+    deserializes exactly its own shard and never receives sibling
+    shards through the executor pipe.
+    """
+    handle, shard_index, min_size = payload
+    entries = pickle.loads(arena_blob(handle, shard_index))
+    return _enumerate_entries(entries, min_size)
+
+
+def _enumerate_entries(entries, min_size: int) -> dict[str, list]:
     partial: dict[str, list] = {}
     for job_index, job_id, plan in entries:
         seen: set[str] = set()
@@ -271,6 +298,11 @@ class CloudViews:
         self.budget_bytes = budget_bytes
         self.max_views = max_views
         self._obs = obs
+        # Per-epoch shared-memory publication of the day's sharded jobs
+        # (set inside ``day_context``); keyed by the jobs list identity
+        # so a stale publication can never serve different jobs.
+        self._day_pub: BytesArena | None = None
+        self._day_pub_key: tuple[int, int] | None = None
 
     def bind(self, obs: "ObservabilityRuntime | None") -> "CloudViews":
         """Attach (or detach) an observability runtime; returns self."""
@@ -284,6 +316,50 @@ class CloudViews:
             return nullcontext()
         return self._obs.span(name, layer="service", **attributes)
 
+    # -- shared-memory day publication -----------------------------------------
+    def _publish_shards(self, jobs: list[tuple[str, Expression]]) -> BytesArena:
+        """Shard the day's jobs and publish them to shared memory once.
+
+        One pickled blob per template-hash shard, packed into a single
+        :class:`BytesArena`; pool tasks then carry only ``(handle,
+        shard_index)`` instead of the shard contents, and a worker
+        deserializes exactly its own shard from the shared segment.
+        """
+        entries = [
+            (index, job_id, plan)
+            for index, (job_id, plan) in enumerate(jobs)
+        ]
+        shards = shard_items(
+            entries,
+            key=lambda entry: plan_signatures(entry[2]).template,
+            n_shards=DEFAULT_N_SHARDS,
+        )
+        with self._span(
+            "cloudviews.publish", n_jobs=len(jobs), n_shards=len(shards)
+        ):
+            blobs = [pickle.dumps(shard, protocol=4) for shard in shards]
+            return BytesArena(blobs)
+
+    @contextmanager
+    def day_context(self, jobs: list[tuple[str, Expression]]):
+        """Publish ``jobs`` once for repeated parallel calls (one epoch).
+
+        Every ``candidates``/``select``/``run_day`` call on the *same*
+        jobs list inside the context reuses the publication instead of
+        re-sharding and re-pickling — e.g. sweeping worker counts over
+        one day, or re-selecting under different budgets.  The shared
+        segment is unlinked on exit.
+        """
+        publication = self._publish_shards(jobs)
+        self._day_pub = publication
+        self._day_pub_key = (id(jobs), len(jobs))
+        try:
+            yield self
+        finally:
+            self._day_pub = None
+            self._day_pub_key = None
+            publication.close()
+
     # -- detection & selection -------------------------------------------------
     def candidates(
         self, jobs: list[tuple[str, Expression]], workers: int = 1
@@ -291,31 +367,39 @@ class CloudViews:
         """Signatures shared by >= min_occurrences distinct jobs.
 
         With ``workers > 1`` the day's jobs are sharded by template-
-        signature hash and enumerated across a process pool; the partial
-        utility tables merge into the same candidate list (same order,
-        same floats) a serial scan produces.
+        signature hash, published to shared memory, and enumerated
+        across the persistent process pool; the partial utility tables
+        merge into the same candidate list (same order, same floats) a
+        serial scan produces.
         """
-        entries = [
-            (index, job_id, plan)
-            for index, (job_id, plan) in enumerate(jobs)
-        ]
         n = resolve_workers(workers)
         with self._span("cloudviews.candidates", n_jobs=len(jobs), workers=n):
             if n <= 1:
-                partials = [
-                    _enumerate_candidate_shard((entries, self.min_size))
+                entries = [
+                    (index, job_id, plan)
+                    for index, (job_id, plan) in enumerate(jobs)
                 ]
+                partials = [_enumerate_entries(entries, self.min_size)]
             else:
-                shards = shard_items(
-                    entries,
-                    key=lambda entry: plan_signatures(entry[2]).template,
-                    n_shards=DEFAULT_N_SHARDS,
+                reuse = (
+                    self._day_pub is not None
+                    and self._day_pub_key == (id(jobs), len(jobs))
                 )
-                partials = pmap(
-                    _enumerate_candidate_shard,
-                    [(shard, self.min_size) for shard in shards],
-                    workers=n,
+                publication = (
+                    self._day_pub if reuse else self._publish_shards(jobs)
                 )
+                try:
+                    partials = pmap(
+                        _enumerate_candidate_arena,
+                        [
+                            (publication.handle, shard, self.min_size)
+                            for shard in range(DEFAULT_N_SHARDS)
+                        ],
+                        workers=n,
+                    )
+                finally:
+                    if not reuse:
+                        publication.close()
             merged = _merge_candidate_shards(partials)
             # Costing is deferred to here: only signatures that recur
             # enough get the cost model run (the once-seen long tail —

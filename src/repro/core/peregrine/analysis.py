@@ -14,7 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.peregrine.repository import WorkloadRepository
-from repro.parallel import pmap
+from repro.parallel import ShmArray, attach, pmap, resolve_workers
 
 
 @dataclass
@@ -123,6 +123,79 @@ def _day_payloads(
     return payloads
 
 
+def _day_table(
+    repo: WorkloadRepository, min_size: int
+) -> tuple[np.ndarray, list[tuple[int, int, int, int]]]:
+    """The whole repository's (job, signature) rows as one numpy block.
+
+    Rows are emitted day by day, job by job, signature by signature —
+    exactly the iteration order of :func:`_day_payloads` — as a
+    structured array of ``(job_code, sig_bytes)``.  Job ids are interned
+    to integer codes (bijective, so per-day distinct counts are
+    unchanged) and signatures to fixed-width ascii bytes, which is what
+    makes the table a flat shared-memory publishable block instead of a
+    pickled object forest.  Returns the table plus per-day
+    ``(day, start_row, stop_row, n_jobs)`` slices.
+    """
+    job_codes: dict[str, int] = {}
+    rows_job: list[int] = []
+    rows_sig: list[bytes] = []
+    slices: list[tuple[int, int, int, int]] = []
+    sig_width = 1
+    for day in repo.days():
+        start = len(rows_job)
+        records = repo.by_day(day)
+        for record in records:
+            code = job_codes.setdefault(record.job_id, len(job_codes))
+            for sig, node in record.subexpression_strict.items():
+                if node.size >= min_size:
+                    encoded = sig.encode("ascii")
+                    sig_width = max(sig_width, len(encoded))
+                    rows_job.append(code)
+                    rows_sig.append(encoded)
+        slices.append((day, start, len(rows_job), len(records)))
+    table = np.zeros(
+        len(rows_job),
+        dtype=[("job", np.uint32), ("sig", f"S{sig_width}")],
+    )
+    if rows_job:
+        table["job"] = rows_job
+        table["sig"] = rows_sig
+    return table, slices
+
+
+def _day_sharing_worker_shm(
+    payload: tuple[object, int, int, int, int],
+) -> tuple[int, int, int, dict[str, int]]:
+    """Worker: one day's sharing statistics from the shared-memory table.
+
+    ``payload`` is ``(handle, day, start, stop, n_jobs)`` — a few dozen
+    bytes; the actual rows are read zero-copy from the table published
+    by :func:`analyze`.  Iterating rows in table order reproduces the
+    exact first-sighting dict order of :func:`_day_sharing_worker`, so
+    the output is bit-identical to the pickled-payload serial path.
+    """
+    handle, day, start, stop, n_jobs = payload
+    rows = attach(handle)[start:stop]
+    owners: dict[bytes, set[int]] = {}
+    for code, sig in zip(rows["job"].tolist(), rows["sig"].tolist()):
+        bucket = owners.get(sig)
+        if bucket is None:
+            owners[sig] = {code}
+        else:
+            bucket.add(code)
+    shared = {
+        sig.decode("ascii"): len(jobs)
+        for sig, jobs in owners.items()
+        if len(jobs) > 1
+    }
+    sharing_jobs: set[int] = set()
+    for sig, jobs in owners.items():
+        if len(jobs) > 1:
+            sharing_jobs |= jobs
+    return day, n_jobs, len(sharing_jobs), shared
+
+
 def _dependency_fraction(repo: WorkloadRepository) -> float:
     involved: set[str] = set()
     for record in repo.records:
@@ -139,18 +212,32 @@ def analyze(
 ) -> WorkloadStatistics:
     """Compute the full statistics bundle over everything ingested.
 
-    ``workers`` fans the per-day sharing analysis across a process pool
-    (one payload per day, merged back in day order); the statistics are
-    byte-identical for every worker count.
+    ``workers`` fans the per-day sharing analysis across the persistent
+    process pool.  The parallel path publishes the repository's
+    (job, signature) rows to shared memory **once** and sends workers
+    only per-day row slices — no pickled object lists cross the pool
+    boundary.  Serial or parallel, the statistics are byte-identical
+    for every worker count.
     """
     if len(repo) == 0:
         raise ValueError("repository is empty")
     recurring, n_templates, p50 = _recurring_fraction(repo)
-    day_results = pmap(
-        _day_sharing_worker,
-        _day_payloads(repo, min_subexpr_size),
-        workers=workers,
-    )
+    if resolve_workers(workers) <= 1:
+        day_results = [
+            _day_sharing_worker(payload)
+            for payload in _day_payloads(repo, min_subexpr_size)
+        ]
+    else:
+        table, slices = _day_table(repo, min_subexpr_size)
+        with ShmArray(table) as publication:
+            day_results = pmap(
+                _day_sharing_worker_shm,
+                [
+                    (publication.handle, day, start, stop, n_jobs)
+                    for day, start, stop, n_jobs in slices
+                ],
+                workers=workers,
+            )
     day_fractions = []
     best_shared: dict[str, int] = {}
     for _day, n_day_jobs, n_sharing, shared_sigs in day_results:

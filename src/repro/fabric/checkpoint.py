@@ -26,7 +26,10 @@ a driver holding the shared registry (e.g. the feedback loop) restores
 pointing at the same registry instance the lifecycle owns.  The
 observability runtime is *never* part of a checkpoint — drivers are
 detached before pickling and the caller rebinds a (fresh or existing)
-runtime on restore.  Pending DES events are not serialized either:
+runtime on restore.  The persistent worker pool is excluded the same
+way: the state dict above never references it, and the restored plane's
+constructor takes a fresh (cold) pool handle that re-arms lazily on the
+first parallel dispatch.  Pending DES events are not serialized either:
 tick schedules are fully determined by each binding's ``next_due`` and
 cadence, so restore simply re-arms every binding in registration order,
 which reproduces the original execution order exactly.

@@ -36,6 +36,7 @@ from repro.fabric.lifecycle import ModelLifecycle
 from repro.fabric.pipeline import PipelineDriver, StageOutcome, TickContext
 from repro.infra.des import EventQueue
 from repro.ml.registry import ModelRegistry
+from repro.parallel import get_pool
 
 if TYPE_CHECKING:
     from repro.obs.runtime import ObservabilityRuntime
@@ -116,6 +117,13 @@ class ControlPlane:
         self.bindings: list[ServiceBinding] = []
         self.queue = EventQueue()
         self.day = 0
+        # The fabric owns the persistent worker pool's lifecycle: the
+        # handle is cheap (workers start lazily on the first parallel
+        # dispatch), is reused across every tick and simulated day,
+        # is never checkpointed (see fabric.checkpoint — restore gets a
+        # fresh handle here, re-armed on next use), and is shut down by
+        # ``close()``.
+        self.pool = get_pool()
         self._obs: "ObservabilityRuntime | None" = None
         self._lifecycle_mirrored = 0
         if obs is not None:
@@ -126,6 +134,7 @@ class ControlPlane:
         """Attach (or detach, with ``None``) the observability runtime."""
         self._obs = obs
         self.queue.bind(obs)
+        self.pool.bind(obs)
         for binding in self.bindings:
             binding.driver.bind_obs(obs)
         return self
@@ -276,6 +285,22 @@ class ControlPlane:
         self.day += n_days
         self._emit("run_complete", value=float(n_days))
         return self
+
+    # -- resources -------------------------------------------------------------
+    def close(self) -> None:
+        """Release fabric-owned resources: shut the worker pool down.
+
+        Safe at any point — a later ``run_days`` simply re-arms a fresh
+        pool on its first parallel dispatch.  Also runs on ``with``
+        exit.
+        """
+        self.pool.shutdown()
+
+    def __enter__(self) -> "ControlPlane":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- checkpoint ------------------------------------------------------------
     def checkpoint(self, path) -> None:

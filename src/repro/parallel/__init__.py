@@ -4,8 +4,16 @@ CloudViews mines common subexpressions across hundreds of thousands of
 daily jobs and Peregrine analyzes recurrence over the whole fleet
 (Section 4.2); this package is the shared scale-out layer both ride:
 
-- :func:`pmap` — order-preserving process-pool map with a serial twin,
+- :func:`pmap` — order-preserving map over a **persistent** process
+  pool with a serial twin,
 - :func:`shard_map` — deterministic shard-then-map by stable key hash,
+- :class:`WorkerPool` — the lazily-started, fabric-owned pool reused
+  across calls, ticks, and simulated days (:func:`get_pool` is the
+  process-wide handle),
+- :mod:`~repro.parallel.autotune` — the granularity cost model routing
+  too-small batches back to serial and flooring chunk sizes,
+- :mod:`~repro.parallel.shm` — the shared-memory data plane (publish
+  shards once per epoch, workers attach zero-copy),
 - :mod:`~repro.parallel.sharding` — the partitioning contract (blake2b
   key hashing, worker-count-independent shard membership).
 
@@ -14,21 +22,60 @@ bit-identical to serial results** — ``workers`` is a throughput knob,
 never a semantics knob.
 """
 
-from repro.parallel.pool import FORCE_ENV, pmap, resolve_workers, shard_map
+from repro.parallel.autotune import DispatchPlan, FnProfile, GranularityTuner
+from repro.parallel.pool import (
+    FORCE_ENV,
+    START_METHOD_ENV,
+    WorkerPool,
+    default_start_method,
+    get_pool,
+    get_tuner,
+    pmap,
+    resolve_workers,
+    shard_map,
+    shutdown_pool,
+)
 from repro.parallel.sharding import (
     DEFAULT_N_SHARDS,
     shard_items,
     shard_of,
     stable_hash,
 )
+from repro.parallel.shm import (
+    ArenaHandle,
+    BytesArena,
+    ShmArray,
+    ShmHandle,
+    arena_blob,
+    attach,
+    close_all,
+    detach_all,
+)
 
 __all__ = [
     "pmap",
     "shard_map",
     "resolve_workers",
+    "WorkerPool",
+    "get_pool",
+    "shutdown_pool",
+    "get_tuner",
+    "default_start_method",
+    "GranularityTuner",
+    "DispatchPlan",
+    "FnProfile",
+    "ShmArray",
+    "BytesArena",
+    "ShmHandle",
+    "ArenaHandle",
+    "attach",
+    "arena_blob",
+    "close_all",
+    "detach_all",
     "shard_items",
     "shard_of",
     "stable_hash",
     "DEFAULT_N_SHARDS",
     "FORCE_ENV",
+    "START_METHOD_ENV",
 ]

@@ -1,0 +1,192 @@
+"""Granularity autotuning: when is a batch worth a process pool?
+
+Fan-out only pays when the work shipped to each worker dwarfs the cost
+of shipping it.  The old heuristic — "parallel whenever ``workers > 1``
+and there is more than one item" — loses badly on small or cheap
+batches: dispatch overhead (task pickling, queue round-trips) eats the
+win, and the honest bench showed 0.21–0.23x *slowdowns*.
+
+:class:`GranularityTuner` replaces that with a measured cost model:
+
+- **per-item work** — every serial run of a function updates an EWMA of
+  its per-item seconds (keyed by qualified name, so different worker
+  functions learn independently);
+- **pool overhead** — every parallel run whose per-item cost is known
+  updates an EWMA of the residual dispatch overhead (wall time minus
+  the ideal ``n * item_seconds / workers``);
+- **decision** — :meth:`plan` compares predicted serial time against
+  predicted parallel time and falls back to serial when the batch is
+  too small to amortize the overhead.  A function never seen serially
+  gets one optimistic parallel run ("explore") — the caller asked for
+  workers, and the measurement it produces trains the model.
+
+The tuner also owns the **chunk floor**: chunks are sized so each one
+carries at least :attr:`target_chunk_seconds` of estimated work, which
+keeps tiny batches from degenerating into one-item-per-task dispatch
+(the old ``chunksize=0 -> 1`` path).
+
+Decisions never change *results* — the substrate's bit-identical
+serial/parallel contract makes serial fallback always safe.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+#: Warm-pool dispatch overhead assumed before any measurement (seconds).
+DEFAULT_WARM_OVERHEAD_SECONDS = 2e-3
+#: Target per-chunk duration: chunks are floored to carry this much work.
+DEFAULT_TARGET_CHUNK_SECONDS = 5e-3
+#: EWMA weight for fresh observations.
+DEFAULT_ALPHA = 0.4
+#: Bounds keeping a noisy residual from poisoning the overhead estimate.
+_OVERHEAD_BOUNDS = (1e-4, 1.0)
+#: Upper bound on the chunk floor (guards against absurd estimates).
+_MAX_CHUNK_FLOOR = 4096
+
+
+@dataclass
+class FnProfile:
+    """What the tuner has learned about one worker function."""
+
+    serial_item_seconds: float | None = None
+    serial_calls: int = 0
+    parallel_calls: int = 0
+
+
+@dataclass(frozen=True)
+class DispatchPlan:
+    """One dispatch decision: route and chunk size, with its rationale."""
+
+    parallel: bool
+    chunksize: int
+    reason: str
+
+
+class GranularityTuner:
+    """Online cost model deciding serial vs pool per (function, batch)."""
+
+    def __init__(
+        self,
+        warm_overhead_seconds: float = DEFAULT_WARM_OVERHEAD_SECONDS,
+        target_chunk_seconds: float = DEFAULT_TARGET_CHUNK_SECONDS,
+        alpha: float = DEFAULT_ALPHA,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.warm_overhead_seconds = float(warm_overhead_seconds)
+        self.target_chunk_seconds = float(target_chunk_seconds)
+        self.alpha = float(alpha)
+        self._profiles: dict[str, FnProfile] = {}
+
+    # -- identity --------------------------------------------------------------
+    @staticmethod
+    def key(fn: Callable) -> str:
+        module = getattr(fn, "__module__", None) or "?"
+        name = getattr(fn, "__qualname__", None) or repr(fn)
+        return f"{module}.{name}"
+
+    def profile(self, fn: Callable) -> FnProfile:
+        return self._profiles.setdefault(self.key(fn), FnProfile())
+
+    # -- observations ----------------------------------------------------------
+    def _ewma(self, old: float | None, fresh: float) -> float:
+        if old is None:
+            return fresh
+        return self.alpha * fresh + (1.0 - self.alpha) * old
+
+    def note_serial(self, fn: Callable, n_items: int, seconds: float) -> None:
+        """Record one serial run; trains the per-item cost estimate."""
+        if n_items <= 0 or seconds < 0.0:
+            return
+        prof = self.profile(fn)
+        prof.serial_item_seconds = self._ewma(
+            prof.serial_item_seconds, seconds / n_items
+        )
+        prof.serial_calls += 1
+
+    def note_parallel(
+        self,
+        fn: Callable,
+        n_items: int,
+        workers: int,
+        seconds: float,
+        cold: bool = False,
+    ) -> None:
+        """Record one pool run; trains the dispatch-overhead estimate.
+
+        Cold runs (the dispatch that paid pool spawn) are counted but
+        never train the *warm* overhead — spawn is a one-time cost the
+        persistent pool amortizes away, not a per-dispatch tax.
+        """
+        if n_items <= 0 or workers <= 0:
+            return
+        prof = self.profile(fn)
+        prof.parallel_calls += 1
+        if cold or prof.serial_item_seconds is None:
+            return
+        ideal = n_items * prof.serial_item_seconds / workers
+        residual = seconds - ideal
+        lo, hi = _OVERHEAD_BOUNDS
+        if residual > 0.0:
+            self.warm_overhead_seconds = min(
+                hi, max(lo, self._ewma(self.warm_overhead_seconds, residual))
+            )
+
+    # -- decisions -------------------------------------------------------------
+    def chunk_floor(self, fn: Callable) -> int:
+        """Minimum items per chunk so a chunk carries real work.
+
+        ``ceil(target_chunk_seconds / item_seconds)`` once the item cost
+        is known; 1 (no information, no constraint) before that.
+        """
+        per_item = self.profile(fn).serial_item_seconds
+        if per_item is None or per_item <= 0.0:
+            return 1
+        return max(
+            1, min(_MAX_CHUNK_FLOOR, math.ceil(self.target_chunk_seconds / per_item))
+        )
+
+    def plan(self, fn: Callable, n_items: int, workers: int) -> DispatchPlan:
+        """Decide the route for one batch.
+
+        Serial when the width or batch is degenerate, or when the cost
+        model predicts the pool cannot beat a plain loop; parallel
+        otherwise, with the chunk size floored by :meth:`chunk_floor`.
+        """
+        if workers <= 1 or n_items <= 1:
+            return DispatchPlan(False, 1, "degenerate")
+        chunksize = max(
+            self.chunk_floor(fn), math.ceil(n_items / (workers * 4))
+        )
+        per_item = self.profile(fn).serial_item_seconds
+        if per_item is None:
+            return DispatchPlan(True, chunksize, "explore")
+        t_serial = n_items * per_item
+        t_parallel = self.warm_overhead_seconds + t_serial / workers
+        if t_serial <= t_parallel:
+            return DispatchPlan(False, chunksize, "amortize")
+        return DispatchPlan(True, chunksize, "cost-model")
+
+    # -- introspection ---------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-able view of everything learned (bench/debug output)."""
+        return {
+            "warm_overhead_seconds": self.warm_overhead_seconds,
+            "target_chunk_seconds": self.target_chunk_seconds,
+            "functions": {
+                key: {
+                    "serial_item_seconds": prof.serial_item_seconds,
+                    "serial_calls": prof.serial_calls,
+                    "parallel_calls": prof.parallel_calls,
+                }
+                for key, prof in sorted(self._profiles.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Forget everything (fresh defaults; test isolation)."""
+        self.warm_overhead_seconds = DEFAULT_WARM_OVERHEAD_SECONDS
+        self._profiles.clear()

@@ -1,0 +1,206 @@
+"""Shared-memory data plane: publish shards once, attach everywhere.
+
+The old transport pickled full object shards into every pool task, so
+each dispatch paid O(data) serialization on the parent *and* O(data)
+deserialization per worker — the dominant cost the honest bench exposed.
+This module replaces that with POSIX shared memory
+(:mod:`multiprocessing.shared_memory`):
+
+- :class:`ShmArray` — a numpy array (plain or structured) published
+  once into a named segment; workers receive only the tiny picklable
+  :class:`ShmHandle` and :func:`attach` a **read-only, zero-copy** view;
+- :class:`BytesArena` — many byte blobs (e.g. per-shard pickles) packed
+  into one segment with an offsets table; a worker extracts exactly its
+  own blob with :func:`arena_blob`, never touching sibling shards;
+- a per-process **attachment cache** — a worker serving many tasks of
+  the same epoch maps each segment once, not once per task;
+- **lifecycle safety** — every publication is registered for atexit
+  cleanup and :func:`close_all`; ``close()`` is idempotent.  Publishers
+  must keep the publication alive until all dispatches against it have
+  returned (attach-by-name fails after unlink).
+
+Workers attach with resource-tracker registration suppressed (via
+``track=False`` on Python >= 3.13, or the standard unregister shim
+before that): the *publisher* owns unlinking, and letting every
+attaching process register the segment double-frees it at interpreter
+shutdown.
+"""
+
+from __future__ import annotations
+
+import atexit
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+#: Attachment-cache capacity per process; old maps are dropped beyond it.
+ATTACH_CACHE_LIMIT = 64
+
+
+@dataclass(frozen=True)
+class ShmHandle:
+    """Picklable coordinates of one published array (bytes stay behind)."""
+
+    name: str
+    descr: object  # numpy dtype description (handles structured dtypes)
+    shape: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ArenaHandle:
+    """Picklable coordinates of a packed blob arena."""
+
+    data: ShmHandle
+    offsets: tuple[int, ...]
+
+    @property
+    def n_blobs(self) -> int:
+        return len(self.offsets) - 1
+
+
+# -- publisher side ------------------------------------------------------------
+_LIVE: dict[int, "ShmArray"] = {}
+
+
+class ShmArray:
+    """One numpy array published into shared memory (publisher side)."""
+
+    def __init__(self, array: np.ndarray) -> None:
+        array = np.ascontiguousarray(array)
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=max(1, array.nbytes)
+        )
+        if array.nbytes:
+            view = np.ndarray(
+                array.shape, dtype=array.dtype, buffer=self._shm.buf
+            )
+            view[...] = array
+            del view  # drop the buffer reference before any later close()
+        self.handle = ShmHandle(
+            name=self._shm.name,
+            descr=np.lib.format.dtype_to_descr(array.dtype),
+            shape=tuple(array.shape),
+        )
+        self.nbytes = array.nbytes
+        self._closed = False
+        _LIVE[id(self)] = self
+
+    def close(self) -> None:
+        """Unlink and release the segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        _LIVE.pop(id(self), None)
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except FileNotFoundError:  # already unlinked elsewhere
+            pass
+
+    def __enter__(self) -> "ShmArray":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class BytesArena:
+    """Byte blobs packed into one published segment (publisher side)."""
+
+    def __init__(self, blobs: list[bytes]) -> None:
+        offsets = [0]
+        for blob in blobs:
+            offsets.append(offsets[-1] + len(blob))
+        data = np.empty(offsets[-1], dtype=np.uint8)
+        for blob, start in zip(blobs, offsets):
+            if blob:
+                data[start : start + len(blob)] = np.frombuffer(
+                    blob, dtype=np.uint8
+                )
+        self._array = ShmArray(data)
+        self.handle = ArenaHandle(
+            data=self._array.handle, offsets=tuple(offsets)
+        )
+        self.nbytes = self._array.nbytes
+
+    def close(self) -> None:
+        self._array.close()
+
+    def __enter__(self) -> "BytesArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def close_all() -> int:
+    """Unlink every live publication of this process; returns the count."""
+    live = list(_LIVE.values())
+    for publication in live:
+        publication.close()
+    return len(live)
+
+
+atexit.register(close_all)
+
+
+# -- worker side ---------------------------------------------------------------
+_ATTACHED: dict[str, tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+
+
+def _open_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach by name without registering with the resource tracker."""
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no ``track`` parameter
+        pass
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def attach(handle: ShmHandle) -> np.ndarray:
+    """Read-only zero-copy view of a published array (cached per process)."""
+    cached = _ATTACHED.get(handle.name)
+    if cached is not None:
+        return cached[1]
+    if len(_ATTACHED) >= ATTACH_CACHE_LIMIT:
+        detach_all()
+    segment = _open_untracked(handle.name)
+    array = np.ndarray(
+        handle.shape,
+        dtype=np.lib.format.descr_to_dtype(handle.descr),
+        buffer=segment.buf,
+    )
+    array.setflags(write=False)
+    _ATTACHED[handle.name] = (segment, array)
+    return array
+
+
+def arena_blob(handle: ArenaHandle, index: int) -> bytes:
+    """Extract one blob from a published arena (copies only that blob)."""
+    if not 0 <= index < handle.n_blobs:
+        raise IndexError(f"arena has {handle.n_blobs} blobs, asked for {index}")
+    data = attach(handle.data)
+    start, stop = handle.offsets[index], handle.offsets[index + 1]
+    return data[start:stop].tobytes()
+
+
+def detach_all() -> int:
+    """Drop this process's attachment cache; returns segments dropped."""
+    released = 0
+    for name in list(_ATTACHED):
+        segment, array = _ATTACHED.pop(name)
+        del array
+        try:
+            segment.close()
+        except BufferError:  # a caller still holds a view; unmap at exit
+            pass
+        released += 1
+    return released

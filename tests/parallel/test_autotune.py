@@ -1,0 +1,199 @@
+"""Cost-model tests for the granularity autotuner."""
+
+import math
+import os
+import time
+
+import pytest
+
+from repro.parallel import (
+    FORCE_ENV,
+    DispatchPlan,
+    GranularityTuner,
+    WorkerPool,
+    pmap,
+)
+from repro.parallel.autotune import (
+    DEFAULT_WARM_OVERHEAD_SECONDS,
+    _MAX_CHUNK_FLOOR,
+)
+
+
+def _work(x: int) -> int:
+    return x + 1
+
+
+def _cheap(x: int) -> int:
+    return x
+
+
+def _pid_probe(x: int) -> int:
+    return os.getpid()
+
+
+class TestPlanDecisions:
+    def test_degenerate_width_goes_serial(self):
+        tuner = GranularityTuner()
+        assert tuner.plan(_work, 100, workers=1) == DispatchPlan(
+            False, 1, "degenerate"
+        )
+
+    def test_degenerate_batch_goes_serial(self):
+        tuner = GranularityTuner()
+        assert tuner.plan(_work, 1, workers=4).reason == "degenerate"
+        assert tuner.plan(_work, 0, workers=4).reason == "degenerate"
+
+    def test_unknown_function_explores_in_parallel(self):
+        tuner = GranularityTuner()
+        plan = tuner.plan(_work, 64, workers=4)
+        assert plan.parallel
+        assert plan.reason == "explore"
+        assert plan.chunksize == math.ceil(64 / (4 * 4))
+
+    def test_cheap_function_learns_to_stay_serial(self):
+        tuner = GranularityTuner()
+        # 1 microsecond/item: 100 items of work can never amortize
+        # a millisecond-scale dispatch overhead.
+        tuner.note_serial(_cheap, 1000, seconds=1e-3)
+        plan = tuner.plan(_cheap, 100, workers=4)
+        assert not plan.parallel
+        assert plan.reason == "amortize"
+
+    def test_expensive_function_goes_parallel(self):
+        tuner = GranularityTuner()
+        # 10 ms/item: 100 items = 1 s serial vs ~0.25 s across 4 workers.
+        tuner.note_serial(_work, 10, seconds=0.1)
+        plan = tuner.plan(_work, 100, workers=4)
+        assert plan.parallel
+        assert plan.reason == "cost-model"
+
+    def test_break_even_prefers_serial(self):
+        tuner = GranularityTuner(warm_overhead_seconds=0.1)
+        tuner.note_serial(_work, 10, seconds=1e-3)  # 0.1 ms/item
+        # t_serial = 0.02 s <= 0.1 + 0.005 -> serial wins.
+        assert not tuner.plan(_work, 200, workers=4).parallel
+
+
+class TestChunkFloor:
+    def test_no_information_means_floor_one(self):
+        assert GranularityTuner().chunk_floor(_work) == 1
+
+    def test_floor_targets_chunk_seconds(self):
+        tuner = GranularityTuner(target_chunk_seconds=5e-3)
+        tuner.note_serial(_work, 1000, seconds=1.0)  # 1 ms/item
+        assert tuner.chunk_floor(_work) == 5
+
+    def test_floor_is_capped(self):
+        tuner = GranularityTuner(target_chunk_seconds=10.0)
+        tuner.note_serial(_work, 1_000_000, seconds=1e-3)  # 1 ns/item
+        assert tuner.chunk_floor(_work) == _MAX_CHUNK_FLOOR
+
+    def test_plan_chunksize_never_below_floor(self):
+        tuner = GranularityTuner(target_chunk_seconds=5e-3)
+        tuner.note_serial(_work, 10, seconds=1.0)  # 0.1 s/item -> parallel
+        plan = tuner.plan(_work, 8, workers=4)
+        assert plan.parallel
+        # ceil(8 / 16) == 1 would be the naive chunk; floor keeps it >= 1
+        # and the old ``chunksize=0`` degenerate case is impossible.
+        assert plan.chunksize >= 1
+
+
+class TestObservations:
+    def test_serial_notes_train_per_item_ewma(self):
+        tuner = GranularityTuner(alpha=0.5)
+        tuner.note_serial(_work, 10, seconds=1.0)  # 0.1 s/item
+        assert tuner.profile(_work).serial_item_seconds == pytest.approx(0.1)
+        tuner.note_serial(_work, 10, seconds=3.0)  # fresh 0.3 s/item
+        assert tuner.profile(_work).serial_item_seconds == pytest.approx(0.2)
+        assert tuner.profile(_work).serial_calls == 2
+
+    def test_cold_dispatch_never_trains_warm_overhead(self):
+        tuner = GranularityTuner()
+        tuner.note_serial(_work, 10, seconds=0.01)
+        before = tuner.warm_overhead_seconds
+        tuner.note_parallel(_work, 10, workers=2, seconds=5.0, cold=True)
+        assert tuner.warm_overhead_seconds == before
+        assert tuner.profile(_work).parallel_calls == 1
+
+    def test_warm_dispatch_residual_trains_overhead(self):
+        tuner = GranularityTuner()
+        tuner.note_serial(_work, 10, seconds=0.01)  # 1 ms/item
+        # ideal = 10 * 1ms / 2 = 5 ms; wall 105 ms -> residual 0.1 s.
+        tuner.note_parallel(_work, 10, workers=2, seconds=0.105)
+        assert tuner.warm_overhead_seconds > DEFAULT_WARM_OVERHEAD_SECONDS
+
+    def test_overhead_is_bounded(self):
+        tuner = GranularityTuner(alpha=1.0)
+        tuner.note_serial(_work, 10, seconds=0.01)
+        tuner.note_parallel(_work, 10, workers=2, seconds=100.0)
+        assert tuner.warm_overhead_seconds <= 1.0
+
+    def test_reset_forgets_everything(self):
+        tuner = GranularityTuner()
+        tuner.note_serial(_work, 10, seconds=1.0)
+        tuner.note_parallel(_work, 10, workers=2, seconds=1.0)
+        tuner.reset()
+        assert tuner.warm_overhead_seconds == DEFAULT_WARM_OVERHEAD_SECONDS
+        assert tuner.profile(_work).serial_item_seconds is None
+
+    def test_snapshot_is_jsonable(self):
+        import json
+
+        tuner = GranularityTuner()
+        tuner.note_serial(_work, 10, seconds=1.0)
+        snap = json.loads(json.dumps(tuner.snapshot()))
+        key = GranularityTuner.key(_work)
+        assert snap["functions"][key]["serial_calls"] == 1
+
+
+class TestPmapIntegration:
+    """The tuner actually steers pmap's route."""
+
+    @pytest.fixture
+    def force_pools(self, monkeypatch):
+        monkeypatch.setenv(FORCE_ENV, "1")
+
+    def test_learned_cheap_fn_stays_serial_even_when_forced(self, force_pools):
+        pool = WorkerPool()
+        tuner = GranularityTuner()
+        try:
+            # Teach the tuner that _pid_probe is microsecond-cheap.
+            start = time.perf_counter()
+            [_pid_probe(i) for i in range(64)]
+            tuner.note_serial(_pid_probe, 64, time.perf_counter() - start)
+            pids = pmap(
+                _pid_probe, range(64), workers=4, pool=pool, tuner=tuner
+            )
+            # Cost model routed the batch serially: parent PID, cold pool.
+            assert set(pids) == {os.getpid()}
+            assert not pool.started
+        finally:
+            pool.shutdown()
+
+    def test_explicit_chunksize_overrides_the_tuner(self, force_pools):
+        pool = WorkerPool()
+        tuner = GranularityTuner()
+        tuner.note_serial(_pid_probe, 1000, seconds=1e-6)  # absurdly cheap
+        try:
+            pids = pmap(
+                _pid_probe,
+                range(8),
+                workers=2,
+                chunksize=1,
+                pool=pool,
+                tuner=tuner,
+            )
+            assert os.getpid() not in set(pids)  # forced across the boundary
+        finally:
+            pool.shutdown()
+
+    def test_serial_route_trains_the_model(self):
+        pool = WorkerPool()
+        tuner = GranularityTuner()
+        try:
+            pmap(_cheap, range(32), workers=1, pool=pool, tuner=tuner)
+            prof = tuner.profile(_cheap)
+            assert prof.serial_calls == 1
+            assert prof.serial_item_seconds is not None
+        finally:
+            pool.shutdown()

@@ -58,7 +58,11 @@ class TestPmap:
     def test_real_pool_preserves_order_and_results(self, monkeypatch):
         monkeypatch.setenv(FORCE_ENV, "1")
         items = list(range(24))
-        assert pmap(_double, items, workers=2) == [x * 2 for x in items]
+        # Explicit chunksize bypasses the autotuner, pinning the real
+        # pool path regardless of what earlier tests taught it.
+        assert pmap(_double, items, workers=2, chunksize=3) == [
+            x * 2 for x in items
+        ]
 
     def test_real_pool_crosses_the_process_boundary(self, monkeypatch):
         monkeypatch.setenv(FORCE_ENV, "1")

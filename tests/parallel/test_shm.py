@@ -1,0 +1,155 @@
+"""Shared-memory transport tests: publish/attach roundtrips, lifecycle."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    FORCE_ENV,
+    BytesArena,
+    ShmArray,
+    WorkerPool,
+    arena_blob,
+    attach,
+    close_all,
+    detach_all,
+    pmap,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_attachments():
+    yield
+    detach_all()
+
+
+class TestShmArrayRoundtrip:
+    def test_plain_array_roundtrips(self):
+        original = np.arange(1000, dtype=np.float64).reshape(10, 100)
+        with ShmArray(original) as pub:
+            view = attach(pub.handle)
+            assert view.shape == (10, 100)
+            assert view.dtype == np.float64
+            np.testing.assert_array_equal(view, original)
+            detach_all()
+
+    def test_structured_dtype_roundtrips(self):
+        original = np.zeros(5, dtype=[("job", np.uint32), ("sig", "S12")])
+        original["job"] = [3, 1, 4, 1, 5]
+        original["sig"] = [b"a", b"bb", b"ccc", b"dddd", b"eeeee"]
+        with ShmArray(original) as pub:
+            view = attach(pub.handle)
+            np.testing.assert_array_equal(view, original)
+            detach_all()
+
+    def test_empty_array_roundtrips(self):
+        with ShmArray(np.empty(0, dtype=np.int64)) as pub:
+            assert attach(pub.handle).shape == (0,)
+            detach_all()
+
+    def test_attached_view_is_read_only(self):
+        with ShmArray(np.arange(4)) as pub:
+            view = attach(pub.handle)
+            with pytest.raises(ValueError):
+                view[0] = 99
+            detach_all()
+
+    def test_handle_is_picklable_and_small(self):
+        with ShmArray(np.zeros(1_000_000)) as pub:
+            blob = pickle.dumps(pub.handle)
+            assert len(blob) < 512  # coordinates travel, bytes stay behind
+
+    def test_attach_cache_returns_same_view(self):
+        with ShmArray(np.arange(8)) as pub:
+            assert attach(pub.handle) is attach(pub.handle)
+            detach_all()
+
+    def test_close_is_idempotent(self):
+        pub = ShmArray(np.arange(4))
+        pub.close()
+        pub.close()
+
+    def test_close_all_sweeps_live_publications(self):
+        ShmArray(np.arange(4))
+        ShmArray(np.arange(4))
+        assert close_all() >= 2
+        assert close_all() == 0
+
+    def test_attach_after_unlink_fails(self):
+        pub = ShmArray(np.arange(4))
+        handle = pub.handle
+        pub.close()
+        with pytest.raises(FileNotFoundError):
+            attach(handle)
+
+
+class TestBytesArena:
+    def test_blobs_extract_independently(self):
+        blobs = [b"alpha", b"", b"gamma" * 100]
+        with BytesArena(blobs) as arena:
+            assert arena.handle.n_blobs == 3
+            for i, blob in enumerate(blobs):
+                assert arena_blob(arena.handle, i) == blob
+            detach_all()
+
+    def test_out_of_range_index_raises(self):
+        with BytesArena([b"x"]) as arena:
+            with pytest.raises(IndexError):
+                arena_blob(arena.handle, 1)
+            with pytest.raises(IndexError):
+                arena_blob(arena.handle, -1)
+            detach_all()
+
+    def test_pickled_objects_roundtrip_through_an_arena(self):
+        shards = [[("job", i, list(range(i)))] for i in range(4)]
+        blobs = [pickle.dumps(s, protocol=4) for s in shards]
+        with BytesArena(blobs) as arena:
+            for i, shard in enumerate(shards):
+                assert pickle.loads(arena_blob(arena.handle, i)) == shard
+            detach_all()
+
+
+def _sum_attached(payload) -> float:
+    handle, lo, hi = payload
+    return float(attach(handle)[lo:hi].sum())
+
+
+def _unpickle_blob(payload):
+    handle, index = payload
+    return pickle.loads(arena_blob(handle, index))
+
+
+class TestCrossProcess:
+    @pytest.fixture
+    def force_pools(self, monkeypatch):
+        monkeypatch.setenv(FORCE_ENV, "1")
+
+    def test_workers_read_a_published_array(self, force_pools):
+        pool = WorkerPool()
+        data = np.arange(1000, dtype=np.float64)
+        try:
+            with ShmArray(data) as pub:
+                jobs = [(pub.handle, i * 250, (i + 1) * 250) for i in range(4)]
+                sums = pmap(
+                    _sum_attached, jobs, workers=2, chunksize=1, pool=pool
+                )
+            assert sums == [float(data[i * 250 : (i + 1) * 250].sum()) for i in range(4)]
+        finally:
+            pool.shutdown()
+
+    def test_workers_extract_their_own_arena_blob(self, force_pools):
+        pool = WorkerPool()
+        shards = [{"shard": i, "rows": list(range(i * 3))} for i in range(4)]
+        try:
+            with BytesArena([pickle.dumps(s, protocol=4) for s in shards]) as arena:
+                out = pmap(
+                    _unpickle_blob,
+                    [(arena.handle, i) for i in range(4)],
+                    workers=2,
+                    chunksize=1,
+                    pool=pool,
+                )
+            assert out == shards
+        finally:
+            pool.shutdown()

@@ -1,0 +1,151 @@
+"""Lifecycle tests for the persistent WorkerPool (lazy, warm, re-armed)."""
+
+import os
+
+import pytest
+
+from repro.parallel import (
+    FORCE_ENV,
+    GranularityTuner,
+    WorkerPool,
+    get_pool,
+    pmap,
+    shutdown_pool,
+)
+
+
+def _pid_of(_: object) -> int:
+    return os.getpid()
+
+
+def _double(x: int) -> int:
+    return x * 2
+
+
+@pytest.fixture
+def force_pools(monkeypatch):
+    monkeypatch.setenv(FORCE_ENV, "1")
+
+
+@pytest.fixture
+def pool():
+    p = WorkerPool()
+    yield p
+    p.shutdown()
+
+
+class TestLazyStart:
+    def test_construction_starts_nothing(self, pool):
+        assert not pool.started
+        assert pool.width == 0
+        assert pool.generation == 0
+
+    def test_first_dispatch_starts_the_pool(self, pool, force_pools):
+        assert pmap(_double, [1, 2, 3, 4], workers=2, chunksize=1, pool=pool) == [
+            2,
+            4,
+            6,
+            8,
+        ]
+        assert pool.started
+        assert pool.width == 2
+        assert pool.generation == 1
+        assert pool.spawn_seconds > 0.0
+
+    def test_serial_calls_never_start_the_pool(self, pool, monkeypatch):
+        # Without the force env, pytest resolves to serial: cold pool.
+        monkeypatch.delenv(FORCE_ENV, raising=False)
+        assert pmap(_double, list(range(8)), workers=4, pool=pool) == [
+            x * 2 for x in range(8)
+        ]
+        assert not pool.started
+
+
+class TestWarmReuse:
+    def test_dispatches_reuse_the_same_workers(self, pool, force_pools):
+        first = set(pmap(_pid_of, range(8), workers=2, chunksize=1, pool=pool))
+        second = set(pmap(_pid_of, range(8), workers=2, chunksize=1, pool=pool))
+        # Same pool, so across both dispatches at most ``width`` distinct
+        # worker processes ever existed (a fresh pool would double that).
+        assert len(first | second) <= pool.width
+        assert os.getpid() not in first | second
+        assert pool.generation == 1
+        assert pool.dispatches == 2
+        assert pool.items_dispatched == 16
+
+    def test_growing_restarts_wider_and_sticks(self, pool, force_pools):
+        pool.ensure(2)
+        assert (pool.width, pool.generation) == (2, 1)
+        pool.ensure(4)
+        assert (pool.width, pool.generation) == (4, 2)
+        # Asking for less never shrinks (high-water width persists).
+        pool.ensure(2)
+        assert (pool.width, pool.generation) == (4, 2)
+
+
+class TestShutdown:
+    def test_shutdown_then_rearm(self, pool, force_pools):
+        pmap(_double, [1, 2], workers=2, chunksize=1, pool=pool)
+        pool.shutdown()
+        assert not pool.started
+        # The next dispatch transparently re-arms a fresh pool.
+        assert pmap(_double, [3, 4], workers=2, chunksize=1, pool=pool) == [6, 8]
+        assert pool.started
+        assert pool.generation == 2
+
+    def test_shutdown_is_idempotent(self, pool):
+        pool.shutdown()
+        pool.shutdown()
+        assert not pool.started
+
+
+class TestSharedPool:
+    def test_get_pool_returns_one_handle(self):
+        assert get_pool() is get_pool()
+
+    def test_shutdown_pool_leaves_handle_reusable(self, force_pools):
+        shared = get_pool()
+        pmap(_double, [1, 2], workers=2, chunksize=1)
+        assert shared.started
+        shutdown_pool()
+        assert not shared.started
+        assert get_pool() is shared
+
+    def test_shutdown_pool_without_start_is_a_noop(self):
+        shutdown_pool()
+        shutdown_pool()
+
+
+class TestStats:
+    def test_stats_shape(self, pool, force_pools):
+        pmap(_double, [1, 2, 3], workers=2, chunksize=1, pool=pool)
+        stats = pool.stats()
+        assert stats["started"] is True
+        assert stats["width"] == 2
+        assert stats["generation"] == 1
+        assert stats["dispatches"] == 1
+        assert stats["items_dispatched"] == 3
+        assert stats["spawn_seconds"] > 0.0
+
+
+class TestObsWiring:
+    def test_pool_lifecycle_events_land_in_obs(self, pool, force_pools):
+        from repro.obs import ObservabilityRuntime
+
+        obs = ObservabilityRuntime()
+        pool.bind(obs)
+        pmap(_double, [1, 2, 3, 4], workers=2, chunksize=1, pool=pool)
+        pool.shutdown()
+        kinds = [e.kind for e in obs.events.events if e.layer == "parallel"]
+        assert "pool_start" in kinds
+        assert "pool_shutdown" in kinds
+        names = [s.name for s in obs.tracer.spans]
+        assert "parallel.dispatch" in names
+
+    def test_fresh_tuner_keeps_dispatch_parallel(self, pool, force_pools):
+        # Explicit tuner injection: unknown functions explore in parallel.
+        tuner = GranularityTuner()
+        pids = pmap(
+            _pid_of, range(8), workers=2, pool=pool, tuner=tuner, chunksize=1
+        )
+        assert os.getpid() not in set(pids)
