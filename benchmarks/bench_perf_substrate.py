@@ -45,6 +45,10 @@ Benchmarks:
    driven uninstrumented vs bound to an :mod:`repro.obs` runtime
    (spans + event replay + store flush included): the overhead fraction
    must stay under 10%.
+9. **checkpoint_delta** — the fabric checkpoint write path: the full
+   ``@1`` single pickle vs an ``@2`` delta frame, measured every day of
+   a steady-state fleet run with one explicit ``store.save`` per day.
+   The final-day delta must be >= 5x smaller and faster to write.
 """
 
 from __future__ import annotations
@@ -808,7 +812,94 @@ def measure_tracing_overhead(
     }
 
 
-def run(n_points: int, n_jobs: int, n_queries: int) -> dict:
+def measure_checkpoint_delta(run_days: int, profiler: SectionProfiler) -> dict:
+    """Full ``@1`` pickle vs ``@2`` delta frame on the standard fleet.
+
+    The bench world is the standard ``FleetConfig(days=7)`` fleet run
+    for ``run_days`` days with one explicit ``store.save(plane)`` per
+    day — a base frame at day 1, deltas after.  (Deliberately *not*
+    ``attach_store``: that persists after every tick, so a daily save
+    would find every service already clean and measure nothing.)  Once
+    the 7-day workload horizon has passed, most drivers stop mutating:
+    the delta frame carries only the genuinely dirty services, with
+    references into their declared ``frozen_attrs`` input worlds
+    replaced by symbolic tokens, while the ``@1`` snapshot re-pickles
+    the whole fleet every day.  Size ratios use the final day's frames;
+    time ratios use the minimum over the steady-state tail (scheduler
+    jitter on a shared machine would make one-sample timings theater).
+    The restored chain must reproduce the live fleet byte for byte.
+    """
+    import shutil
+    import tempfile
+
+    from repro.fabric import (
+        CheckpointStore,
+        ControlPlane,
+        FleetConfig,
+        build_fleet,
+    )
+    from repro.fabric.store import checkpoint_bytes_v1
+
+    plane = ControlPlane()
+    build_fleet(plane, FleetConfig(days=7))
+    workdir = Path(tempfile.mkdtemp(prefix="bench_ckpt_"))
+    store = CheckpointStore(workdir / "store")
+    days: list[dict] = []
+    try:
+        for _ in range(run_days):
+            plane.run_days(1)
+            # Full @1 first: it reads dirty flags without clearing them,
+            # so the @2 save that follows sees the same day's changes.
+            with profiler.section("checkpoint_delta/full_v1"):
+                clock = Stopwatch().start()
+                full_blob = checkpoint_bytes_v1(plane)
+                full_s = clock.stop()
+            with profiler.section("checkpoint_delta/delta_v2"):
+                clock = Stopwatch().start()
+                result = store.save(plane)
+                delta_s = clock.stop()
+            days.append(
+                {
+                    "day": plane.day,
+                    "kind": result.kind,
+                    "full_bytes": len(full_blob),
+                    "full_seconds": full_s,
+                    "delta_bytes": result.bytes_written,
+                    "delta_seconds": delta_s,
+                    "services_saved": len(result.saved),
+                    "services_clean": len(result.clean),
+                }
+            )
+        restored = CheckpointStore.load(store.path)
+        assert restored.report_bytes() == plane.report_bytes(), (
+            "restored fleet diverged from the live one"
+        )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    first, last = days[0], days[-1]
+    steady = [d for d in days if d["kind"] == "delta"][-5:]
+    steady_full_s = min(d["full_seconds"] for d in steady)
+    steady_delta_s = min(d["delta_seconds"] for d in steady)
+    size_ratio = last["full_bytes"] / max(last["delta_bytes"], 1)
+    time_ratio = steady_full_s / max(steady_delta_s, 1e-12)
+    return {
+        "world_days": 7,
+        "run_days": run_days,
+        "day_1": first,
+        "day_last": last,
+        "steady_full_seconds": steady_full_s,
+        "steady_delta_seconds": steady_delta_s,
+        "size_ratio": size_ratio,
+        "time_ratio": time_ratio,
+        "delta_5x_smaller": size_ratio >= 5.0,
+        "delta_faster": time_ratio > 1.0,
+        "resume_identical": True,
+        "days": days,
+    }
+
+
+def run(n_points: int, n_jobs: int, n_queries: int, ckpt_days: int) -> dict:
     import os
 
     profiler = SectionProfiler()
@@ -822,12 +913,14 @@ def run(n_points: int, n_jobs: int, n_queries: int) -> dict:
         "parallel_scaling": measure_parallel_scaling(n_jobs, profiler),
         "pool_reuse": measure_pool_reuse(profiler),
         "tracing_overhead": measure_tracing_overhead(n_jobs, profiler),
+        "checkpoint_delta": measure_checkpoint_delta(ckpt_days, profiler),
     }
     return {
         "config": {
             "n_points": n_points,
             "n_jobs": n_jobs,
             "n_queries": n_queries,
+            "ckpt_days": ckpt_days,
         },
         "cpu_count": os.cpu_count(),
         "results": results,
@@ -844,6 +937,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="jobs in the signature trace")
     parser.add_argument("--queries", type=int, default=200,
                         help="window-query rounds (x3 queries each)")
+    parser.add_argument("--ckpt-days", type=int, default=30,
+                        help="fleet days for the checkpoint_delta benchmark")
     parser.add_argument("--quick", action="store_true",
                         help="reduced sizes for CI smoke runs")
     parser.add_argument("--out", type=Path,
@@ -852,12 +947,17 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if min(args.points, args.jobs, args.queries) < 1:
         parser.error("--points, --jobs, and --queries must be positive")
+    if args.ckpt_days < 9:
+        # Steady state needs the 7-day workload horizon behind it plus a
+        # delta tail to time; shorter runs would gate on a base frame.
+        parser.error("--ckpt-days must be >= 9")
     if args.quick:
         args.points = min(args.points, 50_000)
         args.jobs = min(args.jobs, 500)
         args.queries = min(args.queries, 30)
+        args.ckpt_days = min(args.ckpt_days, 12)
 
-    payload = run(args.points, args.jobs, args.queries)
+    payload = run(args.points, args.jobs, args.queries, args.ckpt_days)
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
 
     print(
@@ -865,7 +965,8 @@ def main(argv: list[str] | None = None) -> int:
         f" cpu_count={payload['cpu_count']}) =="
     )
     for name, row in payload["results"].items():
-        if name in ("tracing_overhead", "parallel_scaling", "pool_reuse"):
+        if name in ("tracing_overhead", "parallel_scaling", "pool_reuse",
+                    "checkpoint_delta"):
             continue
         print(
             f"{name:<22} legacy {row['legacy_seconds']:>8.3f}s"
@@ -894,6 +995,14 @@ def main(argv: list[str] | None = None) -> int:
         f"  cold/warm {reuse['cold_over_warm']:>6.1f}x"
         f"  (spawn {reuse['spawn_seconds']*1e3:.1f}ms)"
     )
+    ckpt = payload["results"]["checkpoint_delta"]
+    last = ckpt["day_last"]
+    print(
+        f"{'checkpoint_delta':<22} day {last['day']}:"
+        f" full {last['full_bytes']:,}B/{ckpt['steady_full_seconds']*1e3:.1f}ms"
+        f"  delta {last['delta_bytes']:,}B/{ckpt['steady_delta_seconds']*1e3:.1f}ms"
+        f"  {ckpt['size_ratio']:.1f}x smaller, {ckpt['time_ratio']:.1f}x faster"
+    )
     overhead = payload["results"]["tracing_overhead"]
     verdict = "OK" if overhead["within_threshold"] else "OVER BUDGET"
     print(
@@ -903,7 +1012,12 @@ def main(argv: list[str] | None = None) -> int:
         f" (threshold {overhead['threshold']:.0%}: {verdict})"
     )
     print(f"\nwritten: {args.out}")
-    return 0 if overhead["within_threshold"] else 1
+    ok = (
+        overhead["within_threshold"]
+        and ckpt["delta_5x_smaller"]
+        and ckpt["delta_faster"]
+    )
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -10,13 +10,15 @@ the fleet degrading instead of aborting.
 Run:  python examples/fabric_control_plane.py
 """
 
+import tempfile
+from pathlib import Path
+
 from repro.fabric import (
+    CheckpointStore,
     ControlPlane,
     FaultInjector,
     FleetConfig,
     build_fleet,
-    checkpoint_bytes,
-    restore_from_bytes,
 )
 from repro.obs import ObservabilityRuntime
 from repro.telemetry import Metric
@@ -34,12 +36,18 @@ def main() -> None:
         stages = ", ".join(name for name, _ in binding.driver.stages())
         print(f"  {binding.name:<12} {stages}")
 
-    print(f"\n=== Run {CHECKPOINT_AT} days, snapshot, resume ===")
-    plane.run_days(CHECKPOINT_AT)
-    blob = checkpoint_bytes(plane)
-    print(f"  checkpoint: {len(blob)} bytes at day {plane.day}")
+    print(f"\n=== Run {CHECKPOINT_AT} days, checkpoint daily, resume ===")
+    store = CheckpointStore(Path(tempfile.mkdtemp()) / "store")
+    for _ in range(CHECKPOINT_AT):
+        plane.run_days(1)
+        result = store.save(plane)  # base at day 1, deltas after
+        print(
+            f"  day {plane.day}: {result.kind:<5} frame,"
+            f" {result.bytes_written} bytes"
+            f" ({len(result.saved)} saved, {len(result.clean)} clean)"
+        )
 
-    restored = restore_from_bytes(blob, obs=ObservabilityRuntime())
+    restored = CheckpointStore.load(store.path, obs=ObservabilityRuntime())
     restored.run_days(DAYS - CHECKPOINT_AT)
     plane.run_days(DAYS - CHECKPOINT_AT)  # the uninterrupted twin
     identical = restored.report_bytes() == plane.report_bytes()

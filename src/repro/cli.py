@@ -11,7 +11,9 @@ Subcommands::
     repro algorithms  QUERY                 search the AlgorithmStore
     repro trace       [--jobs N --seed S]   traced workload->engine->service run
     repro fabric      [--days N --full --list --checkpoint P --resume P
-                       --inject-fault SPEC]  the control plane end to end
+                       --store DIR --inject-fault SPEC]  the control plane
+    repro chaos       [--days N --kill-tick K --workers W
+                       --inject-fault SPEC]  kill -9 mid-day, resume, compare
 
 Every subcommand is deterministic given its seed and prints a compact
 table, so the CLI doubles as a smoke test of the installation.  Every
@@ -305,15 +307,22 @@ def _cmd_fabric(args: argparse.Namespace, obs: "ObservabilityRuntime") -> int:
     from repro.fabric import (
         CORE_FLEET,
         FULL_FLEET,
+        CheckpointStore,
         ControlPlane,
         FaultInjector,
         FleetConfig,
         build_fleet,
-        parse_fault_spec,
     )
+    from repro.fabric.faults import parse_fault_specs
 
     if args.resume:
         plane = ControlPlane.restore(args.resume, obs=obs)
+        if args.store:
+            plane.attach_store(CheckpointStore(args.store))
+        if args.chaos_kill_tick:
+            from repro.fabric.chaos import make_kill_hook
+
+            plane.tick_hook = make_kill_hook(args.chaos_kill_tick)
         remaining = args.days - plane.day
         if remaining <= 0:
             print(
@@ -327,10 +336,14 @@ def _cmd_fabric(args: argparse.Namespace, obs: "ObservabilityRuntime") -> int:
             include = tuple(args.services.split(","))
         else:
             include = FULL_FLEET if args.full else CORE_FLEET
-        injector = FaultInjector(
-            specs=[parse_fault_spec(s) for s in args.inject_fault]
-        )
+        injector = FaultInjector(specs=parse_fault_specs(args.inject_fault))
         plane = ControlPlane(injector=injector, obs=obs)
+        if args.store:
+            plane.attach_store(CheckpointStore(args.store))
+        if args.chaos_kill_tick:
+            from repro.fabric.chaos import make_kill_hook
+
+            plane.tick_hook = make_kill_hook(args.chaos_kill_tick)
         build_fleet(
             plane,
             FleetConfig(
@@ -360,6 +373,10 @@ def _cmd_fabric(args: argparse.Namespace, obs: "ObservabilityRuntime") -> int:
                 plane.checkpoint(args.checkpoint)
 
     report = plane.final_report()
+    if args.report_out:
+        from pathlib import Path
+
+        Path(args.report_out).write_bytes(plane.report_bytes())
     print(f"fabric: {report['days']} days, {len(plane.bindings)} services")
     for name, entry in report["services"].items():
         print(f"  {name:<12} ticks={entry['ticks']}")
@@ -380,6 +397,25 @@ def _cmd_fabric(args: argparse.Namespace, obs: "ObservabilityRuntime") -> int:
         )
     plane.close()
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace, obs: "ObservabilityRuntime") -> int:
+    """Kill-and-resume experiment: prove crash recovery is byte-exact."""
+    from repro.fabric.chaos import run_chaos
+
+    with obs.span("fabric.chaos", layer="fabric", kill_tick=args.kill_tick):
+        result = run_chaos(
+            days=args.days,
+            kill_tick=args.kill_tick,
+            services=tuple(args.services.split(",")) if args.services else None,
+            workers=args.workers,
+            faults=args.inject_fault,
+            seed=args.seed,
+            workdir=args.workdir or None,
+        )
+    print(result.summary())
+    print(f"store: {result.store_path}")
+    return 0 if result.identical else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -509,7 +545,49 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SERVICE:STAGE[:DAY[:TIMES]]",
         help="plant a deterministic stage fault (repeatable; day '*' = any)",
     )
+    fabric.add_argument(
+        "--store", default="",
+        help="durable checkpoint store: persist a delta frame after every tick",
+    )
+    fabric.add_argument(
+        "--chaos-kill-tick", type=int, default=0,
+        help="SIGKILL this process after N completed ticks (chaos testing)",
+    )
+    fabric.add_argument(
+        "--report-out", default="",
+        help="write the canonical final-report bytes to this file",
+    )
     fabric.set_defaults(func=_cmd_fabric)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="kill -9 a fabric mid-day, resume it, verify byte-identity",
+        parents=[common],
+    )
+    chaos.add_argument("--days", type=int, default=5)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--kill-tick", type=int, default=12,
+        help="completed-tick count (across all services) to SIGKILL at",
+    )
+    chaos.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool width inside the baseline/victim/resumed runs",
+    )
+    chaos.add_argument(
+        "--services", default="",
+        help="comma-separated service subset (default: the core fleet)",
+    )
+    chaos.add_argument(
+        "--inject-fault", action="append", default=[],
+        metavar="SERVICE:STAGE[:DAY[:TIMES]]",
+        help="plant a deterministic stage fault in all three runs",
+    )
+    chaos.add_argument(
+        "--workdir", default="",
+        help="where to keep the store and reports (default: a temp dir)",
+    )
+    chaos.set_defaults(func=_cmd_chaos)
 
     return parser
 

@@ -31,6 +31,6 @@ Cross-cutting (Insights 1-3)
     to the shared :mod:`repro.obs` observability runtime).
 """
 
-from repro.core.service import AutonomousService, deprecated_alias
+from repro.core.service import AutonomousService
 
-__all__ = ["AutonomousService", "deprecated_alias"]
+__all__ = ["AutonomousService"]

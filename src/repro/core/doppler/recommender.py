@@ -20,7 +20,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.core.service import AutonomousService, deprecated_alias
+from repro.core.service import AutonomousService
 from repro.ml import KMeans, StandardScaler
 from repro.workloads.customers import (
     AZURE_SKUS,
@@ -162,14 +162,6 @@ class SkuRecommender(AutonomousService):
             }
         self._emit("observe", value=float(len(customers)))
         return self
-
-    @deprecated_alias("observe")
-    def fit(
-        self,
-        customers: list[CustomerProfile],
-        observed_needs: list[tuple[float, float, float]] | None = None,
-    ) -> "SkuRecommender":
-        return self.observe(customers, observed_needs)
 
     def report(self) -> DopplerReport:
         """Every recommendation issued so far."""

@@ -20,7 +20,7 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
-from repro.core.service import AutonomousService, deprecated_alias
+from repro.core.service import AutonomousService
 from repro.ml import ModelRegistry, PageHinkley
 from repro.ml.drift import DriftDetector
 
@@ -212,7 +212,3 @@ class FeedbackLoop(AutonomousService):
             self._record(LoopEvent(self._step, "rollback", version))
             self._baseline_error = None
 
-    # -- deprecated entry points -----------------------------------------------
-    @deprecated_alias("report")
-    def actions(self) -> list[str]:
-        return self.report().actions

@@ -7,7 +7,7 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
-from repro.core.service import AutonomousService, deprecated_alias
+from repro.core.service import AutonomousService
 
 from repro.core.pareto import TradeoffPoint
 from repro.infra.serverless import (
@@ -259,7 +259,3 @@ class MoneyballPolicy(AutonomousService):
                 ),
             )
 
-    # -- deprecated entry points -----------------------------------------------
-    @deprecated_alias("report")
-    def evaluate(self) -> MoneyballReport:
-        return self.report()

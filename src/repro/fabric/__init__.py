@@ -15,12 +15,14 @@ from repro.fabric.checkpoint import (
     restore_from_bytes,
     save_checkpoint,
 )
+from repro.fabric.chaos import ChaosResult, run_chaos
 from repro.fabric.faults import (
     FaultInjector,
     FaultSpec,
     InjectedFault,
     RetryPolicy,
     parse_fault_spec,
+    parse_fault_specs,
 )
 from repro.fabric.fleet import (
     CORE_FLEET,
@@ -41,6 +43,13 @@ from repro.fabric.plane import (
     FabricHealth,
     ServiceBinding,
 )
+from repro.fabric.store import (
+    FORMAT_V1,
+    FORMAT_V2,
+    CheckpointStore,
+    RetryState,
+    ScheduleRecord,
+)
 
 __all__ = [
     "STAGES",
@@ -58,6 +67,15 @@ __all__ = [
     "FaultInjector",
     "InjectedFault",
     "parse_fault_spec",
+    "parse_fault_specs",
+    "CheckpointStore",
+    "ScheduleRecord",
+    "RetryState",
+    "FORMAT_V1",
+    "FORMAT_V2",
+    "ChaosResult",
+    "run_chaos",
+    # deprecated module-function checkpoint API (one release of shims)
     "CHECKPOINT_FORMAT",
     "checkpoint_bytes",
     "save_checkpoint",

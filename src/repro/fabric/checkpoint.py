@@ -1,88 +1,57 @@
-"""Checkpoint/restore of full fabric state.
+"""Deprecated module-function checkpoint API (one-release shims).
 
-File format (``repro.fabric/checkpoint@1``, documented in DESIGN.md): a
-single :mod:`pickle` (protocol 4) of::
+The four functions that used to live here — :func:`checkpoint_bytes`,
+:func:`save_checkpoint`, :func:`restore_from_bytes`,
+:func:`load_checkpoint` — are superseded by
+:class:`repro.fabric.store.CheckpointStore`, which adds format-version
+negotiation (the legacy ``@1`` full pickle plus the ``@2`` base+delta
+chain), per-service delta frames, and durable schedule records.  Each
+shim below delegates to the store, emits a :class:`DeprecationWarning`
+(an *error* inside this repo's test suite), and will be removed next
+release.  Migration is mechanical::
 
-    {
-        "format": "repro.fabric/checkpoint@1",
-        "state": {
-            "day":      int,        # completed fabric days
-            "now":      float,      # DES clock (days)
-            "registry": ModelRegistry,
-            "lifecycle": ModelLifecycle,     # shares the registry object
-            "retry":    RetryPolicy,
-            "injector": FaultInjector,
-            "health":   FabricHealth,
-            "mirrored": int,        # lifecycle actions already replayed to obs
-            "bindings": [           # registration order
-                {"name", "cadence_days", "next_due", "ticks", "driver"},
-                ...
-            ],
-        },
-    }
-
-Everything is pickled in **one** dump, so object identity is preserved:
-a driver holding the shared registry (e.g. the feedback loop) restores
-pointing at the same registry instance the lifecycle owns.  The
-observability runtime is *never* part of a checkpoint — drivers are
-detached before pickling and the caller rebinds a (fresh or existing)
-runtime on restore.  The persistent worker pool is excluded the same
-way: the state dict above never references it, and the restored plane's
-constructor takes a fresh (cold) pool handle that re-arms lazily on the
-first parallel dispatch.  Pending DES events are not serialized either:
-tick schedules are fully determined by each binding's ``next_due`` and
-cadence, so restore simply re-arms every binding in registration order,
-which reproduces the original execution order exactly.
+    checkpoint_bytes(plane)        -> CheckpointStore(path).save(plane)  # or checkpoint_bytes_v1
+    save_checkpoint(plane, path)   -> CheckpointStore(path, version=1).save(plane)
+    restore_from_bytes(data)       -> pickle round-trip via CheckpointStore.load
+    load_checkpoint(path, obs)     -> CheckpointStore.load(path, obs=obs)
 """
 
 from __future__ import annotations
 
 import pickle
+import warnings
 from pathlib import Path
 from typing import TYPE_CHECKING
+
+from repro.fabric.store import FORMAT_V1, checkpoint_bytes_v1, restore_v1
 
 if TYPE_CHECKING:
     from repro.fabric.plane import ControlPlane
     from repro.obs.runtime import ObservabilityRuntime
 
-#: Format tag written into (and required from) every checkpoint file.
-CHECKPOINT_FORMAT = "repro.fabric/checkpoint@1"
+#: Format tag of the legacy single-pickle checkpoints these shims write.
+CHECKPOINT_FORMAT = FORMAT_V1
+
+
+def _warn(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.fabric.checkpoint.{old}() is deprecated; use "
+        f"repro.fabric.store.{new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def checkpoint_bytes(plane: "ControlPlane") -> bytes:
-    """Serialize ``plane`` to checkpoint bytes (obs detached throughout)."""
-    obs = plane._obs
-    plane.bind(None)
-    try:
-        state = {
-            "day": plane.day,
-            "now": plane.queue.now,
-            "registry": plane.registry,
-            "lifecycle": plane.lifecycle,
-            "retry": plane.retry,
-            "injector": plane.injector,
-            "health": plane.health,
-            "mirrored": plane._lifecycle_mirrored,
-            "bindings": [
-                {
-                    "name": b.name,
-                    "cadence_days": b.cadence_days,
-                    "next_due": b.next_due,
-                    "ticks": b.ticks,
-                    "driver": b.driver,
-                }
-                for b in plane.bindings
-            ],
-        }
-        return pickle.dumps(
-            {"format": CHECKPOINT_FORMAT, "state": state}, protocol=4
-        )
-    finally:
-        plane.bind(obs)
+    """Deprecated: use :class:`~repro.fabric.store.CheckpointStore`."""
+    _warn("checkpoint_bytes", "CheckpointStore.save")
+    return checkpoint_bytes_v1(plane)
 
 
 def save_checkpoint(plane: "ControlPlane", path) -> None:
-    data = checkpoint_bytes(plane)
+    """Deprecated: use :meth:`CheckpointStore.save`."""
+    _warn("save_checkpoint", "CheckpointStore(path).save")
+    data = checkpoint_bytes_v1(plane)
     Path(path).write_bytes(data)
     if plane._obs is not None:
         plane._obs.emit(
@@ -98,36 +67,9 @@ def save_checkpoint(plane: "ControlPlane", path) -> None:
 def restore_from_bytes(
     data: bytes, obs: "ObservabilityRuntime | None" = None
 ) -> "ControlPlane":
-    """Rebuild a :class:`ControlPlane` from checkpoint bytes."""
-    from repro.fabric.plane import ControlPlane, ServiceBinding
-
-    payload = pickle.loads(data)
-    if not isinstance(payload, dict) or payload.get("format") != CHECKPOINT_FORMAT:
-        raise ValueError(
-            f"not a fabric checkpoint (expected format {CHECKPOINT_FORMAT!r})"
-        )
-    state = payload["state"]
-    plane = ControlPlane(
-        registry=state["registry"],
-        retry=state["retry"],
-        injector=state["injector"],
-    )
-    plane.lifecycle = state["lifecycle"]
-    plane.health = state["health"]
-    plane.day = state["day"]
-    plane._lifecycle_mirrored = state["mirrored"]
-    plane.queue.now = state["now"]
-    for index, saved in enumerate(state["bindings"]):
-        binding = ServiceBinding(
-            name=saved["name"],
-            driver=saved["driver"],
-            cadence_days=saved["cadence_days"],
-            index=index,
-            next_due=saved["next_due"],
-            ticks=saved["ticks"],
-        )
-        plane.bindings.append(binding)
-        plane._arm(binding)
+    """Deprecated: use :meth:`CheckpointStore.load`."""
+    _warn("restore_from_bytes", "CheckpointStore.load")
+    plane = restore_v1(pickle.loads(data))
     if obs is not None:
         plane.bind(obs)
         plane._emit("restore", value=float(plane.day))
@@ -135,4 +77,8 @@ def restore_from_bytes(
 
 
 def load_checkpoint(path, obs: "ObservabilityRuntime | None" = None) -> "ControlPlane":
-    return restore_from_bytes(Path(path).read_bytes(), obs=obs)
+    """Deprecated: use :meth:`CheckpointStore.load`."""
+    _warn("load_checkpoint", "CheckpointStore.load")
+    from repro.fabric.store import CheckpointStore
+
+    return CheckpointStore.load(path, obs=obs)

@@ -22,9 +22,13 @@ class InjectedFault(RuntimeError):
 class RetryPolicy:
     """How many attempts a stage gets and how backoff grows.
 
-    Retries are sub-tick: the DES clock does not advance between
-    attempts (ticks are instantaneous in simulated time), but each
-    retry records its would-be backoff delay as the ``stage_retry``
+    Backoffs are *scheduled*: a failed attempt suspends its tick and
+    the retry fires as a real DES event ``backoff(attempt)`` simulated
+    days later (see :meth:`repro.fabric.plane.ControlPlane._run_stage`).
+    The pending attempt is persisted on the service's durable
+    :class:`~repro.fabric.store.ScheduleRecord`, so a process killed
+    mid-backoff resumes at the pending attempt, never at attempt one.
+    Each retry also records its backoff delay as the ``stage_retry``
     event value so backoff pressure is visible in telemetry.
     """
 
@@ -72,17 +76,79 @@ class FaultSpec:
 
 
 def parse_fault_spec(text: str) -> FaultSpec:
-    """Parse the CLI form ``service:stage[:day[:times]]``."""
+    """Parse the CLI form ``service:stage[:day[:times]]``.
+
+    Every malformed input raises a :class:`ValueError` naming the
+    problem — an empty spec, an unknown stage, a non-integer or
+    negative day, a times below one — never a bare unpack or ``int()``
+    error.
+    """
+    from repro.fabric.pipeline import STAGES
+
+    if not text or not text.strip():
+        raise ValueError(
+            "empty fault spec: expected service:stage[:day[:times]]"
+        )
     parts = text.split(":")
     if len(parts) < 2 or len(parts) > 4 or not parts[0] or not parts[1]:
         raise ValueError(
             f"bad fault spec {text!r}: expected service:stage[:day[:times]]"
         )
-    day = int(parts[2]) if len(parts) > 2 and parts[2] != "*" else None
-    times = int(parts[3]) if len(parts) > 3 else 1
+    if parts[1] not in STAGES:
+        raise ValueError(
+            f"bad fault spec {text!r}: unknown stage {parts[1]!r}"
+            f" (expected one of {', '.join(STAGES)})"
+        )
+    day = None
+    if len(parts) > 2 and parts[2] != "*":
+        try:
+            day = int(parts[2])
+        except ValueError:
+            raise ValueError(
+                f"bad fault spec {text!r}: day must be an integer or '*',"
+                f" got {parts[2]!r}"
+            ) from None
+        if day < 0:
+            raise ValueError(
+                f"bad fault spec {text!r}: day must be >= 0, got {day}"
+            )
+    times = 1
+    if len(parts) > 3:
+        try:
+            times = int(parts[3])
+        except ValueError:
+            raise ValueError(
+                f"bad fault spec {text!r}: times must be an integer,"
+                f" got {parts[3]!r}"
+            ) from None
     if times < 1:
-        raise ValueError("fault times must be >= 1")
+        raise ValueError(f"bad fault spec {text!r}: times must be >= 1")
     return FaultSpec(service=parts[0], stage=parts[1], day=day, times=times)
+
+
+def parse_fault_specs(texts: "list[str] | tuple[str, ...]") -> list[FaultSpec]:
+    """Parse a batch of CLI fault specs, rejecting duplicate coordinates.
+
+    Two specs planting faults at the same ``(service, stage, day)`` key
+    are almost always a typo (the intent is one spec with a higher
+    ``times``), so duplicates raise a :class:`ValueError` instead of
+    silently double-firing.
+    """
+    specs: list[FaultSpec] = []
+    seen: dict[tuple[str, str, int | None], str] = {}
+    for text in texts:
+        spec = parse_fault_spec(text)
+        key = (spec.service, spec.stage, spec.day)
+        if key in seen:
+            raise ValueError(
+                f"duplicate fault spec {text!r}: {seen[key]!r} already"
+                f" targets {spec.service}.{spec.stage}"
+                f" day {'*' if spec.day is None else spec.day}"
+                " (use one spec with a larger times value)"
+            )
+        seen[key] = text
+        specs.append(spec)
+    return specs
 
 
 @dataclass

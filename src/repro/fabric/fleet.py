@@ -75,6 +75,8 @@ class SteeringDriver(PipelineDriver):
     """Stream each day's jobs through the steering service."""
 
     name = "steering"
+    dirty_aware = True
+    frozen_attrs = ("jobs_by_day",)
 
     def __init__(self, jobs_by_day, optimizer, true_cost, seed: int = 0) -> None:
         from repro.core.steering import SteeringService
@@ -88,7 +90,10 @@ class SteeringDriver(PipelineDriver):
         return [self.service]
 
     def observe(self, ctx: TickContext) -> None:
-        for job_id, plan in self.jobs_by_day.get(ctx.day, []):
+        jobs = self.jobs_by_day.get(ctx.day, [])
+        if jobs:
+            self.mark_dirty()
+        for job_id, plan in jobs:
             self.service.observe(job_id, plan)
             self.jobs_seen += 1
 
@@ -111,6 +116,8 @@ class CloudViewsDriver(PipelineDriver):
     """Run one CloudViews select/materialize/rewrite cycle per day."""
 
     name = "cloudviews"
+    dirty_aware = True
+    frozen_attrs = ("jobs_by_day",)
 
     def __init__(
         self, catalog, est_cost, truth, jobs_by_day, workers: int = 1
@@ -130,6 +137,7 @@ class CloudViewsDriver(PipelineDriver):
         jobs = self.jobs_by_day.get(ctx.day, [])
         if len(jobs) < 2:
             return
+        self.mark_dirty()
         report = self.service.run_day(jobs, self.truth, workers=self.workers)
         self.days.append(
             {
@@ -159,6 +167,8 @@ class PeregrineDriver(PipelineDriver):
 
     name = "peregrine"
     layer = "engine"
+    dirty_aware = True
+    frozen_attrs = ("jobs_by_day",)
 
     def __init__(self, jobs_by_day, workers: int = 1) -> None:
         from repro.core.peregrine import WorkloadRepository
@@ -169,7 +179,10 @@ class PeregrineDriver(PipelineDriver):
         self.stats: dict = {}
 
     def observe(self, ctx: TickContext) -> None:
-        for job in self.jobs_by_day.get(ctx.day, []):
+        jobs = self.jobs_by_day.get(ctx.day, [])
+        if jobs:
+            self.mark_dirty()
+        for job in jobs:
             self.repo.ingest_job(job)
 
     def learn(self, ctx: TickContext) -> None:
@@ -178,9 +191,12 @@ class PeregrineDriver(PipelineDriver):
         if len(self.repo) == 0:
             return
         stats = analyze(self.repo, workers=self.workers)
-        self.stats = {
+        rounded = {
             name: _round(value) for name, value in stats.summary_rows()
         }
+        if rounded != self.stats:
+            self.stats = rounded
+            self.mark_dirty()
 
     def final_report(self) -> dict:
         return {"jobs": len(self.repo), "stats": self.stats}
@@ -195,6 +211,8 @@ class MoneyballDriver(PipelineDriver):
     """Tenant traces arrive daily; policies assigned as they arrive."""
 
     name = "moneyball"
+    dirty_aware = True
+    frozen_attrs = ("arrivals_by_day",)
 
     def __init__(self, arrivals_by_day) -> None:
         from repro.core.moneyball import MoneyballPolicy
@@ -207,11 +225,17 @@ class MoneyballDriver(PipelineDriver):
         return [self.service]
 
     def observe(self, ctx: TickContext) -> None:
-        for trace in self.arrivals_by_day.get(ctx.day, []):
+        arrivals = self.arrivals_by_day.get(ctx.day, [])
+        if arrivals:
+            self.mark_dirty()
+        for trace in arrivals:
             self.service.observe(trace)
 
     def recommend(self, ctx: TickContext) -> None:
-        for trace in self.arrivals_by_day.get(ctx.day, []):
+        arrivals = self.arrivals_by_day.get(ctx.day, [])
+        if arrivals:
+            self.mark_dirty()
+        for trace in arrivals:
             policy = type(self.service.recommend(trace)).__name__
             self.policy_counts[policy] = self.policy_counts.get(policy, 0) + 1
 
@@ -235,6 +259,8 @@ class SeagullDriver(PipelineDriver):
     """Pick tomorrow's backup window for every server, every day."""
 
     name = "seagull"
+    dirty_aware = True
+    frozen_attrs = ("traces",)
 
     def __init__(self, traces, first_day: int = SEAGULL_FIRST_DAY) -> None:
         from repro.core.seagull import SeagullService
@@ -253,10 +279,14 @@ class SeagullDriver(PipelineDriver):
 
     def observe(self, ctx: TickContext) -> None:
         if ctx.tick == 0:
+            self.mark_dirty()
             for trace in self.traces:
                 self.service.observe(trace)
 
     def recommend(self, ctx: TickContext) -> None:
+        # Recommends every day forever, so seagull never goes clean —
+        # it is the driver that keeps long-run delta frames non-empty.
+        self.mark_dirty()
         day = self._trace_day(ctx.day)
         for trace in self.traces:
             self.service.recommend(trace.tenant_id, day)
@@ -272,6 +302,7 @@ class SeagullDriver(PipelineDriver):
             return
         from repro.core.seagull import BackupScheduler, PreviousDayPolicy
 
+        self.mark_dirty()
         scheduler = BackupScheduler(self.service.scheduler.window_hours)
         policy = PreviousDayPolicy()
         day = self._trace_day(ctx.day)
@@ -293,6 +324,8 @@ class DopplerDriver(PipelineDriver):
     """Fit segments once, then recommend SKUs for daily migrations."""
 
     name = "doppler"
+    dirty_aware = True
+    frozen_attrs = ("historical", "arrivals_by_day")
 
     def __init__(self, historical, arrivals_by_day, seed: int = 0) -> None:
         from repro.core.doppler import SkuRecommender
@@ -308,14 +341,18 @@ class DopplerDriver(PipelineDriver):
 
     def learn(self, ctx: TickContext) -> None:
         if ctx.tick == 0:
+            self.mark_dirty()
             self.service.observe(self.historical)
 
     def recommend(self, ctx: TickContext) -> None:
         from repro.workloads.customers import ground_truth_sku
 
+        arrivals = self.arrivals_by_day.get(ctx.day, [])
+        if arrivals:
+            self.mark_dirty()
         ladder = sorted(self.service.skus, key=lambda s: s.price)
         index = {sku.name: i for i, sku in enumerate(ladder)}
-        for customer in self.arrivals_by_day.get(ctx.day, []):
+        for customer in arrivals:
             chosen = self.service.recommend(customer).sku
             truth = ground_truth_sku(customer, self.service.skus)
             if abs(index[chosen.name] - index[truth.name]) <= 1:
@@ -352,6 +389,8 @@ class FeedbackDriver(PipelineDriver):
     """
 
     name = "feedback"
+    dirty_aware = True
+    frozen_attrs = ("stream_x", "stream_y")
 
     def __init__(
         self,
@@ -402,8 +441,11 @@ class FeedbackDriver(PipelineDriver):
 
     def observe(self, ctx: TickContext) -> None:
         if self.loop is None:
+            self.mark_dirty()
             self._bootstrap(ctx)
         start = ctx.tick * self.steps_per_day
+        if start < len(self.stream_y):
+            self.mark_dirty()
         for i in range(start, min(start + self.steps_per_day, len(self.stream_y))):
             self.loop.observe(self.stream_x[i], float(self.stream_y[i]))
 
@@ -433,6 +475,7 @@ class KeaDriver(PipelineDriver):
 
     name = "kea"
     layer = "infra"
+    dirty_aware = True
     MODEL_NAME = "kea-caps"
 
     def __init__(
@@ -455,6 +498,9 @@ class KeaDriver(PipelineDriver):
         self.last_metric: float | None = None
 
     def observe(self, ctx: TickContext) -> None:
+        # Telemetry collection advances the simulator every day, so kea
+        # is never clean.
+        self.mark_dirty()
         self.sim.collect(
             self.store,
             n_steps=self.steps_per_day,
@@ -505,6 +551,7 @@ class AutotuneDriver(PipelineDriver):
 
     name = "autotune"
     layer = "infra"
+    dirty_aware = True
 
     def __init__(
         self, n_apps: int = 20, runs_per_app: int = 6, seed: int = 0
@@ -520,11 +567,13 @@ class AutotuneDriver(PipelineDriver):
 
     def learn(self, ctx: TickContext) -> None:
         if ctx.tick == 0:
+            self.mark_dirty()
             self.tuner.fit_global(self.benchmarks)
 
     def act(self, ctx: TickContext) -> None:
         if not self.targets:
             return
+        self.mark_dirty()
         app = self.targets[ctx.tick % len(self.targets)]
         trace = self.tuner.tune(app, n_runs=self.runs_per_app)
         self.results.append(
@@ -544,6 +593,7 @@ class JointTuningDriver(PipelineDriver):
 
     name = "joint"
     layer = "engine"
+    dirty_aware = True
 
     def __init__(self, objective, grid) -> None:
         self.objective = objective
@@ -560,6 +610,7 @@ class JointTuningDriver(PipelineDriver):
 
         if self.converged:
             return
+        self.mark_dirty()
         before = dict(self.config)
         for name in self.grid.names:
             self.config, self.score, used = optimize_one(

@@ -82,6 +82,42 @@ class PipelineDriver:
     name: str = "driver"
     #: Architectural layer for span/event tagging.
     layer: str = "service"
+    #: Set True on subclasses that call :meth:`mark_dirty` at every
+    #: state-mutation point.  The checkpoint store then trusts the flag
+    #: when deciding whether a delta frame must re-serialize this
+    #: driver; drivers that leave it False get a content-hash fallback
+    #: (always correct, costs one serialization per save).
+    dirty_aware: bool = False
+    #: Instance attributes that are immutable once the driver is
+    #: registered (input worlds: trace lists, arrival schedules,
+    #: observation streams).  Delta checkpoint frames replace every
+    #: reference *into* these structures with a symbolic token resolved
+    #: against the base frame on load — wherever the object is reachable
+    #: from, including through the wrapped service — so a long-running
+    #: service's delta carries only genuinely mutable state.  Honored
+    #: only on ``dirty_aware`` drivers; the values (and their contents)
+    #: must never be mutated after registration, or restores silently
+    #: revert them to their base-frame state.
+    frozen_attrs: tuple[str, ...] = ()
+
+    def mark_dirty(self) -> None:
+        """Flag that checkpoint-relevant state changed since the last save."""
+        self._fabric_dirty = True
+
+    def clear_dirty(self) -> None:
+        """Reset the dirty flag (the checkpoint store calls this on save)."""
+        self._fabric_dirty = False
+
+    @property
+    def dirty(self) -> bool:
+        """Whether this driver changed since the last checkpoint save.
+
+        Defaults to True when never saved — unknown means dirty.  The
+        flag itself is transient bookkeeping: the store strips it from
+        serialized driver state, so it never affects checkpoint bytes
+        or content hashes.
+        """
+        return self.__dict__.get("_fabric_dirty", True)
 
     def stages(self) -> list[tuple[str, Callable[[TickContext], object]]]:
         """The declared stages, in canonical pipeline order."""

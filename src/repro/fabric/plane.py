@@ -6,39 +6,54 @@ instances as scheduled feedback pipelines:
 - **one scheduler** — ticks run on the DES
   :class:`~repro.infra.des.EventQueue` at per-service cadences
   (simulated days), so multi-service scenarios interleave exactly as a
-  shared production fleet would;
+  shared production fleet would.  The heap is only a *cache*: every
+  binding's durable :class:`~repro.fabric.store.ScheduleRecord`
+  (next-due time, tick count, paused flag, pending retry) is the
+  source of truth, and :meth:`ControlPlane.rebuild_schedule` re-derives
+  the heap from the records — which is what lets a killed process
+  resume exactly, mid-backoff retries included;
 - **one model path** — learned models flow through the plane's
   :class:`~repro.fabric.lifecycle.ModelLifecycle` (one
   :class:`~repro.ml.registry.ModelRegistry`, guardrail-gated
   shadow/flight/promote/rollback);
 - **one failure story** — every stage execution is wrapped in
   retry-with-backoff and a degrade-to-default fallback
-  (:mod:`repro.fabric.faults`), so a failing stage never aborts the run;
+  (:mod:`repro.fabric.faults`).  Retry backoffs are *scheduled*: a
+  failing stage suspends its tick, persists a
+  :class:`~repro.fabric.store.RetryState` on the schedule record, and
+  resumes as a real DES event ``backoff`` days later — so a crash
+  during a backoff window restarts at the pending attempt, never at
+  attempt one;
 - **one telemetry substrate** — stage spans, health events, and
   lifecycle transitions all land in the bound
   :class:`~repro.obs.runtime.ObservabilityRuntime`.
 
 State between ticks is fully picklable, which is what makes
-:mod:`repro.fabric.checkpoint` possible: snapshot at a day boundary,
+:mod:`repro.fabric.store` possible: snapshot at any tick boundary,
 restore in a fresh process, and the remaining days replay
-byte-identically.
+byte-identically.  Attach a :class:`~repro.fabric.store.CheckpointStore`
+with :meth:`ControlPlane.attach_store` and the plane persists a delta
+frame after every tick — the durability mode the ``repro chaos``
+harness kills and resumes.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.guardrails import RegressionGuardrail
 from repro.fabric.faults import FaultInjector, RetryPolicy
 from repro.fabric.lifecycle import ModelLifecycle
 from repro.fabric.pipeline import PipelineDriver, StageOutcome, TickContext
+from repro.fabric.store import RetryState, ScheduleRecord
 from repro.infra.des import EventQueue
 from repro.ml.registry import ModelRegistry
 from repro.parallel import get_pool
 
 if TYPE_CHECKING:
+    from repro.fabric.store import CheckpointStore
     from repro.obs.runtime import ObservabilityRuntime
 
 #: One simulated day in DES clock units.
@@ -53,17 +68,43 @@ _RUN_MARGIN = 1e-9
 
 @dataclass
 class ServiceBinding:
-    """One hosted pipeline: driver + cadence + scheduling state."""
+    """One hosted pipeline: the driver plus its durable schedule record.
 
-    name: str
+    Scheduling state lives entirely on :attr:`record` (a
+    :class:`~repro.fabric.store.ScheduleRecord`); the read-only
+    properties below are views onto it, so checkpoints that persist the
+    record persist everything the scheduler knows.
+    """
+
     driver: PipelineDriver
-    cadence_days: float
-    index: int
-    next_due: float
-    ticks: int = 0
+    record: ScheduleRecord
+
+    @property
+    def name(self) -> str:
+        return self.record.name
+
+    @property
+    def index(self) -> int:
+        return self.record.index
+
+    @property
+    def cadence_days(self) -> float:
+        return self.record.cadence_days
+
+    @property
+    def next_due(self) -> float:
+        return self.record.next_due
+
+    @property
+    def ticks(self) -> int:
+        return self.record.ticks
+
+    @property
+    def paused(self) -> bool:
+        return self.record.paused
 
     def due_day(self) -> int:
-        return int(self.next_due)
+        return int(self.record.next_due)
 
 
 @dataclass
@@ -117,14 +158,22 @@ class ControlPlane:
         self.bindings: list[ServiceBinding] = []
         self.queue = EventQueue()
         self.day = 0
+        #: Completed ticks across every service — the deterministic
+        #: global counter the chaos harness keys its kill point on.
+        self.total_ticks = 0
+        #: Called after every completed tick as ``hook(plane, binding,
+        #: ctx)``.  Process-local (never checkpointed); the chaos
+        #: harness installs its SIGKILL trigger here.
+        self.tick_hook: Callable[["ControlPlane", ServiceBinding, TickContext], None] | None = None
         # The fabric owns the persistent worker pool's lifecycle: the
         # handle is cheap (workers start lazily on the first parallel
         # dispatch), is reused across every tick and simulated day,
-        # is never checkpointed (see fabric.checkpoint — restore gets a
+        # is never checkpointed (see fabric.store — restore gets a
         # fresh handle here, re-armed on next use), and is shut down by
         # ``close()``.
         self.pool = get_pool()
         self._obs: "ObservabilityRuntime | None" = None
+        self._store: "CheckpointStore | None" = None
         self._lifecycle_mirrored = 0
         if obs is not None:
             self.bind(obs)
@@ -182,13 +231,14 @@ class ControlPlane:
             raise ValueError(f"service {driver.name!r} already registered")
         driver.stages()  # validates the driver declares at least one stage
         index = len(self.bindings)
-        binding = ServiceBinding(
+        record = ScheduleRecord(
             name=driver.name,
-            driver=driver,
-            cadence_days=float(cadence_days),
             index=index,
+            cadence_days=float(cadence_days),
             next_due=start_day * DAY + index * TICK_EPS,
+            max_attempts=self.retry.max_attempts,
         )
+        binding = ServiceBinding(driver=driver, record=record)
         self.bindings.append(binding)
         driver.bind_obs(self._obs)
         self._arm(binding)
@@ -197,81 +247,212 @@ class ControlPlane:
     def service_names(self) -> list[str]:
         return [b.name for b in self.bindings]
 
+    def _binding_for(self, name: str) -> ServiceBinding:
+        for binding in self.bindings:
+            if binding.name == name:
+                return binding
+        raise KeyError(f"no service {name!r} on the fabric")
+
+    # -- pause / resume ----------------------------------------------------------
+    def pause(self, name: str) -> None:
+        """Stop ``name`` ticking: schedule slots pass without stages.
+
+        The paused flag lives on the durable schedule record, so a
+        fleet checkpointed (or killed) while paused resumes paused.  A
+        pending retry is abandoned — the suspended tick never completes.
+        """
+        self._binding_for(name).record.paused = True
+        self._emit("service_paused", service=name)
+
+    def unpause(self, name: str) -> None:
+        """Let ``name`` tick again from its next schedule slot."""
+        self._binding_for(name).record.paused = False
+        self._emit("service_unpaused", service=name)
+
     # -- scheduling ------------------------------------------------------------
     def _arm(self, binding: ServiceBinding) -> None:
         self.queue.schedule(
-            binding.next_due,
+            binding.record.next_due,
             lambda: self._tick(binding),
             label=f"fabric.{binding.name}.tick",
         )
 
-    def _tick(self, binding: ServiceBinding) -> None:
-        ctx = TickContext(
-            day=int(self.queue.now),
-            tick=binding.ticks,
-            now=self.queue.now,
-            lifecycle=self.lifecycle,
+    def _arm_retry(self, binding: ServiceBinding) -> None:
+        self.queue.schedule(
+            binding.record.retry.resume_at,
+            lambda: self._tick(binding),
+            label=f"fabric.{binding.name}.retry",
         )
+
+    def rebuild_schedule(self) -> int:
+        """Re-derive the DES heap from the durable schedule records.
+
+        The heap is a cache; this is its miss path.  Every binding is
+        re-armed at its record's ``next_due`` — or, when a retry was
+        pending, at the retry's ``resume_at`` — in registration order,
+        reproducing the original execution order exactly.  Returns the
+        number of stale events dropped.
+        """
+        dropped = self.queue.clear()
+        for binding in self.bindings:
+            if binding.record.retry is not None:
+                self._arm_retry(binding)
+            else:
+                self._arm(binding)
+        return dropped
+
+    def _advance(self, record: ScheduleRecord) -> None:
+        """Move ``next_due`` to the next cadence slot after ``now``.
+
+        When a long backoff pushed a tick's completion past one or more
+        cadence slots, the missed slots are skipped (the Pipelit rule:
+        reschedule relative to *now*, never replay a backlog).
+        """
+        record.next_due += record.cadence_days * DAY
+        while record.next_due < self.queue.now:
+            record.next_due += record.cadence_days * DAY
+
+    def _tick(self, binding: ServiceBinding) -> None:
+        record = binding.record
+        if record.paused:
+            record.retry = None
+            self._emit(
+                "tick_skipped", service=binding.name, day=int(self.queue.now)
+            )
+            self._advance(record)
+            self._arm(binding)
+            self._persist()
+            return
+        retry = record.retry
+        if retry is None:
+            ctx = TickContext(
+                day=int(self.queue.now),
+                tick=record.ticks,
+                now=self.queue.now,
+                lifecycle=self.lifecycle,
+            )
+            start_index, attempt = 0, 1
+        else:
+            # Resuming a suspended tick: the context is pinned to the
+            # tick's original day/tick so stage behaviour (and reports)
+            # match the uninterrupted execution.
+            ctx = TickContext(
+                day=retry.day,
+                tick=retry.tick,
+                now=self.queue.now,
+                lifecycle=self.lifecycle,
+                degraded=retry.degraded,
+            )
+            start_index, attempt = retry.stage_index, retry.attempt
+        stages = binding.driver.stages()
+        suspended = False
         with self._span(
             f"fabric.{binding.name}.tick", day=ctx.day, tick=ctx.tick
         ):
-            for stage, fn in binding.driver.stages():
-                self._run_stage(binding, stage, fn, ctx)
-        self._mirror_lifecycle()
-        binding.ticks += 1
-        binding.next_due += binding.cadence_days * DAY
-        self._arm(binding)
-
-    def _run_stage(self, binding, stage, fn, ctx) -> StageOutcome:
-        attempts = 0
-        error: Exception | None = None
-        status = "degraded"
-        with self._span(f"fabric.{binding.name}.{stage}", day=ctx.day):
-            while attempts < self.retry.max_attempts:
-                attempts += 1
-                try:
-                    self.injector.check(binding.name, stage, ctx.day)
-                    fn(ctx)
-                    status = "ok" if attempts == 1 else "retried"
+            for index in range(start_index, len(stages)):
+                stage, fn = stages[index]
+                first_attempt = attempt if index == start_index else 1
+                if not self._run_stage(
+                    binding, stage, index, fn, ctx, first_attempt
+                ):
+                    suspended = True
                     break
-                except Exception as exc:  # noqa: BLE001 — fault boundary
-                    error = exc
-                    if attempts < self.retry.max_attempts:
-                        self._emit(
-                            "stage_retry",
-                            value=self.retry.backoff(attempts),
-                            service=binding.name,
-                            stage=stage,
-                            attempt=attempts,
-                        )
+        self._mirror_lifecycle()
+        if suspended:
+            self._persist()
+            return
+        record.ticks += 1
+        self.total_ticks += 1
+        self._advance(record)
+        self._arm(binding)
+        self._persist()
+        if self.tick_hook is not None:
+            self.tick_hook(self, binding, ctx)
+
+    def _run_stage(self, binding, stage, stage_index, fn, ctx, attempt) -> bool:
+        """Run one attempt of ``stage``; False means the tick suspended.
+
+        A failure below ``max_attempts`` persists a
+        :class:`~repro.fabric.store.RetryState` on the schedule record
+        and arms a resume event ``backoff(attempt)`` days out — the
+        retry survives checkpoints and crashes.  Exhaustion degrades the
+        stage (driver fallback) and the tick continues.
+        """
+        record = binding.record
+        error: Exception | None = None
+        try:
+            with self._span(
+                f"fabric.{binding.name}.{stage}", day=ctx.day, attempt=attempt
+            ):
+                self.injector.check(binding.name, stage, ctx.day)
+                fn(ctx)
+        except Exception as exc:  # noqa: BLE001 — fault boundary
+            error = exc
+        if error is None:
+            record.retry = None
+            status = "ok" if attempt == 1 else "retried"
+            if status == "ok":
+                self._emit("stage_ok", service=binding.name, stage=stage)
             else:
-                ctx.degraded = True
-                binding.driver.degrade(stage, ctx)
                 self._emit(
-                    "stage_degraded",
+                    "stage_recovered",
+                    value=float(attempt),
                     service=binding.name,
                     stage=stage,
-                    error=type(error).__name__ if error else "",
                 )
-        if status == "ok":
-            self._emit("stage_ok", service=binding.name, stage=stage)
-        elif status == "retried":
+            self.health.record(
+                StageOutcome(
+                    service=binding.name,
+                    stage=stage,
+                    day=ctx.day,
+                    attempts=attempt,
+                    status=status,
+                )
+            )
+            return True
+        # The stage body may have partially executed before raising, so
+        # the driver's next delta must include it regardless of flags.
+        binding.driver.mark_dirty()
+        if attempt < self.retry.max_attempts:
+            backoff = self.retry.backoff(attempt)
             self._emit(
-                "stage_recovered",
-                value=float(attempts),
+                "stage_retry",
+                value=backoff,
                 service=binding.name,
                 stage=stage,
+                attempt=attempt,
             )
-        outcome = StageOutcome(
+            record.retry = RetryState(
+                stage=stage,
+                stage_index=stage_index,
+                attempt=attempt + 1,
+                resume_at=self.queue.now + backoff,
+                day=ctx.day,
+                tick=ctx.tick,
+                degraded=ctx.degraded,
+            )
+            self._arm_retry(binding)
+            return False
+        record.retry = None
+        ctx.degraded = True
+        binding.driver.degrade(stage, ctx)
+        self._emit(
+            "stage_degraded",
             service=binding.name,
             stage=stage,
-            day=ctx.day,
-            attempts=attempts,
-            status=status,
-            error=str(error) if status == "degraded" and error else "",
+            error=type(error).__name__,
         )
-        self.health.record(outcome)
-        return outcome
+        self.health.record(
+            StageOutcome(
+                service=binding.name,
+                stage=stage,
+                day=ctx.day,
+                attempts=attempt,
+                status="degraded",
+                error=str(error),
+            )
+        )
+        return True
 
     def run_days(self, n_days: int) -> "ControlPlane":
         """Advance the fabric ``n_days`` simulated days."""
@@ -303,18 +484,31 @@ class ControlPlane:
         self.close()
 
     # -- checkpoint ------------------------------------------------------------
-    def checkpoint(self, path) -> None:
-        """Snapshot full fabric state to ``path`` (see fabric.checkpoint)."""
-        from repro.fabric.checkpoint import save_checkpoint
+    def attach_store(self, store: "CheckpointStore | None") -> "ControlPlane":
+        """Persist a checkpoint frame after every tick (durability mode).
 
-        save_checkpoint(self, path)
+        The attached store is process-local state (never pickled);
+        re-attach after a restore to keep appending to the same chain.
+        """
+        self._store = store
+        return self
+
+    def _persist(self) -> None:
+        if self._store is not None:
+            self._store.save(self)
+
+    def checkpoint(self, path, version: int = 2) -> None:
+        """Snapshot fabric state to ``path`` (see :mod:`repro.fabric.store`)."""
+        from repro.fabric.store import CheckpointStore
+
+        CheckpointStore(path, version=version).save(self)
 
     @classmethod
     def restore(cls, path, obs: "ObservabilityRuntime | None" = None) -> "ControlPlane":
         """Rebuild a plane from a checkpoint and re-arm its schedule."""
-        from repro.fabric.checkpoint import load_checkpoint
+        from repro.fabric.store import CheckpointStore
 
-        return load_checkpoint(path, obs=obs)
+        return CheckpointStore.load(path, obs=obs)
 
     # -- reporting -------------------------------------------------------------
     def final_report(self) -> dict:

@@ -107,5 +107,18 @@ class EventQueue:
         if until is not None:
             self.now = max(self.now, until)
 
+    def clear(self) -> int:
+        """Drop every pending event; returns how many were dropped.
+
+        The rebuild hook for schedulers that treat the heap as a cache
+        over durable schedule state (see
+        :meth:`repro.fabric.plane.ControlPlane.rebuild_schedule`): clear,
+        then re-arm from the records.  ``now`` and ``processed`` are
+        untouched so re-armed events keep a consistent clock.
+        """
+        dropped = len(self._heap)
+        self._heap.clear()
+        return dropped
+
     def __len__(self) -> int:
         return len(self._heap)

@@ -38,15 +38,15 @@ class TestFaultSpecs:
         )
 
     def test_parse_wildcard_day(self):
-        assert parse_fault_spec("a:b:*").day is None
-        assert parse_fault_spec("a:b").day is None
+        assert parse_fault_spec("a:observe:*").day is None
+        assert parse_fault_spec("a:observe").day is None
 
     def test_parse_rejects_bad_forms(self):
-        for bad in ("nostage", "a:b:c:d:e", ":observe", "a::1"):
+        for bad in ("nostage", "a:observe:1:2:x", ":observe", "a::1"):
             with pytest.raises(ValueError):
                 parse_fault_spec(bad)
         with pytest.raises(ValueError):
-            parse_fault_spec("a:b:1:0")
+            parse_fault_spec("a:observe:1:0")
 
     def test_injector_fires_exactly_times(self):
         injector = FaultInjector()

@@ -7,13 +7,14 @@ re-arm the pool transparently and still report byte-identically.
 """
 
 import os
+import pickle
 from dataclasses import dataclass, field
 
 import pytest
 
 from repro.fabric import ControlPlane
-from repro.fabric.checkpoint import checkpoint_bytes, restore_from_bytes
 from repro.fabric.pipeline import PipelineDriver, TickContext
+from repro.fabric.store import checkpoint_bytes_v1, restore_v1
 from repro.parallel import FORCE_ENV, pmap, shutdown_pool
 
 
@@ -93,7 +94,7 @@ class TestCheckpointExclusion:
         plane = ControlPlane()
         plane.register(PoolDriver())
         plane.run_days(1)
-        blob = checkpoint_bytes(plane)  # would fail pickling an executor
+        blob = checkpoint_bytes_v1(plane)  # would fail pickling an executor
         assert b"WorkerPool" not in blob
         plane.close()
 
@@ -101,10 +102,10 @@ class TestCheckpointExclusion:
         plane = ControlPlane()
         plane.register(PoolDriver())
         plane.run_days(1)
-        blob = checkpoint_bytes(plane)
+        blob = checkpoint_bytes_v1(plane)
         plane.close()  # interrupted: workers are gone
 
-        restored = restore_from_bytes(blob)
+        restored = restore_v1(pickle.loads(blob))
         assert restored.pool is plane.pool  # same shared handle...
         assert not restored.pool.started  # ...cold after the interrupt
         restored.run_days(1)  # first dispatch re-arms it
@@ -121,9 +122,9 @@ class TestCheckpointExclusion:
         interrupted = ControlPlane()
         interrupted.register(PoolDriver())
         interrupted.run_days(1)
-        blob = checkpoint_bytes(interrupted)
+        blob = checkpoint_bytes_v1(interrupted)
         interrupted.close()
-        restored = restore_from_bytes(blob)
+        restored = restore_v1(pickle.loads(blob))
         restored.run_days(2)
         assert restored.report_bytes() == expected
         restored.close()

@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.core import AutonomousService, deprecated_alias
+from repro.core import AutonomousService
+from repro.core.service import deprecated_alias
 from repro.core.doppler import SkuRecommender
 from repro.core.feedback import FeedbackLoop
 from repro.core.moneyball import MoneyballPolicy
@@ -116,11 +117,6 @@ class TestConformance:
 
 
 class TestDeprecatedAliases:
-    def test_feedback_actions(self):
-        loop = _feedback_loop()
-        with pytest.warns(DeprecationWarning, match="actions.*report"):
-            assert loop.actions() == loop.report().actions
-
     def test_steering_config_for_and_process(self, workload):
         service = _steering(workload)
         with pytest.warns(DeprecationWarning, match="config_for.*recommend"):
@@ -128,14 +124,6 @@ class TestDeprecatedAliases:
         plan = workload.jobs[0].plan
         with pytest.warns(DeprecationWarning, match="process.*observe"):
             service.process("j1", plan)
-
-    def test_moneyball_evaluate(self, tenants):
-        service = MoneyballPolicy()
-        for trace in tenants:
-            service.observe(trace)
-        with pytest.warns(DeprecationWarning, match="evaluate.*report"):
-            deprecated = service.evaluate()
-        assert deprecated.points.keys() == service.report().points.keys()
 
     def test_seagull_choose(self, tenants):
         service = SeagullService()
@@ -145,19 +133,20 @@ class TestDeprecatedAliases:
             chosen = service.choose(predictable[0].tenant_id, day=30)
         assert chosen == service.recommend(predictable[0].tenant_id, day=30)
 
-    def test_doppler_fit(self):
-        customers = generate_customers(80, rng=0)
-        with pytest.warns(DeprecationWarning, match="fit.*observe"):
-            service = SkuRecommender(rng=0).fit(customers)
-        assert service.recommend(customers[0]) is not None
+    def test_removed_aliases_are_gone(self):
+        # Doppler fit / Moneyball evaluate / Feedback actions served
+        # their one release as deprecated shims and are now removed.
+        assert not hasattr(SkuRecommender(rng=0), "fit")
+        assert not hasattr(MoneyballPolicy(), "evaluate")
+        assert not hasattr(_feedback_loop(), "actions")
 
     def test_new_entry_points_do_not_warn(self, recwarn, tenants):
         service = SeagullService()
         service.observe([t for t in tenants if t.is_predictable][0])
         assert not [w for w in recwarn.list if w.category is DeprecationWarning]
 
-    def test_decorator_records_replacement(self):
-        assert SkuRecommender.fit.__deprecated_for__ == "observe"
+    def test_decorator_records_replacement(self, workload):
+        assert SteeringService.process.__deprecated_for__ == "observe"
 
     def test_decorator_on_custom_class(self):
         class Thing(AutonomousService):
