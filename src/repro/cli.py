@@ -315,6 +315,7 @@ def _cmd_fabric(args: argparse.Namespace, obs: "ObservabilityRuntime") -> int:
     )
     from repro.fabric.faults import parse_fault_specs
 
+    scratch_spill_dir = None
     if args.resume:
         plane = ControlPlane.restore(args.resume, obs=obs)
         if args.store:
@@ -344,15 +345,33 @@ def _cmd_fabric(args: argparse.Namespace, obs: "ObservabilityRuntime") -> int:
             from repro.fabric.chaos import make_kill_hook
 
             plane.tick_hook = make_kill_hook(args.chaos_kill_tick)
-        build_fleet(
-            plane,
-            FleetConfig(
-                seed=args.seed,
-                days=args.days,
-                workers=args.workers,
-                include=include,
-            ),
+        config = FleetConfig(
+            seed=args.seed,
+            days=args.days,
+            jobs_per_day=args.jobs_per_day,
+            workers=args.workers,
+            include=include,
+            repo_memory_budget_mb=args.memory_budget_mb,
+            repo_spill_dir=args.spill_dir,
         )
+        if config.resolve_streaming() and config.repo_spill_dir is None:
+            # Streaming scale needs somewhere to spill cold day chunks:
+            # colocate with the store if one is attached, else scratch.
+            import tempfile
+            from pathlib import Path
+
+            if args.store:
+                config.repo_spill_dir = str(
+                    Path(args.store) / "peregrine-chunks"
+                )
+            else:
+                config.repo_spill_dir = tempfile.mkdtemp(
+                    prefix="repro-chunks-"
+                )
+                scratch_spill_dir = config.repo_spill_dir
+            if config.repo_memory_budget_mb is None:
+                config.repo_memory_budget_mb = 256
+        build_fleet(plane, config)
         if args.list:
             print(f"{'service':<12} {'layer':<8} {'cadence':>8}  stages")
             for binding in plane.bindings:
@@ -395,7 +414,25 @@ def _cmd_fabric(args: argparse.Namespace, obs: "ObservabilityRuntime") -> int:
             f" {stats['generation']} pool start(s)"
             f" (spawn {stats['spawn_seconds']:.3f}s)"
         )
+    import resource
+
+    peak_mib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
+    print(f"peak RSS: {peak_mib:.0f} MiB")
+    for binding in plane.bindings:
+        repo = getattr(binding.driver, "repo", None)
+        if repo is not None and hasattr(repo, "chunk_stats"):
+            cs = repo.chunk_stats()
+            print(
+                f"repository: {cs['jobs']} jobs over {cs['days']} days,"
+                f" {cs['hot_chunks']} hot / {cs['spilled_chunks']} spilled"
+                f" chunks, ~{cs['hot_bytes'] / 2**20:.1f} MiB hot"
+                f" ({cs['spills']} spills, {cs['loads']} loads)"
+            )
     plane.close()
+    if scratch_spill_dir is not None:
+        import shutil
+
+        shutil.rmtree(scratch_spill_dir, ignore_errors=True)
     return 0
 
 
@@ -512,6 +549,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fabric.add_argument("--days", type=int, default=7)
     fabric.add_argument("--seed", type=int, default=0)
+    fabric.add_argument(
+        "--jobs-per-day", type=int, default=8,
+        help="SCOPE jobs per day; >= 1000 switches to streaming worlds",
+    )
+    fabric.add_argument(
+        "--memory-budget-mb", type=int, default=None,
+        help="repository chunk-cache budget (streaming default: 256)",
+    )
+    fabric.add_argument(
+        "--spill-dir", default=None,
+        help="directory for cold day chunks (default: store dir or scratch)",
+    )
     fabric.add_argument(
         "--workers", type=int, default=1,
         help="process-pool width for fleet-scale analyses",

@@ -24,11 +24,20 @@ from repro.core.peregrine.similarity import (
     SimilarityMatch,
     plan_embedding,
 )
-from repro.core.peregrine.repository import JobRecord, WorkloadRepository
+from repro.core.peregrine.repository import (
+    DayChunk,
+    JobBatch,
+    JobRecord,
+    JobTable,
+    WorkloadRepository,
+)
 
 __all__ = [
     "WorkloadRepository",
     "JobRecord",
+    "JobTable",
+    "JobBatch",
+    "DayChunk",
     "WorkloadStatistics",
     "analyze",
     "WorkloadFeedback",

@@ -41,20 +41,20 @@ class WorkloadStatistics:
 
 
 def _recurring_fraction(repo: WorkloadRepository) -> tuple[float, int, float]:
-    """Jobs whose template appears on more than one day are recurring."""
-    template_days: dict[str, set[int]] = defaultdict(set)
-    for record in repo.records:
-        template_days[record.template].add(record.day)
-    recurring_templates = {
-        t for t, days in template_days.items() if len(days) > 1
-    }
+    """Jobs whose template appears on more than one day are recurring.
+
+    Folded from the repository's incremental per-template counters —
+    no record scan, so the cost is bounded by structural diversity
+    (#unique template signatures), not workload size.
+    """
+    stats = repo.template_stats()
     recurring_jobs = sum(
-        1 for r in repo.records if r.template in recurring_templates
+        count for n_days, count in stats.values() if n_days > 1
     )
-    counts = [len(repo.instances_of(t)) for t in template_days]
+    counts = [count for _n_days, count in stats.values()]
     return (
         recurring_jobs / max(len(repo), 1),
-        len(template_days),
+        len(stats),
         float(np.median(counts)) if counts else 0.0,
     )
 
@@ -79,88 +79,46 @@ def shared_jobs_on_day(
     return sharing_jobs, shared_sigs
 
 
-def _day_sharing_worker(
-    payload: tuple[int, list[tuple[str, list[str]]]],
-) -> tuple[int, int, int, dict[str, int]]:
-    """Worker: one day's sharing statistics from plain signature lists.
-
-    The payload carries only strings (job ids and pre-filtered strict
-    signatures), so fanning days across a process pool ships kilobytes,
-    not plan trees.  Returns ``(day, n_jobs, n_sharing_jobs,
-    {signature: n_jobs sharing it})`` with dict order equal to first-
-    sighting order — the same order a serial scan produces.
-    """
-    day, entries = payload
-    owners: dict[str, set[str]] = defaultdict(set)
-    for job_id, sigs in entries:
-        for sig in sigs:
-            owners[sig].add(job_id)
-    shared = {s: len(jobs) for s, jobs in owners.items() if len(jobs) > 1}
-    sharing_jobs: set[str] = set()
-    for sig in shared:
-        sharing_jobs |= owners[sig]
-    return day, len(entries), len(sharing_jobs), shared
-
-
-def _day_payloads(
-    repo: WorkloadRepository, min_size: int
-) -> list[tuple[int, list[tuple[str, list[str]]]]]:
-    """Per-day (job_id, filtered signatures) payloads, in day order."""
-    payloads = []
-    for day in repo.days():
-        entries = [
-            (
-                record.job_id,
-                [
-                    sig
-                    for sig, node in record.subexpression_strict.items()
-                    if node.size >= min_size
-                ],
-            )
-            for record in repo.by_day(day)
-        ]
-        payloads.append((day, entries))
-    return payloads
-
-
 def _day_table(
     repo: WorkloadRepository, min_size: int
 ) -> tuple[np.ndarray, list[tuple[int, int, int, int]]]:
     """The whole repository's (job, signature) rows as one numpy block.
 
-    Rows are emitted day by day, job by job, signature by signature —
-    exactly the iteration order of :func:`_day_payloads` — as a
-    structured array of ``(job_code, sig_bytes)``.  Job ids are interned
-    to integer codes (bijective, so per-day distinct counts are
-    unchanged) and signatures to fixed-width ascii bytes, which is what
-    makes the table a flat shared-memory publishable block instead of a
-    pickled object forest.  Returns the table plus per-day
-    ``(day, start_row, stop_row, n_jobs)`` slices.
+    Rows are gathered straight from the columnar day chunks — no
+    record materialization — day by day, job by job, signature by
+    signature (plan walk order), as a structured array of
+    ``(job_code, sig_bytes)``.  Job codes are the day's row offset plus
+    the local row: bijective with job ids, so per-day distinct counts
+    match an interned-string scan.  The flat block is what makes the
+    table shared-memory publishable instead of a pickled object forest.
+    Returns the table plus per-day ``(day, start_row, stop_row,
+    n_jobs)`` slices.
     """
-    job_codes: dict[str, int] = {}
-    rows_job: list[int] = []
-    rows_sig: list[bytes] = []
+    parts_job: list[np.ndarray] = []
+    parts_sig: list[np.ndarray] = []
     slices: list[tuple[int, int, int, int]] = []
     sig_width = 1
+    total = 0
+    offset = 0
     for day in repo.days():
-        start = len(rows_job)
-        records = repo.by_day(day)
-        for record in records:
-            code = job_codes.setdefault(record.job_id, len(job_codes))
-            for sig, node in record.subexpression_strict.items():
-                if node.size >= min_size:
-                    encoded = sig.encode("ascii")
-                    sig_width = max(sig_width, len(encoded))
-                    rows_job.append(code)
-                    rows_sig.append(encoded)
-        slices.append((day, start, len(rows_job), len(records)))
+        flat_job, flat_sig, n_jobs = repo.day_sig_table(day, min_size)
+        start = total
+        total += len(flat_job)
+        parts_job.append(flat_job.astype(np.uint64) + offset)
+        parts_sig.append(flat_sig)
+        if len(flat_sig):
+            sig_width = max(sig_width, flat_sig.dtype.itemsize)
+        slices.append((day, start, total, n_jobs))
+        offset += n_jobs
     table = np.zeros(
-        len(rows_job),
+        total,
         dtype=[("job", np.uint32), ("sig", f"S{sig_width}")],
     )
-    if rows_job:
-        table["job"] = rows_job
-        table["sig"] = rows_sig
+    if total:
+        table["job"] = np.concatenate(parts_job)
+        table["sig"] = np.concatenate(
+            [p.astype(f"S{sig_width}") for p in parts_sig if len(p)]
+        )
     return table, slices
 
 
@@ -197,12 +155,7 @@ def _day_sharing_worker_shm(
 
 
 def _dependency_fraction(repo: WorkloadRepository) -> float:
-    involved: set[str] = set()
-    for record in repo.records:
-        if record.depends_on:
-            involved.add(record.job_id)
-            involved.update(record.depends_on)
-    return len(involved) / max(len(repo), 1)
+    return repo.dependency_involved() / max(len(repo), 1)
 
 
 def analyze(
@@ -216,16 +169,18 @@ def analyze(
     process pool.  The parallel path publishes the repository's
     (job, signature) rows to shared memory **once** and sends workers
     only per-day row slices — no pickled object lists cross the pool
-    boundary.  Serial or parallel, the statistics are byte-identical
-    for every worker count.
+    boundary.  The serial path folds the repository's cached per-day
+    summaries, so re-analysis after each ingested day costs one day,
+    not the whole history.  Serial or parallel, the statistics are
+    byte-identical for every worker count.
     """
     if len(repo) == 0:
         raise ValueError("repository is empty")
     recurring, n_templates, p50 = _recurring_fraction(repo)
     if resolve_workers(workers) <= 1:
         day_results = [
-            _day_sharing_worker(payload)
-            for payload in _day_payloads(repo, min_subexpr_size)
+            repo.day_sharing_summary(day, min_subexpr_size)
+            for day in repo.days()
         ]
     else:
         table, slices = _day_table(repo, min_subexpr_size)

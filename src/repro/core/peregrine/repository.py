@@ -1,22 +1,64 @@
-"""Engine-agnostic workload representation.
+"""Engine-agnostic workload representation, stored columnar.
 
 The repository ingests jobs from any engine (here: the SCOPE-like
 generator) and flattens them into a representation that every learned
-component shares: template signatures for grouping, strict signatures for
-reuse detection, parameter vectors for micromodel features, and
+component shares: template signatures for grouping, strict signatures
+for reuse detection, parameter vectors for micromodel features, and
 dependency edges for pipeline analysis.
+
+Storage is a :class:`JobTable` — one columnar :class:`DayChunk` per
+day (structured numpy columns over interned plan/signature/parameter
+pools) behind an LRU chunk cache that spills cold days to disk under a
+configurable memory budget.  A million-job day costs a few numpy
+arrays plus one object per *unique plan*, not one ``JobRecord`` per
+job; :class:`JobRecord` instances are materialized on demand so the
+read API (``records``, ``job``, ``by_day``, ``instances_of``) is
+unchanged for existing callers.
+
+Aggregate statistics (template recurrence counters, per-day sharing
+summaries, dependency involvement) are folded incrementally at ingest
+or cached per closed day, so :func:`repro.core.peregrine.analysis.
+analyze` never needs every record in memory at once.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from dataclasses import dataclass
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
 
 import networkx as nx
+import numpy as np
 
 from repro.engine import Expression
 from repro.engine.signatures import enumerate_all_signatures, signatures
 from repro.workloads.scope import Job, Workload
+
+_FNV_OFFSET = np.uint64(14695981039346656037)
+_FNV_PRIME = np.uint64(1099511628211)
+
+
+def _hash_ids(ids: list[str]) -> np.ndarray:
+    """Vectorized FNV-1a of job-id strings, as uint64.
+
+    Stable across processes (unlike ``hash()``), and ~100x faster than
+    per-string hashlib calls: the ids become one fixed-width byte
+    matrix and the fold runs one numpy op per character column.  Hits
+    are always verified against the actual strings, so a collision can
+    cost a chunk load but never correctness.
+    """
+    if not len(ids):
+        return np.empty(0, dtype=np.uint64)
+    arr = np.asarray(ids, dtype="S")
+    view = np.ascontiguousarray(arr).view(np.uint8)
+    view = view.reshape(len(arr), arr.dtype.itemsize)
+    h = np.full(len(arr), _FNV_OFFSET, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        for col in range(view.shape[1]):
+            c = view[:, col].astype(np.uint64)
+            # Null padding is a no-op so hashes are width-independent.
+            h = np.where(c == 0, h, (h ^ c) * _FNV_PRIME)
+    return h
 
 
 @dataclass
@@ -38,25 +80,878 @@ class JobRecord:
         return int(self.submit_hour // 24)
 
 
-class WorkloadRepository:
-    """Signature-indexed store of everything the platform has seen."""
+# ---------------------------------------------------------------------------
+# columnar batches
+# ---------------------------------------------------------------------------
 
-    def __init__(self) -> None:
-        self.records: list[JobRecord] = []
-        self._by_template: dict[str, list[JobRecord]] = defaultdict(list)
-        self._by_job_id: dict[str, JobRecord] = {}
-        self._by_day: dict[int, list[JobRecord]] = defaultdict(list)
+
+@dataclass
+class JobBatch:
+    """One day's jobs, pre-flattened into columns for bulk ingest.
+
+    The expensive per-*plan* work (signature enumeration) happens once
+    here, at construction; :meth:`WorkloadRepository.ingest_batch` then
+    appends pure columns.  Recurring instances that share a plan object
+    share one entry in ``plans`` — the columnar win that makes 100k+
+    job days cheap.
+    """
+
+    day: int
+    job_ids: list[str]
+    submit_hours: np.ndarray               # f8, one per job
+    plan_codes: np.ndarray                 # u4 into plans, one per job
+    param_codes: np.ndarray                # u4 into params_pool, one per job
+    plans: list[Expression]
+    plan_templates: list[str]
+    plan_stricts: list[str]
+    plan_sig_codes: list[np.ndarray]       # per plan: u4 into the batch sig pool
+    sig_names: list[str]                   # batch-local strict-sig pool,
+    sig_sizes: list[int]                   # first-sighting order across plans
+    params_pool: list[dict]
+    deps_map: dict[int, tuple[str, ...]]   # sparse: row -> depends_on
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self.job_ids)
 
-    # -- ingestion --------------------------------------------------------------
+    @classmethod
+    def from_jobs(cls, jobs: list[Job], day: int | None = None) -> "JobBatch":
+        """Columnarize ``jobs`` (all from one day, in ingestion order)."""
+        if not jobs:
+            raise ValueError("cannot build an empty JobBatch")
+        batch_day = jobs[0].day if day is None else day
+        job_ids: list[str] = []
+        hours = np.empty(len(jobs), dtype=np.float64)
+        plan_codes = np.empty(len(jobs), dtype=np.uint32)
+        param_codes = np.empty(len(jobs), dtype=np.uint32)
+        plans: list[Expression] = []
+        plan_templates: list[str] = []
+        plan_stricts: list[str] = []
+        plan_sig_codes: list[np.ndarray] = []
+        sig_names: list[str] = []
+        sig_sizes: list[int] = []
+        params_pool: list[dict] = []
+        deps_map: dict[int, tuple[str, ...]] = {}
+        plan_index: dict[int, int] = {}
+        sig_index: dict[str, int] = {}
+        param_index: dict[tuple, int] = {}
+        for row, job in enumerate(jobs):
+            if job.day != batch_day:
+                raise ValueError(
+                    f"job {job.job_id!r} is on day {job.day}, batch is day"
+                    f" {batch_day}: batches are per-day"
+                )
+            code = plan_index.get(id(job.plan))
+            if code is None:
+                code = len(plans)
+                plan_index[id(job.plan)] = code
+                strict_map, _template_map = enumerate_all_signatures(job.plan)
+                sigs = signatures(job.plan)
+                plans.append(job.plan)
+                plan_templates.append(sigs.template)
+                plan_stricts.append(sigs.strict)
+                codes = np.empty(len(strict_map), dtype=np.uint32)
+                for i, (name, node) in enumerate(strict_map.items()):
+                    sig_code = sig_index.get(name)
+                    if sig_code is None:
+                        sig_code = len(sig_names)
+                        sig_index[name] = sig_code
+                        sig_names.append(name)
+                        sig_sizes.append(node.size)
+                    codes[i] = sig_code
+                plan_sig_codes.append(codes)
+            plan_codes[row] = code
+            pkey = (code,) + tuple(job.params.items())
+            pcode = param_index.get(pkey)
+            if pcode is None:
+                pcode = len(params_pool)
+                param_index[pkey] = pcode
+                params_pool.append(dict(job.params))
+            param_codes[row] = pcode
+            job_ids.append(job.job_id)
+            hours[row] = job.submit_hour
+            if job.depends_on:
+                deps_map[row] = tuple(job.depends_on)
+        return cls(
+            day=batch_day,
+            job_ids=job_ids,
+            submit_hours=hours,
+            plan_codes=plan_codes,
+            param_codes=param_codes,
+            plans=plans,
+            plan_templates=plan_templates,
+            plan_stricts=plan_stricts,
+            plan_sig_codes=plan_sig_codes,
+            sig_names=sig_names,
+            sig_sizes=sig_sizes,
+            params_pool=params_pool,
+            deps_map=deps_map,
+        )
+
+
+# ---------------------------------------------------------------------------
+# day chunks
+# ---------------------------------------------------------------------------
+
+
+class _Column:
+    """An appendable numpy column: array segments + a scalar tail."""
+
+    __slots__ = ("dtype", "parts", "pending", "_cache", "_n")
+
+    def __init__(self, dtype) -> None:
+        self.dtype = np.dtype(dtype)
+        self.parts: list[np.ndarray] = []
+        self.pending: list = []
+        self._cache: np.ndarray | None = None
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def append(self, value) -> None:
+        self.pending.append(value)
+        self._cache = None
+        self._n += 1
+
+    def extend(self, arr: np.ndarray) -> None:
+        if self.pending:
+            self.parts.append(np.asarray(self.pending, dtype=self.dtype))
+            self.pending = []
+        self.parts.append(np.asarray(arr, dtype=self.dtype))
+        self._cache = None
+        self._n += len(arr)
+
+    def array(self) -> np.ndarray:
+        if self._cache is None:
+            parts = list(self.parts)
+            if self.pending:
+                parts.append(np.asarray(self.pending, dtype=self.dtype))
+            if not parts:
+                self._cache = np.empty(0, dtype=self.dtype)
+            elif len(parts) == 1:
+                self._cache = parts[0]
+            else:
+                self._cache = np.concatenate(parts)
+        return self._cache
+
+    def nbytes(self) -> int:
+        return self._n * self.dtype.itemsize
+
+
+class DayChunk:
+    """One day's columnar job table plus its interned pools.
+
+    Everything a day needs travels together — columns, unique plans,
+    the signature pool, parameter pool, and sparse dependency map — so
+    a chunk spills to disk and reloads as one self-contained pickle.
+    """
+
+    __slots__ = (
+        "day", "job_ids", "submit_hours", "plan_codes", "param_codes",
+        "plans", "plan_templates", "plan_stricts", "plan_sig_codes",
+        "sig_names", "sig_sizes", "params_pool", "deps_map", "dirty",
+        "_sig_index", "_filtered_cache", "_sig_bytes", "_nbytes_cache",
+    )
+
+    def __init__(self, day: int) -> None:
+        self.day = day
+        self.job_ids: list[str] = []
+        self.submit_hours = _Column(np.float64)
+        self.plan_codes = _Column(np.uint32)
+        self.param_codes = _Column(np.uint32)
+        self.plans: list[Expression] = []
+        self.plan_templates: list[str] = []
+        self.plan_stricts: list[str] = []
+        self.plan_sig_codes: list[np.ndarray] = []
+        self.sig_names: list[str] = []
+        self.sig_sizes: list[int] = []
+        self.params_pool: list[dict] = []
+        self.deps_map: dict[int, tuple[str, ...]] = {}
+        self.dirty = True
+        self._sig_index: dict[str, int] | None = {}
+        self._filtered_cache: dict[int, list[np.ndarray]] = {}
+        self._sig_bytes: np.ndarray | None = None
+        self._nbytes_cache: int | None = None
+
+    @property
+    def n(self) -> int:
+        return len(self.job_ids)
+
+    # -- interning -----------------------------------------------------------
+    def _sig_lookup(self) -> dict[str, int]:
+        if self._sig_index is None:
+            self._sig_index = {s: i for i, s in enumerate(self.sig_names)}
+        return self._sig_index
+
+    def _intern_sigs(self, names: list[str], sizes: list[int]) -> np.ndarray:
+        index = self._sig_lookup()
+        codes = np.empty(len(names), dtype=np.uint32)
+        for i, (name, size) in enumerate(zip(names, sizes)):
+            code = index.get(name)
+            if code is None:
+                code = len(self.sig_names)
+                index[name] = code
+                self.sig_names.append(name)
+                self.sig_sizes.append(size)
+            codes[i] = code
+        return codes
+
+    def _invalidate(self) -> None:
+        self.dirty = True
+        self._filtered_cache = {}
+        self._sig_bytes = None
+        self._nbytes_cache = None
+
+    def add_plan(
+        self,
+        plan: Expression,
+        template: str,
+        strict: str,
+        sig_names: list[str],
+        sig_sizes: list[int],
+    ) -> int:
+        code = len(self.plans)
+        self.plans.append(plan)
+        self.plan_templates.append(template)
+        self.plan_stricts.append(strict)
+        self.plan_sig_codes.append(self._intern_sigs(sig_names, sig_sizes))
+        return code
+
+    def add_params(self, plan_code: int, params: dict) -> int:
+        # Parameter dicts are interned per (plan, contents): recurring
+        # instances share one dict, ad-hoc jobs get their own.
+        for code in range(len(self.params_pool) - 1, -1, -1):
+            if self.params_pool[code] == params:
+                return code
+        self.params_pool.append(dict(params))
+        return len(self.params_pool) - 1
+
+    # -- appends -------------------------------------------------------------
+    def append_row(
+        self,
+        job_id: str,
+        submit_hour: float,
+        plan_code: int,
+        param_code: int,
+        depends_on: tuple[str, ...],
+    ) -> int:
+        row = self.n
+        self.job_ids.append(job_id)
+        self.submit_hours.append(submit_hour)
+        self.plan_codes.append(plan_code)
+        self.param_codes.append(param_code)
+        if depends_on:
+            self.deps_map[row] = tuple(depends_on)
+        self._invalidate()
+        return row
+
+    def append_batch(self, batch: JobBatch) -> None:
+        base_row = self.n
+        plan_offset = np.uint32(len(self.plans))
+        if not self.plans:
+            # Fresh chunk (the one-batch-per-day hot path): adopt the
+            # batch's pre-interned pools wholesale — zero per-sig work.
+            self.sig_names = list(batch.sig_names)
+            self.sig_sizes = list(batch.sig_sizes)
+            self._sig_index = None
+            self.plan_sig_codes = list(batch.plan_sig_codes)
+        else:
+            remap = np.empty(len(batch.sig_names), dtype=np.uint32)
+            index = self._sig_lookup()
+            for i, (name, size) in enumerate(
+                zip(batch.sig_names, batch.sig_sizes)
+            ):
+                code = index.get(name)
+                if code is None:
+                    code = len(self.sig_names)
+                    index[name] = code
+                    self.sig_names.append(name)
+                    self.sig_sizes.append(size)
+                remap[i] = code
+            self.plan_sig_codes.extend(
+                remap[codes] for codes in batch.plan_sig_codes
+            )
+        self.plans.extend(batch.plans)
+        self.plan_templates.extend(batch.plan_templates)
+        self.plan_stricts.extend(batch.plan_stricts)
+        param_offset = np.uint32(len(self.params_pool))
+        self.params_pool.extend(dict(p) for p in batch.params_pool)
+        self.job_ids.extend(batch.job_ids)
+        self.submit_hours.extend(batch.submit_hours)
+        self.plan_codes.extend(batch.plan_codes + plan_offset)
+        self.param_codes.extend(batch.param_codes + param_offset)
+        for row, deps in batch.deps_map.items():
+            self.deps_map[base_row + row] = deps
+        self._invalidate()
+
+    # -- reads ---------------------------------------------------------------
+    def record(self, row: int) -> JobRecord:
+        plan_code = int(self.plan_codes.array()[row])
+        plan = self.plans[plan_code]
+        strict_map, template_map = enumerate_all_signatures(plan)
+        return JobRecord(
+            job_id=self.job_ids[row],
+            submit_hour=float(self.submit_hours.array()[row]),
+            plan=plan,
+            template=self.plan_templates[plan_code],
+            strict=self.plan_stricts[plan_code],
+            subexpression_templates=template_map,
+            subexpression_strict=strict_map,
+            params=dict(self.params_pool[int(self.param_codes.array()[row])]),
+            depends_on=self.deps_map.get(row, ()),
+        )
+
+    def records(self) -> list[JobRecord]:
+        return [self.record(row) for row in range(self.n)]
+
+    def filtered_sig_codes(self, min_size: int) -> list[np.ndarray]:
+        """Per-plan strict-sig codes with node size >= ``min_size``."""
+        cached = self._filtered_cache.get(min_size)
+        if cached is None:
+            keep = np.asarray(self.sig_sizes, dtype=np.int64) >= min_size
+            cached = [codes[keep[codes]] for codes in self.plan_sig_codes]
+            self._filtered_cache[min_size] = cached
+        return cached
+
+    def sig_bytes(self) -> np.ndarray:
+        """The signature pool as a fixed-width ascii array (for shm)."""
+        if self._sig_bytes is None:
+            self._sig_bytes = np.asarray(self.sig_names, dtype="S")
+        return self._sig_bytes
+
+    def sig_rows(self, min_size: int) -> tuple[np.ndarray, np.ndarray]:
+        """Flat ``(job_row, sig_code)`` streams, job-major, walk order.
+
+        Row order is exactly what a serial scan of per-record
+        ``subexpression_strict`` dicts produces — the invariant the
+        byte-identical sharing statistics rest on.
+        """
+        filt = self.filtered_sig_codes(min_size)
+        plan_codes = self.plan_codes.array()
+        if not len(plan_codes):
+            empty = np.empty(0, dtype=np.uint32)
+            return empty, empty
+        lens = np.fromiter(
+            (len(a) for a in filt), dtype=np.int64, count=len(filt)
+        )
+        data = (
+            np.concatenate(filt)
+            if filt
+            else np.empty(0, dtype=np.uint32)
+        )
+        offs = np.concatenate(([0], np.cumsum(lens)))[:-1]
+        counts = lens[plan_codes]
+        total = int(counts.sum())
+        flat_job = np.repeat(
+            np.arange(len(plan_codes), dtype=np.uint32), counts
+        )
+        starts = np.repeat(offs[plan_codes], counts)
+        base = np.repeat(np.cumsum(counts) - counts, counts)
+        flat_sig = data[starts + (np.arange(total) - base)]
+        return flat_job, flat_sig.astype(np.uint32, copy=False)
+
+    # -- bookkeeping ---------------------------------------------------------
+    def nbytes(self) -> int:
+        """Rough resident-size estimate driving the LRU budget."""
+        if self._nbytes_cache is None:
+            n = self.n
+            array_bytes = (
+                self.submit_hours.nbytes()
+                + self.plan_codes.nbytes()
+                + self.param_codes.nbytes()
+            )
+            sig_bytes = sum(codes.nbytes for codes in self.plan_sig_codes)
+            string_bytes = 64 * n  # job-id strings + list slots
+            # A unique plan retains its Expression tree plus memoized
+            # signature maps — ~2.9 KB resident, calibrated against RSS
+            # deltas at 100k jobs/day (36k plans -> ~120 MB/chunk).
+            pool_bytes = 2900 * len(self.plans) + sum(
+                len(s) + 56 for s in self.sig_names
+            )
+            deps_bytes = 120 * len(self.deps_map)
+            self._nbytes_cache = (
+                array_bytes + sig_bytes + string_bytes + pool_bytes + deps_bytes
+            )
+        return self._nbytes_cache
+
+    def __getstate__(self) -> dict:
+        return {
+            "day": self.day,
+            "job_ids": self.job_ids,
+            "submit_hours": self.submit_hours.array(),
+            "plan_codes": self.plan_codes.array(),
+            "param_codes": self.param_codes.array(),
+            "plans": self.plans,
+            "plan_templates": self.plan_templates,
+            "plan_stricts": self.plan_stricts,
+            "plan_sig_codes": self.plan_sig_codes,
+            "sig_names": self.sig_names,
+            "sig_sizes": self.sig_sizes,
+            "params_pool": self.params_pool,
+            "deps_map": self.deps_map,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["day"])
+        self.job_ids = state["job_ids"]
+        self.submit_hours.extend(state["submit_hours"])
+        self.plan_codes.extend(state["plan_codes"])
+        self.param_codes.extend(state["param_codes"])
+        self.plans = state["plans"]
+        self.plan_templates = state["plan_templates"]
+        self.plan_stricts = state["plan_stricts"]
+        self.plan_sig_codes = state["plan_sig_codes"]
+        self.sig_names = state["sig_names"]
+        self.sig_sizes = state["sig_sizes"]
+        self.params_pool = state["params_pool"]
+        self.deps_map = state["deps_map"]
+        self._sig_index = None
+        self.dirty = False
+
+
+# ---------------------------------------------------------------------------
+# the chunked, spilling job table
+# ---------------------------------------------------------------------------
+
+
+class JobTable:
+    """Day chunks behind an LRU cache with disk spill.
+
+    ``memory_budget_bytes`` caps the estimated resident size of hot
+    chunks; when exceeded (and ``spill_dir`` is set) the least recently
+    used cold day is pickled to ``spill_dir`` and dropped.  Without a
+    spill directory the table is fully in-memory and the budget is
+    inert — exactly the old repository behaviour.
+
+    Per-day uint64 id-hash indexes (12 bytes/job) stay resident even
+    for spilled days, so duplicate detection and ``job()`` lookups
+    never page a chunk back in unless they actually hit.
+    """
+
+    def __init__(
+        self,
+        memory_budget_bytes: int | None = None,
+        spill_dir: str | Path | None = None,
+    ) -> None:
+        self.memory_budget_bytes = memory_budget_bytes
+        self.spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self.chunks: dict[int, DayChunk] = {}     # hot, LRU order
+        self.chunk_files: dict[int, str] = {}     # spilled day -> file name
+        self.day_counts: dict[int, int] = {}      # every day ever seen
+        self.day_order: list[int] = []            # first-appearance order
+        self.closed_index: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self.open_day: int | None = None
+        self._open_map: dict[str, int] = {}
+        self._open_segments: list[tuple[np.ndarray, np.ndarray]] = []
+        self.reopened = False
+        self.n_jobs = 0
+        self.spills = 0
+        self.loads = 0
+
+    # -- chunk access --------------------------------------------------------
+    def _touch(self, day: int) -> None:
+        chunk = self.chunks.pop(day)
+        self.chunks[day] = chunk
+
+    def chunk(self, day: int) -> DayChunk:
+        chunk = self.chunks.get(day)
+        if chunk is not None:
+            self._touch(day)
+            return chunk
+        name = self.chunk_files.get(day)
+        if name is None:
+            raise KeyError(day)
+        with (self.spill_dir / name).open("rb") as fh:
+            chunk = pickle.load(fh)
+        self.loads += 1
+        self.chunks[day] = chunk
+        self._enforce_budget()
+        return chunk
+
+    def _ensure_open(self, day: int) -> DayChunk:
+        if self.open_day == day:
+            chunk = self.chunks[day]
+            self._touch(day)
+            return chunk
+        if self.open_day is not None:
+            self.close_day(self.open_day)
+        if day in self.day_counts:
+            # Reopening a closed day: fold its finished index back into
+            # the open-day segments and drop the derived global order.
+            chunk = self.chunk(day)
+            self.open_day = day
+            self._open_map = {}
+            self._open_segments = [self.closed_index.pop(day)]
+            self.reopened = True
+        else:
+            chunk = DayChunk(day)
+            self.chunks[day] = chunk
+            self.day_counts[day] = 0
+            self.day_order.append(day)
+            self.open_day = day
+            self._open_map = {}
+            self._open_segments = []
+        return chunk
+
+    def close_day(self, day: int) -> None:
+        """Finalize a day: build its sorted id-hash index, free lookups."""
+        if self.open_day != day:
+            return
+        rows: list[np.ndarray] = []
+        hashes: list[np.ndarray] = []
+        for seg_hashes, seg_rows in self._open_segments:
+            hashes.append(seg_hashes)
+            rows.append(seg_rows)
+        if self._open_map:
+            hashes.append(_hash_ids(list(self._open_map)))
+            rows.append(
+                np.fromiter(
+                    self._open_map.values(),
+                    dtype=np.uint32,
+                    count=len(self._open_map),
+                )
+            )
+        if hashes:
+            all_hashes = np.concatenate(hashes)
+            all_rows = np.concatenate(rows)
+            order = np.argsort(all_hashes, kind="stable")
+            self.closed_index[day] = (all_hashes[order], all_rows[order])
+        else:
+            self.closed_index[day] = (
+                np.empty(0, dtype=np.uint64),
+                np.empty(0, dtype=np.uint32),
+            )
+        self.open_day = None
+        self._open_map = {}
+        self._open_segments = []
+        self._enforce_budget()
+
+    # -- membership ----------------------------------------------------------
+    def _day_has(self, day: int, job_id: str, h: np.uint64) -> int | None:
+        """Row of ``job_id`` on ``day`` if present (hash + verify)."""
+        if day == self.open_day:
+            row = self._open_map.get(job_id)
+            if row is not None:
+                return row
+            for seg_hashes, seg_rows in self._open_segments:
+                lo = int(np.searchsorted(seg_hashes, h, side="left"))
+                hi = int(np.searchsorted(seg_hashes, h, side="right"))
+                for at in range(lo, hi):
+                    row = int(seg_rows[at])
+                    if self.chunks[day].job_ids[row] == job_id:
+                        return row
+            return None
+        index = self.closed_index.get(day)
+        if index is None:
+            return None
+        idx_hashes, idx_rows = index
+        lo = int(np.searchsorted(idx_hashes, h, side="left"))
+        hi = int(np.searchsorted(idx_hashes, h, side="right"))
+        for at in range(lo, hi):
+            row = int(idx_rows[at])
+            if self.chunk(day).job_ids[row] == job_id:
+                return row
+        return None
+
+    def find(self, job_id: str) -> tuple[int, int] | None:
+        """(day, row) of ``job_id`` anywhere in the table."""
+        h = _hash_ids([job_id])[0]
+        if self.open_day is not None:
+            row = self._day_has(self.open_day, job_id, h)
+            if row is not None:
+                return self.open_day, row
+        for day in self.closed_index:
+            row = self._day_has(day, job_id, h)
+            if row is not None:
+                return day, row
+        return None
+
+    # -- appends -------------------------------------------------------------
+    def append_job(
+        self,
+        day: int,
+        job_id: str,
+        submit_hour: float,
+        plan: Expression,
+        template: str,
+        strict: str,
+        sig_names: list[str],
+        sig_sizes: list[int],
+        params: dict,
+        depends_on: tuple[str, ...],
+    ) -> DayChunk:
+        if self.find(job_id) is not None:
+            raise ValueError(f"job {job_id!r} already ingested")
+        chunk = self._ensure_open(day)
+        plan_code = chunk.add_plan(plan, template, strict, sig_names, sig_sizes)
+        param_code = chunk.add_params(plan_code, params)
+        row = chunk.append_row(
+            job_id, submit_hour, plan_code, param_code, depends_on
+        )
+        self._open_map[job_id] = row
+        self.day_counts[day] = chunk.n
+        self.n_jobs += 1
+        self._enforce_budget()
+        return chunk
+
+    def append_batch(self, batch: JobBatch) -> DayChunk:
+        hashes = _hash_ids(batch.job_ids)
+        uniq, first, counts = np.unique(
+            hashes, return_index=True, return_counts=True
+        )
+        if (counts > 1).any() and len(set(batch.job_ids)) != len(batch.job_ids):
+            seen: set[str] = set()
+            for job_id in batch.job_ids:
+                if job_id in seen:
+                    raise ValueError(f"job {job_id!r} already ingested")
+                seen.add(job_id)
+        chunk = self._ensure_open(batch.day)
+        base_row = chunk.n
+        # Cross-day (and same-day) duplicate probe: hash candidates only.
+        for day, index in self.closed_index.items():
+            idx_hashes, _ = index
+            if len(idx_hashes):
+                hits = np.searchsorted(idx_hashes, uniq)
+                hits = np.clip(hits, 0, len(idx_hashes) - 1)
+                maybe = idx_hashes[hits] == uniq
+                for pos in np.nonzero(maybe)[0]:
+                    job_id = batch.job_ids[int(first[pos])]
+                    if self._day_has(day, job_id, uniq[pos]) is not None:
+                        raise ValueError(f"job {job_id!r} already ingested")
+        if self._open_map or self._open_segments:
+            for pos in range(len(uniq)):
+                job_id = batch.job_ids[int(first[pos])]
+                if self._day_has(batch.day, job_id, uniq[pos]) is not None:
+                    raise ValueError(f"job {job_id!r} already ingested")
+        chunk.append_batch(batch)
+        order = np.argsort(hashes, kind="stable")
+        self._open_segments.append(
+            (
+                hashes[order],
+                (base_row + np.arange(len(batch), dtype=np.uint32))[order],
+            )
+        )
+        self.day_counts[batch.day] = chunk.n
+        self.n_jobs += len(batch)
+        self._enforce_budget()
+        return chunk
+
+    # -- eviction ------------------------------------------------------------
+    def hot_bytes(self) -> int:
+        return sum(chunk.nbytes() for chunk in self.chunks.values())
+
+    def _spill_chunk(self, day: int) -> None:
+        chunk = self.chunks[day]
+        name = f"day-{day:05d}.chunk"
+        if chunk.dirty or day not in self.chunk_files:
+            path = self.spill_dir / name
+            self.spill_dir.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_name(path.name + ".tmp")
+            with tmp.open("wb") as fh:
+                pickle.dump(chunk, fh, protocol=4)
+            tmp.replace(path)
+            chunk.dirty = False
+            self.spills += 1
+        self.chunk_files[day] = name
+        del self.chunks[day]
+
+    def _enforce_budget(self) -> None:
+        if self.memory_budget_bytes is None or self.spill_dir is None:
+            return
+        while len(self.chunks) > 1 and self.hot_bytes() > self.memory_budget_bytes:
+            victim = next(
+                (d for d in self.chunks if d != self.open_day), None
+            )
+            if victim is None:
+                break
+            self._spill_chunk(victim)
+
+    def flush(self) -> None:
+        """Write every dirty hot chunk to the spill dir (keeps them hot)."""
+        if self.spill_dir is None:
+            return
+        for day, chunk in self.chunks.items():
+            if chunk.dirty or day not in self.chunk_files:
+                name = f"day-{day:05d}.chunk"
+                path = self.spill_dir / name
+                self.spill_dir.mkdir(parents=True, exist_ok=True)
+                tmp = path.with_name(path.name + ".tmp")
+                with tmp.open("wb") as fh:
+                    pickle.dump(chunk, fh, protocol=4)
+                tmp.replace(path)
+                chunk.dirty = False
+                self.chunk_files[day] = name
+
+    # -- iteration -----------------------------------------------------------
+    def iter_id_deps(self):
+        """(job_id, depends_on) pairs in global ingestion order, lazily."""
+        for day in self.day_order:
+            chunk = self.chunk(day)
+            deps_map = chunk.deps_map
+            for row, job_id in enumerate(chunk.job_ids):
+                yield job_id, deps_map.get(row, ())
+
+    def stats(self) -> dict:
+        return {
+            "jobs": self.n_jobs,
+            "days": len(self.day_counts),
+            "hot_chunks": len(self.chunks),
+            "spilled_chunks": len(self.chunk_files),
+            "hot_bytes": self.hot_bytes(),
+            "memory_budget_bytes": self.memory_budget_bytes,
+            "spills": self.spills,
+            "loads": self.loads,
+        }
+
+    # -- pickling ------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = {
+            name: getattr(self, name)
+            for name in (
+                "memory_budget_bytes", "day_counts", "day_order",
+                "closed_index", "open_day", "_open_map", "_open_segments",
+                "reopened", "n_jobs", "spills", "loads", "chunk_files",
+            )
+        }
+        state["spill_dir"] = str(self.spill_dir) if self.spill_dir else None
+        if self.spill_dir is not None:
+            # Manifest mode: chunks live as spill files; the pickle
+            # carries only their names (plus the open day inline so a
+            # restore never depends on a mid-day flush).
+            self.flush()
+            state["inline_chunks"] = {
+                day: chunk
+                for day, chunk in self.chunks.items()
+                if day == self.open_day
+            }
+        else:
+            state["inline_chunks"] = dict(self.chunks)
+            state["chunk_files"] = {}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(
+            memory_budget_bytes=state["memory_budget_bytes"],
+            spill_dir=state["spill_dir"],
+        )
+        for name in (
+            "day_counts", "day_order", "closed_index", "open_day",
+            "_open_map", "_open_segments", "reopened", "n_jobs",
+            "spills", "loads", "chunk_files",
+        ):
+            setattr(self, name, state[name])
+        self.chunks = dict(state["inline_chunks"])
+        for chunk in self.chunks.values():
+            if self.spill_dir is None:
+                chunk.dirty = True
+
+
+class _RecordsView:
+    """Sequence view over every record, materialized on demand."""
+
+    def __init__(self, repo: "WorkloadRepository") -> None:
+        self._repo = repo
+
+    def __len__(self) -> int:
+        return len(self._repo)
+
+    def __iter__(self):
+        table = self._repo._table
+        for day in table.day_order:
+            chunk = table.chunk(day)
+            for row in range(chunk.n):
+                yield chunk.record(row)
+
+    def _locate(self, index: int) -> JobRecord:
+        table = self._repo._table
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError("record index out of range")
+        for day in table.day_order:
+            count = table.day_counts[day]
+            if index < count:
+                return table.chunk(day).record(index)
+            index -= count
+        raise IndexError("record index out of range")
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self._locate(i) for i in range(*index.indices(len(self)))]
+        return self._locate(index)
+
+
+# ---------------------------------------------------------------------------
+# the repository
+# ---------------------------------------------------------------------------
+
+
+class WorkloadRepository:
+    """Signature-indexed store of everything the platform has seen.
+
+    Default construction is fully in-memory and behaviourally identical
+    to the historical list-based repository.  Passing
+    ``memory_budget_bytes`` + ``spill_dir`` bounds resident memory: cold
+    day chunks spill to disk and reload transparently on access.
+    """
+
+    def __init__(
+        self,
+        memory_budget_bytes: int | None = None,
+        spill_dir: str | Path | None = None,
+    ) -> None:
+        self._table = JobTable(memory_budget_bytes, spill_dir)
+        # sig -> [set of days, instance count], first-sighting order.
+        self._template_stats: dict[str, list] = {}
+        self._day_summaries: dict[tuple[int, int], tuple[int, tuple]] = {}
+        self._closed_involved: dict[int, int] = {}
+        self._dep_fallback = False
+        self._days_cache: list[int] | None = None
+
+    def __len__(self) -> int:
+        return self._table.n_jobs
+
+    @property
+    def records(self) -> _RecordsView:
+        return _RecordsView(self)
+
+    # -- ingestion -----------------------------------------------------------
+    def _note_day_rollover(self, day: int) -> None:
+        previous = self._table.open_day
+        if previous is not None and previous != day:
+            self._resolve_involved(previous, closing=True)
+            self._table.close_day(previous)
+
+    def _track_templates(self, template: str, day: int, count: int) -> None:
+        stat = self._template_stats.get(template)
+        if stat is None:
+            self._template_stats[template] = [{day}, count]
+        else:
+            stat[0].add(day)
+            stat[1] += count
+
     def ingest_job(self, job: Job) -> JobRecord:
         # One bottom-up pass hashes every node; the full-plan signatures
         # and both subexpression maps come out of the same traversal.
         strict_map, template_map = enumerate_all_signatures(job.plan)
         plan_sigs = signatures(job.plan)
-        record = JobRecord(
+        day = job.day
+        self._note_day_rollover(day)
+        self._table.append_job(
+            day=day,
+            job_id=job.job_id,
+            submit_hour=job.submit_hour,
+            plan=job.plan,
+            template=plan_sigs.template,
+            strict=plan_sigs.strict,
+            sig_names=list(strict_map),
+            sig_sizes=[node.size for node in strict_map.values()],
+            params=dict(job.params),
+            depends_on=job.depends_on,
+        )
+        self._track_templates(plan_sigs.template, day, 1)
+        self._invalidate_day(day)
+        return JobRecord(
             job_id=job.job_id,
             submit_hour=job.submit_hour,
             plan=job.plan,
@@ -67,44 +962,181 @@ class WorkloadRepository:
             params=dict(job.params),
             depends_on=job.depends_on,
         )
-        if record.job_id in self._by_job_id:
-            raise ValueError(f"job {record.job_id!r} already ingested")
-        self.records.append(record)
-        self._by_template[record.template].append(record)
-        self._by_job_id[record.job_id] = record
-        self._by_day[record.day].append(record)
-        return record
+
+    def ingest_batch(self, batch: JobBatch | list[Job]) -> int:
+        """Bulk-append one day's columnar batch; returns rows added."""
+        if not isinstance(batch, JobBatch):
+            batch = JobBatch.from_jobs(batch)
+        self._note_day_rollover(batch.day)
+        self._table.append_batch(batch)
+        plan_rows = np.bincount(
+            batch.plan_codes, minlength=len(batch.plans)
+        )
+        for template, rows in zip(batch.plan_templates, plan_rows):
+            self._track_templates(template, batch.day, int(rows))
+        self._invalidate_day(batch.day)
+        return len(batch)
 
     def ingest(self, workload: Workload) -> "WorkloadRepository":
         for job in workload.jobs:
             self.ingest_job(job)
         return self
 
+    def _invalidate_day(self, day: int) -> None:
+        if self._days_cache is not None and (
+            not self._days_cache or day not in self._table.day_counts
+            or self._days_cache[-1] < day or day not in self._days_cache
+        ):
+            self._days_cache = None
+        for key in [k for k in self._day_summaries if k[0] == day]:
+            del self._day_summaries[key]
+        self._closed_involved.pop(day, None)
+
+    # -- dependency involvement ---------------------------------------------
+    def _resolve_involved(self, day: int, closing: bool = False) -> int:
+        """Distinct ids involved in dependencies on ``day`` (cached)."""
+        cached = self._closed_involved.get(day)
+        if cached is not None and not closing:
+            return cached
+        chunk = self._table.chunk(day)
+        involved: set[str] = set()
+        foreign = False
+        own_ids: set[str] | None = None
+        for row, deps in chunk.deps_map.items():
+            involved.add(chunk.job_ids[row])
+            involved.update(deps)
+            if not foreign:
+                if own_ids is None:
+                    own_ids = set(chunk.job_ids)
+                foreign = any(dep not in own_ids for dep in deps)
+        if foreign:
+            # A dependency names a job outside this day: per-day counts
+            # are no longer disjoint, so analysis falls back to the
+            # exact global union.
+            self._dep_fallback = True
+        count = len(involved)
+        self._closed_involved[day] = count
+        return count
+
+    def dependency_involved(self) -> int:
+        """Distinct job ids participating in any dependency edge."""
+        if self._dep_fallback:
+            involved: set[str] = set()
+            for job_id, deps in self._table.iter_id_deps():
+                if deps:
+                    involved.add(job_id)
+                    involved.update(deps)
+            return len(involved)
+        return sum(
+            self._resolve_involved(day) for day in self._table.day_order
+        )
+
+    # -- incremental statistics ----------------------------------------------
+    def template_stats(self) -> dict[str, tuple[int, int]]:
+        """sig -> (distinct days, instances), first-sighting order."""
+        return {
+            sig: (len(days), count)
+            for sig, (days, count) in self._template_stats.items()
+        }
+
+    def day_sharing_summary(
+        self, day: int, min_size: int = 2
+    ) -> tuple[int, int, int, dict[str, int]]:
+        """One day's sharing statistics, vectorized over the chunk.
+
+        Returns ``(day, n_jobs, n_sharing_jobs, {sig: jobs sharing})``
+        with dict order equal to first-sighting order — byte-identical
+        to a serial scan over per-record signature dicts.  Summaries of
+        finished days are cached, so re-analysis after each fabric tick
+        only computes the newest day.
+        """
+        n_jobs = self._table.day_counts.get(day, 0)
+        key = (day, min_size)
+        cached = self._day_summaries.get(key)
+        if cached is not None and cached[0] == n_jobs:
+            return cached[1]
+        chunk = self._table.chunk(day)
+        flat_job, flat_sig = chunk.sig_rows(min_size)
+        if len(flat_sig):
+            per_sig = np.bincount(flat_sig, minlength=len(chunk.sig_names))
+            shared_mask = per_sig > 1
+            flat_shared = shared_mask[flat_sig]
+            n_sharing = int(np.unique(flat_job[flat_shared]).size)
+            codes, first_pos = np.unique(flat_sig, return_index=True)
+            keep = shared_mask[codes]
+            codes, first_pos = codes[keep], first_pos[keep]
+            order = np.argsort(first_pos, kind="stable")
+            shared = {
+                chunk.sig_names[int(code)]: int(per_sig[int(code)])
+                for code in codes[order]
+            }
+        else:
+            n_sharing = 0
+            shared = {}
+        summary = (day, n_jobs, n_sharing, shared)
+        self._day_summaries[key] = (n_jobs, summary)
+        return summary
+
+    def day_sig_table(self, day: int, min_size: int = 2):
+        """(local_rows, sig_bytes, n_jobs) for the shared-memory table."""
+        chunk = self._table.chunk(day)
+        flat_job, flat_sig = chunk.sig_rows(min_size)
+        return flat_job, chunk.sig_bytes()[flat_sig], chunk.n
+
     # -- access --------------------------------------------------------------
     def job(self, job_id: str) -> JobRecord:
-        try:
-            return self._by_job_id[job_id]
-        except KeyError:
-            raise KeyError(f"unknown job {job_id!r}") from None
+        found = self._table.find(job_id)
+        if found is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        day, row = found
+        return self._table.chunk(day).record(row)
 
     def templates(self) -> dict[str, list[JobRecord]]:
-        return dict(self._by_template)
+        grouped: dict[str, list[JobRecord]] = {
+            sig: [] for sig in self._template_stats
+        }
+        for record in self.records:
+            grouped[record.template].append(record)
+        return grouped
 
     def instances_of(self, template: str) -> list[JobRecord]:
-        return list(self._by_template.get(template, []))
+        if template not in self._template_stats:
+            return []
+        return [r for r in self.records if r.template == template]
 
     def by_day(self, day: int) -> list[JobRecord]:
         """Records of one day, in ingestion order (day-indexed: no scan)."""
-        return list(self._by_day.get(day, ()))
+        if day not in self._table.day_counts:
+            return []
+        return self._table.chunk(day).records()
 
     def days(self) -> list[int]:
-        return sorted(self._by_day)
+        if self._days_cache is None:
+            self._days_cache = sorted(self._table.day_counts)
+        return list(self._days_cache)
 
     def dependency_graph(self) -> nx.DiGraph:
         """Job-level DAG: edge producer -> consumer."""
         graph = nx.DiGraph()
-        for record in self.records:
-            graph.add_node(record.job_id)
-            for dep in record.depends_on:
-                graph.add_edge(dep, record.job_id)
+        for job_id, deps in self._table.iter_id_deps():
+            graph.add_node(job_id)
+            for dep in deps:
+                graph.add_edge(dep, job_id)
         return graph
+
+    # -- operations ----------------------------------------------------------
+    @property
+    def memory_budget_bytes(self) -> int | None:
+        return self._table.memory_budget_bytes
+
+    @property
+    def spill_dir(self) -> Path | None:
+        return self._table.spill_dir
+
+    def flush(self) -> None:
+        """Spill every dirty chunk so the on-disk manifest is complete."""
+        self._table.flush()
+
+    def chunk_stats(self) -> dict:
+        """Hot/spilled chunk counts and byte estimates (ops surface)."""
+        return self._table.stats()

@@ -50,6 +50,11 @@ from repro.fabric.store import (
     RetryState,
     ScheduleRecord,
 )
+from repro.fabric.streams import (
+    STREAMING_THRESHOLD,
+    JobPairsView,
+    StreamingJobSource,
+)
 
 __all__ = [
     "STAGES",
@@ -85,4 +90,7 @@ __all__ = [
     "CORE_FLEET",
     "FULL_FLEET",
     "build_fleet",
+    "StreamingJobSource",
+    "JobPairsView",
+    "STREAMING_THRESHOLD",
 ]

@@ -1,0 +1,112 @@
+"""Streaming job sources: million-job worlds without the world in RAM.
+
+The legacy fleet wiring materializes a full :class:`Workload` and
+slices it into ``jobs_by_day`` dicts.  At 100k+ jobs per day that is
+gigabytes of :class:`~repro.workloads.scope.Job` objects pinned for the
+whole run.  :class:`StreamingJobSource` replaces the dicts with a
+day-addressable view over :meth:`ScopeWorkloadGenerator.day_jobs`: a
+tick generates its day on demand (bit-identical to the eager generator
+at the same seed), every driver on the plane shares the one-day cache,
+and the previous day's objects are garbage the moment the tick moves
+on.
+
+The source quacks like the dict the drivers already consume
+(``.get(day, default)``), so :class:`SteeringDriver`,
+:class:`CloudViewsDriver`, and :class:`PeregrineDriver` work unchanged;
+:meth:`pairs` wraps it as the head-limited ``(job_id, plan)`` view the
+plan-facing services expect.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.scope import (
+    Job,
+    ScopeWorkloadConfig,
+    ScopeWorkloadGenerator,
+)
+
+#: jobs/day at or above which :func:`repro.fabric.fleet.build_fleet`
+#: switches from eager worlds to streaming sources.
+STREAMING_THRESHOLD = 1000
+
+
+class StreamingJobSource:
+    """Day-addressable job feed over the seeded streaming generator.
+
+    Jobs for a day are generated on first access and cached until a
+    different day is requested (capacity-1 cache: every driver ticks
+    the same day, so one generation serves the whole fleet).  Days
+    outside ``[0, days)`` return the default, mirroring the legacy
+    per-day dict.  Pickles carry the generator (catalog + RNG day
+    states, a few MB) but never the cached jobs, so checkpoints stay
+    manifest-sized and a resumed source replays deterministically.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        days: int,
+        jobs_per_day: int,
+        config: ScopeWorkloadConfig | None = None,
+    ) -> None:
+        if days < 1:
+            raise ValueError("days must be >= 1")
+        self.seed = seed
+        self.days = days
+        self.jobs_per_day = jobs_per_day
+        self.config = config or ScopeWorkloadConfig.for_scale(jobs_per_day)
+        self._generator = ScopeWorkloadGenerator(
+            rng=seed, config=self.config
+        )
+        self._cache: tuple[int, list[Job]] | None = None
+
+    @property
+    def generator(self) -> ScopeWorkloadGenerator:
+        return self._generator
+
+    @property
+    def catalog(self):
+        """The live catalog (grows in place as days are generated)."""
+        return self._generator.catalog
+
+    def day_jobs(self, day: int) -> list[Job]:
+        if self._cache is not None and self._cache[0] == day:
+            return self._cache[1]
+        jobs = self._generator.day_jobs(day)
+        self._cache = (day, jobs)
+        return jobs
+
+    def get(self, day: int, default=None) -> list[Job]:
+        """Dict-style access: the day's jobs, or ``default`` off-range."""
+        if not 0 <= day < self.days:
+            return default
+        return self.day_jobs(day)
+
+    def pairs(self, head: int | None = None) -> "JobPairsView":
+        return JobPairsView(self, head)
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_cache"] = None
+        return state
+
+
+class JobPairsView:
+    """``(job_id, plan)`` pairs per day, optionally head-limited.
+
+    The plan-facing services (steering, CloudViews) optimize every plan
+    they see, so at streaming scale they sample the first ``head`` jobs
+    of each day — the repository still ingests the full stream.
+    """
+
+    def __init__(self, source: StreamingJobSource, head: int | None) -> None:
+        self.source = source
+        self.head = head
+
+    def get(self, day: int, default=None):
+        jobs = self.source.get(day, [])
+        if not jobs:
+            return default
+        if self.head is not None:
+            jobs = jobs[: self.head]
+        return [(job.job_id, job.plan) for job in jobs]

@@ -20,7 +20,9 @@ The generator is calibrated to those statistics:
 
 from __future__ import annotations
 
+from copy import deepcopy
 from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
@@ -78,17 +80,36 @@ class Job:
 
 @dataclass
 class Workload:
-    """A multi-day trace of jobs plus the catalog they run against."""
+    """A multi-day trace of jobs plus the catalog they run against.
+
+    ``by_day`` and ``shards`` return memoized tuples: the trace is
+    immutable once built, so callers get zero-copy views instead of a
+    fresh list per call (both sit in per-day fabric loops).
+    """
 
     jobs: list[Job]
     catalog: Catalog
     n_days: int
 
+    def __post_init__(self) -> None:
+        self._day_cache: dict[int, tuple[Job, ...]] = {}
+        self._shard_cache: dict[int, tuple[tuple[Job, ...], ...]] = {}
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_day_cache"] = {}
+        state["_shard_cache"] = {}
+        return state
+
     def __len__(self) -> int:
         return len(self.jobs)
 
-    def by_day(self, day: int) -> list[Job]:
-        return [j for j in self.jobs if j.day == day]
+    def by_day(self, day: int) -> tuple[Job, ...]:
+        cached = self._day_cache.get(day)
+        if cached is None:
+            cached = tuple(j for j in self.jobs if j.day == day)
+            self._day_cache[day] = cached
+        return cached
 
     def by_template(self, template_id: int) -> list[Job]:
         return [j for j in self.jobs if j.template_id == template_id]
@@ -120,16 +141,26 @@ class Workload:
                 return j
         raise KeyError(f"unknown job {job_id!r}")
 
-    def shards(self, n_shards: int = DEFAULT_N_SHARDS) -> list[list[Job]]:
+    def shards(self, n_shards: int = DEFAULT_N_SHARDS) -> tuple[tuple[Job, ...], ...]:
         """Deterministic fan-out-ready partition of the trace.
 
         Shard membership depends only on each job's stable key (template
         id for recurring jobs, job id for ad-hoc) and the shard count —
         never on worker count or hash seed — so sharded analyses merge
         back identically on every run.  Submit order is preserved within
-        each shard.
+        each shard.  The assignment is memoized per shard count and
+        returned as tuples — treat them as read-only views.
         """
-        return shard_items(self.jobs, key=_job_shard_key, n_shards=n_shards)
+        cached = self._shard_cache.get(n_shards)
+        if cached is None:
+            cached = tuple(
+                tuple(shard)
+                for shard in shard_items(
+                    self.jobs, key=_job_shard_key, n_shards=n_shards
+                )
+            )
+            self._shard_cache[n_shards] = cached
+        return cached
 
 
 @dataclass
@@ -144,10 +175,13 @@ class ScopeWorkloadConfig:
     pipeline_length: tuple[int, int] = (2, 4)
     adhoc_dependency_fraction: float = 0.5  # ad-hoc jobs reading pipeline output
     drift_per_day: float = 0.01             # predicate literal drift rate
+    instances_per_template: int = 1         # daily runs per recurring template
 
     def __post_init__(self) -> None:
         if self.n_recurring_templates < 1:
             raise ValueError("n_recurring_templates must be >= 1")
+        if self.instances_per_template < 1:
+            raise ValueError("instances_per_template must be >= 1")
         for name in ("recurring_fraction", "shared_fragment_templates",
                      "pipeline_fraction", "adhoc_dependency_fraction"):
             value = getattr(self, name)
@@ -156,6 +190,31 @@ class ScopeWorkloadConfig:
         lo, hi = self.pipeline_length
         if lo < 2 or hi < lo:
             raise ValueError("pipeline_length must satisfy 2 <= lo <= hi")
+
+    @classmethod
+    def for_scale(cls, jobs_per_day: int, **overrides) -> "ScopeWorkloadConfig":
+        """Calibrated config sized for roughly ``jobs_per_day`` daily jobs.
+
+        Keeps the paper's recurring/pipeline/dependency fractions but
+        scales the template catalog and per-template instance count so a
+        single generated day lands near the requested size.  Template
+        diversity is capped (structural variety, not volume, is what
+        costs memory downstream), and the remaining volume comes from
+        extra daily instances per template — matching how real SCOPE
+        clusters get to 100k+ jobs/day from a few thousand scripts.
+        """
+        if jobs_per_day < 1:
+            raise ValueError("jobs_per_day must be >= 1")
+        fraction = overrides.get("recurring_fraction", cls.recurring_fraction)
+        recurring = max(1, int(round(jobs_per_day * fraction)))
+        overrides.setdefault(
+            "n_recurring_templates", max(30, min(2000, recurring // 32))
+        )
+        overrides.setdefault(
+            "instances_per_template",
+            max(1, round(recurring / overrides["n_recurring_templates"])),
+        )
+        return cls(**overrides)
 
 
 @dataclass
@@ -246,14 +305,22 @@ class ScopeWorkloadGenerator:
         self._fragments = self._build_fragments()
         self.templates = self._build_templates()
         self._register_derived_tables()
+        self._templates_by_hour = sorted(
+            self.templates, key=lambda t: t.submit_hour_offset
+        )
+        # Streaming state: the RNG position a fresh generator's first
+        # ``generate()`` starts from, plus the position at the start of
+        # every day already replayed — day-addressable random access.
+        self._day_states: dict[int, dict] = {0: deepcopy(self._rng.bit_generator.state)}
 
     # -- construction --------------------------------------------------------
-    def _random_table(self) -> TableDef:
+    def _random_table_rng(self, rng: np.random.Generator) -> TableDef:
         # Only base tables: derived pipeline outputs are never scanned by
         # templates other than their pipeline consumer.
-        return self._base_tables[
-            int(self._rng.integers(0, len(self._base_tables)))
-        ]
+        return self._base_tables[int(rng.integers(0, len(self._base_tables)))]
+
+    def _random_table(self) -> TableDef:
+        return self._random_table_rng(self._rng)
 
     def _random_fact_table(self) -> TableDef:
         """One of the largest base tables (the shared-log-scan pattern).
@@ -272,11 +339,16 @@ class ScopeWorkloadGenerator:
         bottom = ranked[: max(1, 3 * len(ranked) // 4)]
         return bottom[int(self._rng.integers(0, len(bottom)))]
 
-    def _random_filter_column(self, table: TableDef) -> ColumnStats:
+    def _random_filter_column_rng(
+        self, rng: np.random.Generator, table: TableDef
+    ) -> ColumnStats:
         candidates = [c for c in table.columns if c.name != "key"]
         if not candidates:
             return table.columns[0]
-        return candidates[int(self._rng.integers(0, len(candidates)))]
+        return candidates[int(rng.integers(0, len(candidates)))]
+
+    def _random_filter_column(self, table: TableDef) -> ColumnStats:
+        return self._random_filter_column_rng(self._rng, table)
 
     def _build_fragments(self) -> list[_Fragment]:
         fragments = []
@@ -405,33 +477,51 @@ class ScopeWorkloadGenerator:
                 break
 
     # -- generation ----------------------------------------------------------
-    def generate(self, n_days: int = 7) -> Workload:
-        """Stamp out ``n_days`` of jobs (recurring daily + ad-hoc filler)."""
-        if n_days < 1:
-            raise ValueError("n_days must be >= 1")
+    @property
+    def recurring_per_day(self) -> int:
+        return len(self.templates) * self.config.instances_per_template
+
+    @property
+    def adhoc_per_day(self) -> int:
         cfg = self.config
-        jobs: list[Job] = []
-        recurring_per_day = len(self.templates)
-        adhoc_per_day = int(
+        return int(
             round(
-                recurring_per_day * (1.0 - cfg.recurring_fraction)
+                self.recurring_per_day * (1.0 - cfg.recurring_fraction)
                 / max(cfg.recurring_fraction, 1e-9)
             )
         )
-        for day in range(n_days):
-            template_job_ids: dict[int, str] = {}
-            for template in sorted(
-                self.templates, key=lambda t: t.submit_hour_offset
-            ):
-                plan, params = template.instantiate(day, cfg.drift_per_day)
-                job_id = f"d{day:03d}-t{template.template_id:03d}"
+
+    def _recurring_job_id(self, day: int, template_id: int, instance: int) -> str:
+        if self.config.instances_per_template == 1:
+            return f"d{day:03d}-t{template_id:03d}"
+        return f"d{day:03d}-t{template_id:03d}-i{instance:03d}"
+
+    def _generate_day(self, day: int, rng: np.random.Generator) -> list[Job]:
+        """One day's jobs, sorted by submit hour.
+
+        All randomness comes from ``rng`` (only ad-hoc jobs draw), so the
+        same RNG state always reproduces the same day.  Because every
+        day's submit hours fall strictly inside ``[24*day, 24*(day+1))``
+        and Python's sort is stable, concatenating per-day sorted lists
+        is bit-identical to the old whole-trace global sort.
+        """
+        cfg = self.config
+        instances = cfg.instances_per_template
+        jobs: list[Job] = []
+        template_job_ids: dict[int, list[str]] = {}
+        for template in self._templates_by_hour:
+            plan, params = template.instantiate(day, cfg.drift_per_day)
+            upstream_ids = (
+                template_job_ids.get(template.upstream_template)
+                if template.upstream_template is not None
+                else None
+            )
+            ids: list[str] = []
+            for k in range(instances):
+                job_id = self._recurring_job_id(day, template.template_id, k)
                 depends = ()
-                if template.upstream_template is not None:
-                    upstream_job = template_job_ids.get(
-                        template.upstream_template
-                    )
-                    if upstream_job is not None:
-                        depends = (upstream_job,)
+                if upstream_ids is not None:
+                    depends = (upstream_ids[min(k, len(upstream_ids) - 1)],)
                 jobs.append(
                     Job(
                         job_id=job_id,
@@ -444,24 +534,74 @@ class ScopeWorkloadGenerator:
                         depends_on=depends,
                     )
                 )
-                template_job_ids[template.template_id] = job_id
-            producers = [
-                (
-                    t.output_table,
-                    template_job_ids[t.template_id],
-                    t.submit_hour_offset,
-                )
-                for t in self.templates
-                if t.output_table is not None
-                and t.template_id in template_job_ids
-            ]
-            for k in range(adhoc_per_day):
-                jobs.append(self._adhoc_job(day, k, producers))
+                ids.append(job_id)
+            template_job_ids[template.template_id] = ids
+        producers = [
+            (
+                t.output_table,
+                template_job_ids[t.template_id][0],
+                t.submit_hour_offset,
+            )
+            for t in self.templates
+            if t.output_table is not None and t.template_id in template_job_ids
+        ]
+        for k in range(self.adhoc_per_day):
+            jobs.append(self._adhoc_job(rng, day, k, producers))
         jobs.sort(key=lambda j: j.submit_hour)
+        return jobs
+
+    def generate(self, n_days: int = 7) -> Workload:
+        """Stamp out ``n_days`` of jobs (recurring daily + ad-hoc filler)."""
+        if n_days < 1:
+            raise ValueError("n_days must be >= 1")
+        jobs: list[Job] = []
+        for day in range(n_days):
+            jobs.extend(self._generate_day(day, self._rng))
         return Workload(jobs=jobs, catalog=self.catalog, n_days=n_days)
+
+    # -- streaming -----------------------------------------------------------
+    def day_jobs(self, day: int) -> list[Job]:
+        """One day's jobs without materializing any other day.
+
+        Replays the seeded stream to ``day`` if needed (caching the RNG
+        state at each day boundary, so forward iteration is O(1) per
+        day) and returns exactly the jobs a fresh generator's first
+        ``generate()`` would place on that day.  Never consumes
+        ``self._rng``: eager and streaming reads can interleave freely.
+        """
+        if day < 0:
+            raise ValueError("day must be >= 0")
+        rng = np.random.default_rng()
+        start = max(d for d in self._day_states if d <= day)
+        rng.bit_generator.state = deepcopy(self._day_states[start])
+        for replay in range(start, day):
+            self._generate_day(replay, rng)
+            self._day_states.setdefault(
+                replay + 1, deepcopy(rng.bit_generator.state)
+            )
+        jobs = self._generate_day(day, rng)
+        self._day_states.setdefault(day + 1, deepcopy(rng.bit_generator.state))
+        return jobs
+
+    def iter_jobs(self, day: int) -> Iterator[Job]:
+        """Iterate one day's jobs in submit order (see :meth:`day_jobs`)."""
+        return iter(self.day_jobs(day))
+
+    def stream_days(self, n_days: int, start_day: int = 0) -> Iterator[list[Job]]:
+        """Yield one day's job list at a time, never a full ``Workload``.
+
+        ``list(stream_days(n))`` flattens to the same jobs as
+        ``generate(n)`` at the same seed — the pinned equivalence the
+        scale tests gate on — but peak memory is one day, not the trace.
+        """
+        if n_days < 1:
+            raise ValueError("n_days must be >= 1")
+        for day in range(start_day, start_day + n_days):
+            yield self.day_jobs(day)
 
     def _adhoc_job(
         self,
+        rng: np.random.Generator,
         day: int,
         index: int,
         producers: list[tuple[str, str, float]],
@@ -473,27 +613,27 @@ class ScopeWorkloadGenerator:
         data), giving it an inter-job dependency.
         """
         depends: tuple[str, ...] = ()
-        submit_hour = day * HOURS_PER_DAY + float(self._rng.uniform(0, 24))
-        if producers and self._rng.random() < self.config.adhoc_dependency_fraction:
+        submit_hour = day * HOURS_PER_DAY + float(rng.uniform(0, 24))
+        if producers and rng.random() < self.config.adhoc_dependency_fraction:
             table_name, producer_job, producer_hour = producers[
-                int(self._rng.integers(0, len(producers)))
+                int(rng.integers(0, len(producers)))
             ]
             table = self.catalog.get(table_name)
             depends = (producer_job,)
             # A consumer cannot start before its producer ran.
             submit_hour = day * HOURS_PER_DAY + min(
-                23.9, producer_hour + float(self._rng.uniform(0.5, 4.0))
+                23.9, producer_hour + float(rng.uniform(0.5, 4.0))
             )
         else:
-            table = self._random_table()
-        column = self._random_filter_column(table)
-        value = float(self._rng.uniform(column.low, column.high))
+            table = self._random_table_rng(rng)
+        column = self._random_filter_column_rng(rng, table)
+        value = float(rng.uniform(column.low, column.high))
         plan: Expression = Filter(
             Scan(table.name), (Predicate(column.name, "<=", value),)
         )
-        if self._rng.random() < 0.5:
-            plan = Join(plan, Scan(self._random_table().name), "key", "key")
-        if self._rng.random() < 0.5:
+        if rng.random() < 0.5:
+            plan = Join(plan, Scan(self._random_table_rng(rng).name), "key", "key")
+        if rng.random() < 0.5:
             plan = Aggregate(plan, (column.name,))
         else:
             plan = Project(plan, (column.name, "key"))

@@ -1,0 +1,124 @@
+"""Streaming worlds on the fabric: sources, fleet wiring, resume."""
+
+import pickle
+
+import pytest
+
+from repro.fabric import (
+    STREAMING_THRESHOLD,
+    ControlPlane,
+    FleetConfig,
+    StreamingJobSource,
+    build_fleet,
+)
+from repro.fabric.fleet import PeregrineDriver
+from repro.workloads.scope import ScopeWorkloadConfig, ScopeWorkloadGenerator
+
+
+class TestStreamingJobSource:
+    def test_matches_eager_generator(self):
+        source = StreamingJobSource(
+            seed=3, days=3, jobs_per_day=50,
+            config=ScopeWorkloadConfig(n_recurring_templates=30),
+        )
+        eager = ScopeWorkloadGenerator(
+            rng=3, config=ScopeWorkloadConfig(n_recurring_templates=30)
+        ).generate(n_days=3)
+        for day in range(3):
+            assert source.get(day) == list(eager.by_day(day))
+
+    def test_day_cache_capacity_one(self):
+        source = StreamingJobSource(seed=0, days=3, jobs_per_day=50)
+        assert source.get(1) is source.get(1)
+        first = source.get(1)
+        source.get(2)
+        assert source.get(1) is not first  # regenerated, not hoarded
+
+    def test_out_of_range_days_empty(self):
+        source = StreamingJobSource(seed=0, days=2, jobs_per_day=50)
+        assert source.get(2, []) == []
+        assert source.get(-1, []) == []
+        assert source.get(5) is None
+
+    def test_pairs_view_head_limit(self):
+        source = StreamingJobSource(seed=0, days=2, jobs_per_day=50)
+        pairs = source.pairs(head=4)
+        day = pairs.get(0)
+        assert len(day) == 4
+        full = [(j.job_id, j.plan) for j in source.get(0)[:4]]
+        assert day == full
+        assert pairs.get(9, []) == []
+
+    def test_pickle_round_trip_replays(self):
+        source = StreamingJobSource(seed=5, days=3, jobs_per_day=50)
+        want = [j.job_id for j in source.get(2)]
+        clone = pickle.loads(pickle.dumps(source))
+        assert [j.job_id for j in clone.get(2)] == want
+
+    def test_rejects_zero_days(self):
+        with pytest.raises(ValueError):
+            StreamingJobSource(seed=0, days=0, jobs_per_day=10)
+
+
+class TestFleetStreaming:
+    def test_resolve_streaming_threshold(self):
+        assert not FleetConfig().resolve_streaming()
+        assert FleetConfig(
+            jobs_per_day=STREAMING_THRESHOLD
+        ).resolve_streaming()
+        assert FleetConfig(jobs_per_day=8, streaming=True).resolve_streaming()
+        assert not FleetConfig(
+            jobs_per_day=10**6, streaming=False
+        ).resolve_streaming()
+
+    def test_streaming_fleet_runs_and_ingests_full_days(self, tmp_path):
+        config = FleetConfig(
+            days=2,
+            jobs_per_day=1200,
+            include=("peregrine", "steering"),
+            streaming=True,
+            repo_memory_budget_mb=1,
+            repo_spill_dir=str(tmp_path / "chunks"),
+        )
+        plane = ControlPlane()
+        build_fleet(plane, config)
+        plane.run_days(2)
+        driver = next(
+            b.driver
+            for b in plane.bindings
+            if isinstance(b.driver, PeregrineDriver)
+        )
+        # the repository saw the full stream, not the service head
+        assert len(driver.repo) > 2 * config.service_jobs_per_day
+        assert driver.repo.days() == [0, 1]
+        assert driver.repo.chunk_stats()["spilled_chunks"] >= 1
+        steering = next(
+            b.driver for b in plane.bindings if b.name == "steering"
+        )
+        # the plan-facing service sampled only each day's head
+        assert steering.jobs_seen == 2 * config.service_jobs_per_day
+        plane.close()
+
+    def test_streaming_checkpoint_resume_identical(self, tmp_path):
+        def run(resume_from=None):
+            config = FleetConfig(
+                days=3,
+                jobs_per_day=600,
+                include=("peregrine", "steering"),
+                streaming=True,
+            )
+            plane = ControlPlane()
+            build_fleet(plane, config)
+            if resume_from is None:
+                plane.run_days(3)
+            else:
+                plane.run_days(1)
+                blob = plane.checkpoint(tmp_path / "ckpt.bin")
+                plane.close()
+                plane = ControlPlane.restore(tmp_path / "ckpt.bin")
+                plane.run_days(2)
+            report = plane.report_bytes()
+            plane.close()
+            return report
+
+        assert run() == run(resume_from="ckpt")
