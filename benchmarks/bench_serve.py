@@ -1,0 +1,241 @@
+"""Serve harness: the async query plane under increasing arrival rates.
+
+Drives an in-process async client against a warmed fleet fabric through
+:class:`~repro.serve.plane.QueryPlane` and writes the numbers to
+``BENCH_serve.json`` so regressions are visible:
+
+1. **sustained** — closed-loop bursts with an effectively unbounded
+   queue: sustained QPS, p50/p99 latency, and the signature-keyed
+   cache's hit rate with no admission pressure.
+2. **rate_sweep** — open-loop arrivals at 0.5x / 1x / 2x the measured
+   capacity against a bounded queue.  The 2x point is the overload
+   gate: the admission controller must shed (shed fraction > 0, with
+   explicit 503s) while the p99 of *admitted* requests stays within
+   3x the uncontended p99 — goodput held flat by shedding, not melted
+   by queueing.
+
+Run standalone (not under pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py            # full
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.fabric import ControlPlane, FleetConfig, build_fleet  # noqa: E402
+from repro.serve import QueryPlane, TrafficGenerator  # noqa: E402
+
+#: Admitted-p99 under 2x overload must stay within this factor of the
+#: uncontended p99 (the acceptance gate).
+P99_OVERLOAD_FACTOR = 3.0
+#: Queue bound for the overload phases — small enough that 2x arrivals
+#: visibly shed, large enough that batching still forms full batches.
+OVERLOAD_QUEUE_DEPTH = 48
+
+
+def _percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def build_fabric(warm_days: int = 2, seed: int = 0) -> ControlPlane:
+    fabric = ControlPlane()
+    build_fleet(fabric, FleetConfig(seed=seed, days=warm_days))
+    fabric.run_days(warm_days)
+    return fabric
+
+
+def fresh_plane(fabric: ControlPlane, max_queue_depth: int) -> QueryPlane:
+    return QueryPlane(
+        fabric,
+        rate_per_tenant=1e9,  # shedding, not throttling, is under test
+        burst=1e9,
+        max_queue_depth=max_queue_depth,
+    )
+
+
+async def _timed_handle(plane, endpoint, request, samples):
+    start = time.perf_counter()
+    response = await plane.handle(endpoint, request)
+    samples.append((response.status, time.perf_counter() - start))
+    return response
+
+
+def run_closed_loop(
+    fabric: ControlPlane, n_requests: int, concurrency: int, seed: int
+) -> dict:
+    """Back-to-back bursts, queue effectively unbounded: raw capacity."""
+    plane = fresh_plane(fabric, max_queue_depth=10 ** 9)
+    generator = TrafficGenerator(fabric, seed=seed)
+    samples: list[tuple[int, float]] = []
+
+    async def drive() -> float:
+        start = time.perf_counter()
+        sent = 0
+        while sent < n_requests:
+            burst = generator.stream(min(concurrency, n_requests - sent))
+            await asyncio.gather(
+                *(_timed_handle(plane, e, r, samples) for e, r in burst)
+            )
+            sent += len(burst)
+        plane.drain()
+        return time.perf_counter() - start
+
+    elapsed = asyncio.run(drive())
+    latencies = [latency for _, latency in samples]
+    return {
+        "requests": n_requests,
+        "concurrency": concurrency,
+        "elapsed_s": round(elapsed, 4),
+        "sustained_qps": round(n_requests / elapsed, 1),
+        "latency": {
+            "p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
+            "p99_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
+            "max_ms": round(max(latencies) * 1e3, 3),
+        },
+        "cache": plane.cache.summary(),
+        "batching": plane.batcher.summary(),
+    }
+
+
+def run_open_loop(
+    fabric: ControlPlane,
+    n_requests: int,
+    offered_qps: float,
+    multiplier: float,
+    seed: int,
+) -> dict:
+    """Fixed arrival rate against a bounded queue: the shedding regime."""
+    plane = fresh_plane(fabric, max_queue_depth=OVERLOAD_QUEUE_DEPTH)
+    generator = TrafficGenerator(fabric, seed=seed)
+    samples: list[tuple[int, float]] = []
+
+    async def drive() -> float:
+        loop = asyncio.get_running_loop()
+        interval = 1.0 / offered_qps
+        tasks = []
+        start = loop.time()
+        next_at = start
+        for endpoint, request in generator.stream(n_requests):
+            tasks.append(
+                asyncio.ensure_future(
+                    _timed_handle(plane, endpoint, request, samples)
+                )
+            )
+            next_at += interval
+            delay = next_at - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+        await asyncio.gather(*tasks)
+        plane.drain()
+        return loop.time() - start
+
+    elapsed = asyncio.run(drive())
+    admitted = [lat for status, lat in samples if status == 200]
+    return {
+        "multiplier": multiplier,
+        "offered_qps": round(offered_qps, 1),
+        "achieved_qps": round(len(admitted) / elapsed, 1) if elapsed else 0.0,
+        "requests": n_requests,
+        "admitted": len(admitted),
+        "shed_503": plane.admission.shed,
+        "shed_fraction": round(plane.admission.shed_fraction, 4),
+        "admitted_latency": {
+            "p50_ms": round(_percentile(admitted, 0.50) * 1e3, 3),
+            "p99_ms": round(_percentile(admitted, 0.99) * 1e3, 3),
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: fewer requests per phase",
+    )
+    parser.add_argument(
+        "--out", type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_serve.json",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    n_closed = 400 if args.quick else 2000
+    n_open = 300 if args.quick else 1200
+
+    fabric = build_fabric(seed=args.seed)
+    try:
+        sustained = run_closed_loop(
+            fabric, n_closed, concurrency=32, seed=args.seed
+        )
+        capacity = sustained["sustained_qps"]
+        sweep = [
+            run_open_loop(
+                fabric,
+                n_open,
+                offered_qps=capacity * multiplier,
+                multiplier=multiplier,
+                seed=args.seed + 1,
+            )
+            for multiplier in (0.5, 1.0, 2.0)
+        ]
+    finally:
+        fabric.close()
+
+    overload = sweep[-1]
+    uncontended_p99 = sustained["latency"]["p99_ms"]
+    admitted_p99 = overload["admitted_latency"]["p99_ms"]
+    ratio = admitted_p99 / uncontended_p99 if uncontended_p99 else 0.0
+    overload_gate = {
+        "uncontended_p99_ms": uncontended_p99,
+        "admitted_p99_ms": admitted_p99,
+        "p99_ratio": round(ratio, 3),
+        "p99_factor_limit": P99_OVERLOAD_FACTOR,
+        "shed_fraction": overload["shed_fraction"],
+        "sheds_under_overload": overload["shed_503"] > 0,
+        "p99_within_limit": ratio <= P99_OVERLOAD_FACTOR,
+    }
+
+    payload = {
+        "bench": "serve",
+        "quick": args.quick,
+        "cpu_count": os.cpu_count(),
+        "results": {
+            "sustained": sustained,
+            "rate_sweep": sweep,
+            "overload": overload_gate,
+        },
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+
+    failures = []
+    if sustained["sustained_qps"] <= 0:
+        failures.append("sustained QPS is zero")
+    if not overload_gate["sheds_under_overload"]:
+        failures.append("no 503 sheds under 2x overload")
+    if not overload_gate["p99_within_limit"]:
+        failures.append(
+            f"admitted p99 {admitted_p99:.2f}ms exceeds"
+            f" {P99_OVERLOAD_FACTOR}x uncontended {uncontended_p99:.2f}ms"
+        )
+    for failure in failures:
+        print(f"GATE FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

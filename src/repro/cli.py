@@ -14,6 +14,12 @@ Subcommands::
                        --store DIR --inject-fault SPEC]  the control plane
     repro chaos       [--days N --kill-tick K --workers W
                        --inject-fault SPEC]  kill -9 mid-day, resume, compare
+    repro serve       [--requests N --days D --warm-days W --resume P]
+                      async query plane over the fleet
+
+Every subcommand exits nonzero on failure, printing a one-line
+``repro <command>: error: <reason>`` to stderr — scripts and CI can
+gate on the exit code alone.
 
 Every subcommand is deterministic given its seed and prints a compact
 table, so the CLI doubles as a smoke test of the installation.  Every
@@ -326,12 +332,11 @@ def _cmd_fabric(args: argparse.Namespace, obs: "ObservabilityRuntime") -> int:
             plane.tick_hook = make_kill_hook(args.chaos_kill_tick)
         remaining = args.days - plane.day
         if remaining <= 0:
-            print(
+            raise ValueError(
                 f"checkpoint already covers day {plane.day}"
                 f" (target {args.days}); nothing to run"
             )
-        else:
-            plane.run_days(remaining)
+        plane.run_days(remaining)
     else:
         if args.services:
             include = tuple(args.services.split(","))
@@ -453,6 +458,104 @@ def _cmd_chaos(args: argparse.Namespace, obs: "ObservabilityRuntime") -> int:
     print(result.summary())
     print(f"store: {result.store_path}")
     return 0 if result.identical else 1
+
+
+def _cmd_serve(args: argparse.Namespace, obs: "ObservabilityRuntime") -> int:
+    """Serve the fleet: async endpoints over a live or restored fabric."""
+    import asyncio
+
+    from repro.fabric import ControlPlane, FleetConfig, build_fleet
+    from repro.serve import QueryPlane, TrafficGenerator
+
+    if args.requests < 1:
+        raise ValueError("--requests must be >= 1")
+    if args.resume:
+        fabric = ControlPlane.restore(args.resume, obs=obs)
+    else:
+        fabric = ControlPlane(obs=obs)
+        horizon = max(1, args.warm_days + args.days)
+        build_fleet(
+            fabric, FleetConfig(seed=args.seed, days=horizon)
+        )
+        if args.warm_days:
+            with obs.span("serve.warmup", layer="serve", days=args.warm_days):
+                fabric.run_days(args.warm_days)
+    plane = QueryPlane(
+        fabric,
+        obs=obs,
+        rate_per_tenant=args.rate,
+        max_queue_depth=args.max_queue_depth,
+        max_batch=args.max_batch,
+    )
+    generator = TrafficGenerator(fabric, seed=args.seed)
+
+    async def _serve() -> None:
+        ticker = None
+        if args.days:
+            ticker = asyncio.ensure_future(
+                plane.tick_background(args.days, pause=0.001)
+            )
+        sent = 0
+        while sent < args.requests:
+            burst = generator.stream(
+                min(args.concurrency, args.requests - sent)
+            )
+            await asyncio.gather(
+                *(plane.handle(endpoint, request) for endpoint, request in burst)
+            )
+            sent += len(burst)
+        if ticker is not None:
+            await ticker
+        plane.drain()
+
+    with obs.span("serve.loop", layer="serve", requests=args.requests):
+        asyncio.run(_serve())
+    stats = plane.stats()
+    print(
+        f"served {stats['requests']} requests over"
+        f" {len(generator.endpoints())} endpoints"
+        f" ({stats['ticked_days']} background days ticked)"
+    )
+    print("  by status: " + ", ".join(
+        f"{status}={count}" for status, count in stats["by_status"].items()
+    ))
+    latency = stats["latency"]
+    print(
+        f"  latency p50={latency['p50'] * 1e3:.2f}ms"
+        f" p99={latency['p99'] * 1e3:.2f}ms"
+    )
+    cache = stats["cache"]
+    print(
+        f"  cache: {cache['hits']} hits / {cache['misses']} misses"
+        f" (hit rate {cache['hit_rate']:.1%},"
+        f" {cache['invalidations']} invalidated)"
+    )
+    admission = stats["admission"]
+    print(
+        f"  admission: {admission['admitted']} admitted,"
+        f" {admission['throttled']} throttled, {admission['shed']} shed,"
+        f" {admission['expired']} expired"
+    )
+    batching = stats["batching"]
+    print(
+        f"  batching: {batching['coalesced']} coalesced into"
+        f" {batching['batches']} batches"
+        f" (largest {batching['largest_batch']})"
+    )
+    sessions = stats["sessions"]
+    print(
+        f"  sessions: {sessions['active']} active across"
+        f" {len(sessions['tenants'])} tenants"
+    )
+    if args.stats_out:
+        import json
+        from pathlib import Path
+
+        Path(args.stats_out).write_text(
+            json.dumps(stats, indent=2, sort_keys=True) + "\n"
+        )
+    fabric.close()
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -638,6 +741,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.set_defaults(func=_cmd_chaos)
 
+    serve = sub.add_parser(
+        "serve",
+        help="async query plane over the fleet (sessions, cache, batching)",
+        parents=[common],
+    )
+    serve.add_argument(
+        "--requests", type=int, default=400,
+        help="total requests to serve from the seeded traffic stream",
+    )
+    serve.add_argument(
+        "--days", type=int, default=2,
+        help="fabric days to tick in the background while serving",
+    )
+    serve.add_argument(
+        "--warm-days", type=int, default=2,
+        help="fabric days to run before the plane starts serving",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--concurrency", type=int, default=32,
+        help="in-flight requests per burst",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=500.0,
+        help="per-tenant admission rate (requests/second)",
+    )
+    serve.add_argument(
+        "--max-queue-depth", type=int, default=64,
+        help="queued+in-flight requests before load shedding kicks in",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=16,
+        help="micro-batch size cap for coalesced recommend calls",
+    )
+    serve.add_argument(
+        "--resume", default="",
+        help="serve from a checkpoint-restored fabric instead of a fresh one",
+    )
+    serve.add_argument(
+        "--stats-out", default="",
+        help="write the full serve stats rollup to this JSON file",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
     return parser
 
 
@@ -651,6 +798,10 @@ def main(argv: list[str] | None = None) -> int:
     try:
         with obs.span(f"cli.{args.command}", layer="cli"):
             code = args.func(args, obs)
+    except Exception as exc:  # noqa: BLE001 — CLI boundary: one line, exit 1
+        message = str(exc) or type(exc).__name__
+        print(f"repro {args.command}: error: {message}", file=sys.stderr)
+        code = 1
     finally:
         # Commands that fanned out leave the warm pool behind; stop the
         # workers before the process lingers (atexit is the backstop).

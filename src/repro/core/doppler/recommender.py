@@ -180,7 +180,32 @@ class SkuRecommender(AutonomousService):
         """Cheapest SKU predicted to cover the right-sized requirements."""
         if self._segment_factor is None:
             raise RuntimeError("recommender is not fitted")
-        segment = self.segment_of(customer)
+        return self._recommend_in_segment(customer, self.segment_of(customer))
+
+    def recommend_batch(
+        self, customers: list[CustomerProfile]
+    ) -> list[Recommendation]:
+        """One stacked scaler/k-means call for a whole customer batch.
+
+        Segment assignment is elementwise per row, so every returned
+        recommendation is bit-identical to what a serial
+        :meth:`recommend` loop would produce — the contract the serve
+        layer's micro-batching dispatcher relies on.
+        """
+        if self._segment_factor is None or self._kmeans is None:
+            raise RuntimeError("recommender is not fitted")
+        if not customers:
+            return []
+        features = np.vstack([c.feature_vector() for c in customers])
+        segments = self._kmeans.predict(self._scaler.transform(features))
+        return [
+            self._recommend_in_segment(customer, int(segment))
+            for customer, segment in zip(customers, segments)
+        ]
+
+    def _recommend_in_segment(
+        self, customer: CustomerProfile, segment: int
+    ) -> Recommendation:
         factor = self._segment_factor.get(segment, self._global_factor)
         need_vcores = customer.peak_vcores * factor["vcores"]
         need_memory = customer.peak_memory_gb * factor["memory"]
@@ -206,6 +231,32 @@ class SkuRecommender(AutonomousService):
             segment=segment,
         )
         return recommendation
+
+    # -- the serve contract ----------------------------------------------------
+    def serve_many(self, requests) -> list:
+        """Coalesce a compatible ``recommend`` batch into one model call.
+
+        Mixed or single-request batches fall back to the serial default;
+        so does an unfitted recommender, where each request must surface
+        its own 500-style response.
+        """
+        from repro.core.service import ServeResponse
+
+        if len(requests) < 2 or any(r.op != "recommend" for r in requests):
+            return super().serve_many(requests)
+        try:
+            results = self.recommend_batch([r.subject for r in requests])
+        except Exception:  # noqa: BLE001 — per-request errors via serial path
+            return super().serve_many(requests)
+        return [
+            ServeResponse(
+                status=200,
+                result=result,
+                served_by=self.service_name,
+                op="recommend",
+            )
+            for result in results
+        ]
 
 
 def recommendation_accuracy(

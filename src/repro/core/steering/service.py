@@ -271,6 +271,16 @@ class SteeringService(AutonomousService):
             rollbacks=self.rollbacks,
         )
 
+    # -- the serve contract ------------------------------------------------------
+    def serve_observe(self, request) -> SteeringOutcome:
+        """``observe`` over the envelope: the plan is the subject.
+
+        The plan rides in ``subject`` (it is the signature-keyed object
+        the serve cache and the bandit both key on); ``job_id`` comes in
+        through ``params``.
+        """
+        return self.observe(request.params["job_id"], request.subject)
+
     # -- deprecated entry points -----------------------------------------------
     @deprecated_alias("recommend")
     def config_for(self, template: str) -> RuleConfig:

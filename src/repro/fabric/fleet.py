@@ -33,6 +33,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.service import ServeRequest, ServeResponse
 from repro.fabric.pipeline import PipelineDriver, TickContext
 
 #: Trace day a seagull simulation day 0 maps to (needs >= 4 weeks of
@@ -94,7 +95,11 @@ class SteeringDriver(PipelineDriver):
         if jobs:
             self.mark_dirty()
         for job_id, plan in jobs:
-            self.service.observe(job_id, plan)
+            self.serve(
+                ServeRequest(
+                    op="observe", subject=plan, params={"job_id": job_id}
+                )
+            ).unwrap()
             self.jobs_seen += 1
 
     def validate(self, ctx: TickContext) -> None:
@@ -216,6 +221,23 @@ class PeregrineDriver(PipelineDriver):
             self.stats = rounded
             self.mark_dirty()
 
+    def serve(self, request: ServeRequest) -> ServeResponse:
+        """Query endpoint over the shared repository (``stats`` op).
+
+        Peregrine's queryable state is the repository itself, not an
+        AutonomousService, so the driver answers the serve contract
+        directly: ``stats`` returns the latest analysis rollup plus the
+        repository size.
+        """
+        if request.op == "stats":
+            return ServeResponse(
+                status=200,
+                result={"jobs": len(self.repo), "stats": dict(self.stats)},
+                served_by=self.name,
+                op=request.op,
+            )
+        return super().serve(request)
+
     def final_report(self) -> dict:
         return {"jobs": len(self.repo), "stats": self.stats}
 
@@ -247,14 +269,16 @@ class MoneyballDriver(PipelineDriver):
         if arrivals:
             self.mark_dirty()
         for trace in arrivals:
-            self.service.observe(trace)
+            self.serve(ServeRequest(op="observe", subject=trace)).unwrap()
 
     def recommend(self, ctx: TickContext) -> None:
         arrivals = self.arrivals_by_day.get(ctx.day, [])
         if arrivals:
             self.mark_dirty()
         for trace in arrivals:
-            policy = type(self.service.recommend(trace)).__name__
+            policy = type(
+                self.serve(ServeRequest(op="recommend", subject=trace)).unwrap()
+            ).__name__
             self.policy_counts[policy] = self.policy_counts.get(policy, 0) + 1
 
     def final_report(self) -> dict:
@@ -299,7 +323,7 @@ class SeagullDriver(PipelineDriver):
         if ctx.tick == 0:
             self.mark_dirty()
             for trace in self.traces:
-                self.service.observe(trace)
+                self.serve(ServeRequest(op="observe", subject=trace)).unwrap()
 
     def recommend(self, ctx: TickContext) -> None:
         # Recommends every day forever, so seagull never goes clean —
@@ -307,7 +331,13 @@ class SeagullDriver(PipelineDriver):
         self.mark_dirty()
         day = self._trace_day(ctx.day)
         for trace in self.traces:
-            self.service.recommend(trace.tenant_id, day)
+            self.serve(
+                ServeRequest(
+                    op="recommend",
+                    subject=trace.tenant_id,
+                    params={"day": day},
+                )
+            ).unwrap()
 
     def degrade(self, stage: str, ctx: TickContext) -> None:
         """Fallback to the previous-day heuristic for this day's windows.
@@ -360,7 +390,9 @@ class DopplerDriver(PipelineDriver):
     def learn(self, ctx: TickContext) -> None:
         if ctx.tick == 0:
             self.mark_dirty()
-            self.service.observe(self.historical)
+            self.serve(
+                ServeRequest(op="observe", subject=self.historical)
+            ).unwrap()
 
     def recommend(self, ctx: TickContext) -> None:
         from repro.workloads.customers import ground_truth_sku
@@ -371,7 +403,9 @@ class DopplerDriver(PipelineDriver):
         ladder = sorted(self.service.skus, key=lambda s: s.price)
         index = {sku.name: i for i, sku in enumerate(ladder)}
         for customer in arrivals:
-            chosen = self.service.recommend(customer).sku
+            chosen = self.serve(
+                ServeRequest(op="recommend", subject=customer)
+            ).unwrap().sku
             truth = ground_truth_sku(customer, self.service.skus)
             if abs(index[chosen.name] - index[truth.name]) <= 1:
                 self.hits += 1

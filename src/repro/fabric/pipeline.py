@@ -25,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
+from repro.core.service import ServeRequest, ServeResponse
+
 if TYPE_CHECKING:
     from repro.core.service import AutonomousService
     from repro.fabric.lifecycle import ModelLifecycle
@@ -145,6 +147,39 @@ class PipelineDriver:
         """Attach (or with ``None`` detach) an observability runtime."""
         for service in self.services():
             service.bind(obs)
+
+    def serve(self, request: ServeRequest) -> ServeResponse:
+        """Route ``request`` to the wrapped service that declares the op.
+
+        This is the driver half of the serve contract: the fabric's
+        ticked stages and the query plane's endpoints both enter the
+        service through here, so there is exactly one implementation of
+        every recommend/observe path.  Drivers whose queryable state
+        lives outside an :class:`~repro.core.service.AutonomousService`
+        (e.g. the workload repository) override this and answer
+        directly.
+        """
+        for service in self.services():
+            if callable(getattr(service, f"serve_{request.op}", None)):
+                return service.serve(request)
+        return ServeResponse(
+            status=404,
+            error=f"{self.name} has no op {request.op!r}",
+            served_by=self.name,
+            op=request.op,
+        )
+
+    def serve_many(self, requests: "list[ServeRequest]") -> "list[ServeResponse]":
+        """Batch counterpart of :meth:`serve` (one service, one batch).
+
+        When every request resolves to the same wrapped service the
+        whole batch is handed to that service's ``serve_many`` (which
+        may vectorize); otherwise requests are served one by one.
+        """
+        services = self.services()
+        if len(services) == 1 and requests:
+            return services[0].serve_many(list(requests))
+        return [self.serve(request) for request in requests]
 
     def degrade(self, stage: str, ctx: TickContext) -> None:
         """Fallback when ``stage`` exhausted its retries this tick.

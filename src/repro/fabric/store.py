@@ -472,6 +472,8 @@ class CheckpointStore:
 
     @staticmethod
     def _core_state(plane: "ControlPlane") -> dict:
+        from repro.parallel import get_tuner
+
         return {
             "day": plane.day,
             "now": plane.queue.now,
@@ -482,6 +484,10 @@ class CheckpointStore:
             "health": plane.health,
             "mirrored": plane._lifecycle_mirrored,
             "total_ticks": plane.total_ticks,
+            # The process-wide granularity tuner rides every frame so a
+            # killed-and-restored fleet resumes with its trained cost
+            # model instead of re-exploring dispatch granularity.
+            "tuner": get_tuner().state_dict(),
         }
 
     def _emit_saved(
@@ -608,6 +614,11 @@ def _serialize_driver(driver: "PipelineDriver", shared: dict[int, str]) -> bytes
 def _plane_from_core(core: dict) -> "ControlPlane":
     from repro.fabric.plane import ControlPlane
 
+    tuner_state = core.get("tuner")  # absent in pre-tuner checkpoints
+    if tuner_state is not None:
+        from repro.parallel import get_tuner
+
+        get_tuner().load_state_dict(tuner_state)
     plane = ControlPlane(
         registry=core["registry"],
         retry=core["retry"],

@@ -170,6 +170,45 @@ class GranularityTuner:
             return DispatchPlan(False, chunksize, "amortize")
         return DispatchPlan(True, chunksize, "cost-model")
 
+    # -- persistence -----------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Everything learned, as plain picklable data.
+
+        The payload round-trips through :meth:`load_state_dict`, which is
+        how the learned cost model survives pool shutdown/re-arm cycles
+        and rides fabric checkpoints across process restarts.
+        """
+        return {
+            "warm_overhead_seconds": self.warm_overhead_seconds,
+            "target_chunk_seconds": self.target_chunk_seconds,
+            "alpha": self.alpha,
+            "profiles": {
+                key: {
+                    "serial_item_seconds": prof.serial_item_seconds,
+                    "serial_calls": prof.serial_calls,
+                    "parallel_calls": prof.parallel_calls,
+                }
+                for key, prof in self._profiles.items()
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` payload in place."""
+        alpha = float(state["alpha"])
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.warm_overhead_seconds = float(state["warm_overhead_seconds"])
+        self.target_chunk_seconds = float(state["target_chunk_seconds"])
+        self.alpha = alpha
+        self._profiles = {
+            key: FnProfile(
+                serial_item_seconds=entry["serial_item_seconds"],
+                serial_calls=int(entry["serial_calls"]),
+                parallel_calls=int(entry["parallel_calls"]),
+            )
+            for key, entry in state["profiles"].items()
+        }
+
     # -- introspection ---------------------------------------------------------
     def snapshot(self) -> dict:
         """JSON-able view of everything learned (bench/debug output)."""

@@ -244,7 +244,13 @@ def get_pool() -> WorkerPool:
 
 
 def shutdown_pool() -> None:
-    """Shut the shared pool down (no-op when it never started)."""
+    """Shut the shared pool down (no-op when it never started).
+
+    Only the worker processes go away.  The granularity tuner's learned
+    cost model (:func:`get_tuner`) is deliberately untouched, so a pool
+    re-armed by the next dispatch resumes with trained per-item EWMAs
+    instead of re-exploring from scratch.
+    """
     if _SHARED_POOL is not None:
         _SHARED_POOL.shutdown()
 

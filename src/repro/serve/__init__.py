@@ -1,0 +1,48 @@
+"""``repro.serve`` — the async query plane over the autonomous fleet.
+
+The fabric (:mod:`repro.fabric`) runs services as *ticked* feedback
+pipelines; this package serves the same services as *queried*
+endpoints.  Both paths enter a service through the one
+``serve(request)`` contract on
+:class:`~repro.core.service.AutonomousService`, so a recommendation
+returned to a query is the same code path — and the same bytes — as
+one made inside a pipeline tick.
+
+Front-end pieces, composable and individually testable:
+
+- :class:`~repro.serve.session.SessionManager` — per-tenant sessions;
+- :class:`~repro.serve.cache.RecommendationCache` — signature-keyed
+  response cache with lifecycle-aware (promote/rollback) eviction;
+- :class:`~repro.serve.admission.AdmissionController` — token-bucket
+  rate limits, queue-depth shedding, deadline enforcement;
+- :class:`~repro.serve.batching.MicroBatcher` — bounded-delay request
+  coalescing into vectorized ``serve_many`` calls;
+- :class:`~repro.serve.plane.QueryPlane` — the asyncio front end tying
+  them together over a live or checkpoint-restored fabric;
+- :class:`~repro.serve.traffic.TrafficGenerator` — seeded, replayable
+  request streams for benchmarks and tests.
+"""
+
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    TokenBucket,
+)
+from repro.serve.batching import MicroBatcher
+from repro.serve.cache import RecommendationCache, subject_key
+from repro.serve.plane import QueryPlane
+from repro.serve.session import Session, SessionManager
+from repro.serve.traffic import TrafficGenerator
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "MicroBatcher",
+    "QueryPlane",
+    "RecommendationCache",
+    "Session",
+    "SessionManager",
+    "TokenBucket",
+    "TrafficGenerator",
+    "subject_key",
+]

@@ -1,0 +1,135 @@
+"""Admission control: rate limits, load shedding, deadline enforcement.
+
+Three gates run in order on every request, each mapping to a distinct
+HTTP-style rejection the client can act on:
+
+* **Deadline** (504) — a request whose deadline already passed is dead
+  on arrival; executing it would waste a model call nobody reads.
+* **Token bucket** (429) — per-tenant rate limiting.  Buckets refill
+  continuously at ``rate`` tokens per second of plane-clock time, so a
+  tenant bursting above its share is throttled while an idle tenant
+  accumulates (bounded) credit.
+* **Queue depth** (503) — global load shedding.  When the dispatcher's
+  backlog exceeds ``max_queue_depth`` the plane sheds instead of
+  queueing: under sustained overload a bounded queue keeps admitted
+  latency flat where an unbounded one melts down (the classic
+  goodput-over-throughput trade).
+
+All clocks are the caller's — nothing here reads wall time, so traffic
+replays admit and reject identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class AdmissionDecision:
+    """Outcome of one admission check."""
+
+    admitted: bool
+    status: int = 200
+    reason: str = ""
+
+
+class TokenBucket:
+    """Continuous-refill token bucket (capacity-bounded burst credit)."""
+
+    def __init__(self, rate: float, capacity: float, now: float = 0.0) -> None:
+        if rate <= 0 or capacity <= 0:
+            raise ValueError("rate and capacity must be positive")
+        self.rate = rate
+        self.capacity = capacity
+        self.tokens = capacity
+        self._last = now
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._last)
+        self._last = now
+        self.tokens = min(self.capacity, self.tokens + elapsed * self.rate)
+
+    def try_take(self, now: float, amount: float = 1.0) -> bool:
+        """Take ``amount`` tokens if available; False means throttled."""
+        self._refill(now)
+        if self.tokens + 1e-12 >= amount:
+            self.tokens -= amount
+            return True
+        return False
+
+
+class AdmissionController:
+    """Per-tenant rate limits plus global queue-depth shedding."""
+
+    def __init__(
+        self,
+        rate_per_tenant: float = 200.0,
+        burst: float = 50.0,
+        max_queue_depth: int = 64,
+    ) -> None:
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        self.rate_per_tenant = rate_per_tenant
+        self.burst = burst
+        self.max_queue_depth = max_queue_depth
+        self._buckets: dict[str, TokenBucket] = {}
+        self.admitted = 0
+        self.throttled = 0
+        self.shed = 0
+        self.expired = 0
+
+    def bucket(self, tenant: str, now: float) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(self.rate_per_tenant, self.burst, now=now)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def admit(
+        self,
+        tenant: str,
+        now: float,
+        queue_depth: int,
+        deadline: float | None = None,
+    ) -> AdmissionDecision:
+        """Run the three gates; the first to fail wins."""
+        if deadline is not None and now > deadline:
+            self.expired += 1
+            return AdmissionDecision(
+                admitted=False, status=504, reason="deadline expired"
+            )
+        if not self.bucket(tenant, now).try_take(now):
+            self.throttled += 1
+            return AdmissionDecision(
+                admitted=False,
+                status=429,
+                reason=f"tenant {tenant!r} over rate limit",
+            )
+        if queue_depth >= self.max_queue_depth:
+            self.shed += 1
+            return AdmissionDecision(
+                admitted=False,
+                status=503,
+                reason=f"queue depth {queue_depth} at limit",
+            )
+        self.admitted += 1
+        return AdmissionDecision(admitted=True)
+
+    @property
+    def rejected(self) -> int:
+        return self.throttled + self.shed + self.expired
+
+    @property
+    def shed_fraction(self) -> float:
+        total = self.admitted + self.rejected
+        return self.rejected / total if total else 0.0
+
+    def summary(self) -> dict:
+        return {
+            "admitted": self.admitted,
+            "throttled": self.throttled,
+            "shed": self.shed,
+            "expired": self.expired,
+            "shed_fraction": self.shed_fraction,
+            "tenants": len(self._buckets),
+        }

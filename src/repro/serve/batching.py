@@ -1,0 +1,124 @@
+"""Micro-batching dispatcher: coalesce compatible requests into one call.
+
+Requests land on per-``(endpoint, op)`` buckets.  A bucket flushes when
+it reaches ``max_batch`` or when the oldest request has waited
+``max_delay`` seconds, whichever comes first — the classic
+latency/throughput knob.  A flush hands the whole bucket to the
+driver's ``serve_many``, which a service may vectorize (Doppler turns N
+recommend requests into one stacked scaler + k-means call) under the
+contract that batched results are **bit-identical** to a serial loop.
+
+Each submitter awaits a future resolved at flush time; requests whose
+deadline lapsed while queued resolve to a 504 response without ever
+touching the model.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable
+
+from repro.core.service import ServeRequest, ServeResponse
+
+
+class MicroBatcher:
+    """Bounded-delay request coalescing over driver ``serve_many`` calls."""
+
+    def __init__(
+        self,
+        max_batch: int = 16,
+        max_delay: float = 0.002,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self._clock = clock
+        #: (endpoint, op) -> [(driver, request, future), ...]
+        self._pending: dict[tuple[str, str], list[tuple]] = {}
+        self._timers: dict[tuple[str, str], asyncio.TimerHandle] = {}
+        self.batches = 0
+        self.coalesced = 0
+        self.largest_batch = 0
+        self.expired_in_queue = 0
+
+    @property
+    def depth(self) -> int:
+        """Requests currently queued across all buckets."""
+        return sum(len(bucket) for bucket in self._pending.values())
+
+    async def submit(
+        self, endpoint: str, driver: Any, request: ServeRequest
+    ) -> ServeResponse:
+        """Enqueue one request; resolves when its bucket flushes."""
+        loop = asyncio.get_running_loop()
+        key = (endpoint, request.op)
+        future: asyncio.Future = loop.create_future()
+        bucket = self._pending.setdefault(key, [])
+        bucket.append((driver, request, future))
+        if len(bucket) >= self.max_batch:
+            self._flush(key)
+        elif key not in self._timers:
+            self._timers[key] = loop.call_later(
+                self.max_delay, self._flush, key
+            )
+        return await future
+
+    def _flush(self, key: tuple[str, str]) -> None:
+        timer = self._timers.pop(key, None)
+        if timer is not None:
+            timer.cancel()
+        bucket = self._pending.pop(key, None)
+        if not bucket:
+            return
+        now = self._clock() if self._clock is not None else None
+        live: list[tuple] = []
+        for driver, request, future in bucket:
+            if (
+                now is not None
+                and request.deadline is not None
+                and now > request.deadline
+            ):
+                self.expired_in_queue += 1
+                if not future.done():
+                    future.set_result(
+                        ServeResponse(
+                            status=504,
+                            error="deadline expired in queue",
+                            op=request.op,
+                        )
+                    )
+            else:
+                live.append((driver, request, future))
+        if not live:
+            return
+        self.batches += 1
+        self.largest_batch = max(self.largest_batch, len(live))
+        if len(live) > 1:
+            self.coalesced += len(live)
+        driver = live[0][0]
+        requests = [request for _, request, _ in live]
+        try:
+            responses = driver.serve_many(requests)
+        except Exception as exc:  # pragma: no cover — drivers return, not raise
+            for _, _, future in live:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for (_, _, future), response in zip(live, responses):
+            if not future.done():
+                future.set_result(response)
+
+    def drain(self) -> None:
+        """Flush every pending bucket immediately (shutdown path)."""
+        for key in list(self._pending):
+            self._flush(key)
+
+    def summary(self) -> dict:
+        return {
+            "batches": self.batches,
+            "coalesced": self.coalesced,
+            "largest_batch": self.largest_batch,
+            "expired_in_queue": self.expired_in_queue,
+        }

@@ -1,0 +1,108 @@
+"""Per-tenant sessions for the query plane.
+
+A :class:`Session` is the unit the front-end meters: every request is
+attributed to one tenant's session, which carries the counters the
+admission controller and the operator dashboards read (requests, cache
+hits, rejections).  Sessions are created lazily on a tenant's first
+request and live until :meth:`SessionManager.close` — the active count
+is exported as the ``sessions.active`` gauge.
+
+Session identity is deterministic (``<tenant>#<ordinal>``): nothing
+here reads a wall clock, so a replayed request stream produces the
+same session table byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Session:
+    """One tenant's live conversation with the query plane."""
+
+    tenant: str
+    session_id: str
+    opened_at: float
+    requests: int = 0
+    ok: int = 0
+    errors: int = 0
+    cache_hits: int = 0
+    rejected: int = 0
+    last_seen: float = 0.0
+    ops: dict[str, int] = field(default_factory=dict)
+
+    def note(self, op: str, now: float) -> None:
+        """Count one request landing on this session."""
+        self.requests += 1
+        self.last_seen = now
+        self.ops[op] = self.ops.get(op, 0) + 1
+
+    def to_dict(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "session_id": self.session_id,
+            "requests": self.requests,
+            "ok": self.ok,
+            "errors": self.errors,
+            "cache_hits": self.cache_hits,
+            "rejected": self.rejected,
+            "ops": dict(sorted(self.ops.items())),
+        }
+
+
+class SessionManager:
+    """Lazily-created, explicitly-closed per-tenant sessions."""
+
+    def __init__(self) -> None:
+        self._sessions: dict[str, Session] = {}
+        self._opened = 0
+        self.closed = 0
+
+    def get(self, tenant: str, now: float = 0.0) -> Session:
+        """The tenant's live session, created on first use."""
+        session = self._sessions.get(tenant)
+        if session is None:
+            self._opened += 1
+            session = Session(
+                tenant=tenant,
+                session_id=f"{tenant}#{self._opened}",
+                opened_at=now,
+                last_seen=now,
+            )
+            self._sessions[tenant] = session
+        return session
+
+    def peek(self, tenant: str) -> Session | None:
+        """The tenant's session without creating one."""
+        return self._sessions.get(tenant)
+
+    def close(self, tenant: str) -> Session | None:
+        """End the tenant's session; a later request opens a fresh one."""
+        session = self._sessions.pop(tenant, None)
+        if session is not None:
+            self.closed += 1
+        return session
+
+    @property
+    def active(self) -> int:
+        return len(self._sessions)
+
+    @property
+    def opened(self) -> int:
+        return self._opened
+
+    def sessions(self) -> list[Session]:
+        """Live sessions in creation order (deterministic)."""
+        return list(self._sessions.values())
+
+    def summary(self) -> dict:
+        return {
+            "active": self.active,
+            "opened": self.opened,
+            "closed": self.closed,
+            "tenants": {
+                tenant: session.to_dict()
+                for tenant, session in sorted(self._sessions.items())
+            },
+        }

@@ -242,3 +242,60 @@ class TestFormatNegotiation:
         store = CheckpointStore(tmp_path / "store")
         with pytest.raises(ValueError, match="no base snapshot"):
             store.delta(plane)
+
+
+class TestFormatMigration:
+    """A legacy @1 pickle upgrades to a @2 chain without behaviour drift."""
+
+    FLEET = ("moneyball", "doppler")
+
+    def _fleet(self, days: int) -> ControlPlane:
+        from repro.fabric import FleetConfig, build_fleet
+
+        plane = ControlPlane()
+        build_fleet(plane, FleetConfig(seed=0, days=days, include=self.FLEET))
+        return plane
+
+    def test_v1_resume_saved_as_v2_chain_is_byte_identical(self, tmp_path):
+        # The uninterrupted twin: seed-0 fleet straight through 4 days.
+        straight = self._fleet(4)
+        straight.run_days(4)
+        expected = straight.report_bytes()
+        straight.close()
+
+        # Day-2 state captured in the legacy single-pickle format.
+        fabric = self._fleet(4)
+        fabric.run_days(2)
+        CheckpointStore(tmp_path / "legacy.ckpt", version=1).save(fabric)
+        fabric.close()
+
+        # Migrate: load the @1 pickle, resume, checkpoint as a @2 chain.
+        resumed = CheckpointStore.load(tmp_path / "legacy.ckpt")
+        chain = CheckpointStore(tmp_path / "migrated")
+        resumed.run_days(1)
+        chain.save(resumed)
+        resumed.run_days(1)
+        chain.save(resumed)
+        assert [f["kind"] for f in chain.frames()] == ["base", "delta"]
+        assert resumed.report_bytes() == expected
+        resumed.close()
+
+        # The migrated chain restores to the same byte-identical report.
+        restored = CheckpointStore.load(tmp_path / "migrated")
+        assert restored.report_bytes() == expected
+        restored.close()
+
+    def test_pre_tuner_core_state_still_restores(self, tmp_path):
+        # Checkpoints written before the tuner rode along lack the
+        # "tuner" core key; load must tolerate its absence.
+        import pickle
+
+        plane = ControlPlane()
+        plane.register(RecordingDriver())
+        plane.run_days(1)
+        store = CheckpointStore(tmp_path / "legacy.ckpt", version=1)
+        store.save(plane)
+        payload = pickle.loads((tmp_path / "legacy.ckpt").read_bytes())
+        assert "tuner" not in payload["state"]  # @1 stays bit-compatible
+        restored = CheckpointStore.load(tmp_path / "legacy.ckpt")
+        assert restored.day == 1

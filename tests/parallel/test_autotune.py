@@ -146,6 +146,72 @@ class TestObservations:
         assert snap["functions"][key]["serial_calls"] == 1
 
 
+class TestStatePersistence:
+    """Learned costs survive pool restarts and fabric checkpoints."""
+
+    def test_state_dict_roundtrip_restores_the_learned_model(self):
+        tuner = GranularityTuner(alpha=0.5)
+        tuner.note_serial(_work, 10, seconds=1.0)
+        tuner.note_parallel(_work, 10, workers=2, seconds=0.2)
+        twin = GranularityTuner()
+        twin.load_state_dict(tuner.state_dict())
+        assert twin.snapshot() == tuner.snapshot()
+        assert twin.alpha == 0.5
+        assert twin.plan(_work, 100, workers=4) == tuner.plan(_work, 100, workers=4)
+
+    def test_load_state_dict_rejects_bad_alpha(self):
+        state = GranularityTuner().state_dict()
+        state["alpha"] = 0.0
+        with pytest.raises(ValueError):
+            GranularityTuner().load_state_dict(state)
+
+    def test_pool_shutdown_and_rearm_keeps_the_ewma(self):
+        """The regression: shutdown_pool() must not forget learned costs."""
+        from repro.parallel import get_tuner, shutdown_pool
+
+        tuner = get_tuner()
+        saved = tuner.state_dict()
+        try:
+            tuner.note_serial(_work, 10, seconds=1.0)
+            learned = tuner.profile(_work).serial_item_seconds
+            shutdown_pool()
+            assert get_tuner() is tuner
+            assert tuner.profile(_work).serial_item_seconds == learned
+            # Re-armed dispatches keep training the same profile.
+            pmap(_work, range(4), workers=1)
+            assert tuner.profile(_work).serial_calls >= 2
+        finally:
+            tuner.load_state_dict(saved)
+
+    def test_checkpoint_restore_carries_tuner_state(self, tmp_path):
+        from repro.fabric import (
+            CheckpointStore,
+            ControlPlane,
+            FleetConfig,
+            build_fleet,
+        )
+        from repro.parallel import get_tuner
+
+        tuner = get_tuner()
+        saved = tuner.state_dict()
+        try:
+            fabric = ControlPlane()
+            build_fleet(
+                fabric, FleetConfig(seed=0, days=2, include=("doppler",))
+            )
+            fabric.run_days(1)
+            tuner.note_serial(_work, 10, seconds=1.0)
+            learned = tuner.profile(_work).serial_item_seconds
+            CheckpointStore(tmp_path / "ckpt").save(fabric)
+            fabric.close()
+            tuner.reset()
+            assert tuner.profile(_work).serial_item_seconds is None
+            CheckpointStore.load(tmp_path / "ckpt").close()
+            assert tuner.profile(_work).serial_item_seconds == learned
+        finally:
+            tuner.load_state_dict(saved)
+
+
 class TestPmapIntegration:
     """The tuner actually steers pmap's route."""
 

@@ -1,0 +1,83 @@
+"""Admission control: token buckets, queue shedding, deadlines.
+
+Everything runs on a caller-supplied clock, so every rejection here is
+deterministic — no sleeps, no wall time.
+"""
+
+import pytest
+
+from repro.serve.admission import AdmissionController, TokenBucket
+
+
+class TestTokenBucket:
+    def test_burst_capacity_then_throttle(self):
+        bucket = TokenBucket(rate=1.0, capacity=2.0, now=0.0)
+        assert bucket.try_take(0.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)  # burst spent, no time passed
+
+    def test_refills_continuously_with_time(self):
+        bucket = TokenBucket(rate=2.0, capacity=2.0, now=0.0)
+        assert bucket.try_take(0.0) and bucket.try_take(0.0)
+        assert not bucket.try_take(0.1)
+        assert bucket.try_take(0.6)  # 0.5s later: one token back
+
+    def test_refill_is_capped_at_capacity(self):
+        bucket = TokenBucket(rate=100.0, capacity=1.0, now=0.0)
+        assert bucket.try_take(1000.0)
+        assert not bucket.try_take(1000.0)
+
+    def test_rejects_nonpositive_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, capacity=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, capacity=0.0)
+
+
+class TestAdmissionController:
+    def test_admits_under_all_limits(self):
+        controller = AdmissionController()
+        decision = controller.admit("t", now=0.0, queue_depth=0)
+        assert decision.admitted and decision.status == 200
+        assert controller.admitted == 1
+
+    def test_throttles_tenant_over_rate_with_429(self):
+        controller = AdmissionController(rate_per_tenant=1.0, burst=1.0)
+        assert controller.admit("t", 0.0, 0).admitted
+        decision = controller.admit("t", 0.0, 0)
+        assert not decision.admitted and decision.status == 429
+        assert "rate limit" in decision.reason
+        assert controller.throttled == 1
+
+    def test_tenants_get_independent_buckets(self):
+        controller = AdmissionController(rate_per_tenant=1.0, burst=1.0)
+        assert controller.admit("a", 0.0, 0).admitted
+        assert controller.admit("b", 0.0, 0).admitted  # b's own bucket
+        assert not controller.admit("a", 0.0, 0).admitted
+
+    def test_sheds_on_queue_depth_with_503(self):
+        controller = AdmissionController(max_queue_depth=2)
+        decision = controller.admit("t", 0.0, queue_depth=2)
+        assert not decision.admitted and decision.status == 503
+        assert "queue depth" in decision.reason
+        assert controller.shed == 1
+
+    def test_expired_deadline_rejected_with_504_before_other_gates(self):
+        controller = AdmissionController(rate_per_tenant=1.0, burst=1.0)
+        decision = controller.admit("t", now=5.0, queue_depth=0, deadline=4.0)
+        assert not decision.admitted and decision.status == 504
+        assert controller.expired == 1
+        assert controller.throttled == 0  # no token was spent
+
+    def test_future_deadline_admits(self):
+        controller = AdmissionController()
+        assert controller.admit("t", now=1.0, queue_depth=0, deadline=2.0).admitted
+
+    def test_shed_fraction_and_summary(self):
+        controller = AdmissionController(rate_per_tenant=1.0, burst=1.0)
+        controller.admit("t", 0.0, 0)
+        controller.admit("t", 0.0, 0)  # throttled
+        summary = controller.summary()
+        assert summary["admitted"] == 1
+        assert summary["throttled"] == 1
+        assert summary["shed_fraction"] == 0.5

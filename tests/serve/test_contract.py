@@ -1,0 +1,142 @@
+"""The serve contract: typed dispatch every service and driver speaks."""
+
+import pytest
+
+from repro.core.service import (
+    AutonomousService,
+    ServeRequest,
+    ServeResponse,
+    ServiceError,
+)
+from repro.fabric.pipeline import PipelineDriver, TickContext
+
+
+class Echo(AutonomousService):
+    """Minimal service: recommend scales, observe records, boom raises."""
+
+    service_name = "echo"
+
+    def __init__(self) -> None:
+        self.seen = []
+
+    def observe(self, subject, weight=1):
+        self.seen.append((subject, weight))
+        return len(self.seen)
+
+    def recommend(self, subject, scale=1):
+        return subject * scale
+
+    def report(self):
+        return {"seen": len(self.seen)}
+
+    def serve_boom(self, request):
+        raise KeyError("missing state")
+
+
+class EchoDriver(PipelineDriver):
+    name = "echo"
+
+    def __init__(self) -> None:
+        self.service = Echo()
+
+    def services(self):
+        return [self.service]
+
+    def observe(self, ctx: TickContext) -> None:
+        self.service.observe(ctx.day)
+
+
+class TestServiceServe:
+    def test_dispatches_to_handler_with_subject_and_params(self):
+        response = Echo().serve(
+            ServeRequest(op="recommend", subject=3, params={"scale": 4})
+        )
+        assert response.status == 200
+        assert response.ok
+        assert response.result == 12
+        assert response.served_by == "echo"
+        assert response.op == "recommend"
+
+    def test_observe_and_report_ops_use_default_handlers(self):
+        service = Echo()
+        assert service.serve(ServeRequest(op="observe", subject="t")).result == 1
+        assert service.serve(ServeRequest(op="report")).result == {"seen": 1}
+
+    def test_unknown_op_is_404_not_an_exception(self):
+        response = Echo().serve(ServeRequest(op="teleport"))
+        assert response.status == 404
+        assert not response.ok
+        assert "teleport" in response.error
+
+    def test_handler_exception_is_500_with_original_exception(self):
+        response = Echo().serve(ServeRequest(op="boom"))
+        assert response.status == 500
+        assert isinstance(response.exception, KeyError)
+        assert "KeyError" in response.error
+
+    def test_unwrap_reraises_the_original_exception(self):
+        response = Echo().serve(ServeRequest(op="boom"))
+        with pytest.raises(KeyError, match="missing state"):
+            response.unwrap()
+
+    def test_unwrap_without_exception_raises_service_error(self):
+        response = ServeResponse(status=503, error="queue full")
+        with pytest.raises(ServiceError, match="queue full") as exc_info:
+            response.unwrap()
+        assert exc_info.value.status == 503
+
+    def test_unwrap_returns_result_on_success(self):
+        assert Echo().serve(ServeRequest(op="recommend", subject=2)).unwrap() == 2
+
+    def test_serve_many_default_is_order_preserving(self):
+        responses = Echo().serve_many(
+            [ServeRequest(op="recommend", subject=i) for i in range(5)]
+        )
+        assert [r.result for r in responses] == [0, 1, 2, 3, 4]
+
+
+class TestDriverServe:
+    def test_driver_routes_to_wrapped_service(self):
+        driver = EchoDriver()
+        response = driver.serve(ServeRequest(op="recommend", subject=5))
+        assert response.status == 200
+        assert response.result == 5
+
+    def test_driver_404_names_the_driver(self):
+        response = EchoDriver().serve(ServeRequest(op="nope"))
+        assert response.status == 404
+        assert "echo" in response.error
+
+    def test_driver_serve_many_delegates_to_single_service(self):
+        driver = EchoDriver()
+        responses = driver.serve_many(
+            [ServeRequest(op="recommend", subject=i) for i in range(3)]
+        )
+        assert [r.result for r in responses] == [0, 1, 2]
+
+    def test_ticked_and_queried_paths_share_state(self):
+        driver = EchoDriver()
+        from repro.fabric.lifecycle import ModelLifecycle
+
+        driver.observe(
+            TickContext(day=0, tick=0, now=0.0, lifecycle=ModelLifecycle())
+        )
+        response = driver.serve(ServeRequest(op="report"))
+        assert response.result == {"seen": 1}
+
+
+class TestPeregrineStats:
+    def test_stats_op_answers_from_the_repository(self):
+        from repro.fabric.fleet import PeregrineDriver
+
+        driver = PeregrineDriver(jobs_by_day={})
+        response = driver.serve(ServeRequest(op="stats"))
+        assert response.status == 200
+        assert response.result == {"jobs": 0, "stats": {}}
+        assert response.served_by == "peregrine"
+
+    def test_unknown_op_still_404s(self):
+        from repro.fabric.fleet import PeregrineDriver
+
+        driver = PeregrineDriver(jobs_by_day={})
+        assert driver.serve(ServeRequest(op="recommend")).status == 404

@@ -1,0 +1,46 @@
+"""Per-tenant sessions: lazy open, deterministic ids, explicit close."""
+
+from repro.serve.session import SessionManager
+
+
+class TestSessionManager:
+    def test_first_request_opens_a_session(self):
+        manager = SessionManager()
+        session = manager.get("contoso", now=1.0)
+        assert session.session_id == "contoso#1"
+        assert manager.active == 1 and manager.opened == 1
+
+    def test_same_tenant_reuses_the_live_session(self):
+        manager = SessionManager()
+        assert manager.get("t") is manager.get("t")
+        assert manager.opened == 1
+
+    def test_close_then_reopen_gets_a_fresh_ordinal(self):
+        manager = SessionManager()
+        manager.get("t")
+        closed = manager.close("t")
+        assert closed is not None and manager.closed == 1
+        assert manager.get("t").session_id == "t#2"
+
+    def test_close_unknown_tenant_is_a_noop(self):
+        manager = SessionManager()
+        assert manager.close("ghost") is None
+        assert manager.closed == 0
+
+    def test_note_counts_requests_and_ops(self):
+        manager = SessionManager()
+        session = manager.get("t", now=0.0)
+        session.note("recommend", now=1.0)
+        session.note("recommend", now=2.0)
+        session.note("stats", now=3.0)
+        assert session.requests == 3
+        assert session.last_seen == 3.0
+        assert session.to_dict()["ops"] == {"recommend": 2, "stats": 1}
+
+    def test_summary_is_deterministic_and_sorted(self):
+        manager = SessionManager()
+        manager.get("zeta").note("a", 0.0)
+        manager.get("alpha").note("b", 0.0)
+        summary = manager.summary()
+        assert list(summary["tenants"]) == ["alpha", "zeta"]
+        assert summary["active"] == 2

@@ -145,9 +145,11 @@ class TestFabricCommand:
         assert "fabric: 2 days" in out
         assert "injected faults fired: 3" in out
 
-    def test_unknown_service_rejected(self):
-        with pytest.raises(ValueError, match="unknown fleet services"):
-            main(["fabric", "--days", "1", "--services", "teleport"])
+    def test_unknown_service_rejected(self, capsys):
+        assert main(["fabric", "--days", "1", "--services", "teleport"]) == 1
+        err = capsys.readouterr().err
+        assert "repro fabric: error:" in err
+        assert "unknown fleet services" in err
 
     def test_checkpoint_resume_round_trip(self, tmp_path, capsys):
         path = str(tmp_path / "fab.ckpt")
@@ -162,6 +164,62 @@ class TestFabricCommand:
         resumed = capsys.readouterr().out
         assert interrupted == straight
         assert resumed == straight
+
+
+class TestFailureExits:
+    """Every subcommand fails loudly: exit 1 plus one stderr error line."""
+
+    @pytest.mark.parametrize(
+        ("argv", "needle"),
+        [
+            pytest.param(
+                ["fabric", "--days", "1", "--services", "teleport"],
+                "unknown fleet services",
+                id="fabric-unknown-service",
+            ),
+            pytest.param(
+                ["fabric", "--days", "3", "--resume", "no-such.ckpt"],
+                "no-such.ckpt",
+                id="fabric-missing-checkpoint",
+            ),
+            pytest.param(
+                [
+                    "fabric", "--days", "1", "--services", "doppler",
+                    "--inject-fault", "doppler:teleport",
+                ],
+                "unknown stage",
+                id="fabric-bad-fault-spec",
+            ),
+            pytest.param(
+                ["serve", "--requests", "0"],
+                "--requests must be >= 1",
+                id="serve-zero-requests",
+            ),
+            pytest.param(
+                ["serve", "--resume", "no-such.ckpt"],
+                "no-such.ckpt",
+                id="serve-missing-checkpoint",
+            ),
+        ],
+    )
+    def test_failure_exits_nonzero_with_one_line(self, capsys, argv, needle):
+        assert main(argv) == 1
+        err = capsys.readouterr().err
+        assert err.startswith(f"repro {argv[0]}: error:")
+        assert needle in err
+        assert err.count("\n") == 1  # exactly one line, no traceback
+
+    def test_resume_past_target_day_is_an_error(self, tmp_path, capsys):
+        path = str(tmp_path / "fab.ckpt")
+        assert main([
+            "fabric", "--days", "2", "--services", "doppler",
+            "--checkpoint", path,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["fabric", "--days", "1", "--resume", path]) == 1
+        err = capsys.readouterr().err
+        assert "repro fabric: error:" in err
+        assert "nothing to run" in err
 
 
 class TestTraceCommand:
