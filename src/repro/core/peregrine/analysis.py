@@ -84,42 +84,16 @@ def _day_table(
 ) -> tuple[np.ndarray, list[tuple[int, int, int, int]]]:
     """The whole repository's (job, signature) rows as one numpy block.
 
-    Rows are gathered straight from the columnar day chunks — no
-    record materialization — day by day, job by job, signature by
-    signature (plan walk order), as a structured array of
-    ``(job_code, sig_bytes)``.  Job codes are the day's row offset plus
-    the local row: bijective with job ids, so per-day distinct counts
-    match an interned-string scan.  The flat block is what makes the
-    table shared-memory publishable instead of a pickled object forest.
-    Returns the table plus per-day ``(day, start_row, stop_row,
-    n_jobs)`` slices.
+    Delegates to :meth:`WorkloadRepository.sig_table`, which memoizes
+    the block append-only across ``analyze()`` calls: each call gathers
+    only days ingested since the last one, so re-analysis per fabric
+    tick costs O(new day) instead of re-concatenating (and re-loading
+    spilled chunks for) the whole history.  Job codes are the day's
+    global row offset plus the local row: bijective with job ids, so
+    per-day distinct counts match an interned-string scan.  Returns the
+    table plus per-day ``(day, start_row, stop_row, n_jobs)`` slices.
     """
-    parts_job: list[np.ndarray] = []
-    parts_sig: list[np.ndarray] = []
-    slices: list[tuple[int, int, int, int]] = []
-    sig_width = 1
-    total = 0
-    offset = 0
-    for day in repo.days():
-        flat_job, flat_sig, n_jobs = repo.day_sig_table(day, min_size)
-        start = total
-        total += len(flat_job)
-        parts_job.append(flat_job.astype(np.uint64) + offset)
-        parts_sig.append(flat_sig)
-        if len(flat_sig):
-            sig_width = max(sig_width, flat_sig.dtype.itemsize)
-        slices.append((day, start, total, n_jobs))
-        offset += n_jobs
-    table = np.zeros(
-        total,
-        dtype=[("job", np.uint32), ("sig", f"S{sig_width}")],
-    )
-    if total:
-        table["job"] = np.concatenate(parts_job)
-        table["sig"] = np.concatenate(
-            [p.astype(f"S{sig_width}") for p in parts_sig if len(p)]
-        )
-    return table, slices
+    return repo.sig_table(min_size)
 
 
 def _day_sharing_worker_shm(

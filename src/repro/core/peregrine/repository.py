@@ -547,6 +547,14 @@ class JobTable:
         self.n_jobs = 0
         self.spills = 0
         self.loads = 0
+        # Derived cache: one (hashes, days, rows) triple merge-sorted
+        # across every closed day, so membership probes cost a single
+        # searchsorted instead of one per historical day.  Lazily built,
+        # extended in place at close_day, dropped on reopen; never
+        # pickled (rebuilt on demand after a restore).
+        self._global_index: (
+            tuple[np.ndarray, np.ndarray, np.ndarray] | None
+        ) = None
 
     # -- chunk access --------------------------------------------------------
     def _touch(self, day: int) -> None:
@@ -582,6 +590,7 @@ class JobTable:
             self.open_day = day
             self._open_map = {}
             self._open_segments = [self.closed_index.pop(day)]
+            self._global_index = None
             self.reopened = True
         else:
             chunk = DayChunk(day)
@@ -621,12 +630,54 @@ class JobTable:
                 np.empty(0, dtype=np.uint64),
                 np.empty(0, dtype=np.uint32),
             )
+        if self._global_index is not None:
+            # Merge the finished day into the global index in place —
+            # one searchsorted + three inserts, not a full rebuild.
+            day_hashes, day_rows = self.closed_index[day]
+            if len(day_hashes):
+                gl_hashes, gl_days, gl_rows = self._global_index
+                at = np.searchsorted(gl_hashes, day_hashes)
+                self._global_index = (
+                    np.insert(gl_hashes, at, day_hashes),
+                    np.insert(gl_days, at, np.int32(day)),
+                    np.insert(gl_rows, at, day_rows),
+                )
         self.open_day = None
         self._open_map = {}
         self._open_segments = []
         self._enforce_budget()
 
     # -- membership ----------------------------------------------------------
+    def _merged_index(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sorted (hashes, days, rows) across every *closed* day."""
+        merged = self._global_index
+        if merged is not None:
+            return merged
+        hashes: list[np.ndarray] = []
+        days: list[np.ndarray] = []
+        rows: list[np.ndarray] = []
+        for day, (idx_hashes, idx_rows) in self.closed_index.items():
+            if len(idx_hashes):
+                hashes.append(idx_hashes)
+                days.append(np.full(len(idx_hashes), day, dtype=np.int32))
+                rows.append(idx_rows)
+        if hashes:
+            all_hashes = np.concatenate(hashes)
+            order = np.argsort(all_hashes, kind="stable")
+            merged = (
+                all_hashes[order],
+                np.concatenate(days)[order],
+                np.concatenate(rows)[order],
+            )
+        else:
+            merged = (
+                np.empty(0, dtype=np.uint64),
+                np.empty(0, dtype=np.int32),
+                np.empty(0, dtype=np.uint32),
+            )
+        self._global_index = merged
+        return merged
+
     def _day_has(self, day: int, job_id: str, h: np.uint64) -> int | None:
         """Row of ``job_id`` on ``day`` if present (hash + verify)."""
         if day == self.open_day:
@@ -660,9 +711,13 @@ class JobTable:
             row = self._day_has(self.open_day, job_id, h)
             if row is not None:
                 return self.open_day, row
-        for day in self.closed_index:
-            row = self._day_has(day, job_id, h)
-            if row is not None:
+        gl_hashes, gl_days, gl_rows = self._merged_index()
+        lo = int(np.searchsorted(gl_hashes, h, side="left"))
+        hi = int(np.searchsorted(gl_hashes, h, side="right"))
+        for at in range(lo, hi):
+            day = int(gl_days[at])
+            row = int(gl_rows[at])
+            if self.chunk(day).job_ids[row] == job_id:
                 return day, row
         return None
 
@@ -707,17 +762,21 @@ class JobTable:
                 seen.add(job_id)
         chunk = self._ensure_open(batch.day)
         base_row = chunk.n
-        # Cross-day (and same-day) duplicate probe: hash candidates only.
-        for day, index in self.closed_index.items():
-            idx_hashes, _ = index
-            if len(idx_hashes):
-                hits = np.searchsorted(idx_hashes, uniq)
-                hits = np.clip(hits, 0, len(idx_hashes) - 1)
-                maybe = idx_hashes[hits] == uniq
-                for pos in np.nonzero(maybe)[0]:
-                    job_id = batch.job_ids[int(first[pos])]
-                    if self._day_has(day, job_id, uniq[pos]) is not None:
-                        raise ValueError(f"job {job_id!r} already ingested")
+        # Cross-day duplicate probe against the single merged index:
+        # one searchsorted for the whole batch regardless of how many
+        # historical days exist, verifying only hash collisions.
+        gl_hashes, gl_days, gl_rows = self._merged_index()
+        if len(gl_hashes):
+            lo = np.searchsorted(gl_hashes, uniq, side="left")
+            hi = np.searchsorted(gl_hashes, uniq, side="right")
+            for pos in np.nonzero(hi > lo)[0]:
+                job_id = batch.job_ids[int(first[pos])]
+                for at in range(int(lo[pos]), int(hi[pos])):
+                    day = int(gl_days[at])
+                    if self.chunk(day).job_ids[int(gl_rows[at])] == job_id:
+                        raise ValueError(
+                            f"job {job_id!r} already ingested"
+                        )
         if self._open_map or self._open_segments:
             for pos in range(len(uniq)):
                 job_id = batch.job_ids[int(first[pos])]
@@ -907,6 +966,9 @@ class WorkloadRepository:
         self._closed_involved: dict[int, int] = {}
         self._dep_fallback = False
         self._days_cache: list[int] | None = None
+        # min_size -> append-only whole-history (job, sig) block; see
+        # :meth:`sig_table`.  Derived, potentially large: never pickled.
+        self._sig_table_cache: dict[int, dict] = {}
 
     def __len__(self) -> int:
         return self._table.n_jobs
@@ -991,6 +1053,16 @@ class WorkloadRepository:
         for key in [k for k in self._day_summaries if k[0] == day]:
             del self._day_summaries[key]
         self._closed_involved.pop(day, None)
+        # A day already folded into a cached sig table mutated (reopen
+        # or same-day re-ingest): that block can no longer be extended
+        # append-only, so drop it.  Brand-new days leave caches intact —
+        # they are appended on the next sig_table call.
+        for min_size in [
+            m
+            for m, state in self._sig_table_cache.items()
+            if day in state["days"]
+        ]:
+            del self._sig_table_cache[min_size]
 
     # -- dependency involvement ---------------------------------------------
     def _resolve_involved(self, day: int, closing: bool = False) -> int:
@@ -1083,6 +1155,85 @@ class WorkloadRepository:
         flat_job, flat_sig = chunk.sig_rows(min_size)
         return flat_job, chunk.sig_bytes()[flat_sig], chunk.n
 
+    def sig_table(
+        self, min_size: int = 2
+    ) -> tuple[np.ndarray, list[tuple[int, int, int, int]]]:
+        """Whole-history (job, signature) block, memoized append-only.
+
+        The structured ``(job_code, sig_bytes)`` array the parallel
+        analyze path publishes to shared memory.  Per call, only days
+        ingested since the last call are gathered from their chunks;
+        already-cached days extend with one memcpy and never reload a
+        (possibly spilled) chunk again — analyze cost per tick stays
+        O(new day), not O(history).  If a new day's signature pool is
+        wider than the cached block, the block is recast to the wider
+        byte width (zero-padded, exactly like a fresh build).  Job
+        codes are the day's global row offset plus the local row.
+        Returns ``(table, slices)`` with per-day
+        ``(day, start_row, stop_row, n_jobs)`` slices.
+        """
+        counts = self._table.day_counts
+        days = self.days()
+        state = self._sig_table_cache.get(min_size)
+        if state is not None:
+            cached_days = state["days"]
+            fresh = all(counts.get(d) == n for d, n in cached_days.items())
+            new_days = [d for d in days if d not in cached_days]
+            if (
+                fresh
+                and cached_days
+                and new_days
+                and min(new_days) < max(cached_days)
+            ):
+                # A day arrived out of order: appending would scramble
+                # the sorted-day layout, so rebuild from scratch.
+                fresh = False
+            if not fresh:
+                state = None
+        if state is None:
+            state = {"days": {}, "table": None, "slices": [], "offset": 0}
+            self._sig_table_cache[min_size] = state
+            new_days = days
+        table = state["table"]
+        if table is None:
+            table = np.zeros(
+                0, dtype=[("job", np.uint32), ("sig", "S1")]
+            )
+        if new_days:
+            width = table.dtype["sig"].itemsize
+            parts_job: list[np.ndarray] = []
+            parts_sig: list[np.ndarray] = []
+            total = len(table)
+            offset = state["offset"]
+            slices = state["slices"]
+            for day in new_days:
+                flat_job, flat_sig, n_jobs = self.day_sig_table(
+                    day, min_size
+                )
+                start = total
+                total += len(flat_job)
+                parts_job.append(flat_job.astype(np.uint64) + offset)
+                parts_sig.append(flat_sig)
+                if len(flat_sig):
+                    width = max(width, flat_sig.dtype.itemsize)
+                slices.append((day, start, total, n_jobs))
+                offset += n_jobs
+                state["days"][day] = n_jobs
+            dtype = [("job", np.uint32), ("sig", f"S{width}")]
+            grown = np.zeros(total, dtype=dtype)
+            n_old = len(table)
+            if n_old:
+                grown[:n_old] = table.astype(dtype, copy=False)
+            if total > n_old:
+                grown["job"][n_old:] = np.concatenate(parts_job)
+                grown["sig"][n_old:] = np.concatenate(
+                    [p.astype(f"S{width}") for p in parts_sig if len(p)]
+                )
+            table = grown
+            state["table"] = table
+            state["offset"] = offset
+        return table, list(state["slices"])
+
     # -- access --------------------------------------------------------------
     def job(self, job_id: str) -> JobRecord:
         found = self._table.find(job_id)
@@ -1140,3 +1291,15 @@ class WorkloadRepository:
     def chunk_stats(self) -> dict:
         """Hot/spilled chunk counts and byte estimates (ops surface)."""
         return self._table.stats()
+
+    # -- pickling ------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        # The whole-history sig block is derived and can be tens of MB;
+        # checkpoints rebuild it lazily on the first analyze.
+        state["_sig_table_cache"] = {}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.__dict__.setdefault("_sig_table_cache", {})

@@ -199,6 +199,17 @@ class PeregrineDriver(PipelineDriver):
         self.stats: dict = {}
 
     def observe(self, ctx: TickContext) -> None:
+        day_batch = getattr(self.jobs_by_day, "day_batch", None)
+        if day_batch is not None:
+            # Streaming source: the day arrives as one fused columnar
+            # batch (possibly prefetched on the worker pool while the
+            # previous day's services ran) — no per-job list, and
+            # bit-identical to the record-path ingest.
+            batch = day_batch(ctx.day)
+            if batch is not None and len(batch):
+                self.mark_dirty()
+                self.repo.ingest_batch(batch)
+            return
         jobs = self.jobs_by_day.get(ctx.day, [])
         if jobs:
             self.mark_dirty()
@@ -724,6 +735,9 @@ class FleetConfig:
     #: repository memory budget + spill target (streaming scale only).
     repo_memory_budget_mb: int | None = None
     repo_spill_dir: str | None = None
+    #: None = prefetch day d+1 on the worker pool iff it can overlap
+    #: (multi-core and the parallel substrate resolves to > 1 worker).
+    overlap_prefetch: bool | None = None
 
     def __post_init__(self) -> None:
         unknown = set(self.include) - set(FULL_FLEET)
@@ -766,7 +780,10 @@ def build_fleet(plane, config: FleetConfig | None = None):
             from repro.fabric.streams import StreamingJobSource
 
             source = StreamingJobSource(
-                config.seed, config.days, config.jobs_per_day
+                config.seed,
+                config.days,
+                config.jobs_per_day,
+                overlap=config.overlap_prefetch,
             )
             catalog = source.catalog
             job_pairs = source.pairs(config.service_jobs_per_day)

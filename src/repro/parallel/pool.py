@@ -203,6 +203,24 @@ class WorkerPool:
             self.items_dispatched += len(items)
             return list(executor.map(fn, items, chunksize=chunksize))
 
+    def submit(self, fn: Callable[[T], R], item: T, workers: int = 1):
+        """One async task on the warm pool; returns its Future.
+
+        The single-task escape hatch :meth:`map` doesn't cover: overlap
+        work (e.g. prefetching the next fabric day's generation) rides
+        the same persistent workers without blocking the caller.  The
+        future is process-local — callers must not pickle it; dropping
+        it is safe (the task just runs to completion unobserved).
+        """
+        with self._span(
+            "parallel.submit",
+            fn=getattr(fn, "__qualname__", repr(fn)),
+        ):
+            executor = self.ensure(max(workers, 1))
+            self.dispatches += 1
+            self.items_dispatched += 1
+            return executor.submit(fn, item)
+
     def _stop(self) -> None:
         executor = self._executor
         self._executor = None

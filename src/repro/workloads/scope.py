@@ -20,9 +20,13 @@ The generator is calibrated to those statistics:
 
 from __future__ import annotations
 
+import gc
+from binascii import hexlify
 from copy import deepcopy
 from dataclasses import dataclass, field
-from typing import Iterator
+from hashlib import sha1
+from operator import attrgetter
+from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
@@ -39,9 +43,21 @@ from repro.engine import (
     Scan,
     TableDef,
 )
+from repro.engine.signatures import (
+    _digest,
+    enumerate_all_signatures,
+    signatures,
+)
 from repro.parallel import DEFAULT_N_SHARDS, shard_items
 
+if TYPE_CHECKING:
+    from repro.core.peregrine.repository import JobBatch
+
 HOURS_PER_DAY = 24.0
+
+#: C-level sort key for the per-day stable sort (same order as the old
+#: ``lambda j: j.submit_hour``, measurably cheaper at 100k+ jobs/day).
+_BY_SUBMIT_HOUR = attrgetter("submit_hour")
 
 
 def _job_shard_key(job: "Job") -> str:
@@ -274,6 +290,79 @@ class _Template:
         return core, params
 
 
+@dataclass
+class _AdhocShape:
+    """Day-independent signature scaffolding for one ad-hoc plan shape.
+
+    Ad-hoc plans come in exactly four shapes (filter-scan, optionally
+    joined to a second scan, capped by an aggregate or a project), so
+    everything except the predicate literal is cacheable per
+    ``(table, column, join_table, aggregate)``: the scan signatures,
+    the template signatures (literals are masked, so they carry no
+    per-job information), and the strict-payload prefixes the per-job
+    digests are folded into.  The fused batch path then needs only
+    2–3 SHA1 calls per ad-hoc job instead of a full signature walk.
+
+    The payload pieces are kept as *bytes* and the per-node names as
+    the raw first 8 digest bytes: a 16-hex-char signature name is a
+    bijective encoding of those 8 bytes, so the interning pass can run
+    ``np.unique`` over a uint64 view and hexlify only the surviving
+    pool — hex strings exist per *unique* signature, not per job.
+    """
+
+    scan_raw: bytes          # raw 8-byte digest of Scan(table)
+    jscan_raw: bytes | None  # Scan(join_table), when joined
+    filt_pre: bytes          # strict Filter payload up to the literal
+    filt_post: bytes         # strict Filter payload after the literal
+    join_pre: bytes | None   # strict Join payload around the filter sig
+    join_post: bytes | None
+    root_pre: bytes          # strict root payload up to the child sig
+    root_size: int           # node count of the full plan
+    root_template: str       # template signature of the full plan
+    scan_node: Scan          # shared scan instances: plans differ only
+    jscan_node: Scan | None  # in the predicate literal above the scans
+    aggregate: bool
+    root_cols: tuple[str, ...]  # Aggregate group_by / Project columns
+
+
+def _stamp_adhoc_plan(shape: _AdhocShape, column: str, value: float) -> Expression:
+    """Stamp one ad-hoc plan from its cached shape.
+
+    Equivalent to building the tree with the dataclass constructors, but
+    ~6x cheaper: frozen-dataclass ``__init__`` pays two
+    ``object.__setattr__`` calls per field, while filling ``__dict__``
+    directly (in field order, so pickles lay out identically) costs one
+    dict store.  The scans carry no literal, so the shape's shared
+    instances are reused across every plan of the same shape; equality
+    and hashing stay structural either way.
+    """
+    pred = Predicate.__new__(Predicate)
+    pd = pred.__dict__
+    pd["column"] = column
+    pd["op"] = "<="
+    pd["value"] = value
+    filt = Filter.__new__(Filter)
+    fd = filt.__dict__
+    fd["child"] = shape.scan_node
+    fd["predicates"] = (pred,)
+    top: Expression = filt
+    if shape.jscan_node is not None:
+        join = Join.__new__(Join)
+        jd = join.__dict__
+        jd["left"] = filt
+        jd["right"] = shape.jscan_node
+        jd["left_key"] = "key"
+        jd["right_key"] = "key"
+        top = join
+    root = (Aggregate if shape.aggregate else Project).__new__(
+        Aggregate if shape.aggregate else Project
+    )
+    rd = root.__dict__
+    rd["child"] = top
+    rd["group_by" if shape.aggregate else "columns"] = shape.root_cols
+    return root
+
+
 class ScopeWorkloadGenerator:
     """Builds templates once, then stamps out daily jobs."""
 
@@ -312,6 +401,39 @@ class ScopeWorkloadGenerator:
         # ``generate()`` starts from, plus the position at the start of
         # every day already replayed — day-addressable random access.
         self._day_states: dict[int, dict] = {0: deepcopy(self._rng.bit_generator.state)}
+        # Fused-batch caches, all derivable from the templates above and
+        # rebuilt lazily after pickling (see __getstate__): checkpoints
+        # must stay manifest-sized, not carry 100k+ cached id strings.
+        self._rec_meta: list[tuple[_Template, list[str] | None]] | None = None
+        self._rec_offsets: np.ndarray | None = None
+        self._rec_id_suffixes: list[str] | None = None
+        self._adhoc_id_suffixes: list[str] | None = None
+        self._adhoc_shapes: dict[tuple, _AdhocShape] = {}
+        self._filter_cands: dict[str, tuple[ColumnStats, ...]] = {}
+
+    #: Bound on cached ad-hoc signature scaffolds (FIFO-evicted beyond
+    #: it; re-deriving an evicted shape is bit-identical, so the cap is
+    #: purely a memory bound for month-long runs).  Sized above the
+    #: ~49k distinct shapes a single 1M-job day draws, so hot sets
+    #: never thrash.
+    _ADHOC_SHAPE_CAP = 65536
+
+    #: cache attributes dropped from pickles and rebuilt on first use.
+    _LAZY_CACHES = (
+        "_rec_meta", "_rec_offsets", "_rec_id_suffixes",
+        "_adhoc_id_suffixes", "_adhoc_shapes", "_filter_cands",
+    )
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        for name in self._LAZY_CACHES:
+            state[name] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._adhoc_shapes = {}
+        self._filter_cands = {}
 
     # -- construction --------------------------------------------------------
     def _random_table_rng(self, rng: np.random.Generator) -> TableDef:
@@ -492,9 +614,7 @@ class ScopeWorkloadGenerator:
         )
 
     def _recurring_job_id(self, day: int, template_id: int, instance: int) -> str:
-        if self.config.instances_per_template == 1:
-            return f"d{day:03d}-t{template_id:03d}"
-        return f"d{day:03d}-t{template_id:03d}-i{instance:03d}"
+        return f"d{day:03d}-" + self._id_suffix(template_id, instance)
 
     def _generate_day(self, day: int, rng: np.random.Generator) -> list[Job]:
         """One day's jobs, sorted by submit hour.
@@ -538,7 +658,7 @@ class ScopeWorkloadGenerator:
             template_job_ids[template.template_id] = ids
         producers = [
             (
-                t.output_table,
+                self.catalog.get(t.output_table),
                 template_job_ids[t.template_id][0],
                 t.submit_hour_offset,
             )
@@ -547,7 +667,7 @@ class ScopeWorkloadGenerator:
         ]
         for k in range(self.adhoc_per_day):
             jobs.append(self._adhoc_job(rng, day, k, producers))
-        jobs.sort(key=lambda j: j.submit_hour)
+        jobs.sort(key=_BY_SUBMIT_HOUR)
         return jobs
 
     def generate(self, n_days: int = 7) -> Workload:
@@ -571,17 +691,64 @@ class ScopeWorkloadGenerator:
         """
         if day < 0:
             raise ValueError("day must be >= 0")
+        rng = self._replay_to(day)
+        jobs = self._generate_day(day, rng)
+        self._day_states.setdefault(day + 1, deepcopy(rng.bit_generator.state))
+        return jobs
+
+    def _replay_to(self, day: int) -> np.random.Generator:
+        """An RNG positioned at the start of ``day``, caching boundaries.
+
+        Intermediate days are advanced with :meth:`_skip_day` — the same
+        draw sequence as full generation (see :meth:`_adhoc_draws`)
+        without building a single ``Job`` — so random access to day *d*
+        costs O(draws), not O(objects).
+        """
         rng = np.random.default_rng()
         start = max(d for d in self._day_states if d <= day)
         rng.bit_generator.state = deepcopy(self._day_states[start])
         for replay in range(start, day):
-            self._generate_day(replay, rng)
+            self._skip_day(replay, rng)
             self._day_states.setdefault(
                 replay + 1, deepcopy(rng.bit_generator.state)
             )
-        jobs = self._generate_day(day, rng)
-        self._day_states.setdefault(day + 1, deepcopy(rng.bit_generator.state))
-        return jobs
+        return rng
+
+    def _skip_day(self, day: int, rng: np.random.Generator) -> None:
+        """Advance ``rng`` past ``day`` without materializing its jobs.
+
+        Recurring templates draw nothing at generation time, so a day's
+        RNG consumption is exactly its ad-hoc draws.
+        """
+        producers = self._day_producers(day)
+        for _ in range(self.adhoc_per_day):
+            self._adhoc_draws(rng, day, producers)
+
+    def _day_producers(self, day: int) -> list[tuple[TableDef, str, float]]:
+        """The (output table, first job id, hour) producer list of a day.
+
+        Identical contents and order to the list ``_generate_day``
+        assembles from its freshly-stamped jobs — every template stamps
+        at least one instance, so membership is simply "has an output
+        table", and the first instance's id is a pure function of
+        ``(day, template_id)``.
+        """
+        prefix = f"d{day:03d}-"
+        return [
+            (
+                self.catalog.get(t.output_table),
+                prefix + self._id_suffix(t.template_id, 0),
+                t.submit_hour_offset,
+            )
+            for t in self.templates
+            if t.output_table is not None
+        ]
+
+    def _id_suffix(self, template_id: int, instance: int) -> str:
+        """Day-independent tail of a recurring job id."""
+        if self.config.instances_per_template == 1:
+            return f"t{template_id:03d}"
+        return f"t{template_id:03d}-i{instance:03d}"
 
     def iter_jobs(self, day: int) -> Iterator[Job]:
         """Iterate one day's jobs in submit order (see :meth:`day_jobs`)."""
@@ -599,6 +766,82 @@ class ScopeWorkloadGenerator:
         for day in range(start_day, start_day + n_days):
             yield self.day_jobs(day)
 
+    def _filter_candidates(self, table: TableDef) -> tuple[ColumnStats, ...]:
+        """Non-key columns of ``table`` (the ad-hoc filter candidates)."""
+        cands = self._filter_cands.get(table.name)
+        if cands is None:
+            cands = tuple(c for c in table.columns if c.name != "key")
+            self._filter_cands[table.name] = cands
+        return cands
+
+    def _adhoc_draws(
+        self,
+        rng: np.random.Generator,
+        day: int,
+        producers: list[tuple[TableDef, str, float]],
+    ) -> tuple[str, str, float, str | None, bool, float, tuple[str, ...]]:
+        """Every random decision one ad-hoc job makes, in draw order.
+
+        This is the single source of truth for the ad-hoc RNG stream:
+        the per-job streaming path (:meth:`_adhoc_job`), the fused
+        batch path (:meth:`day_batch`), and the replay skip
+        (:meth:`_skip_day`) all consume ``rng`` through here, so every
+        path advances the generator through the *identical* sequence of
+        calls — the invariant the bit-identity pins rest on.  Returns
+        ``(table, column, value, join_table, aggregate, submit_hour,
+        depends_on)``.
+
+        ``uniform(lo, hi)`` draws are written as ``lo + (hi - lo) *
+        random()`` — the exact arithmetic ``Generator.uniform`` performs
+        on the same single draw, so the stream and the values are
+        bit-identical while skipping the broadcasting machinery (this
+        loop runs a million times a day).
+        """
+        random = rng.random
+        integers = rng.integers
+        base_tables = self._base_tables
+        depends: tuple[str, ...] = ()
+        submit_hour = day * HOURS_PER_DAY + 24.0 * random()
+        if producers and random() < self.config.adhoc_dependency_fraction:
+            table, producer_job, producer_hour = producers[
+                int(integers(0, len(producers)))
+            ]
+            depends = (producer_job,)
+            # A consumer cannot start before its producer ran.
+            submit_hour = day * HOURS_PER_DAY + min(
+                23.9, producer_hour + (0.5 + 3.5 * random())
+            )
+        else:
+            table = base_tables[int(integers(0, len(base_tables)))]
+        candidates = self._filter_candidates(table)
+        if candidates:
+            column = candidates[int(integers(0, len(candidates)))]
+        else:
+            column = table.columns[0]
+        value = column.low + (column.high - column.low) * random()
+        join_table = (
+            base_tables[int(integers(0, len(base_tables)))].name
+            if random() < 0.5
+            else None
+        )
+        aggregate = random() < 0.5
+        return (
+            table.name, column.name, value, join_table, aggregate,
+            submit_hour, depends,
+        )
+
+    def _adhoc_plan(
+        self,
+        table: str,
+        column: str,
+        value: float,
+        join_table: str | None,
+        aggregate: bool,
+    ) -> Expression:
+        """Build the ad-hoc plan an :meth:`_adhoc_draws` tuple describes."""
+        shape = self._adhoc_shape(table, column, join_table, aggregate)
+        return _stamp_adhoc_plan(shape, column, value)
+
     def _adhoc_job(
         self,
         rng: np.random.Generator,
@@ -612,34 +855,342 @@ class ScopeWorkloadGenerator:
         pipeline's derived output table (ad-hoc analysis over production
         data), giving it an inter-job dependency.
         """
-        depends: tuple[str, ...] = ()
-        submit_hour = day * HOURS_PER_DAY + float(rng.uniform(0, 24))
-        if producers and rng.random() < self.config.adhoc_dependency_fraction:
-            table_name, producer_job, producer_hour = producers[
-                int(rng.integers(0, len(producers)))
-            ]
-            table = self.catalog.get(table_name)
-            depends = (producer_job,)
-            # A consumer cannot start before its producer ran.
-            submit_hour = day * HOURS_PER_DAY + min(
-                23.9, producer_hour + float(rng.uniform(0.5, 4.0))
-            )
-        else:
-            table = self._random_table_rng(rng)
-        column = self._random_filter_column_rng(rng, table)
-        value = float(rng.uniform(column.low, column.high))
-        plan: Expression = Filter(
-            Scan(table.name), (Predicate(column.name, "<=", value),)
+        table, column, value, join_table, aggregate, submit_hour, depends = (
+            self._adhoc_draws(rng, day, producers)
         )
-        if rng.random() < 0.5:
-            plan = Join(plan, Scan(self._random_table_rng(rng).name), "key", "key")
-        if rng.random() < 0.5:
-            plan = Aggregate(plan, (column.name,))
-        else:
-            plan = Project(plan, (column.name, "key"))
         return Job(
             job_id=f"d{day:03d}-adhoc{index:03d}",
-            plan=plan,
+            plan=self._adhoc_plan(table, column, value, join_table, aggregate),
             submit_hour=submit_hour,
             depends_on=depends,
+        )
+
+    # -- fused batch generation ----------------------------------------------
+    def _recurring_meta(self) -> list[tuple[_Template, list[str] | None]]:
+        """Per template (by-hour order): the template plus dependency tails.
+
+        A consumer instance depends on its producer's matching instance
+        *iff* the producer was stamped earlier in by-hour order — the
+        exact ``template_job_ids.get`` behaviour of ``_generate_day``
+        (equal-hour ties resolve by template id, so a chain wired
+        "backwards" at the 23.0 clamp yields no edge there either).
+        """
+        if self._rec_meta is None:
+            instances = self.config.instances_per_template
+            meta: list[tuple[_Template, list[str] | None]] = []
+            stamped: set[int] = set()
+            for template in self._templates_by_hour:
+                upstream = template.upstream_template
+                tails = (
+                    [self._id_suffix(upstream, k) for k in range(instances)]
+                    if upstream is not None and upstream in stamped
+                    else None
+                )
+                meta.append((template, tails))
+                stamped.add(template.template_id)
+            self._rec_meta = meta
+        return self._rec_meta
+
+    def _recurring_columns(self) -> tuple[np.ndarray, list[str]]:
+        """(submit-hour offsets, id tails), one per recurring instance."""
+        if self._rec_offsets is None or self._rec_id_suffixes is None:
+            instances = self.config.instances_per_template
+            meta = self._recurring_meta()
+            self._rec_offsets = np.repeat(
+                np.asarray(
+                    [t.submit_hour_offset for t, _tails in meta],
+                    dtype=np.float64,
+                ),
+                instances,
+            )
+            self._rec_id_suffixes = [
+                self._id_suffix(t.template_id, k)
+                for t, _tails in meta
+                for k in range(instances)
+            ]
+        return self._rec_offsets, self._rec_id_suffixes
+
+    def _adhoc_tails(self) -> list[str]:
+        if self._adhoc_id_suffixes is None:
+            self._adhoc_id_suffixes = [
+                f"adhoc{k:03d}" for k in range(self.adhoc_per_day)
+            ]
+        return self._adhoc_id_suffixes
+
+    def _adhoc_shape(
+        self, table: str, column: str, join_table: str | None, aggregate: bool
+    ) -> _AdhocShape:
+        """Cached signature scaffolding for one ad-hoc plan shape."""
+        key = (table, column, join_table, aggregate)
+        shape = self._adhoc_shapes.get(key)
+        if shape is not None:
+            return shape
+        scan_sig = _digest(f"Scan:{table}()")
+        filt_template = _digest(f"Filter:{column}<=?({scan_sig})")
+        if join_table is not None:
+            jscan_sig = _digest(f"Scan:{join_table}()")
+            join_pre = "Join:key=key("
+            join_post = f"|{jscan_sig})"
+            top_template = _digest(
+                f"{join_pre}{filt_template}{join_post}"
+            )
+            root_size = 5
+        else:
+            jscan_sig = join_pre = join_post = None
+            top_template = filt_template
+            root_size = 3
+        root_desc = (
+            f"Aggregate:{column}" if aggregate else f"Project:{column},key"
+        )
+        if len(self._adhoc_shapes) >= self._ADHOC_SHAPE_CAP:
+            # FIFO-evict: shapes are pure functions of the key, so a
+            # re-derived shape is identical — the cap only bounds
+            # resident memory over long runs (the shape space is the
+            # catalog's full table x column x join x aggregate product,
+            # which at 100k-job scale never stops minting new combos).
+            del self._adhoc_shapes[next(iter(self._adhoc_shapes))]
+        shape = _AdhocShape(
+            scan_raw=bytes.fromhex(scan_sig),
+            jscan_raw=(
+                bytes.fromhex(jscan_sig) if jscan_sig is not None else None
+            ),
+            filt_pre=f"Filter:{column}<=".encode(),
+            filt_post=f"({scan_sig})".encode(),
+            join_pre=join_pre.encode() if join_pre is not None else None,
+            join_post=join_post.encode() if join_post is not None else None,
+            root_pre=f"{root_desc}(".encode(),
+            root_size=root_size,
+            root_template=_digest(f"{root_desc}({top_template})"),
+            scan_node=Scan(table),
+            jscan_node=Scan(join_table) if join_table is not None else None,
+            aggregate=aggregate,
+            root_cols=(column,) if aggregate else (column, "key"),
+        )
+        self._adhoc_shapes[key] = shape
+        return shape
+
+    def day_batch(self, day: int) -> "JobBatch":
+        """One day, fused straight into :class:`JobBatch` columns.
+
+        Bit-identical to ``JobBatch.from_jobs(self.day_jobs(day))`` —
+        same columns, pools, interning order, and RNG advancement — but
+        no per-job ``Job`` objects, no Python sort, and only 2–3 SHA1
+        calls per unique ad-hoc plan instead of a full signature pass:
+        recurring instances are stamped from one per-template skeleton
+        via columnar repeats, and the day never exists as a
+        million-element list.  Interleaves freely with
+        :meth:`day_jobs`/:meth:`stream_days` (shared day-state cache).
+        """
+        if day < 0:
+            raise ValueError("day must be >= 0")
+        rng = self._replay_to(day)
+        # One day is a pure allocation burst of acyclic objects (frozen
+        # plan trees, strings, arrays): pausing collection while it runs
+        # saves the collector re-scanning a million young objects it can
+        # never free (~30% of wall time at 1M jobs/day).
+        was_enabled = gc.isenabled()
+        if was_enabled:
+            gc.disable()
+        try:
+            batch = self._build_day_batch(day, rng)
+        finally:
+            if was_enabled:
+                gc.enable()
+        self._day_states.setdefault(day + 1, deepcopy(rng.bit_generator.state))
+        return batch
+
+    def _build_day_batch(self, day: int, rng: np.random.Generator) -> "JobBatch":
+        from repro.core.peregrine.repository import JobBatch
+
+        cfg = self.config
+        instances = cfg.instances_per_template
+        prefix = f"d{day:03d}-"
+        meta = self._recurring_meta()
+        n_templates = len(meta)
+        n_rec = n_templates * instances
+        n_adhoc = self.adhoc_per_day
+
+        # Per-ref pools in draw order (refs 0..T-1 are the recurring
+        # skeletons, T..T+A-1 the ad-hoc plans).  Signature names and
+        # node sizes go into one flat draw-order stream with per-ref
+        # lengths; a single vectorized gather permutes them to plan-code
+        # order below instead of juggling 350k small lists.
+        ref_plans: list[Expression] = []
+        ref_templates: list[str] = []
+        ref_stricts: list[str] = []
+        ref_params: list[dict | None] = []
+        names_flat: list[bytes] = []
+        sizes_flat: list[int] = []
+        ref_lens: list[int] = []
+        pre_deps: dict[int, tuple[str, ...]] = {}
+        for j, (template, dep_tails) in enumerate(meta):
+            plan, params = template.instantiate(day, cfg.drift_per_day)
+            strict_map, _template_map = enumerate_all_signatures(plan)
+            sigs = signatures(plan)
+            ref_plans.append(plan)
+            ref_templates.append(sigs.template)
+            ref_stricts.append(sigs.strict)
+            names_flat.extend(bytes.fromhex(s) for s in strict_map)
+            sizes_flat.extend(node.size for node in strict_map.values())
+            ref_lens.append(len(strict_map))
+            ref_params.append(params)
+            if dep_tails is not None:
+                base = j * instances
+                for k, tail in enumerate(dep_tails):
+                    pre_deps[base + k] = (prefix + tail,)
+        rec_offsets, rec_tails = self._recurring_columns()
+        rec_hours = rec_offsets + day * HOURS_PER_DAY
+
+        # Ad-hoc refs: the draws stay strictly sequential (the RNG
+        # contract — see :meth:`_adhoc_draws`), everything downstream of
+        # each draw runs on prebound locals.  The signature block mirrors
+        # ``enumerate_all_signatures``'s post-order walk with setdefault
+        # dedup — the joined scan re-reading the filtered base table is
+        # the only duplicate a 4-node ad-hoc shape can produce.
+        producers = self._day_producers(day)
+        adhoc_hours = np.empty(n_adhoc, dtype=np.float64)
+        draws = self._adhoc_draws
+        get_shape = self._adhoc_shape
+        _sha1 = sha1
+        _hex = hexlify
+        plans_append = ref_plans.append
+        templates_append = ref_templates.append
+        stricts_append = ref_stricts.append
+        params_append = ref_params.append
+        names_extend = names_flat.extend
+        sizes_extend = sizes_flat.extend
+        lens_append = ref_lens.append
+        for k in range(n_adhoc):
+            table, column, value, join_table, aggregate, hour, depends = (
+                draws(rng, day, producers)
+            )
+            adhoc_hours[k] = hour
+            if depends:
+                pre_deps[n_rec + k] = depends
+            shape = get_shape(table, column, join_table, aggregate)
+            filt_raw = _sha1(
+                shape.filt_pre + repr(value).encode() + shape.filt_post
+            ).digest()[:8]
+            if shape.jscan_raw is not None:
+                top_raw = _sha1(
+                    shape.join_pre + _hex(filt_raw) + shape.join_post
+                ).digest()[:8]
+                root_raw = _sha1(
+                    shape.root_pre + _hex(top_raw) + b")"
+                ).digest()[:8]
+                if join_table == table:
+                    names_extend((shape.scan_raw, filt_raw, top_raw, root_raw))
+                    sizes_extend((1, 2, 4, shape.root_size))
+                    lens_append(4)
+                else:
+                    names_extend((
+                        shape.scan_raw, filt_raw, shape.jscan_raw,
+                        top_raw, root_raw,
+                    ))
+                    sizes_extend((1, 2, 1, 4, shape.root_size))
+                    lens_append(5)
+            else:
+                root_raw = _sha1(
+                    shape.root_pre + _hex(filt_raw) + b")"
+                ).digest()[:8]
+                names_extend((shape.scan_raw, filt_raw, root_raw))
+                sizes_extend((1, 2, shape.root_size))
+                lens_append(3)
+            plans_append(_stamp_adhoc_plan(shape, column, value))
+            templates_append(shape.root_template)
+            stricts_append(root_raw.hex())
+            params_append(None)
+
+        # Stable sort by submit hour == the legacy per-day Python sort.
+        hours = (
+            np.concatenate([rec_hours, adhoc_hours]) if n_adhoc else rec_hours
+        )
+        refs = np.concatenate(
+            [
+                np.repeat(np.arange(n_templates, dtype=np.int64), instances),
+                np.arange(n_templates, n_templates + n_adhoc, dtype=np.int64),
+            ]
+        )
+        order = np.argsort(hours, kind="stable")
+        sorted_refs = refs[order]
+
+        # Plan codes by first appearance in sorted order — the exact
+        # ``plan_index.setdefault`` numbering of ``JobBatch.from_jobs``.
+        uniq, first_idx, inverse = np.unique(
+            sorted_refs, return_index=True, return_inverse=True
+        )
+        code_of_uniq = np.empty(len(uniq), dtype=np.uint32)
+        appearance = np.argsort(first_idx, kind="stable")
+        code_of_uniq[appearance] = np.arange(len(uniq), dtype=np.uint32)
+        plan_codes = code_of_uniq[inverse].astype(np.uint32, copy=False)
+        ref_order_arr = uniq[appearance]
+        ref_order = ref_order_arr.tolist()
+
+        all_tails = rec_tails + self._adhoc_tails()
+        order_list = order.tolist()
+        job_ids = [prefix + all_tails[i] for i in order_list]
+
+        # Pools in plan-code order; signature interning in first-sighting
+        # order across plans — one gather permutes the draw-order name
+        # stream to plan-code order, then ``np.unique`` over the
+        # fixed-width digest bytes plus an appearance-rank remap replaces
+        # a million dict probes with a handful of array ops.  One params
+        # entry per plan (``from_jobs`` keys params on the plan code, so
+        # codes and param codes agree).
+        plans = [ref_plans[r] for r in ref_order]
+        plan_templates = [ref_templates[r] for r in ref_order]
+        plan_stricts = [ref_stricts[r] for r in ref_order]
+        params_pool: list[dict] = []
+        for r in ref_order:
+            params = ref_params[r]
+            params_pool.append({} if params is None else dict(params))
+        lens_draw = np.asarray(ref_lens, dtype=np.int64)
+        offs_draw = np.concatenate(([0], np.cumsum(lens_draw)))[:-1]
+        # Raw 8-byte digests are bijective with the 16-hex-char names,
+        # so dedup runs on a uint64 view (~6x faster than S16 strings)
+        # and only the surviving pool is hexlified, wholesale.
+        flat_draw = np.frombuffer(b"".join(names_flat), dtype=np.uint64)
+        sizes_draw = np.asarray(sizes_flat, dtype=np.int64)
+        lens_sorted = lens_draw[ref_order_arr]
+        total = int(lens_sorted.sum())
+        seg_base = np.repeat(np.cumsum(lens_sorted) - lens_sorted, lens_sorted)
+        gather = (
+            np.repeat(offs_draw[ref_order_arr], lens_sorted)
+            + np.arange(total, dtype=np.int64)
+            - seg_base
+        )
+        flat_sorted = flat_draw[gather]
+        uniq_names, name_first, name_inverse = np.unique(
+            flat_sorted, return_index=True, return_inverse=True
+        )
+        name_rank = np.argsort(name_first, kind="stable")
+        sig_code_of = np.empty(len(uniq_names), dtype=np.uint32)
+        sig_code_of[name_rank] = np.arange(len(uniq_names), dtype=np.uint32)
+        codes_flat = sig_code_of[name_inverse].astype(np.uint32, copy=False)
+        plan_sig_codes = np.split(codes_flat, np.cumsum(lens_sorted)[:-1])
+        hex_pool = uniq_names[name_rank].tobytes().hex()
+        sig_names = [
+            hex_pool[i:i + 16] for i in range(0, len(hex_pool), 16)
+        ]
+        sig_sizes = sizes_draw[gather[name_first[name_rank]]].tolist()
+
+        inv = np.empty(len(order), dtype=np.int64)
+        inv[order] = np.arange(len(order))
+        deps_rows = sorted(
+            (int(inv[pre]), deps) for pre, deps in pre_deps.items()
+        )
+        return JobBatch(
+            day=day,
+            job_ids=job_ids,
+            submit_hours=hours[order],
+            plan_codes=plan_codes,
+            param_codes=plan_codes.copy(),
+            plans=plans,
+            plan_templates=plan_templates,
+            plan_stricts=plan_stricts,
+            plan_sig_codes=plan_sig_codes,
+            sig_names=sig_names,
+            sig_sizes=sig_sizes,
+            params_pool=params_pool,
+            deps_map=dict(deps_rows),
         )

@@ -122,3 +122,123 @@ class TestFleetStreaming:
             return report
 
         assert run() == run(resume_from="ckpt")
+
+
+class TestDayBatchSource:
+    def test_day_batch_cached_and_off_range_none(self):
+        source = StreamingJobSource(
+            seed=0, days=2, jobs_per_day=50, overlap=False
+        )
+        batch = source.day_batch(0)
+        assert batch is source.day_batch(0)
+        assert source.day_batch(2) is None
+        assert source.day_batch(-1) is None
+
+    def test_pairs_read_off_the_batch(self):
+        source = StreamingJobSource(
+            seed=4, days=2, jobs_per_day=60, overlap=False
+        )
+        legacy = ScopeWorkloadGenerator(
+            rng=4, config=source.config
+        )
+        for day in range(2):
+            pairs = source.pairs(head=10).get(day)
+            jobs = legacy.day_jobs(day)[:10]
+            assert [job_id for job_id, _plan in pairs] == [
+                j.job_id for j in jobs
+            ]
+            assert [plan for _job_id, plan in pairs] == [
+                j.plan for j in jobs
+            ]
+        assert source.pairs(head=10).get(5, "missing") == "missing"
+
+    def test_overlap_fallback_is_local_and_identical(self, monkeypatch):
+        # Pool submission failing must silently fall back to local
+        # generation with the same bits.
+        import repro.fabric.streams as streams
+
+        def broken_pool():
+            raise RuntimeError("no pool in this test")
+
+        monkeypatch.setattr(streams, "get_pool", broken_pool)
+        forced = StreamingJobSource(
+            seed=6, days=2, jobs_per_day=50, overlap=True
+        )
+        plain = StreamingJobSource(
+            seed=6, days=2, jobs_per_day=50, overlap=False
+        )
+        for day in range(2):
+            theirs = plain.day_batch(day)
+            mine = forced.day_batch(day)
+            assert mine.job_ids == theirs.job_ids
+            assert mine.sig_names == theirs.sig_names
+        assert forced.prefetch_hits == 0
+
+    def test_overlap_auto_disabled_under_pytest(self):
+        # resolve_workers(2) is serial under pytest unless forced, so
+        # the auto mode must not spin up a pool inside the suite.
+        import os
+
+        source = StreamingJobSource(seed=0, days=2, jobs_per_day=50)
+        if not os.environ.get("REPRO_PARALLEL_FORCE"):
+            assert not source.overlap_enabled()
+
+    def test_pickle_drops_pending_and_caches(self):
+        source = StreamingJobSource(
+            seed=1, days=2, jobs_per_day=50, overlap=False
+        )
+        source.day_batch(0)
+        clone = pickle.loads(pickle.dumps(source))
+        assert clone._batch_cache is None
+        assert clone._pending is None
+        assert clone.day_batch(0).job_ids == source.day_batch(0).job_ids
+
+    @pytest.mark.skipif(
+        "REPRO_PARALLEL_FORCE" not in __import__("os").environ,
+        reason="needs the real worker pool (REPRO_PARALLEL_FORCE=1)",
+    )
+    def test_real_pool_prefetch_identical_and_engaged(self):
+        plain = StreamingJobSource(
+            seed=2, days=3, jobs_per_day=1200, overlap=False
+        )
+        overlapped = StreamingJobSource(
+            seed=2, days=3, jobs_per_day=1200, overlap=True
+        )
+        for day in range(3):
+            theirs = plain.day_batch(day)
+            mine = overlapped.day_batch(day)
+            assert mine.job_ids == theirs.job_ids
+            assert mine.sig_names == theirs.sig_names
+            assert list(mine.deps_map.items()) == list(
+                theirs.deps_map.items()
+            )
+        assert overlapped.prefetch_hits >= 1
+
+    @pytest.mark.skipif(
+        "REPRO_PARALLEL_FORCE" not in __import__("os").environ,
+        reason="needs the real worker pool (REPRO_PARALLEL_FORCE=1)",
+    )
+    def test_checkpoint_resume_identical_under_overlap(self, tmp_path):
+        def run(resume: bool):
+            config = FleetConfig(
+                days=3,
+                jobs_per_day=1200,
+                include=("peregrine", "steering"),
+                streaming=True,
+                overlap_prefetch=True,
+            )
+            plane = ControlPlane()
+            build_fleet(plane, config)
+            if not resume:
+                plane.run_days(3)
+            else:
+                plane.run_days(1)
+                plane.checkpoint(tmp_path / "ckpt.bin")
+                plane.close()
+                plane = ControlPlane.restore(tmp_path / "ckpt.bin")
+                plane.run_days(2)
+            report = plane.report_bytes()
+            plane.close()
+            return report
+
+        assert run(resume=False) == run(resume=True)

@@ -1,0 +1,118 @@
+"""Pin: the fused columnar day path is bit-identical to the job list.
+
+``ScopeWorkloadGenerator.day_batch`` must produce exactly what
+``JobBatch.from_jobs(generator.day_jobs(day))`` produces — same job
+order, pools, interning order, RNG advancement, and dependency rows —
+across configurations, day-access patterns, and pickle round-trips.
+This is the vectorized-generation twin of PR 7's stream-vs-eager gate:
+any drift here silently forks the repository's view of the world.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.peregrine.repository import JobBatch
+from repro.workloads.scope import ScopeWorkloadConfig, ScopeWorkloadGenerator
+
+
+def assert_batches_identical(batch: JobBatch, ref: JobBatch) -> None:
+    """Field-by-field structural equality (pools compared by value)."""
+    assert batch.day == ref.day
+    assert batch.job_ids == ref.job_ids
+    assert np.array_equal(batch.submit_hours, ref.submit_hours)
+    assert np.array_equal(batch.plan_codes, ref.plan_codes)
+    assert np.array_equal(batch.param_codes, ref.param_codes)
+    assert batch.plans == ref.plans
+    assert batch.plan_templates == ref.plan_templates
+    assert batch.plan_stricts == ref.plan_stricts
+    assert len(batch.plan_sig_codes) == len(ref.plan_sig_codes)
+    for mine, theirs in zip(batch.plan_sig_codes, ref.plan_sig_codes):
+        assert np.array_equal(mine, theirs)
+        assert mine.dtype == theirs.dtype
+    assert batch.sig_names == ref.sig_names
+    assert batch.sig_sizes == ref.sig_sizes
+    assert batch.params_pool == ref.params_pool
+    assert list(batch.deps_map.items()) == list(ref.deps_map.items())
+
+
+CONFIGS = {
+    "default": ScopeWorkloadConfig(),
+    "instances4": ScopeWorkloadConfig(instances_per_template=4),
+    "scale5000": ScopeWorkloadConfig.for_scale(5000),
+}
+
+
+class TestFusedDayBatch:
+    @pytest.mark.parametrize("name", sorted(CONFIGS))
+    def test_bit_identical_to_from_jobs(self, name):
+        config = CONFIGS[name]
+        fused = ScopeWorkloadGenerator(rng=7, config=config)
+        legacy = ScopeWorkloadGenerator(rng=7, config=config)
+        for day in range(3):
+            batch = fused.day_batch(day)
+            ref = JobBatch.from_jobs(legacy.day_jobs(day))
+            assert_batches_identical(batch, ref)
+
+    def test_rng_states_advance_identically(self):
+        fused = ScopeWorkloadGenerator(rng=7)
+        legacy = ScopeWorkloadGenerator(rng=7)
+        for day in range(3):
+            fused.day_batch(day)
+            legacy.day_jobs(day)
+        assert fused._day_states.keys() == legacy._day_states.keys()
+        for day, state in fused._day_states.items():
+            assert state == legacy._day_states[day]
+
+    def test_interleaves_with_day_jobs_and_random_access(self):
+        config = ScopeWorkloadConfig()
+        legacy = ScopeWorkloadGenerator(rng=11, config=config)
+        refs = [
+            JobBatch.from_jobs(legacy.day_jobs(day)) for day in range(4)
+        ]
+        mixed = ScopeWorkloadGenerator(rng=11, config=config)
+        assert_batches_identical(mixed.day_batch(0), refs[0])
+        assert [j.job_id for j in mixed.day_jobs(1)] == refs[1].job_ids
+        assert_batches_identical(mixed.day_batch(2), refs[2])
+        # random access backwards replays from the cached day state
+        assert_batches_identical(mixed.day_batch(1), refs[1])
+        assert_batches_identical(mixed.day_batch(3), refs[3])
+
+    def test_pickle_roundtrip_replays_identically(self):
+        generator = ScopeWorkloadGenerator(rng=5)
+        refs = [
+            JobBatch.from_jobs(
+                ScopeWorkloadGenerator(rng=5).day_jobs(day)
+            )
+            for day in range(2)
+        ]
+        generator.day_batch(0)
+        clone = pickle.loads(pickle.dumps(generator))
+        assert_batches_identical(clone.day_batch(1), refs[1])
+        assert_batches_identical(clone.day_batch(0), refs[0])
+
+    def test_negative_day_rejected(self):
+        with pytest.raises(ValueError):
+            ScopeWorkloadGenerator(rng=1).day_batch(-1)
+
+    def test_ingest_batch_matches_record_path(self):
+        from repro.core.peregrine.repository import WorkloadRepository
+
+        fused_repo = WorkloadRepository()
+        record_repo = WorkloadRepository()
+        fused_gen = ScopeWorkloadGenerator(rng=9)
+        record_gen = ScopeWorkloadGenerator(rng=9)
+        for day in range(2):
+            fused_repo.ingest_batch(fused_gen.day_batch(day))
+            for job in record_gen.day_jobs(day):
+                record_repo.ingest_job(job)
+        assert len(fused_repo) == len(record_repo)
+        assert fused_repo.days() == record_repo.days()
+        for day in range(2):
+            assert (
+                fused_repo.day_sharing_summary(day)
+                == record_repo.day_sharing_summary(day)
+            )
